@@ -1,0 +1,119 @@
+// Eager vs deferred cleansing (Section 1 / Section 6.1 discussion): eager
+// cleansing pays one up-front pass that materializes a cleaned copy, after
+// which queries are as cheap as dirty ones — but every change to any
+// application's rules invalidates the copy. Deferred cleansing pays a
+// per-query overhead instead. This bench measures all three costs so the
+// break-even point (queries between rule changes) can be read off:
+//
+//   break_even ≈ eager_cleanse_once / (deferred_query - eager_query)
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "cleansing/chain.h"
+
+namespace rfid::bench {
+namespace {
+
+// Materializes the cleaned copy of caseR (the eager pipeline's output).
+Status MaterializeEager(Database* db, int num_rules, const char* table_name) {
+  if (db->GetTable(table_name) != nullptr) return Status::OK();
+  auto engine = MakeEngine(db, num_rules);
+  std::vector<const CleansingRule*> rules;
+  for (const CleansingRule& r : engine->rules()) rules.push_back(&r);
+  RFID_ASSIGN_OR_RETURN(
+      CleansingChain chain,
+      BuildCleansingChain(rules, *db, "__input",
+                          db->GetTable("caseR")->schema().columns()));
+  std::string sql = "WITH __input AS (SELECT * FROM caseR)";
+  for (const auto& [name, body] : chain.with_clauses) {
+    sql += ", " + name + " AS (" + body + ")";
+  }
+  sql += " SELECT epc, rtime, reader, biz_loc, biz_step FROM " + chain.output_name;
+  RFID_ASSIGN_OR_RETURN(QueryResult res, ExecuteSql(*db, sql));
+  Schema schema = db->GetTable("caseR")->schema();
+  RFID_ASSIGN_OR_RETURN(Table * clean, db->CreateTable(table_name, schema));
+  for (Row& row : res.rows) clean->AppendUnchecked(std::move(row));
+  RFID_RETURN_IF_ERROR(clean->BuildIndex("rtime"));
+  RFID_RETURN_IF_ERROR(clean->BuildIndex("epc"));
+  clean->ComputeStats();
+  return Status::OK();
+}
+
+void BM_EagerCleanseOnce(benchmark::State& state) {
+  Database* db = GetDatabase(10);
+  auto engine = MakeEngine(db, static_cast<int>(state.range(0)));
+  std::vector<const CleansingRule*> rules;
+  for (const CleansingRule& r : engine->rules()) rules.push_back(&r);
+  for (auto _ : state) {
+    auto chain = BuildCleansingChain(rules, *db, "__input",
+                                     db->GetTable("caseR")->schema().columns());
+    if (!chain.ok()) {
+      state.SkipWithError(chain.status().ToString().c_str());
+      return;
+    }
+    std::string sql = "WITH __input AS (SELECT * FROM caseR)";
+    for (const auto& [name, body] : chain->with_clauses) {
+      sql += ", " + name + " AS (" + body + ")";
+    }
+    sql += " SELECT count(*) FROM " + chain->output_name;
+    RunQuery(*db, sql);
+  }
+}
+
+void BM_EagerQuery(benchmark::State& state) {
+  Database* db = GetDatabase(10);
+  int num_rules = static_cast<int>(state.range(0));
+  // Must not contain "caseR" (the query text substitution below).
+  std::string clean_name = "cleanR" + std::to_string(num_rules);
+  Status st = MaterializeEager(db, num_rules, clean_name.c_str());
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  std::string q1 = workload::Q1(workload::T1ForSelectivity(*db, 0.10));
+  // Run q1 against the pre-cleaned copy.
+  size_t pos = 0;
+  while ((pos = q1.find("caseR", pos)) != std::string::npos) {
+    q1.replace(pos, 5, clean_name);
+    pos += clean_name.size();
+  }
+  for (auto _ : state) {
+    RunQuery(*db, q1);
+  }
+}
+
+void BM_DeferredQuery(benchmark::State& state) {
+  Database* db = GetDatabase(10);
+  auto engine = MakeEngine(db, static_cast<int>(state.range(0)));
+  std::string q1 = workload::Q1(workload::T1ForSelectivity(*db, 0.10));
+  std::string sql = RewriteSql(db, engine.get(), q1, RewriteStrategy::kAuto);
+  for (auto _ : state) {
+    RunQuery(*db, sql);
+  }
+}
+
+}  // namespace
+}  // namespace rfid::bench
+
+int main(int argc, char** argv) {
+  for (int rules : {1, 3}) {
+    benchmark::RegisterBenchmark(
+        ("eager_vs_deferred/cleanse_once/rules:" + std::to_string(rules)).c_str(),
+        &rfid::bench::BM_EagerCleanseOnce)
+        ->Arg(rules)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("eager_vs_deferred/eager_q1/rules:" + std::to_string(rules)).c_str(),
+        &rfid::bench::BM_EagerQuery)
+        ->Arg(rules)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("eager_vs_deferred/deferred_q1/rules:" + std::to_string(rules)).c_str(),
+        &rfid::bench::BM_DeferredQuery)
+        ->Arg(rules)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Figure 7 (a) and (d): elapsed time of q1 (dwell analysis) and q2 (site
+// analysis) as the rtime-predicate selectivity varies from 1% to 40%, on
+// db-10 with only the reader rule enabled — comparing the dirty baseline
+// (q), the expanded rewrite (q_e), the join-back rewrite (q_j), and the
+// naive rewrite (q_n).
+//
+// Pass --explain to additionally print the executed plans for q1/q1_e
+// and q2/q2_e/q2_j at 10% selectivity (Figures 7(b,c,e,f,g)).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rfid::bench {
+namespace {
+
+constexpr int kSelectivities[] = {1, 5, 10, 20, 30, 40};
+
+enum Variant { kDirty = 0, kExpanded = 1, kJoinBack = 2, kNaive = 3 };
+const char* kVariantNames[] = {"dirty", "q_e", "q_j", "q_n"};
+
+std::string BuildSql(int query, int sel_percent, Variant variant) {
+  Database* db = GetDatabase(10);
+  auto engine = MakeEngine(db, 1);  // reader rule only
+  double frac = sel_percent / 100.0;
+  std::string base = (query == 1)
+                         ? workload::Q1(workload::T1ForSelectivity(*db, frac))
+                         : workload::Q2(workload::T2ForSelectivity(*db, frac));
+  switch (variant) {
+    case kDirty:
+      return base;
+    case kExpanded:
+      return RewriteSql(db, engine.get(), base, RewriteStrategy::kExpanded);
+    case kJoinBack:
+      return RewriteSql(db, engine.get(), base, RewriteStrategy::kJoinBack);
+    case kNaive:
+      return RewriteSql(db, engine.get(), base, RewriteStrategy::kNaive);
+  }
+  return base;
+}
+
+void BM_Fig7(benchmark::State& state) {
+  int query = static_cast<int>(state.range(0));
+  int sel = static_cast<int>(state.range(1));
+  Variant variant = static_cast<Variant>(state.range(2));
+  Database* db = GetDatabase(10);
+  std::string sql = BuildSql(query, sel, variant);
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunQuery(*db, sql);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetLabel(kVariantNames[variant]);
+}
+
+void RegisterAll() {
+  for (int query : {1, 2}) {
+    for (int sel : kSelectivities) {
+      for (int v = 0; v <= 3; ++v) {
+        std::string name =
+            std::string("fig7") + (query == 1 ? "a/q1" : "d/q2") + "_" +
+            kVariantNames[v] + "/sel:" + std::to_string(sel);
+        benchmark::RegisterBenchmark(
+            name.c_str(), &BM_Fig7)
+            ->Args({query, sel, v})
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+void PrintExplains() {
+  Database* db = GetDatabase(10);
+  auto engine = MakeEngine(db, 1);
+  struct Item {
+    const char* figure;
+    int query;
+    Variant variant;
+  } items[] = {
+      {"Figure 7(b): plan for q1 (dirty)", 1, kDirty},
+      {"Figure 7(c): plan for q1_e", 1, kExpanded},
+      {"Figure 7(e): plan for q2 (dirty)", 2, kDirty},
+      {"Figure 7(f): plan for q2_e", 2, kExpanded},
+      {"Figure 7(g): plan for q2_j", 2, kJoinBack},
+  };
+  for (const Item& item : items) {
+    std::string sql = BuildSql(item.query, 10, item.variant);
+    auto res = ExecuteSql(*db, sql);
+    printf("\n=== %s ===\n%s", item.figure,
+           res.ok() ? res->explain.c_str() : res.status().ToString().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace rfid::bench
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--explain") {
+      rfid::bench::PrintExplains();
+      return 0;
+    }
+  }
+  rfid::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

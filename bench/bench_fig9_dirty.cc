@@ -1,0 +1,65 @@
+// Figure 9 (c) and (d): q1 and q2 on databases with 10% to 40% anomalies
+// (db-10 .. db-40), fixed 10% rtime selectivity, first three rules
+// enabled. Elapsed time should grow only mildly with the anomaly
+// percentage and track the dirty baseline's trend.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rfid::bench {
+namespace {
+
+constexpr int kDirtyLevels[] = {10, 20, 30, 40};
+
+enum Variant { kDirty = 0, kExpanded = 1, kJoinBack = 2, kNaive = 3 };
+const char* kVariantNames[] = {"dirty", "q_e", "q_j", "q_n"};
+
+void BM_Fig9Dirty(benchmark::State& state) {
+  int query = static_cast<int>(state.range(0));
+  int dirty = static_cast<int>(state.range(1));
+  Variant variant = static_cast<Variant>(state.range(2));
+  Database* db = GetDatabase(dirty);
+  auto engine = MakeEngine(db, 3);
+  std::string base = (query == 1)
+                         ? workload::Q1(workload::T1ForSelectivity(*db, 0.10))
+                         : workload::Q2(workload::T2ForSelectivity(*db, 0.10));
+  std::string sql = base;
+  if (variant == kExpanded) {
+    sql = RewriteSql(db, engine.get(), base, RewriteStrategy::kExpanded);
+  } else if (variant == kJoinBack) {
+    sql = RewriteSql(db, engine.get(), base, RewriteStrategy::kJoinBack);
+  } else if (variant == kNaive) {
+    sql = RewriteSql(db, engine.get(), base, RewriteStrategy::kNaive);
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunQuery(*db, sql);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetLabel(kVariantNames[variant]);
+}
+
+void RegisterAll() {
+  for (int query : {1, 2}) {
+    for (int dirty : kDirtyLevels) {
+      for (int v = 0; v <= 3; ++v) {
+        std::string name = std::string("fig9") + (query == 1 ? "c/q1" : "d/q2") +
+                           "_" + kVariantNames[v] +
+                           "/dirty:" + std::to_string(dirty);
+        benchmark::RegisterBenchmark(name.c_str(), &BM_Fig9Dirty)
+            ->Args({query, dirty, v})
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfid::bench
+
+int main(int argc, char** argv) {
+  rfid::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Figure 9 (a) and (b): q1 and q2 with the number of enabled rules scaled
+// from 1 to 5 (Table 1 order: reader, duplicate, replacing, cycle,
+// missing) at fixed 10% rtime selectivity on db-10.
+//
+// The expanded rewrite is feasible only for the first three rules (the
+// cycle rule's contexts are unbounded in time); join-back covers all
+// five. The missing rule costs most: its derived input unions expected
+// pallet reads with the case reads, doubling the data to sort.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace rfid::bench {
+namespace {
+
+enum Variant { kDirty = 0, kExpanded = 1, kJoinBack = 2, kNaive = 3 };
+const char* kVariantNames[] = {"dirty", "q_e", "q_j", "q_n"};
+
+void BM_Fig9Rules(benchmark::State& state) {
+  int query = static_cast<int>(state.range(0));
+  int num_rules = static_cast<int>(state.range(1));
+  Variant variant = static_cast<Variant>(state.range(2));
+  Database* db = GetDatabase(10);
+  auto engine = MakeEngine(db, num_rules);
+  std::string base = (query == 1)
+                         ? workload::Q1(workload::T1ForSelectivity(*db, 0.10))
+                         : workload::Q2(workload::T2ForSelectivity(*db, 0.10));
+  std::string sql = base;
+  if (variant == kExpanded) {
+    sql = RewriteSql(db, engine.get(), base, RewriteStrategy::kExpanded);
+  } else if (variant == kJoinBack) {
+    sql = RewriteSql(db, engine.get(), base, RewriteStrategy::kJoinBack);
+  } else if (variant == kNaive) {
+    sql = RewriteSql(db, engine.get(), base, RewriteStrategy::kNaive);
+  }
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows = RunQuery(*db, sql);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+  state.SetLabel(kVariantNames[variant]);
+}
+
+void RegisterAll() {
+  for (int query : {1, 2}) {
+    for (int rules = 1; rules <= 5; ++rules) {
+      for (int v = 0; v <= 3; ++v) {
+        // Expanded is infeasible beyond three rules (cycle, missing).
+        if (v == kExpanded && rules >= 4) continue;
+        std::string name = std::string("fig9") + (query == 1 ? "a/q1" : "b/q2") +
+                           "_" + kVariantNames[v] +
+                           "/rules:" + std::to_string(rules);
+        benchmark::RegisterBenchmark(name.c_str(), &BM_Fig9Rules)
+            ->Args({query, rules, v})
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfid::bench
+
+int main(int argc, char** argv) {
+  rfid::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Table 1: the expanded conditions the rewrite engine derives for q1 and
+// q2 with respect to each of the five rules. Prints the derived context
+// condition (and its sequence-key relaxation) per rule, mirroring the
+// paper's table; `{}` marks rules for which no expanded condition exists
+// (cycle for both queries, missing for q1).
+//
+// Also micro-benchmarks the rewrite step itself (correlation analysis,
+// transitivity, candidate generation, and cost-based selection), which
+// the paper treats as negligible compile-time work.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "sql/render.h"
+
+namespace rfid::bench {
+namespace {
+
+void PrintTable1() {
+  Database* db = GetDatabase(10);
+  int64_t t1 = workload::T1ForSelectivity(*db, 0.10);
+  int64_t t2 = workload::T2ForSelectivity(*db, 0.10);
+  struct QuerySpec {
+    const char* name;
+    std::string sql;
+    const char* t_name;
+    int64_t t_value;
+  } queries[] = {
+      {"q1", workload::Q1(t1), "T1", t1},
+      {"q2", workload::Q2(t2), "T2", t2},
+  };
+
+  printf("=== Table 1: expanded conditions (derived) ===\n");
+  printf("t1=5min, t2=10min, t3=20min; ");
+  printf("T1=%lld T2=%lld (10%% selectivity)\n\n", static_cast<long long>(t1),
+         static_cast<long long>(t2));
+  printf("%-12s %-4s %-10s %s\n", "rule", "qry", "feasible", "context condition");
+
+  // One rule group at a time, matching the table's rows.
+  auto names = workload::StandardRuleNames();
+  for (const QuerySpec& q : queries) {
+    auto engine = MakeEngine(db, 5);
+    QueryRewriter rewriter(db, engine.get());
+    auto info = rewriter.Rewrite(q.sql);
+    if (!info.ok()) {
+      fprintf(stderr, "rewrite failed: %s\n", info.status().ToString().c_str());
+      exit(1);
+    }
+    // Group missing_r1/missing_r2 into "missing".
+    std::map<std::string, std::pair<bool, std::string>> by_group;
+    for (const RuleContextInfo& c : info->contexts) {
+      std::string group = c.rule_name.substr(0, c.rule_name.find("_r"));
+      std::string cond = c.context_condition == nullptr
+                             ? "{}"
+                             : RenderExpr(c.context_condition);
+      auto [it, inserted] = by_group.try_emplace(group, c.feasible, cond);
+      if (!inserted) {
+        it->second.first = it->second.first && c.feasible;
+        it->second.second += "  /  " + cond;
+      }
+    }
+    for (const std::string& rule : names) {
+      const auto& [feasible, cond] = by_group.at(rule);
+      printf("%-12s %-4s %-10s %s\n", rule.c_str(), q.name,
+             feasible ? "yes" : "no ({})", feasible ? cond.c_str() : "{}");
+    }
+    if (info->relaxed_condition != nullptr) {
+      printf("%-12s %-4s relaxed ec: %s\n", "(all)", q.name,
+             RenderExpr(info->relaxed_condition).c_str());
+    }
+    printf("\n");
+  }
+}
+
+void BM_RewriteLatency(benchmark::State& state) {
+  int num_rules = static_cast<int>(state.range(0));
+  int query = static_cast<int>(state.range(1));
+  Database* db = GetDatabase(10);
+  auto engine = MakeEngine(db, num_rules);
+  QueryRewriter rewriter(db, engine.get());
+  std::string sql = (query == 1)
+                        ? workload::Q1(workload::T1ForSelectivity(*db, 0.10))
+                        : workload::Q2(workload::T2ForSelectivity(*db, 0.10));
+  for (auto _ : state) {
+    auto info = rewriter.Rewrite(sql);
+    if (!info.ok()) {
+      state.SkipWithError(info.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(info->sql);
+  }
+}
+
+void RegisterAll() {
+  for (int query : {1, 2}) {
+    for (int rules : {1, 3, 5}) {
+      std::string name = "table1/rewrite_latency_q" + std::to_string(query) +
+                         "/rules:" + std::to_string(rules);
+      benchmark::RegisterBenchmark(name.c_str(), &BM_RewriteLatency)
+          ->Args({rules, query})
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rfid::bench
+
+int main(int argc, char** argv) {
+  rfid::bench::PrintTable1();
+  rfid::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

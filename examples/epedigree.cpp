@@ -1,0 +1,94 @@
+// E-pedigree tracking (the paper's Example 5): pharmaceutical-style
+// regulations require preserving all raw tracking data, which rules out
+// eager cleansing — deferred cleansing reconstructs a case's chain of
+// custody at query time, compensating missed case reads with the pallet's
+// reliable reads.
+//
+// Usage: epedigree [pallets] [dirty_fraction]
+#include <cstdio>
+#include <cstdlib>
+
+#include "plan/planner.h"
+#include "rewrite/rewriter.h"
+#include "rfidgen/anomaly.h"
+#include "rfidgen/workload.h"
+
+using namespace rfid;
+
+int main(int argc, char** argv) {
+  rfidgen::GeneratorOptions gen;
+  gen.num_pallets = argc > 1 ? atoll(argv[1]) : 10;
+  gen.min_cases_per_pallet = 3;
+  gen.max_cases_per_pallet = 6;
+  rfidgen::AnomalyOptions anomalies;
+  anomalies.dirty_fraction = argc > 2 ? atof(argv[2]) : 0.20;
+  // Only missed reads for a crisp pedigree demo.
+  anomalies.duplicates = anomalies.reader = anomalies.replacing =
+      anomalies.cycles = false;
+
+  Database db;
+  auto gstats = rfidgen::Generate(gen, &db);
+  if (!gstats.ok()) {
+    fprintf(stderr, "%s\n", gstats.status().ToString().c_str());
+    return 1;
+  }
+  auto astats = rfidgen::InjectAnomalies(anomalies, &db);
+  if (!astats.ok()) {
+    fprintf(stderr, "%s\n", astats.status().ToString().c_str());
+    return 1;
+  }
+  printf("raw data preserved: %lld case reads; %lld reads were missed at "
+         "source\n\n",
+         static_cast<long long>(db.GetTable("caseR")->num_rows()),
+         static_cast<long long>(astats->missing));
+
+  // The full five-rule policy; the missing rule's two sub-rules compensate
+  // missed case reads from pallet reads.
+  CleansingRuleEngine rules(&db);
+  for (const std::string& def : workload::StandardRuleDefinitions(5)) {
+    if (Status st = rules.DefineRule(def); !st.ok()) {
+      fprintf(stderr, "rule: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Pick a case that actually lost a read: compare per-epc counts.
+  auto dirty_counts = ExecuteSql(
+      db, "SELECT epc, count(*) FROM caseR GROUP BY epc");
+  if (!dirty_counts.ok()) return 1;
+
+  QueryRewriter rewriter(&db, &rules);
+  std::string pedigree_template =
+      "SELECT rtime, biz_loc, reader FROM caseR WHERE epc = '%s' "
+      "AND rtime >= TIMESTAMP 0";
+
+  // Find a case whose cleansed pedigree is longer than its raw one.
+  std::string chosen;
+  for (const Row& r : dirty_counts->rows) {
+    const std::string& epc = r[0].string_value();
+    char buf[256];
+    snprintf(buf, sizeof(buf), pedigree_template.c_str(), epc.c_str());
+    auto info = rewriter.Rewrite(buf);
+    if (!info.ok()) continue;
+    auto clean = ExecuteSql(db, info->sql);
+    if (!clean.ok()) continue;
+    if (static_cast<int64_t>(clean->rows.size()) > r[1].int64_value()) {
+      chosen = epc;
+      printf("case %s: raw pedigree has %lld reads, cleansed pedigree has "
+             "%zu (missed reads compensated from pallet data)\n\n",
+             epc.c_str(), static_cast<long long>(r[1].int64_value()),
+             clean->rows.size());
+      printf("%-22s %-18s %s\n", "time", "location", "reader");
+      for (const Row& step : clean->rows) {
+        printf("%-22s %-18s %s\n", step[0].ToString().c_str(),
+               step[1].ToString().c_str(), step[2].ToString().c_str());
+      }
+      break;
+    }
+  }
+  if (chosen.empty()) {
+    printf("no case needed compensation at this scale; re-run with a higher "
+           "dirty fraction\n");
+  }
+  return 0;
+}

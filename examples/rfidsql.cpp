@@ -1,0 +1,267 @@
+// rfidsql — an interactive shell over the deferred-cleansing engine.
+//
+//   .gen <pallets> [dirty%]      generate RFIDGen data (+ anomalies)
+//   .rule DEFINE ...;            define a cleansing rule (SQL-TS)
+//   .rules                       list defined rules and their templates
+//   .strategy auto|expanded|joinback|naive|off
+//   .explain on|off              print executed plans
+//   .candidates on|off           print costed rewrite candidates
+//   .tables / .schema <table>    catalog inspection
+//   .save <dir> / .load <dir>    persist / restore the database
+//   SELECT ...;                  run a query (rewritten per strategy)
+//   .quit
+//
+// Also usable in batch mode: rfidsql < script.sql
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "plan/planner.h"
+#include "rewrite/rewriter.h"
+#include "rfidgen/anomaly.h"
+#include "storage/persist.h"
+#include "sql/render.h"
+
+using namespace rfid;
+
+namespace {
+
+struct ShellState {
+  Database db;
+  std::unique_ptr<CleansingRuleEngine> rules;
+  RewriteStrategy strategy = RewriteStrategy::kAuto;
+  bool rewriting_enabled = true;
+  bool explain = false;
+  bool show_candidates = false;
+
+  ShellState() { rules = std::make_unique<CleansingRuleEngine>(&db); }
+};
+
+void PrintTable(const QueryResult& res, size_t max_rows = 40) {
+  std::vector<size_t> widths;
+  for (size_t i = 0; i < res.desc.num_fields(); ++i) {
+    widths.push_back(res.desc.field(i).name.size());
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (size_t r = 0; r < res.rows.size() && r < max_rows; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < res.rows[r].size(); ++c) {
+      row.push_back(res.rows[r][c].ToString());
+      widths[c] = std::max(widths[c], row.back().size());
+    }
+    cells.push_back(std::move(row));
+  }
+  for (size_t i = 0; i < widths.size(); ++i) {
+    printf("%-*s  ", static_cast<int>(widths[i]), res.desc.field(i).name.c_str());
+  }
+  printf("\n");
+  for (size_t i = 0; i < widths.size(); ++i) {
+    printf("%s  ", std::string(widths[i], '-').c_str());
+  }
+  printf("\n");
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    printf("\n");
+  }
+  if (res.rows.size() > max_rows) {
+    printf("... (%zu more rows)\n", res.rows.size() - max_rows);
+  }
+  printf("(%zu rows)\n", res.rows.size());
+}
+
+void RunSql(ShellState& state, const std::string& sql) {
+  std::string final_sql = sql;
+  if (state.rewriting_enabled && !state.rules->rules().empty()) {
+    QueryRewriter rewriter(&state.db, state.rules.get());
+    RewriteOptions opts;
+    opts.strategy = state.strategy;
+    auto info = rewriter.Rewrite(sql, opts);
+    if (!info.ok()) {
+      printf("rewrite error: %s\n", info.status().ToString().c_str());
+      return;
+    }
+    if (info->chosen != RewriteStrategy::kNone) {
+      printf("[rewritten: %s strategy, est. cost %.0f]\n",
+             RewriteStrategyName(info->chosen), info->estimated_cost);
+      if (state.show_candidates) {
+        for (const RewriteCandidate& c : info->candidates) {
+          printf("  candidate %-36s cost %12.0f\n", c.label.c_str(),
+                 c.estimated_cost);
+        }
+      }
+    }
+    final_sql = info->sql;
+  }
+  auto start = std::chrono::steady_clock::now();
+  auto res = ExecuteSql(state.db, final_sql);
+  auto end = std::chrono::steady_clock::now();
+  if (!res.ok()) {
+    printf("error: %s\n", res.status().ToString().c_str());
+    return;
+  }
+  PrintTable(*res);
+  printf("%.1f ms\n", std::chrono::duration<double, std::milli>(end - start).count());
+  if (state.explain) {
+    printf("\n%s", res->explain.c_str());
+  }
+}
+
+void RunCommand(ShellState& state, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd;
+  in >> cmd;
+  if (cmd == ".quit" || cmd == ".exit") {
+    exit(0);
+  }
+  if (cmd == ".gen") {
+    int64_t pallets = 20;
+    double dirty = 10;
+    in >> pallets >> dirty;
+    rfidgen::GeneratorOptions gen;
+    gen.num_pallets = pallets;
+    auto g = rfidgen::Generate(gen, &state.db);
+    if (!g.ok()) {
+      printf("error: %s\n", g.status().ToString().c_str());
+      return;
+    }
+    rfidgen::AnomalyOptions anomalies;
+    anomalies.dirty_fraction = dirty / 100.0;
+    auto a = rfidgen::InjectAnomalies(anomalies, &state.db);
+    if (!a.ok()) {
+      printf("error: %s\n", a.status().ToString().c_str());
+      return;
+    }
+    printf("generated %lld case reads across %lld cases; injected %lld "
+           "anomalies (%.0f%%)\n",
+           static_cast<long long>(g->case_reads),
+           static_cast<long long>(g->cases),
+           static_cast<long long>(a->total()), dirty);
+    return;
+  }
+  if (cmd == ".save" || cmd == ".load") {
+    std::string dir;
+    in >> dir;
+    if (dir.empty()) {
+      printf("usage: %s <directory>\n", cmd.c_str());
+      return;
+    }
+    if (cmd == ".save") {
+      Status st = SaveDatabase(state.db, dir);
+      printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+    } else {
+      Status st = LoadDatabase(dir, &state.db, /*skip_existing=*/true);
+      if (st.ok()) st = rfidgen::FinalizeDatabase(&state.db);
+      printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+    }
+    return;
+  }
+  if (cmd == ".rules") {
+    auto res = ExecuteSql(state.db,
+                          "SELECT seq, name, on_table, action FROM __rules");
+    if (res.ok()) PrintTable(*res);
+    return;
+  }
+  if (cmd == ".strategy") {
+    std::string which;
+    in >> which;
+    if (which == "auto") state.strategy = RewriteStrategy::kAuto;
+    else if (which == "expanded") state.strategy = RewriteStrategy::kExpanded;
+    else if (which == "joinback") state.strategy = RewriteStrategy::kJoinBack;
+    else if (which == "naive") state.strategy = RewriteStrategy::kNaive;
+    else if (which == "off") state.rewriting_enabled = false;
+    else {
+      printf("usage: .strategy auto|expanded|joinback|naive|off\n");
+      return;
+    }
+    if (which != "off") state.rewriting_enabled = true;
+    printf("strategy = %s%s\n", which.c_str(),
+           state.rewriting_enabled ? "" : " (queries run on dirty data)");
+    return;
+  }
+  if (cmd == ".explain" || cmd == ".candidates") {
+    std::string flag;
+    in >> flag;
+    bool value = flag == "on";
+    if (cmd == ".explain") state.explain = value;
+    else state.show_candidates = value;
+    printf("%s = %s\n", cmd.c_str() + 1, value ? "on" : "off");
+    return;
+  }
+  if (cmd == ".tables") {
+    for (const std::string& name : state.db.TableNames()) {
+      const Table* t = state.db.GetTable(name);
+      printf("%-12s %8zu rows\n", name.c_str(), t->num_rows());
+    }
+    return;
+  }
+  if (cmd == ".schema") {
+    std::string table;
+    in >> table;
+    const Table* t = state.db.GetTable(table);
+    if (t == nullptr) {
+      printf("no such table: %s\n", table.c_str());
+      return;
+    }
+    printf("%s %s\n", t->name().c_str(), t->schema().ToString().c_str());
+    return;
+  }
+  printf("unknown command: %s\n", cmd.c_str());
+}
+
+}  // namespace
+
+int main() {
+  ShellState state;
+  bool interactive = isatty(0);
+  if (interactive) {
+    printf("rfidsql — deferred cleansing shell. '.gen 20 10' to make data, "
+           "'.quit' to leave.\n");
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      printf(buffer.empty() ? "rfid> " : "  ... ");
+      fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    // Strip comments and whitespace.
+    size_t comment = line.find("--");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    std::string trimmed = line;
+    while (!trimmed.empty() && isspace(static_cast<unsigned char>(trimmed.front()))) {
+      trimmed.erase(trimmed.begin());
+    }
+    if (buffer.empty() && trimmed.empty()) continue;
+    if (buffer.empty() && trimmed[0] == '.') {
+      RunCommand(state, trimmed);
+      continue;
+    }
+    buffer += line + "\n";
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    // Complete statement.
+    std::string stmt = buffer;
+    buffer.clear();
+    while (!stmt.empty() &&
+           (isspace(static_cast<unsigned char>(stmt.back())) || stmt.back() == ';')) {
+      stmt.pop_back();
+    }
+    if (stmt.empty()) continue;
+    // Rule definition or query?
+    std::string head = stmt.substr(0, stmt.find_first_of(" \t\n"));
+    if (EqualsIgnoreCase(head, ".rule") || EqualsIgnoreCase(head, "define")) {
+      std::string rule_text =
+          EqualsIgnoreCase(head, ".rule") ? stmt.substr(5) : stmt;
+      Status st = state.rules->DefineRule(rule_text);
+      printf("%s\n", st.ok() ? "rule defined" : st.ToString().c_str());
+      continue;
+    }
+    RunSql(state, stmt);
+  }
+  return 0;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full verification: configure, build, run the test suite, smoke every
+# example, and run the benchmark harnesses (RFID_BENCH_PALLETS scales the
+# data; default 40).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+./build/examples/quickstart > /dev/null
+./build/examples/dwell_analysis 8 0.1 > /dev/null
+./build/examples/site_audit 8 0.1 dc1 > /dev/null
+./build/examples/epedigree 6 0.3 > /dev/null
+./build/examples/multi_policy > /dev/null
+printf '.gen 3 10\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
+
+for b in build/bench/bench_*; do "$b"; done

@@ -1,0 +1,101 @@
+#include "cleansing/chain.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+#include "sql/render.h"
+
+namespace rfid {
+
+namespace {
+
+void ReplaceInExpr(const ExprPtr& e, std::string_view from,
+                   const std::string& to) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kInSubquery && e->subquery != nullptr) {
+    ReplaceTableRefs(e->subquery.get(), from, to);
+  }
+  for (const ExprPtr& c : e->children) ReplaceInExpr(c, from, to);
+}
+
+// Replaces the placeholder token in a stage body.
+std::string SubstituteInput(const std::string& body, const std::string& input) {
+  std::string out = body;
+  size_t pos = out.find(kInputPlaceholder);
+  while (pos != std::string::npos) {
+    out.replace(pos, strlen(kInputPlaceholder), input);
+    pos = out.find(kInputPlaceholder, pos + input.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+void ReplaceTableRefs(SelectStatement* stmt, std::string_view from,
+                      const std::string& to) {
+  for (WithClause& w : stmt->with) {
+    ReplaceTableRefs(w.body.get(), from, to);
+  }
+  for (SelectCore& core : stmt->cores) {
+    for (TableRef& ref : core.from) {
+      if (EqualsIgnoreCase(ref.table_name, from)) {
+        // Keep the visible alias: rows were addressed by the original
+        // name/alias in predicates.
+        if (EqualsIgnoreCase(ref.alias, ref.table_name)) {
+          ref.alias = ref.table_name;  // alias stays the old name
+        }
+        ref.table_name = to;
+      }
+    }
+    ReplaceInExpr(core.where, from, to);
+    for (const SelectItem& item : core.items) ReplaceInExpr(item.expr, from, to);
+    for (const ExprPtr& g : core.group_by) ReplaceInExpr(g, from, to);
+  }
+}
+
+Result<CleansingChain> BuildCleansingChain(
+    const std::vector<const CleansingRule*>& rules, const Database& db,
+    const std::string& input_name, const std::vector<Column>& input_columns,
+    const std::string& derived_filter_sql) {
+  CleansingChain chain;
+  std::string current = input_name;
+  std::vector<Column> current_cols = input_columns;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const CleansingRule& rule = *rules[i];
+    if (rule.HasDerivedInput()) {
+      StatementPtr derived = CloneStatement(rule.from_select);
+      ReplaceTableRefs(derived.get(), rule.on_table, current);
+      std::string name = StrFormat("__rin%zu", i);
+      chain.with_clauses.emplace_back(name, StatementToSql(*derived));
+      current = name;
+      RFID_ASSIGN_OR_RETURN(current_cols, RuleInputColumns(rule, db));
+      if (!derived_filter_sql.empty()) {
+        std::string filtered = StrFormat("__rinf%zu", i);
+        chain.with_clauses.emplace_back(
+            filtered,
+            "SELECT * FROM " + name + " WHERE " + derived_filter_sql);
+        current = filtered;
+      }
+    } else if (!rule.from_table.empty() &&
+               !EqualsIgnoreCase(rule.from_table, rule.on_table)) {
+      // Input is a different plain table: the chain switches to it; the
+      // restricted input is not applicable (rare; kept for completeness).
+      current = rule.from_table;
+      RFID_ASSIGN_OR_RETURN(current_cols, RuleInputColumns(rule, db));
+    }
+    RFID_ASSIGN_OR_RETURN(
+        CompiledRule compiled,
+        CompileRule(rule, current_cols, StrFormat("__r%zu", i)));
+    for (const CompiledStage& stage : compiled.stages) {
+      chain.with_clauses.emplace_back(stage.with_name,
+                                      SubstituteInput(stage.body_sql, current));
+    }
+    current = compiled.output_name;
+    current_cols = compiled.output_columns;
+  }
+  chain.output_name = current;
+  chain.output_columns = std::move(current_cols);
+  return chain;
+}
+
+}  // namespace rfid

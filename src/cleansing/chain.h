@@ -1,0 +1,41 @@
+// Builds the cleansing chain Φ_Cn(...Φ_C1(input)) as a list of WITH
+// clauses over a caller-supplied restricted input relation.
+//
+// Rules apply in creation order (Section 4.4). A rule with a derived
+// input (FROM (SELECT ...)) has every reference to the ON table inside
+// that SELECT replaced by the chain's current output, so the extra
+// compensation data (e.g. expected pallet reads) is unioned with the
+// already-cleansed stream — this is how the missing-read rule composes
+// with earlier rules.
+#ifndef RFID_CLEANSING_CHAIN_H_
+#define RFID_CLEANSING_CHAIN_H_
+
+#include "cleansing/rule_compiler.h"
+
+namespace rfid {
+
+struct CleansingChain {
+  // WITH clauses in order: (name, body SQL).
+  std::vector<std::pair<std::string, std::string>> with_clauses;
+  std::string output_name;             // relation holding cleansed rows
+  std::vector<Column> output_columns;  // its schema
+};
+
+/// `input_name`/`input_columns`: the WITH clause (declared by the caller)
+/// holding the — possibly restricted — rows of the rules' ON table.
+/// `derived_filter_sql` (optional): a condition re-applied to the output
+/// of any derived rule input (e.g. after the caseR ∪ pallet-reads union)
+/// so compensation rows are restricted the same way as base rows.
+Result<CleansingChain> BuildCleansingChain(
+    const std::vector<const CleansingRule*>& rules, const Database& db,
+    const std::string& input_name, const std::vector<Column>& input_columns,
+    const std::string& derived_filter_sql = "");
+
+/// Replaces FROM references to `from` (case-insensitive) with `to`
+/// throughout the statement, including WITH bodies and IN-subqueries.
+void ReplaceTableRefs(SelectStatement* stmt, std::string_view from,
+                      const std::string& to);
+
+}  // namespace rfid
+
+#endif  // RFID_CLEANSING_CHAIN_H_

@@ -1,0 +1,71 @@
+#include "cleansing/commute.h"
+
+#include <set>
+
+#include "common/string_util.h"
+#include "expr/conjunct.h"
+
+namespace rfid {
+
+namespace {
+
+std::set<std::string> AssignedColumns(const CleansingRule& rule) {
+  std::set<std::string> out;
+  for (const ModifyAssignment& a : rule.assignments) {
+    out.insert(ToLower(a.column));
+  }
+  return out;
+}
+
+// Column names read by the rule's condition and assignment values
+// (pattern qualifiers are irrelevant: a window over an assigned column
+// observes the other rule's writes regardless of which reference reads it).
+std::set<std::string> ReadColumns(const CleansingRule& rule) {
+  std::set<std::string> out;
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(rule.condition, &refs);
+  for (const ModifyAssignment& a : rule.assignments) {
+    CollectColumnRefs(a.value, &refs);
+  }
+  for (const Expr* r : refs) out.insert(ToLower(r->column));
+  return out;
+}
+
+bool Intersects(const std::set<std::string>& a, const std::set<std::string>& b) {
+  for (const std::string& x : a) {
+    if (b.count(x) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CommuteVerdict RulesCommute(const CleansingRule& a, const CleansingRule& b) {
+  // Deletions (and KEEPs) change adjacency and window contents; proving
+  // commutativity there requires reasoning this analysis does not attempt.
+  if (a.action != RuleAction::kModify || b.action != RuleAction::kModify) {
+    return CommuteVerdict::kUnknown;
+  }
+  // Rules over different inputs interleave through the derived-input
+  // substitution; do not attempt to reason about that.
+  if (a.HasDerivedInput() || b.HasDerivedInput() || !a.from_table.empty() ||
+      !b.from_table.empty()) {
+    return CommuteVerdict::kUnknown;
+  }
+  std::set<std::string> wa = AssignedColumns(a);
+  std::set<std::string> wb = AssignedColumns(b);
+  if (Intersects(wa, wb)) return CommuteVerdict::kUnknown;
+  // Assigning a key would regroup/reorder sequences for the other rule.
+  std::set<std::string> keys = {ToLower(a.ckey), ToLower(a.skey),
+                                ToLower(b.ckey), ToLower(b.skey)};
+  if (Intersects(wa, keys) || Intersects(wb, keys)) {
+    return CommuteVerdict::kUnknown;
+  }
+  // Neither rule may read what the other writes.
+  if (Intersects(ReadColumns(a), wb) || Intersects(ReadColumns(b), wa)) {
+    return CommuteVerdict::kUnknown;
+  }
+  return CommuteVerdict::kCommute;
+}
+
+}  // namespace rfid

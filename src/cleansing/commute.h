@@ -1,0 +1,34 @@
+// Conservative rule-commutativity analysis. Section 5.4 leaves "whether
+// we can switch the evaluation order of rules without changing the query
+// semantics" as future work; this module answers the easy-but-useful
+// fragment soundly and says "unknown" otherwise.
+//
+// Two rules provably commute when neither can observe the other's effect:
+//  - both are MODIFY rules (the row set and sequence positions are
+//    unchanged, so each rule's windows see the same rows either way),
+//  - the column sets they assign are disjoint,
+//  - neither assigns its cluster or sequence key (assignments cannot
+//    reorder or regroup sequences),
+//  - neither rule's condition or assigned values read a column the other
+//    assigns.
+//
+// Everything else — any DELETE or KEEP, overlapping columns — is kUnknown:
+// the Section 4.4 example ([X Y X] under cycle+duplicate) shows deletion
+// rules genuinely do not commute in general.
+#ifndef RFID_CLEANSING_COMMUTE_H_
+#define RFID_CLEANSING_COMMUTE_H_
+
+#include "cleansing/rule.h"
+
+namespace rfid {
+
+enum class CommuteVerdict {
+  kCommute,  // provably order-independent
+  kUnknown,  // could not prove commutativity (treat as order-dependent)
+};
+
+CommuteVerdict RulesCommute(const CleansingRule& a, const CleansingRule& b);
+
+}  // namespace rfid
+
+#endif  // RFID_CLEANSING_COMMUTE_H_

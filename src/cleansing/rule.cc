@@ -1,0 +1,213 @@
+#include "cleansing/rule.h"
+
+#include "cleansing/chain.h"
+#include "cleansing/rule_parser.h"
+#include "common/string_util.h"
+#include "expr/conjunct.h"
+#include "sql/render.h"
+
+namespace rfid {
+
+const char* RuleActionName(RuleAction a) {
+  switch (a) {
+    case RuleAction::kDelete: return "DELETE";
+    case RuleAction::kKeep: return "KEEP";
+    case RuleAction::kModify: return "MODIFY";
+  }
+  return "?";
+}
+
+int CleansingRule::TargetIndex() const {
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    if (EqualsIgnoreCase(pattern[i].name, target)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status ValidateRule(const CleansingRule& rule) {
+  if (rule.name.empty()) return Status::InvalidArgument("rule has no name");
+  if (rule.on_table.empty()) {
+    return Status::InvalidArgument("rule has no ON table");
+  }
+  if (rule.pattern.empty()) {
+    return Status::InvalidArgument("rule pattern is empty");
+  }
+  // Unique reference names.
+  for (size_t i = 0; i < rule.pattern.size(); ++i) {
+    for (size_t j = i + 1; j < rule.pattern.size(); ++j) {
+      if (EqualsIgnoreCase(rule.pattern[i].name, rule.pattern[j].name)) {
+        return Status::InvalidArgument("duplicate pattern reference: " +
+                                       rule.pattern[i].name);
+      }
+    }
+  }
+  // Set references only at the edges (Section 4.2).
+  for (size_t i = 0; i < rule.pattern.size(); ++i) {
+    if (rule.pattern[i].is_set && i != 0 && i + 1 != rule.pattern.size()) {
+      return Status::InvalidArgument(
+          "a set reference (*) may only appear at the beginning or end of "
+          "the pattern: " +
+          rule.pattern[i].name);
+    }
+  }
+  // Target: declared, singleton.
+  int ti = rule.TargetIndex();
+  if (ti < 0) {
+    return Status::InvalidArgument("action target is not a pattern reference: " +
+                                   rule.target);
+  }
+  if (rule.pattern[static_cast<size_t>(ti)].is_set) {
+    return Status::InvalidArgument(
+        "action target must be a singleton reference: " + rule.target);
+  }
+  if (rule.action == RuleAction::kModify && rule.assignments.empty()) {
+    return Status::InvalidArgument("MODIFY without assignments");
+  }
+  // Condition references only declared names.
+  if (rule.condition != nullptr) {
+    std::vector<const Expr*> refs;
+    CollectColumnRefs(rule.condition, &refs);
+    for (const Expr* ref : refs) {
+      if (ref->qualifier.empty()) {
+        // COUNT(B) thresholds reference a pattern name positionally.
+        bool is_pattern_name = false;
+        for (const PatternRef& p : rule.pattern) {
+          if (EqualsIgnoreCase(p.name, ref->column)) is_pattern_name = true;
+        }
+        if (is_pattern_name) continue;
+        return Status::InvalidArgument(
+            "rule condition columns must be qualified with a pattern "
+            "reference: " +
+            ref->column);
+      }
+      bool found = false;
+      for (const PatternRef& p : rule.pattern) {
+        if (EqualsIgnoreCase(p.name, ref->qualifier)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument("unknown pattern reference in condition: " +
+                                       ref->qualifier);
+      }
+    }
+  }
+  // MODIFY values may only reference the target.
+  for (const ModifyAssignment& a : rule.assignments) {
+    std::vector<const Expr*> refs;
+    CollectColumnRefs(a.value, &refs);
+    for (const Expr* ref : refs) {
+      if (!EqualsIgnoreCase(ref->qualifier, rule.target)) {
+        return Status::InvalidArgument(
+            "MODIFY values may only reference the target reference");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+CleansingRuleEngine::CleansingRuleEngine(Database* db) : db_(db) {
+  if (db_->GetTable("__rules") == nullptr) {
+    Schema schema;
+    schema.AddColumn("seq", DataType::kInt64);
+    schema.AddColumn("name", DataType::kString);
+    schema.AddColumn("on_table", DataType::kString);
+    schema.AddColumn("action", DataType::kString);
+    schema.AddColumn("template_sql", DataType::kString);
+    // Best effort; the catalog owns the database.
+    auto created = db_->CreateTable("__rules", std::move(schema));
+    (void)created;
+  }
+}
+
+Status CleansingRuleEngine::DefineRule(std::string_view rule_text) {
+  RFID_ASSIGN_OR_RETURN(CleansingRule rule, ParseRule(rule_text));
+  return AddRule(std::move(rule));
+}
+
+Status CleansingRuleEngine::AddRule(CleansingRule rule) {
+  RFID_RETURN_IF_ERROR(ValidateRule(rule));
+  if (FindRule(rule.name) != nullptr) {
+    return Status::AlreadyExists("rule already defined: " + rule.name);
+  }
+  if (db_->GetTable(rule.on_table) == nullptr) {
+    return Status::NotFound("rule ON table not found: " + rule.on_table);
+  }
+  // Compile once now to (a) reject rules the compiler cannot express and
+  // (b) persist the SQL/OLAP template (Figure 1, step 2). The input
+  // schema threads through the rules already defined on the table, so a
+  // rule may reference columns a preceding MODIFY rule created.
+  RFID_ASSIGN_OR_RETURN(std::vector<Column> input_cols, EffectiveInputColumns(rule));
+  RFID_ASSIGN_OR_RETURN(CompiledRule compiled,
+                        CompileRule(rule, input_cols, "__r"));
+  rule.seq = next_seq_++;
+  RFID_RETURN_IF_ERROR(PersistTemplate(rule, compiled));
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+Result<std::vector<Column>> CleansingRuleEngine::EffectiveInputColumns(
+    const CleansingRule& rule) const {
+  // A derived or redirected input defines its own schema.
+  if (rule.HasDerivedInput() || !rule.from_table.empty()) {
+    RFID_ASSIGN_OR_RETURN(std::vector<Column> cols, RuleInputColumns(rule, *db_));
+    // Columns added by earlier MODIFY rules flow through a derived input
+    // only when the derived SELECT projects them, so the db-based schema
+    // is the right one here.
+    return cols;
+  }
+  std::vector<const CleansingRule*> prior = RulesFor(rule.on_table);
+  const Table* table = db_->GetTable(rule.on_table);
+  if (table == nullptr) {
+    return Status::NotFound("rule ON table not found: " + rule.on_table);
+  }
+  std::vector<Column> cols = table->schema().columns();
+  if (prior.empty()) return cols;
+  RFID_ASSIGN_OR_RETURN(CleansingChain chain,
+                        BuildCleansingChain(prior, *db_, "__schema_probe", cols));
+  return chain.output_columns;
+}
+
+Status CleansingRuleEngine::DropRule(std::string_view name) {
+  for (auto it = rules_.begin(); it != rules_.end(); ++it) {
+    if (EqualsIgnoreCase(it->name, name)) {
+      rules_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("rule not found: " + std::string(name));
+}
+
+std::vector<const CleansingRule*> CleansingRuleEngine::RulesFor(
+    std::string_view table) const {
+  std::vector<const CleansingRule*> out;
+  for (const CleansingRule& r : rules_) {
+    if (EqualsIgnoreCase(r.on_table, table)) out.push_back(&r);
+  }
+  return out;
+}
+
+const CleansingRule* CleansingRuleEngine::FindRule(std::string_view name) const {
+  for (const CleansingRule& r : rules_) {
+    if (EqualsIgnoreCase(r.name, name)) return &r;
+  }
+  return nullptr;
+}
+
+Status CleansingRuleEngine::PersistTemplate(const CleansingRule& rule,
+                                            const CompiledRule& compiled) {
+  Table* table = db_->GetTable("__rules");
+  if (table == nullptr) return Status::OK();
+  std::string sql;
+  for (const CompiledStage& stage : compiled.stages) {
+    if (!sql.empty()) sql += ", ";
+    sql += stage.with_name + " AS (" + stage.body_sql + ")";
+  }
+  return table->Append({Value::Int64(rule.seq), Value::String(rule.name),
+                        Value::String(rule.on_table),
+                        Value::String(RuleActionName(rule.action)),
+                        Value::String(sql)});
+}
+
+}  // namespace rfid

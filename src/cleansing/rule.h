@@ -1,0 +1,106 @@
+// Cleansing-rule model: the extended SQL-TS rule of Section 4.2 —
+//
+//   DEFINE      <rule name>
+//   ON          <table>                 -- table the rule cleanses
+//   FROM        <table | (SELECT ...)>  -- rule input (defaults to ON table)
+//   CLUSTER BY  <ckey>                  -- sequence grouping key (epc)
+//   SEQUENCE BY <skey>                  -- sequence ordering key (rtime)
+//   AS          (A, B, *C)              -- pattern references
+//   WHERE       <condition over refs>
+//   ACTION      DELETE r | KEEP r | MODIFY r.col = expr [, ...]
+//
+// plus the catalog that stores rules in creation order (Section 4.4: rule
+// application order is creation order).
+#ifndef RFID_CLEANSING_RULE_H_
+#define RFID_CLEANSING_RULE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace rfid {
+struct CompiledRule;
+}  // namespace rfid
+
+namespace rfid {
+
+enum class RuleAction { kDelete, kKeep, kModify };
+
+const char* RuleActionName(RuleAction a);
+
+struct PatternRef {
+  std::string name;
+  bool is_set = false;  // designated with '*'
+};
+
+struct ModifyAssignment {
+  std::string column;  // on the target reference
+  ExprPtr value;       // may reference target columns (qualified by target)
+};
+
+struct CleansingRule {
+  std::string name;
+  std::string on_table;
+  // Input: either a plain table (from_table) or a derived statement
+  // (from_select). When both are empty the input is the ON table.
+  std::string from_table;
+  StatementPtr from_select;
+  std::string ckey;
+  std::string skey;
+  std::vector<PatternRef> pattern;
+  ExprPtr condition;  // column refs qualified with pattern reference names
+  RuleAction action = RuleAction::kDelete;
+  std::string target;  // target reference name
+  std::vector<ModifyAssignment> assignments;  // MODIFY only
+  int64_t seq = 0;  // creation order, assigned by the catalog
+
+  /// Index of the target reference within the pattern, or -1.
+  int TargetIndex() const;
+  /// True when the rule reads straight from its ON table.
+  bool HasDerivedInput() const { return from_select != nullptr; }
+};
+
+/// Validates structural constraints: unique reference names, sets only at
+/// the pattern edges, target is a singleton present in the pattern,
+/// condition references only declared names, MODIFY assignments target
+/// the target reference.
+Status ValidateRule(const CleansingRule& rule);
+
+/// The rule engine/catalog (Figure 1, components 1-2): accepts rule text,
+/// validates, stores rules ordered by creation time, and persists each
+/// rule's SQL/OLAP template into the `__rules` system table of the
+/// database for inspection.
+class CleansingRuleEngine {
+ public:
+  explicit CleansingRuleEngine(Database* db);
+
+  /// Parses and registers a rule from extended SQL-TS text.
+  Status DefineRule(std::string_view rule_text);
+
+  /// Registers an already-built rule.
+  Status AddRule(CleansingRule rule);
+
+  Status DropRule(std::string_view name);
+
+  const std::vector<CleansingRule>& rules() const { return rules_; }
+
+  /// Rules defined ON the given table, in creation order.
+  std::vector<const CleansingRule*> RulesFor(std::string_view table) const;
+
+  const CleansingRule* FindRule(std::string_view name) const;
+
+ private:
+  Status PersistTemplate(const CleansingRule& rule, const CompiledRule& compiled);
+  Result<std::vector<Column>> EffectiveInputColumns(const CleansingRule& rule) const;
+
+  Database* db_;
+  std::vector<CleansingRule> rules_;
+  int64_t next_seq_ = 1;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_CLEANSING_RULE_H_

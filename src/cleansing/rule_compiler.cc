@@ -1,0 +1,495 @@
+#include "cleansing/rule_compiler.h"
+
+#include <cstdint>
+#include <map>
+#include <limits>
+
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "expr/conjunct.h"
+#include "plan/planner.h"
+#include "sql/render.h"
+
+namespace rfid {
+
+namespace {
+
+bool HasColumn(const std::vector<Column>& cols, std::string_view name) {
+  for (const Column& c : cols) {
+    if (EqualsIgnoreCase(c.name, name)) return true;
+  }
+  return false;
+}
+
+DataType ColumnType(const std::vector<Column>& cols, std::string_view name) {
+  for (const Column& c : cols) {
+    if (EqualsIgnoreCase(c.name, name)) return c.type;
+  }
+  return DataType::kNull;
+}
+
+// Microsecond bounds on (X.skey - T.skey), intersected from the rule's
+// sequence-key difference conjuncts plus the pattern-implied direction.
+struct DiffBounds {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  void Apply(BinaryOp op, int64_t offset) {
+    switch (op) {
+      case BinaryOp::kLt:
+        hi = std::min(hi, offset - 1);
+        break;
+      case BinaryOp::kLe:
+        hi = std::min(hi, offset);
+        break;
+      case BinaryOp::kGt:
+        lo = std::max(lo, offset + 1);
+        break;
+      case BinaryOp::kGe:
+        lo = std::max(lo, offset);
+        break;
+      case BinaryOp::kEq:
+        lo = std::max(lo, offset);
+        hi = std::min(hi, offset);
+        break;
+      default:
+        break;  // kNe does not bound
+    }
+  }
+
+  bool unbounded_lo() const { return lo == std::numeric_limits<int64_t>::min(); }
+  bool unbounded_hi() const { return hi == std::numeric_limits<int64_t>::max(); }
+};
+
+class Compiler {
+ public:
+  Compiler(const CleansingRule& rule, const std::vector<Column>& input_columns,
+           const std::string& prefix)
+      : rule_(rule), input_(input_columns), prefix_(prefix) {}
+
+  Result<CompiledRule> Compile() {
+    target_index_ = rule_.TargetIndex();
+    if (target_index_ < 0) {
+      return Status::InvalidArgument("rule target missing from pattern");
+    }
+    if (!HasColumn(input_, rule_.ckey) || !HasColumn(input_, rule_.skey)) {
+      return Status::InvalidArgument(StrFormat(
+          "rule input lacks cluster/sequence key %s/%s", rule_.ckey.c_str(),
+          rule_.skey.c_str()));
+    }
+
+    // 1. Pull sequence-key difference conjuncts out of the condition; they
+    //    parameterize set-reference frames. COUNT(X) threshold conjuncts
+    //    (the SQL/OLAP capability Section 4.3 points at: "how many reads
+    //    by readerX should be observed before taking an action") are
+    //    consumed here too and turn the existential flag into a count.
+    std::vector<ExprPtr> conjuncts = SplitConjuncts(rule_.condition);
+    for (const PatternRef& ref : rule_.pattern) {
+      if (!ref.is_set) continue;
+      RFID_RETURN_IF_ERROR(ExtractCountThreshold(ref, &conjuncts));
+      RFID_RETURN_IF_ERROR(ExtractFrameBounds(ref, &conjuncts));
+    }
+    ExprPtr cond = CombineConjuncts(conjuncts);
+    if (cond != nullptr && ContainsAggregate(cond)) {
+      return Status::Unimplemented(
+          "aggregates in rule conditions are only supported as top-level "
+          "COUNT(<set reference>) OP <integer> thresholds");
+    }
+
+    // 2. Existential flags for set references.
+    for (const PatternRef& ref : rule_.pattern) {
+      if (!ref.is_set) continue;
+      if (cond != nullptr && References(cond, ref.name)) {
+        RFID_ASSIGN_OR_RETURN(cond, ReplaceSetSubtrees(cond, ref));
+      }
+    }
+
+    // 2b. A threshold with no accompanying φ subtree counts every frame
+    //     row: COUNT(B) >= k alone.
+    for (const PatternRef& ref : rule_.pattern) {
+      if (!ref.is_set) continue;
+      auto threshold = count_thresholds_.find(ToLower(ref.name));
+      if (threshold == count_thresholds_.end()) continue;
+      if (cond != nullptr && References(cond, ref.name)) continue;
+      bool already_flagged = false;
+      for (const auto& [alias, agg] : window_aggs_) {
+        if (alias.find("__ex_" + ToLower(ref.name)) == 0) already_flagged = true;
+      }
+      if (already_flagged) continue;
+      std::string alias = StrFormat("__ex_%s%zu", ToLower(ref.name).c_str(),
+                                    window_aggs_.size());
+      window_aggs_.emplace_back(
+          alias, MakeWindowCall("count", {MakeColumnRef("", rule_.skey)},
+                                MakeWindow(FrameForSet(ref))));
+      ExprPtr flag = MakeBinary(threshold->second.first,
+                                MakeColumnRef("", alias),
+                                MakeLiteral(Value::Int64(threshold->second.second)));
+      cond = cond == nullptr ? flag : MakeBinary(BinaryOp::kAnd, cond, flag);
+    }
+
+    // 3. Column extraction for singleton contexts; target columns become
+    //    unqualified references.
+    if (cond != nullptr) {
+      RFID_ASSIGN_OR_RETURN(cond, ReplaceSingletonRefs(cond));
+    }
+
+    // 4. Assemble the stages.
+    CompiledRule out;
+    std::string stage1 = prefix_ + "_w";
+    std::string stage2 = prefix_;
+    {
+      std::string body = "SELECT ";
+      std::vector<std::string> parts;
+      for (const Column& c : input_) parts.push_back(c.name);
+      for (const auto& [alias, agg] : window_aggs_) {
+        parts.push_back(RenderExpr(agg) + " AS " + alias);
+      }
+      body += Join(parts, ", ");
+      body += " FROM ";
+      body += kInputPlaceholder;
+      out.stages.push_back({stage1, std::move(body)});
+    }
+    std::string cond_sql = cond == nullptr ? "TRUE = TRUE" : RenderExpr(cond);
+    switch (rule_.action) {
+      case RuleAction::kDelete: {
+        std::string body = "SELECT " + InputColumnList() + " FROM " + stage1 +
+                           " WHERE NOT (" + cond_sql + ") OR (" + cond_sql +
+                           ") IS NULL";
+        out.stages.push_back({stage2, std::move(body)});
+        out.output_columns = input_;
+        break;
+      }
+      case RuleAction::kKeep: {
+        std::string body = "SELECT " + InputColumnList() + " FROM " + stage1 +
+                           " WHERE " + cond_sql;
+        out.stages.push_back({stage2, std::move(body)});
+        out.output_columns = input_;
+        break;
+      }
+      case RuleAction::kModify: {
+        RFID_ASSIGN_OR_RETURN(std::string body, BuildModifyStage(stage1, cond_sql));
+        out.stages.push_back({stage2, std::move(body)});
+        out.output_columns = modify_output_;
+        break;
+      }
+    }
+    out.output_name = stage2;
+    return out;
+  }
+
+ private:
+  const PatternRef& Target() const {
+    return rule_.pattern[static_cast<size_t>(target_index_)];
+  }
+
+  // Consumes top-level conjuncts of the form "COUNT(X) OP k" for the set
+  // reference X; the existential aggregate for X then becomes
+  // SUM(CASE ...) OVER (frame) compared with OP k instead of MAX(...) = 1.
+  Status ExtractCountThreshold(const PatternRef& set_ref,
+                               std::vector<ExprPtr>* conjuncts) {
+    std::vector<ExprPtr> remaining;
+    for (const ExprPtr& c : *conjuncts) {
+      bool consumed = false;
+      if (c->kind == ExprKind::kBinary && IsComparisonOp(c->op)) {
+        const ExprPtr& l = c->children[0];
+        const ExprPtr& r = c->children[1];
+        const Expr* call = nullptr;
+        const Expr* lit = nullptr;
+        BinaryOp op = c->op;
+        if (l->kind == ExprKind::kFuncCall && r->kind == ExprKind::kLiteral) {
+          call = l.get();
+          lit = r.get();
+        } else if (r->kind == ExprKind::kFuncCall &&
+                   l->kind == ExprKind::kLiteral) {
+          call = r.get();
+          lit = l.get();
+          op = SwapComparison(op);
+        }
+        if (call != nullptr && call->func_name == "count" &&
+            call->children.size() == 1 &&
+            call->children[0]->kind == ExprKind::kColumnRef &&
+            call->children[0]->qualifier.empty() &&
+            EqualsIgnoreCase(call->children[0]->column, set_ref.name) &&
+            lit->value.type() == DataType::kInt64) {
+          count_thresholds_[ToLower(set_ref.name)] = {op, lit->value.int64_value()};
+          consumed = true;
+        }
+      }
+      if (!consumed) remaining.push_back(c);
+    }
+    *conjuncts = std::move(remaining);
+    return Status::OK();
+  }
+
+  // Consumes top-level conjuncts of the form "X.skey - T.skey OP offset"
+  // (either orientation) for the set reference X and folds them into the
+  // RANGE frame for X.
+  Status ExtractFrameBounds(const PatternRef& set_ref,
+                            std::vector<ExprPtr>* conjuncts) {
+    int set_index = -1;
+    for (size_t i = 0; i < rule_.pattern.size(); ++i) {
+      if (EqualsIgnoreCase(rule_.pattern[i].name, set_ref.name)) {
+        set_index = static_cast<int>(i);
+      }
+    }
+    DiffBounds bounds;
+    // Pattern-implied direction: strictly before or after the target.
+    if (set_index < target_index_) {
+      bounds.Apply(BinaryOp::kLe, -1);
+    } else {
+      bounds.Apply(BinaryOp::kGe, 1);
+    }
+    std::vector<ExprPtr> remaining;
+    for (const ExprPtr& c : *conjuncts) {
+      ColumnDifferenceCmp m;
+      bool consumed = false;
+      if (MatchColumnDifferenceCmp(c, &m) &&
+          EqualsIgnoreCase(m.left->column, rule_.skey) &&
+          EqualsIgnoreCase(m.right->column, rule_.skey)) {
+        if (EqualsIgnoreCase(m.left->qualifier, set_ref.name) &&
+            EqualsIgnoreCase(m.right->qualifier, Target().name)) {
+          bounds.Apply(m.op, m.offset_micros);
+          consumed = true;
+        } else if (EqualsIgnoreCase(m.right->qualifier, set_ref.name) &&
+                   EqualsIgnoreCase(m.left->qualifier, Target().name)) {
+          // T - X OP c  <=>  X - T swapped-OP -c
+          bounds.Apply(SwapComparison(m.op), -m.offset_micros);
+          consumed = true;
+        }
+      }
+      if (!consumed) remaining.push_back(c);
+    }
+    *conjuncts = std::move(remaining);
+    frame_bounds_[ToLower(set_ref.name)] = bounds;
+    return Status::OK();
+  }
+
+  // Replaces every maximal subtree that references only the set reference
+  // with "__ex_<ref><i> = 1", registering the existential window flag.
+  Result<ExprPtr> ReplaceSetSubtrees(const ExprPtr& e, const PatternRef& ref) {
+    if (!References(e, ref.name)) return e;
+    std::set<std::string> quals = ReferencedQualifiers(e);
+    bool only_ref = true;
+    for (const std::string& q : quals) {
+      if (!EqualsIgnoreCase(q, ref.name)) only_ref = false;
+    }
+    if (only_ref) {
+      // φ(X): strip the qualifier so the CASE evaluates against each frame
+      // row's own columns.
+      std::vector<const Expr*> refs;
+      CollectColumnRefs(e, &refs);
+      for (const Expr* r : refs) {
+        if (!HasColumn(input_, r->column)) {
+          return Status::InvalidArgument(StrFormat(
+              "rule condition references unknown column %s.%s",
+              r->qualifier.c_str(), r->column.c_str()));
+        }
+      }
+      ExprPtr phi = SubstituteQualifier(e, ref.name, "");
+      std::string alias =
+          StrFormat("__ex_%s%zu", ToLower(ref.name).c_str(), window_aggs_.size());
+      ExprPtr case_expr =
+          MakeCase({phi, MakeLiteral(Value::Int64(1)), MakeLiteral(Value::Int64(0))},
+                   /*has_else=*/true);
+      auto threshold = count_thresholds_.find(ToLower(ref.name));
+      if (threshold != count_thresholds_.end()) {
+        window_aggs_.emplace_back(alias,
+                                  MakeWindowCall("sum", {case_expr},
+                                                 MakeWindow(FrameForSet(ref))));
+        return MakeBinary(threshold->second.first, MakeColumnRef("", alias),
+                          MakeLiteral(Value::Int64(threshold->second.second)));
+      }
+      window_aggs_.emplace_back(alias,
+                                MakeWindowCall("max", {case_expr},
+                                               MakeWindow(FrameForSet(ref))));
+      return MakeBinary(BinaryOp::kEq, MakeColumnRef("", alias),
+                        MakeLiteral(Value::Int64(1)));
+    }
+    // Mixed subtree: recurse through boolean/CASE structure only.
+    switch (e->kind) {
+      case ExprKind::kBinary:
+        if (e->op != BinaryOp::kAnd && e->op != BinaryOp::kOr) {
+          return Status::Unimplemented(
+              "a comparison may not mix a set reference with other references: " +
+              ExprToSql(e));
+        }
+        break;
+      case ExprKind::kNot:
+      case ExprKind::kCase:
+        break;
+      default:
+        return Status::Unimplemented(
+            "unsupported use of set reference in condition: " + ExprToSql(e));
+    }
+    auto copy = std::make_shared<Expr>(*e);
+    for (auto& child : copy->children) {
+      RFID_ASSIGN_OR_RETURN(child, ReplaceSetSubtrees(child, ref));
+    }
+    return copy;
+  }
+
+  FrameSpec FrameForSet(const PatternRef& ref) const {
+    const DiffBounds& b = frame_bounds_.at(ToLower(ref.name));
+    FrameSpec f;
+    f.unit = FrameUnit::kRange;
+    f.start = b.unbounded_lo() ? FrameBound{true, -1} : FrameBound{false, b.lo};
+    f.end = b.unbounded_hi() ? FrameBound{true, 1} : FrameBound{false, b.hi};
+    return f;
+  }
+
+  WindowSpec MakeWindow(FrameSpec frame) const {
+    WindowSpec w;
+    w.partition_by = {MakeColumnRef("", rule_.ckey)};
+    w.order_by = {{MakeColumnRef("", rule_.skey), true}};
+    w.frame = frame;
+    w.has_frame = true;
+    return w;
+  }
+
+  // Replaces T.col -> col and singleton-context X.col -> __<x>_col,
+  // creating one ROWS-frame scalar aggregate per (X, col).
+  Result<ExprPtr> ReplaceSingletonRefs(const ExprPtr& e) {
+    if (e == nullptr) return e;
+    if (e->kind == ExprKind::kColumnRef) {
+      if (e->qualifier.empty()) return e;  // already rewritten
+      if (!HasColumn(input_, e->column)) {
+        return Status::InvalidArgument(StrFormat(
+            "rule condition references unknown column %s.%s",
+            e->qualifier.c_str(), e->column.c_str()));
+      }
+      if (EqualsIgnoreCase(e->qualifier, Target().name)) {
+        return MakeColumnRef("", e->column);
+      }
+      // Singleton context.
+      int idx = -1;
+      for (size_t i = 0; i < rule_.pattern.size(); ++i) {
+        if (EqualsIgnoreCase(rule_.pattern[i].name, e->qualifier)) {
+          idx = static_cast<int>(i);
+        }
+      }
+      if (idx < 0) {
+        return Status::InvalidArgument("unknown pattern reference: " +
+                                       e->qualifier);
+      }
+      int offset = idx - target_index_;
+      std::string alias = StrFormat("__%s_%s", ToLower(e->qualifier).c_str(),
+                                    ToLower(e->column).c_str());
+      bool exists = false;
+      for (const auto& [a, agg] : window_aggs_) {
+        if (a == alias) exists = true;
+      }
+      if (!exists) {
+        FrameSpec f;
+        f.unit = FrameUnit::kRows;
+        f.start = {false, offset};
+        f.end = {false, offset};
+        window_aggs_.emplace_back(
+            alias, MakeWindowCall("max", {MakeColumnRef("", e->column)},
+                                  MakeWindow(f)));
+      }
+      return MakeColumnRef("", alias);
+    }
+    auto copy = std::make_shared<Expr>(*e);
+    for (auto& child : copy->children) {
+      RFID_ASSIGN_OR_RETURN(child, ReplaceSingletonRefs(child));
+    }
+    return copy;
+  }
+
+  std::string InputColumnList() const {
+    std::vector<std::string> names;
+    for (const Column& c : input_) names.push_back(c.name);
+    return Join(names, ", ");
+  }
+
+  Result<std::string> BuildModifyStage(const std::string& stage1,
+                                       const std::string& cond_sql) {
+    modify_output_ = input_;
+    std::vector<std::string> parts;
+    auto assignment_for = [this](std::string_view col) -> const ModifyAssignment* {
+      for (const ModifyAssignment& a : rule_.assignments) {
+        if (EqualsIgnoreCase(a.column, col)) return &a;
+      }
+      return nullptr;
+    };
+    for (const Column& c : input_) {
+      const ModifyAssignment* a = assignment_for(c.name);
+      if (a == nullptr) {
+        parts.push_back(c.name);
+        continue;
+      }
+      RFID_ASSIGN_OR_RETURN(std::string value_sql, RenderAssignmentValue(*a));
+      parts.push_back(StrFormat("CASE WHEN %s THEN %s ELSE %s END AS %s",
+                                cond_sql.c_str(), value_sql.c_str(),
+                                c.name.c_str(), c.name.c_str()));
+    }
+    // Columns created by MODIFY (Section 4.2: "If a column to be modified
+    // does not exist, we create a new column on the fly"). Unaffected rows
+    // get 0, so later rules can test flag = 0 (missing-read rule r2).
+    for (const ModifyAssignment& a : rule_.assignments) {
+      if (HasColumn(input_, a.column)) continue;
+      RFID_ASSIGN_OR_RETURN(std::string value_sql, RenderAssignmentValue(a));
+      parts.push_back(StrFormat("CASE WHEN %s THEN %s ELSE 0 END AS %s",
+                                cond_sql.c_str(), value_sql.c_str(),
+                                a.column.c_str()));
+      DataType t = a.value->kind == ExprKind::kLiteral ? a.value->value.type()
+                                                       : DataType::kInt64;
+      modify_output_.push_back({a.column, t});
+    }
+    return "SELECT " + Join(parts, ", ") + " FROM " + stage1;
+  }
+
+  Result<std::string> RenderAssignmentValue(const ModifyAssignment& a) {
+    // Values reference the target; in the stage the target's columns are
+    // the plain input columns.
+    std::vector<const Expr*> refs;
+    CollectColumnRefs(a.value, &refs);
+    for (const Expr* r : refs) {
+      if (!HasColumn(input_, r->column)) {
+        return Status::InvalidArgument("MODIFY value references unknown column: " +
+                                       r->column);
+      }
+    }
+    return RenderExpr(SubstituteQualifier(a.value, Target().name, ""));
+  }
+
+  const CleansingRule& rule_;
+  const std::vector<Column>& input_;
+  std::string prefix_;
+  int target_index_ = -1;
+  std::map<std::string, DiffBounds> frame_bounds_;
+  std::map<std::string, std::pair<BinaryOp, int64_t>> count_thresholds_;
+  std::vector<std::pair<std::string, ExprPtr>> window_aggs_;
+  std::vector<Column> modify_output_;
+};
+
+}  // namespace
+
+Result<CompiledRule> CompileRule(const CleansingRule& rule,
+                                 const std::vector<Column>& input_columns,
+                                 const std::string& stage_prefix) {
+  Compiler compiler(rule, input_columns, stage_prefix);
+  return compiler.Compile();
+}
+
+Result<std::vector<Column>> RuleInputColumns(const CleansingRule& rule,
+                                             const Database& db) {
+  if (rule.from_select != nullptr) {
+    Planner planner(&db);
+    RFID_ASSIGN_OR_RETURN(PlannedQuery plan, planner.Plan(*rule.from_select));
+    std::vector<Column> cols;
+    for (const Field& f : plan.root->output_desc().fields()) {
+      cols.push_back({f.name, f.type});
+    }
+    return cols;
+  }
+  const std::string& table_name =
+      rule.from_table.empty() ? rule.on_table : rule.from_table;
+  const Table* table = db.GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("rule input table not found: " + table_name);
+  }
+  return table->schema().columns();
+}
+
+}  // namespace rfid

@@ -1,0 +1,58 @@
+// Compiles cleansing rules into SQL/OLAP templates (Section 4.2):
+//
+//  - Each singleton context reference X at relative offset d from the
+//    target becomes one scalar aggregate per referenced column:
+//      MAX(col) OVER (PARTITION BY ckey ORDER BY skey
+//                     ROWS BETWEEN |d| PRECEDING|FOLLOWING AND ...) AS __X_col
+//  - Each set reference (*X) becomes an existential flag:
+//      MAX(CASE WHEN <condition-on-X-columns> THEN 1 ELSE 0 END)
+//        OVER (... RANGE BETWEEN <bounds from skey conjuncts>) AS __ex_X
+//    where the RANGE bounds come from the rule's sequence-key difference
+//    conjuncts (e.g. "B.rtime - A.rtime < 10 MINUTES") and the pattern
+//    position (before/after the target).
+//  - DELETE/KEEP become filters with the paper's NULL handling (DELETE
+//    keeps a row whose condition is unknown; KEEP requires TRUE).
+//  - MODIFY becomes CASE projections; assigning to a column that does not
+//    exist creates it (default 0 / NULL elsewhere).
+//
+// The output is a chain of WITH-clause stage bodies in SQL text. The
+// first stage reads from the placeholder relation kInputPlaceholder; the
+// rewrite engine splices the chain behind whichever restricted input the
+// chosen rewrite produces.
+#ifndef RFID_CLEANSING_RULE_COMPILER_H_
+#define RFID_CLEANSING_RULE_COMPILER_H_
+
+#include "cleansing/rule.h"
+
+namespace rfid {
+
+/// Name of the placeholder relation the first stage selects FROM.
+inline constexpr const char* kInputPlaceholder = "__RULE_INPUT__";
+
+struct CompiledStage {
+  std::string with_name;  // suggested WITH-clause name
+  std::string body_sql;   // SELECT text; first stage reads kInputPlaceholder
+};
+
+struct CompiledRule {
+  std::vector<CompiledStage> stages;
+  std::string output_name;                  // last stage's WITH name
+  std::vector<Column> output_columns;       // schema of the cleansed output
+};
+
+/// Compiles `rule` for an input with the given columns. `input_columns`
+/// must contain ckey and skey and every data column the rule condition
+/// touches. `stage_prefix` namespaces the generated WITH names so several
+/// rules can chain in one statement.
+Result<CompiledRule> CompileRule(const CleansingRule& rule,
+                                 const std::vector<Column>& input_columns,
+                                 const std::string& stage_prefix);
+
+/// Resolves the rule's input schema: the ON/FROM table's schema or the
+/// derived statement's output schema (planned against `db`).
+Result<std::vector<Column>> RuleInputColumns(const CleansingRule& rule,
+                                             const Database& db);
+
+}  // namespace rfid
+
+#endif  // RFID_CLEANSING_RULE_COMPILER_H_

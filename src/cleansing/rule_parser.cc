@@ -1,0 +1,214 @@
+#include "cleansing/rule_parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace rfid {
+
+namespace {
+
+class RuleParser {
+ public:
+  RuleParser(std::string_view text, std::vector<Token> tokens)
+      : text_(text), tokens_(std::move(tokens)) {}
+
+  Result<CleansingRule> Parse() {
+    CleansingRule rule;
+    RFID_RETURN_IF_ERROR(ExpectKeyword("define"));
+    RFID_ASSIGN_OR_RETURN(rule.name, ExpectIdentifier("rule name"));
+    RFID_RETURN_IF_ERROR(ExpectKeyword("on"));
+    RFID_ASSIGN_OR_RETURN(rule.on_table, ExpectIdentifier("table name"));
+    if (MatchKeyword("from")) {
+      if (PeekSymbol("(")) {
+        RFID_ASSIGN_OR_RETURN(std::string sql, SliceParenthesized());
+        RFID_ASSIGN_OR_RETURN(rule.from_select, ParseSql(sql));
+      } else {
+        RFID_ASSIGN_OR_RETURN(rule.from_table, ExpectIdentifier("input table"));
+      }
+    }
+    RFID_RETURN_IF_ERROR(ExpectKeyword("cluster"));
+    RFID_RETURN_IF_ERROR(ExpectKeyword("by"));
+    RFID_ASSIGN_OR_RETURN(rule.ckey, ExpectIdentifier("cluster key"));
+    RFID_RETURN_IF_ERROR(ExpectKeyword("sequence"));
+    RFID_RETURN_IF_ERROR(ExpectKeyword("by"));
+    RFID_ASSIGN_OR_RETURN(rule.skey, ExpectIdentifier("sequence key"));
+    RFID_RETURN_IF_ERROR(ExpectKeyword("as"));
+    RFID_RETURN_IF_ERROR(ParsePattern(&rule));
+    RFID_RETURN_IF_ERROR(ExpectKeyword("where"));
+    RFID_ASSIGN_OR_RETURN(rule.condition, SliceExpressionUntil({"action"}));
+    RFID_RETURN_IF_ERROR(ExpectKeyword("action"));
+    RFID_RETURN_IF_ERROR(ParseAction(&rule));
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return rule;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(std::string_view kw) const {
+    const Token& t = Peek();
+    return t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, kw);
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(StrFormat("expected %s", std::string(kw).c_str()));
+  }
+  bool PeekSymbol(std::string_view sym) const {
+    const Token& t = Peek();
+    return t.type == TokenType::kSymbol && t.text == sym;
+  }
+  bool MatchSymbol(std::string_view sym) {
+    if (PeekSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Error(StrFormat("expected '%s'", std::string(sym).c_str()));
+  }
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error(StrFormat("expected %s", what));
+    }
+    return Advance().text;
+  }
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    std::string got =
+        t.type == TokenType::kEnd ? "end of input" : "'" + t.text + "'";
+    return Status::ParseError(StrFormat("rule: %s but got %s (at offset %zu)",
+                                        message.c_str(), got.c_str(), t.offset));
+  }
+
+  Status ParsePattern(CleansingRule* rule) {
+    RFID_RETURN_IF_ERROR(ExpectSymbol("("));
+    while (true) {
+      PatternRef ref;
+      if (MatchSymbol("*")) ref.is_set = true;
+      RFID_ASSIGN_OR_RETURN(ref.name, ExpectIdentifier("pattern reference"));
+      rule->pattern.push_back(std::move(ref));
+      if (!MatchSymbol(",")) break;
+    }
+    return ExpectSymbol(")");
+  }
+
+  Status ParseAction(CleansingRule* rule) {
+    if (MatchKeyword("delete")) {
+      rule->action = RuleAction::kDelete;
+      RFID_ASSIGN_OR_RETURN(rule->target, ExpectIdentifier("target reference"));
+      return Status::OK();
+    }
+    if (MatchKeyword("keep")) {
+      rule->action = RuleAction::kKeep;
+      RFID_ASSIGN_OR_RETURN(rule->target, ExpectIdentifier("target reference"));
+      return Status::OK();
+    }
+    if (MatchKeyword("modify")) {
+      rule->action = RuleAction::kModify;
+      while (true) {
+        RFID_ASSIGN_OR_RETURN(std::string ref, ExpectIdentifier("target reference"));
+        RFID_RETURN_IF_ERROR(ExpectSymbol("."));
+        RFID_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column"));
+        RFID_RETURN_IF_ERROR(ExpectSymbol("="));
+        RFID_ASSIGN_OR_RETURN(ExprPtr value, SliceExpressionUntil({","}));
+        if (rule->target.empty()) {
+          rule->target = ref;
+        } else if (!EqualsIgnoreCase(rule->target, ref)) {
+          return Status::ParseError(
+              "MODIFY assignments must all target the same reference");
+        }
+        rule->assignments.push_back({std::move(col), std::move(value)});
+        if (!MatchSymbol(",")) break;
+      }
+      return Status::OK();
+    }
+    return Error("expected DELETE, KEEP or MODIFY");
+  }
+
+  // Slices the raw text from the current token up to (not including) the
+  // first top-level occurrence of any stop word/symbol, and parses it with
+  // the SQL expression parser. Stops at end of input too.
+  Result<ExprPtr> SliceExpressionUntil(const std::vector<std::string>& stops) {
+    size_t start_tok = pos_;
+    int depth = 0;
+    while (Peek().type != TokenType::kEnd) {
+      const Token& t = Peek();
+      if (t.type == TokenType::kSymbol) {
+        if (t.text == "(") ++depth;
+        if (t.text == ")") --depth;
+      }
+      if (depth == 0) {
+        bool stop = false;
+        for (const std::string& s : stops) {
+          if (t.type == TokenType::kSymbol ? t.text == s
+                                           : EqualsIgnoreCase(t.text, s)) {
+            stop = true;
+            break;
+          }
+        }
+        if (stop) break;
+      }
+      ++pos_;
+    }
+    if (pos_ == start_tok) return Error("expected expression");
+    size_t begin = tokens_[start_tok].offset;
+    size_t end = Peek().offset;
+    return ParseExpression(text_.substr(begin, end - begin));
+  }
+
+  // Current token must be '('; returns the text inside the matching paren
+  // and advances past it.
+  Result<std::string> SliceParenthesized() {
+    RFID_RETURN_IF_ERROR(ExpectSymbol("("));
+    size_t begin = Peek().offset;
+    int depth = 1;
+    while (Peek().type != TokenType::kEnd) {
+      const Token& t = Peek();
+      if (t.type == TokenType::kSymbol) {
+        if (t.text == "(") ++depth;
+        if (t.text == ")") {
+          --depth;
+          if (depth == 0) {
+            size_t end = t.offset;
+            ++pos_;
+            return std::string(text_.substr(begin, end - begin));
+          }
+        }
+      }
+      ++pos_;
+    }
+    return Error("unbalanced parentheses in FROM clause");
+  }
+
+  std::string_view text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CleansingRule> ParseRule(std::string_view text) {
+  RFID_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  RuleParser parser(text, std::move(tokens));
+  RFID_ASSIGN_OR_RETURN(CleansingRule rule, parser.Parse());
+  RFID_RETURN_IF_ERROR(ValidateRule(rule));
+  return rule;
+}
+
+}  // namespace rfid

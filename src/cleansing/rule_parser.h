@@ -1,0 +1,16 @@
+// Parser for the extended SQL-TS rule language (grammar in rule.h).
+#ifndef RFID_CLEANSING_RULE_PARSER_H_
+#define RFID_CLEANSING_RULE_PARSER_H_
+
+#include "cleansing/rule.h"
+
+namespace rfid {
+
+/// Parses one rule definition. The WHERE condition and MODIFY values are
+/// parsed with the SQL expression grammar (so interval literals like
+/// "5 MINUTES" work); FROM accepts a table name or a parenthesized SELECT.
+Result<CleansingRule> ParseRule(std::string_view text);
+
+}  // namespace rfid
+
+#endif  // RFID_CLEANSING_RULE_PARSER_H_

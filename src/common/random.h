@@ -1,0 +1,58 @@
+// Deterministic PRNG for data generation and tests (splitmix64-seeded
+// xoshiro-style generator; reproducible across platforms, unlike
+// std::default_random_engine distributions).
+#ifndef RFID_COMMON_RANDOM_H_
+#define RFID_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace rfid {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // splitmix64 to spread the seed over the state.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    for (int i = 0; i < 2; ++i) {
+      z ^= z >> 30;
+      z *= 0xbf58476d1ce4e5b9ULL;
+      z ^= z >> 27;
+      z *= 0x94d049bb133111ebULL;
+      z ^= z >> 31;
+      state_[i] = z + static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+      z += 0x9e3779b97f4a7c15ULL;
+    }
+    if (state_[0] == 0 && state_[1] == 0) state_[0] = 1;
+  }
+
+  uint64_t Next() {
+    // xoroshiro128+
+    uint64_t s0 = state_[0];
+    uint64_t s1 = state_[1];
+    uint64_t result = s0 + s1;
+    s1 ^= s0;
+    state_[0] = ((s0 << 55) | (s0 >> 9)) ^ s1 ^ (s1 << 14);
+    state_[1] = (s1 << 36) | (s1 >> 28);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t Uniform(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t state_[2];
+};
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_RANDOM_H_

@@ -1,0 +1,127 @@
+// Status / Result error-handling primitives, in the style of
+// LevelDB/RocksDB. Library code never throws across module boundaries;
+// fallible operations return Status or Result<T>.
+#ifndef RFID_COMMON_STATUS_H_
+#define RFID_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rfid {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kBindError,
+  kRewriteInfeasible,
+};
+
+/// Result of a fallible operation: a code plus a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status BindError(std::string m) {
+    return Status(StatusCode::kBindError, std::move(m));
+  }
+  static Status RewriteInfeasible(std::string m) {
+    return Status(StatusCode::kRewriteInfeasible, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status (a minimal StatusOr).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define RFID_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::rfid::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define RFID_CONCAT_INNER_(a, b) a##b
+#define RFID_CONCAT_(a, b) RFID_CONCAT_INNER_(a, b)
+
+#define RFID_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto RFID_CONCAT_(_res_, __LINE__) = (expr);                  \
+  if (!RFID_CONCAT_(_res_, __LINE__).ok())                      \
+    return RFID_CONCAT_(_res_, __LINE__).status();              \
+  lhs = std::move(RFID_CONCAT_(_res_, __LINE__)).value()
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_STATUS_H_

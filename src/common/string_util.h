@@ -1,0 +1,26 @@
+// Small string helpers shared across modules.
+#ifndef RFID_COMMON_STRING_UTIL_H_
+#define RFID_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rfid {
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality (SQL identifiers and keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins the pieces with the separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_STRING_UTIL_H_

@@ -1,0 +1,96 @@
+#include "common/time_util.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace rfid {
+
+std::string FormatTimestamp(int64_t micros) {
+  time_t secs = static_cast<time_t>(micros / kMicrosPerSecond);
+  int64_t frac = micros % kMicrosPerSecond;
+  if (frac < 0) {
+    frac += kMicrosPerSecond;
+    secs -= 1;
+  }
+  struct tm tm_buf;
+  gmtime_r(&secs, &tm_buf);
+  char buf[64];
+  size_t n = strftime(buf, sizeof(buf), "%Y-%m-%d %H:%M:%S", &tm_buf);
+  std::string out(buf, n);
+  if (frac != 0) {
+    char fbuf[16];
+    snprintf(fbuf, sizeof(fbuf), ".%06lld", static_cast<long long>(frac));
+    out += fbuf;
+  }
+  return out;
+}
+
+std::string FormatInterval(int64_t micros) {
+  bool neg = micros < 0;
+  int64_t m = neg ? -micros : micros;
+  std::string out = neg ? "-" : "";
+  if (m % kMicrosPerSecond != 0) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.6gs",
+             static_cast<double>(m) / kMicrosPerSecond);
+    return out + buf;
+  }
+  int64_t secs = m / kMicrosPerSecond;
+  int64_t hours = secs / 3600;
+  int64_t mins = (secs % 3600) / 60;
+  secs %= 60;
+  if (hours > 0) out += std::to_string(hours) + "h";
+  if (mins > 0) out += std::to_string(mins) + "m";
+  if (secs > 0 || (hours == 0 && mins == 0)) out += std::to_string(secs) + "s";
+  return out;
+}
+
+std::string FormatIntervalSql(int64_t micros) {
+  bool neg = micros < 0;
+  int64_t m = neg ? -micros : micros;
+  std::string prefix = neg ? "-" : "";
+  if (m % kMicrosPerHour == 0 && m != 0) {
+    return prefix + std::to_string(m / kMicrosPerHour) + " HOURS";
+  }
+  if (m % kMicrosPerMinute == 0 && m != 0) {
+    return prefix + std::to_string(m / kMicrosPerMinute) + " MINUTES";
+  }
+  if (m % kMicrosPerSecond == 0) {
+    return prefix + std::to_string(m / kMicrosPerSecond) + " SECONDS";
+  }
+  return prefix + std::to_string(m) + " MICROSECONDS";
+}
+
+bool ParseTimestamp(const std::string& text, int64_t* micros) {
+  int year = 0, month = 0, day = 0, hour = 0, min = 0;
+  double sec = 0;
+  int consumed = 0;
+  int fields = sscanf(text.c_str(), "%d-%d-%d %d:%d:%lf%n", &year, &month, &day,
+                      &hour, &min, &sec, &consumed);
+  if (fields < 3) return false;
+  if (fields >= 4 && fields < 6) return false;  // partial time of day
+  if (fields == 3) {
+    // Re-scan date-only to validate full consumption.
+    consumed = 0;
+    sscanf(text.c_str(), "%d-%d-%d%n", &year, &month, &day, &consumed);
+  }
+  if (static_cast<size_t>(consumed) != text.size()) return false;
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 || min > 59 ||
+      sec >= 61.0 || sec < 0) {
+    return false;
+  }
+  struct tm tm_buf = {};
+  tm_buf.tm_year = year - 1900;
+  tm_buf.tm_mon = month - 1;
+  tm_buf.tm_mday = day;
+  tm_buf.tm_hour = hour;
+  tm_buf.tm_min = min;
+  tm_buf.tm_sec = 0;
+  time_t secs = timegm(&tm_buf);
+  if (secs == static_cast<time_t>(-1)) return false;
+  *micros = static_cast<int64_t>(secs) * kMicrosPerSecond +
+            static_cast<int64_t>(sec * kMicrosPerSecond);
+  return true;
+}
+
+}  // namespace rfid

@@ -1,0 +1,36 @@
+// Timestamp and interval helpers. Timestamps are int64 microseconds since
+// the Unix epoch; intervals are int64 microsecond durations.
+#ifndef RFID_COMMON_TIME_UTIL_H_
+#define RFID_COMMON_TIME_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace rfid {
+
+inline constexpr int64_t kMicrosPerSecond = 1000LL * 1000;
+inline constexpr int64_t kMicrosPerMinute = 60 * kMicrosPerSecond;
+inline constexpr int64_t kMicrosPerHour = 60 * kMicrosPerMinute;
+inline constexpr int64_t kMicrosPerDay = 24 * kMicrosPerHour;
+
+inline constexpr int64_t Seconds(int64_t n) { return n * kMicrosPerSecond; }
+inline constexpr int64_t Minutes(int64_t n) { return n * kMicrosPerMinute; }
+inline constexpr int64_t Hours(int64_t n) { return n * kMicrosPerHour; }
+inline constexpr int64_t Days(int64_t n) { return n * kMicrosPerDay; }
+
+/// Renders a timestamp as "YYYY-MM-DD hh:mm:ss[.ffffff]" (UTC).
+std::string FormatTimestamp(int64_t micros);
+
+/// Renders an interval compactly, e.g. "5m", "1h30m", "250ms".
+std::string FormatInterval(int64_t micros);
+
+/// Renders an interval as SQL, e.g. "5 MINUTES".
+std::string FormatIntervalSql(int64_t micros);
+
+/// Parses "YYYY-MM-DD[ hh:mm:ss[.ffffff]]" (UTC) into microseconds since
+/// epoch. Returns false on malformed input.
+bool ParseTimestamp(const std::string& text, int64_t* micros);
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_TIME_UTIL_H_

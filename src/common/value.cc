@@ -1,0 +1,124 @@
+#include "common/value.h"
+
+#include <cassert>
+#include <functional>
+
+#include "common/time_util.h"
+
+namespace rfid {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kTimestamp:
+      return "TIMESTAMP";
+    case DataType::kInterval:
+      return "INTERVAL";
+  }
+  return "?";
+}
+
+bool TypesComparable(DataType a, DataType b) {
+  if (a == b) return true;
+  auto numeric = [](DataType t) {
+    return t == DataType::kInt64 || t == DataType::kDouble;
+  };
+  return numeric(a) && numeric(b);
+}
+
+int Value::Compare(const Value& other) const {
+  assert(!is_null() && !other.is_null());
+  assert(TypesComparable(type_, other.type_));
+  if (type_ == DataType::kString) {
+    return string_value().compare(other.string_value());
+  }
+  if (type_ == DataType::kDouble || other.type_ == DataType::kDouble) {
+    double a = AsDouble();
+    double b = other.AsDouble();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int64_t a = std::get<int64_t>(rep_);
+  int64_t b = std::get<int64_t>(other.rep_);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+bool Value::DistinctEquals(const Value& other) const {
+  if (is_null() || other.is_null()) return is_null() && other.is_null();
+  if (!TypesComparable(type_, other.type_)) return false;
+  return Compare(other) == 0;
+}
+
+size_t Value::Hash() const {
+  switch (type_) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kString:
+      return std::hash<std::string>()(string_value());
+    case DataType::kDouble: {
+      double d = double_value();
+      // Hash doubles holding integral values like the equal INT64 so that
+      // mixed-type join keys land in the same bucket.
+      int64_t as_int = static_cast<int64_t>(d);
+      if (static_cast<double>(as_int) == d) {
+        return std::hash<int64_t>()(as_int);
+      }
+      return std::hash<double>()(d);
+    }
+    default:
+      return std::hash<int64_t>()(std::get<int64_t>(rep_));
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return bool_value() ? "TRUE" : "FALSE";
+    case DataType::kInt64:
+      return std::to_string(int64_value());
+    case DataType::kDouble: {
+      char buf[32];
+      snprintf(buf, sizeof(buf), "%.6g", double_value());
+      return buf;
+    }
+    case DataType::kString:
+      return string_value();
+    case DataType::kTimestamp:
+      return FormatTimestamp(timestamp_value());
+    case DataType::kInterval:
+      return FormatInterval(interval_value());
+  }
+  return "?";
+}
+
+std::string Value::ToSqlLiteral() const {
+  switch (type_) {
+    case DataType::kString: {
+      std::string out = "'";
+      for (char c : string_value()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+    case DataType::kTimestamp:
+      return "TIMESTAMP " + std::to_string(timestamp_value());
+    case DataType::kInterval:
+      return FormatIntervalSql(interval_value());
+    default:
+      return ToString();
+  }
+}
+
+}  // namespace rfid

@@ -1,0 +1,107 @@
+// Runtime value representation for the engine: a small tagged union over
+// the SQL types the system needs (NULL, BOOL, INT64, DOUBLE, STRING,
+// TIMESTAMP, INTERVAL).
+//
+// TIMESTAMP and INTERVAL are both carried as int64 microseconds;
+// keeping them as distinct types lets the evaluator type-check
+// timestamp arithmetic (ts - ts = interval, ts + interval = ts) and the
+// renderer print them readably.
+#ifndef RFID_COMMON_VALUE_H_
+#define RFID_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/status.h"
+
+namespace rfid {
+
+enum class DataType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+  kTimestamp,
+  kInterval,
+};
+
+const char* DataTypeName(DataType t);
+
+/// Returns true if values of the two types can be compared with each other.
+bool TypesComparable(DataType a, DataType b);
+
+class Value {
+ public:
+  Value() : type_(DataType::kNull) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(DataType::kBool, v ? 1 : 0); }
+  static Value Int64(int64_t v) { return Value(DataType::kInt64, v); }
+  static Value Double(double v) {
+    Value val;
+    val.type_ = DataType::kDouble;
+    val.rep_ = v;
+    return val;
+  }
+  static Value String(std::string v) {
+    Value val;
+    val.type_ = DataType::kString;
+    val.rep_ = std::move(v);
+    return val;
+  }
+  static Value Timestamp(int64_t micros) {
+    return Value(DataType::kTimestamp, micros);
+  }
+  static Value Interval(int64_t micros) {
+    return Value(DataType::kInterval, micros);
+  }
+
+  DataType type() const { return type_; }
+  bool is_null() const { return type_ == DataType::kNull; }
+
+  bool bool_value() const { return std::get<int64_t>(rep_) != 0; }
+  int64_t int64_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+  int64_t timestamp_value() const { return std::get<int64_t>(rep_); }
+  int64_t interval_value() const { return std::get<int64_t>(rep_); }
+
+  /// Numeric view of INT64/DOUBLE values (used for mixed arithmetic).
+  double AsDouble() const {
+    return type_ == DataType::kDouble ? std::get<double>(rep_)
+                                      : static_cast<double>(std::get<int64_t>(rep_));
+  }
+
+  /// Three-way comparison. Callers must ensure both values are non-null and
+  /// of comparable types (see TypesComparable); violating that is a
+  /// programming error checked by assert.
+  int Compare(const Value& other) const;
+
+  /// SQL equality for grouping/joins: NULLs compare equal to each other here
+  /// (distinct-style semantics); used by hash tables, not by predicates.
+  bool DistinctEquals(const Value& other) const;
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+  /// Renders the value as a SQL literal (quotes strings, TIMESTAMP '...').
+  std::string ToSqlLiteral() const;
+
+  bool operator==(const Value& other) const { return DistinctEquals(other); }
+
+ private:
+  Value(DataType t, int64_t v) : type_(t), rep_(v) {}
+
+  DataType type_;
+  std::variant<int64_t, double, std::string> rep_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_VALUE_H_

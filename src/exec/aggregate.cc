@@ -1,0 +1,226 @@
+#include "exec/aggregate.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+AggFunc AggFuncFromName(const std::string& lower_name) {
+  if (lower_name == "count") return AggFunc::kCount;
+  if (lower_name == "sum") return AggFunc::kSum;
+  if (lower_name == "avg") return AggFunc::kAvg;
+  if (lower_name == "min") return AggFunc::kMin;
+  if (lower_name == "max") return AggFunc::kMax;
+  assert(false && "unknown aggregate");
+  return AggFunc::kCount;
+}
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+HashAggregateOp::HashAggregateOp(OperatorPtr child,
+                                 std::vector<ExprPtr> group_exprs,
+                                 std::vector<AggSpec> aggs, RowDesc output_desc)
+    : Operator(std::move(output_desc)),
+      child_(std::move(child)),
+      group_exprs_(std::move(group_exprs)),
+      aggs_(std::move(aggs)) {}
+
+Status HashAggregateOp::Open() {
+  rows_produced_ = 0;
+  pos_ = 0;
+  results_.clear();
+
+  struct State {
+    std::vector<int64_t> counts;           // per agg: row/value count
+    std::vector<double> sums;              // per agg: numeric running sum
+    std::vector<int64_t> int_sums;         // exact integer sums
+    std::vector<bool> sum_is_double;
+    std::vector<Value> minmax;             // per agg: running min/max
+    std::vector<std::unordered_set<Value, ValueHash>> distinct;
+  };
+  std::unordered_map<std::vector<Value>, State, RowHash, RowEq> groups;
+  std::vector<std::vector<Value>> group_order;  // first-seen order
+
+  RFID_RETURN_IF_ERROR(child_->Open());
+  Row row;
+  std::vector<Value> key;
+  while (true) {
+    RFID_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) break;
+    key.clear();
+    for (const ExprPtr& g : group_exprs_) {
+      RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
+      key.push_back(std::move(v));
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      group_order.push_back(key);
+      State& st = it->second;
+      st.counts.assign(aggs_.size(), 0);
+      st.sums.assign(aggs_.size(), 0.0);
+      st.int_sums.assign(aggs_.size(), 0);
+      st.sum_is_double.assign(aggs_.size(), false);
+      st.minmax.assign(aggs_.size(), Value::Null());
+      st.distinct.resize(aggs_.size());
+    }
+    State& st = it->second;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const AggSpec& spec = aggs_[i];
+      Value arg;
+      if (spec.arg != nullptr) {
+        RFID_ASSIGN_OR_RETURN(arg, EvalExpr(*spec.arg, row));
+        if (arg.is_null()) continue;  // aggregates ignore NULL inputs
+      }
+      if (spec.distinct) {
+        if (!st.distinct[i].insert(arg).second) continue;
+      }
+      switch (spec.func) {
+        case AggFunc::kCount:
+          ++st.counts[i];
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          ++st.counts[i];
+          if (arg.type() == DataType::kDouble) st.sum_is_double[i] = true;
+          st.sums[i] += arg.AsDouble();
+          if (arg.type() == DataType::kInt64) {
+            st.int_sums[i] += arg.int64_value();
+          } else if (arg.type() == DataType::kInterval) {
+            st.int_sums[i] += arg.interval_value();
+          }
+          break;
+        case AggFunc::kMin:
+          if (st.minmax[i].is_null() || arg.Compare(st.minmax[i]) < 0) {
+            st.minmax[i] = arg;
+          }
+          break;
+        case AggFunc::kMax:
+          if (st.minmax[i].is_null() || arg.Compare(st.minmax[i]) > 0) {
+            st.minmax[i] = arg;
+          }
+          break;
+      }
+    }
+  }
+  child_->Close();
+
+  // Global aggregation with no groups still emits one row.
+  if (group_exprs_.empty() && groups.empty()) {
+    std::vector<Value> empty_key;
+    groups.try_emplace(empty_key);
+    State& st = groups.begin()->second;
+    st.counts.assign(aggs_.size(), 0);
+    st.sums.assign(aggs_.size(), 0.0);
+    st.int_sums.assign(aggs_.size(), 0);
+    st.sum_is_double.assign(aggs_.size(), false);
+    st.minmax.assign(aggs_.size(), Value::Null());
+    st.distinct.resize(aggs_.size());
+    group_order.push_back(empty_key);
+  }
+
+  results_.reserve(group_order.size());
+  for (const auto& gkey : group_order) {
+    const State& st = groups.at(gkey);
+    Row out = gkey;
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      const AggSpec& spec = aggs_[i];
+      switch (spec.func) {
+        case AggFunc::kCount:
+          out.push_back(Value::Int64(st.counts[i]));
+          break;
+        case AggFunc::kSum:
+          if (st.counts[i] == 0) {
+            out.push_back(Value::Null());
+          } else if (spec.result_type == DataType::kDouble ||
+                     st.sum_is_double[i]) {
+            out.push_back(Value::Double(st.sums[i]));
+          } else if (spec.result_type == DataType::kInterval) {
+            out.push_back(Value::Interval(st.int_sums[i]));
+          } else {
+            out.push_back(Value::Int64(st.int_sums[i]));
+          }
+          break;
+        case AggFunc::kAvg:
+          if (st.counts[i] == 0) {
+            out.push_back(Value::Null());
+          } else if (spec.result_type == DataType::kInterval) {
+            out.push_back(Value::Interval(
+                st.int_sums[i] / static_cast<int64_t>(st.counts[i])));
+          } else {
+            out.push_back(
+                Value::Double(st.sums[i] / static_cast<double>(st.counts[i])));
+          }
+          break;
+        case AggFunc::kMin:
+        case AggFunc::kMax:
+          out.push_back(st.minmax[i]);
+          break;
+      }
+    }
+    results_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashAggregateOp::Next(Row* row) {
+  if (pos_ >= results_.size()) return false;
+  *row = std::move(results_[pos_++]);
+  ++rows_produced_;
+  return true;
+}
+
+void HashAggregateOp::Close() {
+  results_.clear();
+  results_.shrink_to_fit();
+}
+
+std::string HashAggregateOp::detail() const {
+  std::vector<std::string> parts;
+  for (const ExprPtr& g : group_exprs_) parts.push_back(ExprToSql(g));
+  for (const AggSpec& a : aggs_) {
+    std::string s = AggFuncName(a.func);
+    s += "(";
+    if (a.distinct) s += "DISTINCT ";
+    s += a.arg == nullptr ? "*" : ExprToSql(a.arg);
+    s += ")";
+    parts.push_back(std::move(s));
+  }
+  return Join(parts, ", ");
+}
+
+DistinctOp::DistinctOp(OperatorPtr child)
+    : Operator(child->output_desc()), child_(std::move(child)) {}
+
+Status DistinctOp::Open() {
+  rows_produced_ = 0;
+  seen_.clear();
+  return child_->Open();
+}
+
+Result<bool> DistinctOp::Next(Row* row) {
+  while (true) {
+    RFID_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    if (seen_.insert(*row).second) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+}
+
+void DistinctOp::Close() {
+  seen_.clear();
+  child_->Close();
+}
+
+}  // namespace rfid

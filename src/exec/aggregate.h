@@ -1,0 +1,69 @@
+// Hash-based grouping aggregation and DISTINCT.
+#ifndef RFID_EXEC_AGGREGATE_H_
+#define RFID_EXEC_AGGREGATE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "exec/operator.h"
+
+namespace rfid {
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+AggFunc AggFuncFromName(const std::string& lower_name);
+const char* AggFuncName(AggFunc f);
+
+/// One aggregate to compute: FUNC([DISTINCT] arg). arg == nullptr means
+/// COUNT(*).
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr arg;       // bound against child output; null for COUNT(*)
+  bool distinct = false;
+  DataType result_type = DataType::kInt64;
+};
+
+/// Output layout: group key values (in key order) followed by aggregate
+/// results.
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
+                  std::vector<AggSpec> aggs, RowDesc output_desc);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+
+  std::string name() const override { return "HashAggregate"; }
+  std::string detail() const override;
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> group_exprs_;
+  std::vector<AggSpec> aggs_;
+
+  std::vector<Row> results_;
+  size_t pos_ = 0;
+};
+
+/// Removes duplicate rows (all columns).
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+
+  std::string name() const override { return "Distinct"; }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_EXEC_AGGREGATE_H_

@@ -1,0 +1,80 @@
+#include "exec/filter_project.h"
+
+namespace rfid {
+
+FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
+    : Operator(child->output_desc()),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)) {}
+
+Status FilterOp::Open() {
+  rows_produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> FilterOp::Next(Row* row) {
+  while (true) {
+    RFID_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    RFID_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *row));
+    if (pass) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+}
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+                     RowDesc output_desc)
+    : Operator(std::move(output_desc)),
+      child_(std::move(child)),
+      exprs_(std::move(exprs)) {}
+
+Status ProjectOp::Open() {
+  rows_produced_ = 0;
+  return child_->Open();
+}
+
+Result<bool> ProjectOp::Next(Row* row) {
+  Row input;
+  RFID_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
+  if (!has) return false;
+  row->clear();
+  row->reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, input));
+    row->push_back(std::move(v));
+  }
+  ++rows_produced_;
+  return true;
+}
+
+namespace {
+RowDesc RenamedDesc(const RowDesc& in, const std::string& qualifier) {
+  RowDesc out;
+  for (const Field& f : in.fields()) {
+    out.AddField(qualifier, f.name, f.type);
+  }
+  return out;
+}
+}  // namespace
+
+RenameOp::RenameOp(OperatorPtr child, const std::string& qualifier)
+    : Operator(RenamedDesc(child->output_desc(), qualifier)),
+      child_(std::move(child)),
+      qualifier_(qualifier) {}
+
+std::string ProjectOp::detail() const {
+  std::string out;
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ExprToSql(exprs_[i]);
+    if (out.size() > 120) {
+      out += ", ...";
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rfid

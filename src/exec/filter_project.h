@@ -1,0 +1,105 @@
+// Streaming filter and projection operators.
+#ifndef RFID_EXEC_FILTER_PROJECT_H_
+#define RFID_EXEC_FILTER_PROJECT_H_
+
+#include "exec/operator.h"
+
+namespace rfid {
+
+/// Emits child rows for which the bound predicate evaluates to TRUE
+/// (NULL and FALSE are dropped — SQL WHERE semantics).
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+
+  std::string name() const override { return "Filter"; }
+  std::string detail() const override { return ExprToSql(predicate_); }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;  // bound
+};
+
+/// Computes one bound scalar expression per output field.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs, RowDesc output_desc);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override { child_->Close(); }
+
+  std::string name() const override { return "Project"; }
+  std::string detail() const override;
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;  // bound against child's output
+};
+
+/// Emits at most `limit` rows from the child.
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit)
+      : Operator(child->output_desc()), child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override {
+    rows_produced_ = 0;
+    emitted_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(Row* row) override {
+    if (emitted_ >= limit_) return false;
+    RFID_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    ++emitted_;
+    ++rows_produced_;
+    return true;
+  }
+  void Close() override { child_->Close(); }
+
+  std::string name() const override { return "Limit"; }
+  std::string detail() const override { return std::to_string(limit_); }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t emitted_ = 0;
+};
+
+/// Pass-through operator that re-qualifies the output fields (used when a
+/// WITH-clause view or derived table is given an alias).
+class RenameOp : public Operator {
+ public:
+  RenameOp(OperatorPtr child, const std::string& qualifier);
+
+  Status Open() override {
+    rows_produced_ = 0;
+    return child_->Open();
+  }
+  Result<bool> Next(Row* row) override {
+    RFID_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (has) ++rows_produced_;
+    return has;
+  }
+  void Close() override { child_->Close(); }
+
+  std::string name() const override { return "Rename"; }
+  std::string detail() const override { return qualifier_; }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ private:
+  OperatorPtr child_;
+  std::string qualifier_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_EXEC_FILTER_PROJECT_H_

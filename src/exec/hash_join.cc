@@ -1,0 +1,94 @@
+#include "exec/hash_join.h"
+
+namespace rfid {
+
+namespace {
+RowDesc JoinOutputDesc(const Operator& probe, const Operator& build,
+                       JoinType type) {
+  if (type == JoinType::kLeftSemi) return probe.output_desc();
+  return RowDesc::Concat(probe.output_desc(), build.output_desc());
+}
+}  // namespace
+
+bool HashJoinOp::ExtractKey(const Row& row, const std::vector<size_t>& slots,
+                            std::vector<Value>* key) {
+  key->clear();
+  key->reserve(slots.size());
+  for (size_t s : slots) {
+    if (row[s].is_null()) return false;
+    key->push_back(row[s]);
+  }
+  return true;
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build,
+                       std::vector<size_t> probe_key_slots,
+                       std::vector<size_t> build_key_slots, JoinType type)
+    : Operator(JoinOutputDesc(*probe, *build, type)),
+      probe_(std::move(probe)),
+      build_(std::move(build)),
+      probe_key_slots_(std::move(probe_key_slots)),
+      build_key_slots_(std::move(build_key_slots)),
+      type_(type) {}
+
+Status HashJoinOp::Open() {
+  rows_produced_ = 0;
+  table_.clear();
+  current_matches_ = nullptr;
+  match_pos_ = 0;
+  RFID_ASSIGN_OR_RETURN(std::vector<Row> build_rows, CollectRows(build_.get()));
+  std::vector<Value> key;
+  for (Row& r : build_rows) {
+    if (!ExtractKey(r, build_key_slots_, &key)) continue;
+    auto& bucket = table_[key];
+    if (type_ == JoinType::kLeftSemi && !bucket.empty()) continue;  // presence only
+    bucket.push_back(std::move(r));
+  }
+  return probe_->Open();
+}
+
+Result<bool> HashJoinOp::Next(Row* row) {
+  std::vector<Value> key;
+  while (true) {
+    if (current_matches_ != nullptr && match_pos_ < current_matches_->size()) {
+      *row = current_probe_;
+      const Row& build_row = (*current_matches_)[match_pos_++];
+      row->insert(row->end(), build_row.begin(), build_row.end());
+      ++rows_produced_;
+      return true;
+    }
+    current_matches_ = nullptr;
+    RFID_ASSIGN_OR_RETURN(bool has, probe_->Next(&current_probe_));
+    if (!has) return false;
+    if (!ExtractKey(current_probe_, probe_key_slots_, &key)) continue;
+    auto it = table_.find(key);
+    if (it == table_.end()) continue;
+    if (type_ == JoinType::kLeftSemi) {
+      *row = std::move(current_probe_);
+      ++rows_produced_;
+      return true;
+    }
+    current_matches_ = &it->second;
+    match_pos_ = 0;
+  }
+}
+
+void HashJoinOp::Close() {
+  table_.clear();
+  probe_->Close();
+}
+
+std::string HashJoinOp::detail() const {
+  std::string out;
+  for (size_t i = 0; i < probe_key_slots_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const Field& pf = probe_->output_desc().field(probe_key_slots_[i]);
+    const Field& bf = build_->output_desc().field(build_key_slots_[i]);
+    std::string lhs = pf.qualifier.empty() ? pf.name : pf.qualifier + "." + pf.name;
+    std::string rhs = bf.qualifier.empty() ? bf.name : bf.qualifier + "." + bf.name;
+    out += lhs + " = " + rhs;
+  }
+  return out;
+}
+
+}  // namespace rfid

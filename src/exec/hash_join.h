@@ -1,0 +1,60 @@
+// Hash join (inner and left-semi). The build side is fully materialized
+// into a hash table on Open; the probe side streams, so probe-side
+// ordering is preserved — a property the planner exploits to avoid
+// re-sorting sequence data after joining reference tables.
+#ifndef RFID_EXEC_HASH_JOIN_H_
+#define RFID_EXEC_HASH_JOIN_H_
+
+#include <unordered_map>
+
+#include "exec/operator.h"
+
+namespace rfid {
+
+enum class JoinType {
+  kInner,
+  kLeftSemi,  // emit probe row if at least one build match (dedup semantics)
+};
+
+/// Output row layout: probe fields followed by build fields (kInner), or
+/// probe fields only (kLeftSemi).
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr probe, OperatorPtr build,
+             std::vector<size_t> probe_key_slots,
+             std::vector<size_t> build_key_slots, JoinType type);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+
+  std::string name() const override {
+    return type_ == JoinType::kInner ? "HashJoin" : "HashSemiJoin";
+  }
+  std::string detail() const override;
+  std::vector<const Operator*> children() const override {
+    return {probe_.get(), build_.get()};
+  }
+
+ private:
+  // Returns true and sets key when every key value is non-null (SQL joins
+  // never match on NULL keys).
+  static bool ExtractKey(const Row& row, const std::vector<size_t>& slots,
+                         std::vector<Value>* key);
+
+  OperatorPtr probe_;
+  OperatorPtr build_;
+  std::vector<size_t> probe_key_slots_;
+  std::vector<size_t> build_key_slots_;
+  JoinType type_;
+
+  std::unordered_map<std::vector<Value>, std::vector<Row>, RowHash, RowEq> table_;
+  // Iteration state for multi-match inner joins.
+  Row current_probe_;
+  const std::vector<Row>* current_matches_ = nullptr;
+  size_t match_pos_ = 0;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_EXEC_HASH_JOIN_H_

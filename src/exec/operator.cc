@@ -1,0 +1,43 @@
+#include "exec/operator.h"
+
+namespace rfid {
+
+Result<std::vector<Row>> CollectRows(Operator* op) {
+  RFID_RETURN_IF_ERROR(op->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    RFID_ASSIGN_OR_RETURN(bool has, op->Next(&row));
+    if (!has) break;
+    rows.push_back(std::move(row));
+  }
+  op->Close();
+  return rows;
+}
+
+namespace {
+void ExplainRec(const Operator& op, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(op.name());
+  std::string detail = op.detail();
+  if (!detail.empty()) {
+    out->append(" [");
+    out->append(detail);
+    out->append("]");
+  }
+  out->append(" rows=");
+  out->append(std::to_string(op.rows_produced()));
+  out->append("\n");
+  for (const Operator* child : op.children()) {
+    ExplainRec(*child, depth + 1, out);
+  }
+}
+}  // namespace
+
+std::string ExplainOperatorTree(const Operator& root) {
+  std::string out;
+  ExplainRec(root, 0, &out);
+  return out;
+}
+
+}  // namespace rfid

@@ -1,0 +1,82 @@
+// Volcano-style physical operator interface. Operators are built by the
+// planner with all expressions already bound to child output slots.
+//
+// Blocking operators (sort, hash join build, aggregate, window)
+// materialize on Open(); streaming operators (scan, filter, project)
+// produce rows on demand. Each operator counts output rows so EXPLAIN can
+// report actual cardinalities — the experiments lean on these counters to
+// show *why* a rewrite wins (rows cleansed, rows sorted).
+#ifndef RFID_EXEC_OPERATOR_H_
+#define RFID_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/eval.h"
+
+namespace rfid {
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Prepares the operator (and recursively its inputs) for iteration.
+  /// Blocking operators do their work here.
+  virtual Status Open() = 0;
+
+  /// Produces the next row. Returns false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+
+  virtual void Close() {}
+
+  const RowDesc& output_desc() const { return output_desc_; }
+
+  /// Rows emitted so far (reset by Open).
+  uint64_t rows_produced() const { return rows_produced_; }
+
+  /// Operator name and per-operator detail for EXPLAIN.
+  virtual std::string name() const = 0;
+  virtual std::string detail() const { return ""; }
+
+  /// Children, for plan printing.
+  virtual std::vector<const Operator*> children() const { return {}; }
+
+ protected:
+  explicit Operator(RowDesc output_desc) : output_desc_(std::move(output_desc)) {}
+
+  RowDesc output_desc_;
+  uint64_t rows_produced_ = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Hash/equality over whole rows or key tuples (SQL DISTINCT semantics:
+/// NULLs compare equal).
+struct RowHash {
+  size_t operator()(const std::vector<Value>& row) const {
+    size_t h = 0x345678;
+    for (const Value& v : row) h = h * 1000003 + v.Hash();
+    return h;
+  }
+};
+struct RowEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].DistinctEquals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// Drains the operator into a vector of rows (Open/Next/Close).
+Result<std::vector<Row>> CollectRows(Operator* op);
+
+/// Renders the operator tree with actual row counts, one node per line.
+std::string ExplainOperatorTree(const Operator& root);
+
+}  // namespace rfid
+
+#endif  // RFID_EXEC_OPERATOR_H_

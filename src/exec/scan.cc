@@ -1,0 +1,69 @@
+#include "exec/scan.h"
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+TableScanOp::TableScanOp(const Table* table, std::string alias)
+    : Operator(RowDesc::FromSchema(table->schema(), alias)),
+      table_(table),
+      alias_(std::move(alias)) {}
+
+Status TableScanOp::Open() {
+  pos_ = 0;
+  rows_produced_ = 0;
+  return Status::OK();
+}
+
+Result<bool> TableScanOp::Next(Row* row) {
+  if (pos_ >= table_->num_rows()) return false;
+  *row = table_->row(pos_++);
+  ++rows_produced_;
+  return true;
+}
+
+std::string TableScanOp::detail() const {
+  if (EqualsIgnoreCase(alias_, table_->name())) return table_->name();
+  return table_->name() + " AS " + alias_;
+}
+
+IndexRangeScanOp::IndexRangeScanOp(const Table* table, const SortedIndex* index,
+                                   std::string alias, std::optional<Bound> lo,
+                                   std::optional<Bound> hi)
+    : Operator(RowDesc::FromSchema(table->schema(), alias)),
+      table_(table),
+      index_(index),
+      alias_(std::move(alias)),
+      lo_(std::move(lo)),
+      hi_(std::move(hi)) {}
+
+Status IndexRangeScanOp::Open() {
+  row_ids_ = index_->RangeScan(lo_, hi_);
+  pos_ = 0;
+  rows_produced_ = 0;
+  return Status::OK();
+}
+
+Result<bool> IndexRangeScanOp::Next(Row* row) {
+  if (pos_ >= row_ids_.size()) return false;
+  *row = table_->row(row_ids_[pos_++]);
+  ++rows_produced_;
+  return true;
+}
+
+std::string IndexRangeScanOp::detail() const {
+  std::string out = table_->name();
+  if (!EqualsIgnoreCase(alias_, table_->name())) out += " AS " + alias_;
+  out += " ON " + index_->column_name();
+  if (lo_.has_value()) {
+    out += StrFormat(" %s %s", lo_->inclusive ? ">=" : ">",
+                     lo_->value.ToString().c_str());
+  }
+  if (hi_.has_value()) {
+    out += StrFormat(" %s %s", hi_->inclusive ? "<=" : "<",
+                     hi_->value.ToString().c_str());
+  }
+  return out;
+}
+
+}  // namespace rfid

@@ -1,0 +1,56 @@
+// Table access operators: full scan and index range scan.
+#ifndef RFID_EXEC_SCAN_H_
+#define RFID_EXEC_SCAN_H_
+
+#include <optional>
+
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace rfid {
+
+/// Sequential scan of a table. Output fields are qualified with the given
+/// alias.
+class TableScanOp : public Operator {
+ public:
+  TableScanOp(const Table* table, std::string alias);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+
+  std::string name() const override { return "TableScan"; }
+  std::string detail() const override;
+
+ private:
+  const Table* table_;
+  std::string alias_;
+  size_t pos_ = 0;
+};
+
+/// Range scan via a sorted index: emits qualifying rows in index (value)
+/// order — the property the planner exploits to skip sorts on rtime.
+class IndexRangeScanOp : public Operator {
+ public:
+  IndexRangeScanOp(const Table* table, const SortedIndex* index,
+                   std::string alias, std::optional<Bound> lo,
+                   std::optional<Bound> hi);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+
+  std::string name() const override { return "IndexRangeScan"; }
+  std::string detail() const override;
+
+ private:
+  const Table* table_;
+  const SortedIndex* index_;
+  std::string alias_;
+  std::optional<Bound> lo_;
+  std::optional<Bound> hi_;
+  std::vector<uint32_t> row_ids_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_EXEC_SCAN_H_

@@ -1,0 +1,54 @@
+#include "exec/union_all.h"
+
+#include <cassert>
+
+namespace rfid {
+
+namespace {
+RowDesc UnionDesc(const std::vector<OperatorPtr>& inputs) {
+  assert(!inputs.empty());
+  RowDesc out;
+  for (const Field& f : inputs[0]->output_desc().fields()) {
+    out.AddField("", f.name, f.type);
+  }
+  return out;
+}
+}  // namespace
+
+UnionAllOp::UnionAllOp(std::vector<OperatorPtr> inputs)
+    : Operator(UnionDesc(inputs)), inputs_(std::move(inputs)) {}
+
+Status UnionAllOp::Open() {
+  rows_produced_ = 0;
+  current_ = 0;
+  if (!inputs_.empty()) return inputs_[0]->Open();
+  return Status::OK();
+}
+
+Result<bool> UnionAllOp::Next(Row* row) {
+  while (current_ < inputs_.size()) {
+    RFID_ASSIGN_OR_RETURN(bool has, inputs_[current_]->Next(row));
+    if (has) {
+      ++rows_produced_;
+      return true;
+    }
+    inputs_[current_]->Close();
+    ++current_;
+    if (current_ < inputs_.size()) {
+      RFID_RETURN_IF_ERROR(inputs_[current_]->Open());
+    }
+  }
+  return false;
+}
+
+void UnionAllOp::Close() {
+  for (auto& in : inputs_) in->Close();
+}
+
+std::vector<const Operator*> UnionAllOp::children() const {
+  std::vector<const Operator*> out;
+  for (const auto& in : inputs_) out.push_back(in.get());
+  return out;
+}
+
+}  // namespace rfid

@@ -1,0 +1,30 @@
+// UNION ALL: concatenates child streams. Children must have
+// positionally compatible schemas; the output takes the first child's
+// row descriptor with qualifiers cleared (a union result is a new
+// derived relation).
+#ifndef RFID_EXEC_UNION_ALL_H_
+#define RFID_EXEC_UNION_ALL_H_
+
+#include "exec/operator.h"
+
+namespace rfid {
+
+class UnionAllOp : public Operator {
+ public:
+  explicit UnionAllOp(std::vector<OperatorPtr> inputs);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+
+  std::string name() const override { return "UnionAll"; }
+  std::vector<const Operator*> children() const override;
+
+ private:
+  std::vector<OperatorPtr> inputs_;
+  size_t current_ = 0;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_EXEC_UNION_ALL_H_

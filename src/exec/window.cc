@@ -1,0 +1,269 @@
+#include "exec/window.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+namespace {
+
+RowDesc ExtendedDesc(const Operator& child, const std::vector<WindowAggSpec>& aggs) {
+  RowDesc desc = child.output_desc();
+  for (const WindowAggSpec& a : aggs) {
+    desc.AddField("", a.output_name, a.result_type);
+  }
+  return desc;
+}
+
+// Extracts the raw int64 ordering value of a RANGE order key.
+bool RawOrderValue(const Value& v, int64_t* out) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      *out = v.int64_value();
+      return true;
+    case DataType::kTimestamp:
+      *out = v.timestamp_value();
+      return true;
+    case DataType::kInterval:
+      *out = v.interval_value();
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Accumulator over a frame of rows.
+class FrameAggregator {
+ public:
+  explicit FrameAggregator(const WindowAggSpec& spec) : spec_(spec) {}
+
+  Status Add(const Row& row) {
+    Value arg;
+    if (spec_.arg != nullptr) {
+      RFID_ASSIGN_OR_RETURN(arg, EvalExpr(*spec_.arg, row));
+      if (arg.is_null()) return Status::OK();
+    }
+    switch (spec_.func) {
+      case AggFunc::kCount:
+        ++count_;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        ++count_;
+        sum_ += arg.AsDouble();
+        if (arg.type() == DataType::kInt64) {
+          int_sum_ += arg.int64_value();
+        } else if (arg.type() == DataType::kInterval) {
+          int_sum_ += arg.interval_value();
+        } else {
+          is_double_ = true;
+        }
+        break;
+      case AggFunc::kMin:
+        if (minmax_.is_null() || arg.Compare(minmax_) < 0) minmax_ = arg;
+        break;
+      case AggFunc::kMax:
+        if (minmax_.is_null() || arg.Compare(minmax_) > 0) minmax_ = arg;
+        break;
+    }
+    return Status::OK();
+  }
+
+  Value Finish() const {
+    switch (spec_.func) {
+      case AggFunc::kCount:
+        return Value::Int64(count_);
+      case AggFunc::kSum:
+        if (count_ == 0) return Value::Null();
+        if (spec_.result_type == DataType::kInterval) {
+          return Value::Interval(int_sum_);
+        }
+        if (is_double_ || spec_.result_type == DataType::kDouble) {
+          return Value::Double(sum_);
+        }
+        return Value::Int64(int_sum_);
+      case AggFunc::kAvg:
+        if (count_ == 0) return Value::Null();
+        if (spec_.result_type == DataType::kInterval) {
+          return Value::Interval(int_sum_ / count_);
+        }
+        return Value::Double(sum_ / static_cast<double>(count_));
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        return minmax_;
+    }
+    return Value::Null();
+  }
+
+ private:
+  const WindowAggSpec& spec_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  int64_t int_sum_ = 0;
+  bool is_double_ = false;
+  Value minmax_;
+};
+
+}  // namespace
+
+WindowOp::WindowOp(OperatorPtr child, std::vector<size_t> partition_slots,
+                   std::vector<SlotSortKey> order_keys,
+                   std::vector<WindowAggSpec> aggs)
+    : Operator(ExtendedDesc(*child, aggs)),
+      child_(std::move(child)),
+      partition_slots_(std::move(partition_slots)),
+      order_keys_(std::move(order_keys)),
+      aggs_(std::move(aggs)) {}
+
+Status WindowOp::Open() {
+  rows_produced_ = 0;
+  pos_ = 0;
+  rows_.clear();
+  RFID_ASSIGN_OR_RETURN(rows_, CollectRows(child_.get()));
+
+  // Process each maximal run of equal partition keys.
+  size_t begin = 0;
+  while (begin < rows_.size()) {
+    size_t end = begin + 1;
+    while (end < rows_.size()) {
+      bool same = true;
+      for (size_t s : partition_slots_) {
+        if (!rows_[begin][s].DistinctEquals(rows_[end][s])) {
+          same = false;
+          break;
+        }
+      }
+      if (!same) break;
+      ++end;
+    }
+    RFID_RETURN_IF_ERROR(ComputePartition(begin, end));
+    begin = end;
+  }
+  return Status::OK();
+}
+
+Status WindowOp::ComputePartition(size_t begin, size_t end) {
+  const size_t n = end - begin;
+  // Results per agg, appended to rows after all aggs are computed so that
+  // no agg sees another's output (same-SELECT-level semantics).
+  std::vector<std::vector<Value>> outputs(aggs_.size());
+
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    const WindowAggSpec& spec = aggs_[a];
+    outputs[a].resize(n);
+    const FrameSpec& f = spec.frame;
+
+    if (f.unit == FrameUnit::kRows) {
+      for (size_t i = 0; i < n; ++i) {
+        size_t gi = begin + i;
+        int64_t lo = f.start.unbounded
+                         ? 0
+                         : static_cast<int64_t>(i) + f.start.delta;
+        int64_t hi = f.end.unbounded ? static_cast<int64_t>(n) - 1
+                                     : static_cast<int64_t>(i) + f.end.delta;
+        if (lo < 0) lo = 0;
+        if (hi > static_cast<int64_t>(n) - 1) hi = static_cast<int64_t>(n) - 1;
+        FrameAggregator agg(spec);
+        for (int64_t j = lo; j <= hi; ++j) {
+          RFID_RETURN_IF_ERROR(agg.Add(rows_[begin + static_cast<size_t>(j)]));
+        }
+        outputs[a][gi - begin] = agg.Finish();
+      }
+      continue;
+    }
+
+    // RANGE frame: requires a single ascending order key of an
+    // int64-represented type.
+    if (order_keys_.size() != 1 || !order_keys_[0].ascending) {
+      return Status::Unimplemented(
+          "RANGE frames require a single ascending ORDER BY key");
+    }
+    size_t key_slot = order_keys_[0].slot;
+    // Sliding frame endpoints: both thresholds are nondecreasing in i.
+    size_t lo_ptr = 0;
+    size_t hi_ptr = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Value& key = rows_[begin + i][key_slot];
+      int64_t k;
+      if (key.is_null() || !RawOrderValue(key, &k)) {
+        // NULL order key: no well-defined logical frame; emit over an
+        // empty frame (COUNT -> 0, others -> NULL).
+        outputs[a][i] = FrameAggregator(spec).Finish();
+        continue;
+      }
+      size_t lo = 0;
+      if (!f.start.unbounded) {
+        int64_t threshold = k + f.start.delta;
+        while (lo_ptr < n) {
+          const Value& kj = rows_[begin + lo_ptr][key_slot];
+          int64_t vj;
+          if (kj.is_null() || !RawOrderValue(kj, &vj)) {
+            ++lo_ptr;  // NULL keys sort first; skip them for RANGE frames
+            continue;
+          }
+          if (vj >= threshold) break;
+          ++lo_ptr;
+        }
+        lo = lo_ptr;
+      }
+      size_t hi = n;  // exclusive
+      if (!f.end.unbounded) {
+        int64_t threshold = k + f.end.delta;
+        if (hi_ptr < lo_ptr) hi_ptr = lo_ptr;
+        while (hi_ptr < n) {
+          const Value& kj = rows_[begin + hi_ptr][key_slot];
+          int64_t vj;
+          if (kj.is_null() || !RawOrderValue(kj, &vj)) {
+            ++hi_ptr;
+            continue;
+          }
+          if (vj > threshold) break;
+          ++hi_ptr;
+        }
+        hi = hi_ptr;
+      }
+      FrameAggregator agg(spec);
+      for (size_t j = (f.start.unbounded ? 0 : lo); j < hi; ++j) {
+        const Value& kj = rows_[begin + j][key_slot];
+        if (kj.is_null()) continue;
+        RFID_RETURN_IF_ERROR(agg.Add(rows_[begin + j]));
+      }
+      outputs[a][i] = agg.Finish();
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    Row& r = rows_[begin + i];
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      r.push_back(std::move(outputs[a][i]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> WindowOp::Next(Row* row) {
+  if (pos_ >= rows_.size()) return false;
+  *row = std::move(rows_[pos_++]);
+  ++rows_produced_;
+  return true;
+}
+
+void WindowOp::Close() {
+  rows_.clear();
+  rows_.shrink_to_fit();
+}
+
+std::string WindowOp::detail() const {
+  std::vector<std::string> parts;
+  for (const WindowAggSpec& a : aggs_) {
+    std::string s = AggFuncName(a.func);
+    s += "(";
+    s += a.arg == nullptr ? "*" : ExprToSql(a.arg);
+    s += ") AS " + a.output_name;
+    parts.push_back(std::move(s));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace rfid

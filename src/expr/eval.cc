@@ -1,0 +1,440 @@
+#include "expr/eval.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+Result<size_t> RowDesc::Resolve(std::string_view qualifier,
+                                std::string_view name) const {
+  int found = -1;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Field& f = fields_[i];
+    if (!EqualsIgnoreCase(f.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(f.qualifier, qualifier)) continue;
+    if (found >= 0) {
+      return Status::BindError(StrFormat(
+          "ambiguous column reference %s%s%s",
+          std::string(qualifier).c_str(), qualifier.empty() ? "" : ".",
+          std::string(name).c_str()));
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::BindError(StrFormat(
+        "unresolved column reference %s%s%s",
+        std::string(qualifier).c_str(), qualifier.empty() ? "" : ".",
+        std::string(name).c_str()));
+  }
+  return static_cast<size_t>(found);
+}
+
+RowDesc RowDesc::FromSchema(const Schema& schema, std::string qualifier) {
+  RowDesc desc;
+  for (const Column& c : schema.columns()) {
+    desc.AddField(qualifier, c.name, c.type);
+  }
+  return desc;
+}
+
+RowDesc RowDesc::Concat(const RowDesc& left, const RowDesc& right) {
+  RowDesc out = left;
+  for (const Field& f : right.fields()) {
+    out.fields_.push_back(f);
+  }
+  return out;
+}
+
+Schema RowDesc::ToSchema() const {
+  Schema schema;
+  for (const Field& f : fields_) schema.AddColumn(f.name, f.type);
+  return schema;
+}
+
+std::string RowDesc::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (!fields_[i].qualifier.empty()) out += fields_[i].qualifier + ".";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  out += "]";
+  return out;
+}
+
+namespace {
+
+bool IsNumeric(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble;
+}
+
+Result<DataType> InferBinaryType(BinaryOp op, DataType lhs, DataType rhs) {
+  if (op == BinaryOp::kAnd || op == BinaryOp::kOr) {
+    return DataType::kBool;
+  }
+  if (IsComparisonOp(op)) {
+    if (lhs != DataType::kNull && rhs != DataType::kNull &&
+        !TypesComparable(lhs, rhs)) {
+      return Status::BindError(StrFormat("cannot compare %s with %s",
+                                         DataTypeName(lhs), DataTypeName(rhs)));
+    }
+    return DataType::kBool;
+  }
+  // Arithmetic.
+  if (lhs == DataType::kNull || rhs == DataType::kNull) {
+    return lhs == DataType::kNull ? rhs : lhs;
+  }
+  if (IsNumeric(lhs) && IsNumeric(rhs)) {
+    if (op == BinaryOp::kDiv || lhs == DataType::kDouble ||
+        rhs == DataType::kDouble) {
+      return DataType::kDouble;
+    }
+    return DataType::kInt64;
+  }
+  if (op == BinaryOp::kSub && lhs == DataType::kTimestamp &&
+      rhs == DataType::kTimestamp) {
+    return DataType::kInterval;
+  }
+  if ((op == BinaryOp::kAdd || op == BinaryOp::kSub) &&
+      lhs == DataType::kTimestamp && rhs == DataType::kInterval) {
+    return DataType::kTimestamp;
+  }
+  if (op == BinaryOp::kAdd && lhs == DataType::kInterval &&
+      rhs == DataType::kTimestamp) {
+    return DataType::kTimestamp;
+  }
+  if ((op == BinaryOp::kAdd || op == BinaryOp::kSub) &&
+      lhs == DataType::kInterval && rhs == DataType::kInterval) {
+    return DataType::kInterval;
+  }
+  return Status::BindError(StrFormat("invalid operand types for %s: %s, %s",
+                                     BinaryOpSymbol(op), DataTypeName(lhs),
+                                     DataTypeName(rhs)));
+}
+
+}  // namespace
+
+Result<ExprPtr> BindExpr(const ExprPtr& e, const RowDesc& desc) {
+  if (e == nullptr) return Status::Internal("BindExpr on null expression");
+  auto bound = std::make_shared<Expr>(*e);
+  switch (e->kind) {
+    case ExprKind::kLiteral:
+      bound->result_type = e->value.type();
+      return bound;
+    case ExprKind::kColumnRef: {
+      RFID_ASSIGN_OR_RETURN(size_t slot, desc.Resolve(e->qualifier, e->column));
+      bound->slot = static_cast<int>(slot);
+      bound->result_type = desc.field(slot).type;
+      return bound;
+    }
+    case ExprKind::kBinary: {
+      RFID_ASSIGN_OR_RETURN(bound->children[0], BindExpr(e->children[0], desc));
+      RFID_ASSIGN_OR_RETURN(bound->children[1], BindExpr(e->children[1], desc));
+      RFID_ASSIGN_OR_RETURN(
+          bound->result_type,
+          InferBinaryType(e->op, bound->children[0]->result_type,
+                          bound->children[1]->result_type));
+      return bound;
+    }
+    case ExprKind::kNot: {
+      RFID_ASSIGN_OR_RETURN(bound->children[0], BindExpr(e->children[0], desc));
+      bound->result_type = DataType::kBool;
+      return bound;
+    }
+    case ExprKind::kIsNull: {
+      RFID_ASSIGN_OR_RETURN(bound->children[0], BindExpr(e->children[0], desc));
+      bound->result_type = DataType::kBool;
+      return bound;
+    }
+    case ExprKind::kCase: {
+      DataType result = DataType::kNull;
+      for (size_t i = 0; i < e->children.size(); ++i) {
+        RFID_ASSIGN_OR_RETURN(bound->children[i], BindExpr(e->children[i], desc));
+      }
+      size_t pairs = e->children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        DataType then_type = bound->children[2 * i + 1]->result_type;
+        if (result == DataType::kNull) result = then_type;
+      }
+      if (e->has_else && result == DataType::kNull) {
+        result = bound->children.back()->result_type;
+      }
+      bound->result_type = result;
+      return bound;
+    }
+    case ExprKind::kInList:
+    case ExprKind::kInValueSet: {
+      for (size_t i = 0; i < e->children.size(); ++i) {
+        RFID_ASSIGN_OR_RETURN(bound->children[i], BindExpr(e->children[i], desc));
+      }
+      bound->result_type = DataType::kBool;
+      return bound;
+    }
+    case ExprKind::kInSubquery:
+      return Status::BindError(
+          "IN (SELECT ...) must be planned as a semi-join before scalar binding");
+    case ExprKind::kFuncCall:
+      if (e->window.has_value()) {
+        return Status::BindError(
+            "window function in scalar context: " + e->func_name);
+      }
+      if (e->func_name == "coalesce") {
+        if (e->children.empty()) {
+          return Status::BindError("COALESCE requires at least one argument");
+        }
+        DataType result = DataType::kNull;
+        for (size_t i = 0; i < e->children.size(); ++i) {
+          RFID_ASSIGN_OR_RETURN(bound->children[i],
+                                BindExpr(e->children[i], desc));
+          if (result == DataType::kNull) {
+            result = bound->children[i]->result_type;
+          }
+        }
+        bound->result_type = result;
+        return bound;
+      }
+      if (ContainsAggregate(e)) {
+        return Status::BindError(
+            "aggregate function in scalar context: " + e->func_name);
+      }
+      return Status::BindError("unknown scalar function: " + e->func_name);
+    case ExprKind::kStar:
+      return Status::BindError("* is only valid in COUNT(*) or SELECT *");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+namespace {
+
+Value EvalArithmetic(BinaryOp op, const Value& l, const Value& r,
+                     DataType result_type) {
+  if (result_type == DataType::kDouble) {
+    double a = l.AsDouble();
+    double b = r.AsDouble();
+    switch (op) {
+      case BinaryOp::kAdd: return Value::Double(a + b);
+      case BinaryOp::kSub: return Value::Double(a - b);
+      case BinaryOp::kMul: return Value::Double(a * b);
+      case BinaryOp::kDiv: return b == 0 ? Value::Null() : Value::Double(a / b);
+      default: break;
+    }
+  }
+  // Integer-repped types (INT64, TIMESTAMP, INTERVAL) share the same
+  // underlying arithmetic; the bound result_type selects the wrapper.
+  auto raw = [](const Value& v) -> int64_t {
+    switch (v.type()) {
+      case DataType::kInt64: return v.int64_value();
+      case DataType::kTimestamp: return v.timestamp_value();
+      case DataType::kInterval: return v.interval_value();
+      default: assert(false); return 0;
+    }
+  };
+  int64_t x = raw(l);
+  int64_t y = raw(r);
+  int64_t res = 0;
+  switch (op) {
+    case BinaryOp::kAdd: res = x + y; break;
+    case BinaryOp::kSub: res = x - y; break;
+    case BinaryOp::kMul: res = x * y; break;
+    case BinaryOp::kDiv:
+      if (y == 0) return Value::Null();
+      res = x / y;
+      break;
+    default:
+      assert(false);
+  }
+  switch (result_type) {
+    case DataType::kTimestamp: return Value::Timestamp(res);
+    case DataType::kInterval: return Value::Interval(res);
+    default: return Value::Int64(res);
+  }
+}
+
+// Kleene three-valued logic values: 0=false, 1=true, 2=unknown.
+int ToTri(const Value& v) {
+  if (v.is_null()) return 2;
+  return v.bool_value() ? 1 : 0;
+}
+
+Value FromTri(int t) {
+  if (t == 2) return Value::Null();
+  return Value::Bool(t == 1);
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& e, const Row& row) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.value;
+    case ExprKind::kColumnRef:
+      if (e.slot < 0 || static_cast<size_t>(e.slot) >= row.size()) {
+        return Status::Internal("evaluating unbound column reference " +
+                                e.column);
+      }
+      return row[static_cast<size_t>(e.slot)];
+    case ExprKind::kBinary: {
+      if (e.op == BinaryOp::kAnd || e.op == BinaryOp::kOr) {
+        RFID_ASSIGN_OR_RETURN(Value lv, EvalExpr(*e.children[0], row));
+        int lt = ToTri(lv);
+        // Short-circuit on the dominating value.
+        if (e.op == BinaryOp::kAnd && lt == 0) return Value::Bool(false);
+        if (e.op == BinaryOp::kOr && lt == 1) return Value::Bool(true);
+        RFID_ASSIGN_OR_RETURN(Value rv, EvalExpr(*e.children[1], row));
+        int rt = ToTri(rv);
+        if (e.op == BinaryOp::kAnd) {
+          if (rt == 0) return Value::Bool(false);
+          if (lt == 1 && rt == 1) return Value::Bool(true);
+          return Value::Null();
+        }
+        if (rt == 1) return Value::Bool(true);
+        if (lt == 0 && rt == 0) return Value::Bool(false);
+        return Value::Null();
+      }
+      RFID_ASSIGN_OR_RETURN(Value lv, EvalExpr(*e.children[0], row));
+      RFID_ASSIGN_OR_RETURN(Value rv, EvalExpr(*e.children[1], row));
+      if (lv.is_null() || rv.is_null()) return Value::Null();
+      if (IsComparisonOp(e.op)) {
+        int c = lv.Compare(rv);
+        switch (e.op) {
+          case BinaryOp::kEq: return Value::Bool(c == 0);
+          case BinaryOp::kNe: return Value::Bool(c != 0);
+          case BinaryOp::kLt: return Value::Bool(c < 0);
+          case BinaryOp::kLe: return Value::Bool(c <= 0);
+          case BinaryOp::kGt: return Value::Bool(c > 0);
+          case BinaryOp::kGe: return Value::Bool(c >= 0);
+          default: break;
+        }
+      }
+      return EvalArithmetic(e.op, lv, rv, e.result_type);
+    }
+    case ExprKind::kNot: {
+      RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      int t = ToTri(v);
+      if (t == 2) return Value::Null();
+      return Value::Bool(t == 0);
+    }
+    case ExprKind::kIsNull: {
+      RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*e.children[0], row));
+      bool is_null = v.is_null();
+      return Value::Bool(e.negated ? !is_null : is_null);
+    }
+    case ExprKind::kCase: {
+      size_t pairs = e.children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        RFID_ASSIGN_OR_RETURN(Value cond, EvalExpr(*e.children[2 * i], row));
+        if (ToTri(cond) == 1) {
+          return EvalExpr(*e.children[2 * i + 1], row);
+        }
+      }
+      if (e.has_else) return EvalExpr(*e.children.back(), row);
+      return Value::Null();
+    }
+    case ExprKind::kFuncCall: {
+      // Only COALESCE reaches evaluation (the binder rejects the rest).
+      for (const ExprPtr& child : e.children) {
+        RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*child, row));
+        if (!v.is_null()) return v;
+      }
+      return Value::Null();
+    }
+    case ExprKind::kInValueSet: {
+      RFID_ASSIGN_OR_RETURN(Value probe, EvalExpr(*e.children[0], row));
+      if (probe.is_null()) return Value::Null();
+      if (e.value_set != nullptr && e.value_set->count(probe) > 0) {
+        return Value::Bool(true);
+      }
+      return e.value_set_has_null ? Value::Null() : Value::Bool(false);
+    }
+    case ExprKind::kInList: {
+      RFID_ASSIGN_OR_RETURN(Value probe, EvalExpr(*e.children[0], row));
+      if (probe.is_null()) return Value::Null();
+      bool saw_null = false;
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        RFID_ASSIGN_OR_RETURN(Value item, EvalExpr(*e.children[i], row));
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (TypesComparable(probe.type(), item.type()) &&
+            probe.Compare(item) == 0) {
+          return Value::Bool(true);
+        }
+      }
+      return saw_null ? Value::Null() : Value::Bool(false);
+    }
+    default:
+      return Status::Internal("unevaluable expression kind");
+  }
+}
+
+Result<bool> EvalPredicate(const Expr& e, const Row& row) {
+  RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(e, row));
+  return !v.is_null() && v.bool_value();
+}
+
+namespace {
+
+bool IsFoldableKind(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kBinary:
+    case ExprKind::kNot:
+    case ExprKind::kIsNull:
+    case ExprKind::kCase:
+    case ExprKind::kInList:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool HasNonConstant(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  switch (e->kind) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kInSubquery:
+    case ExprKind::kInValueSet:
+    case ExprKind::kStar:
+    case ExprKind::kFuncCall:  // aggregates/windows; COALESCE rarely constant
+      return true;
+    default:
+      break;
+  }
+  for (const ExprPtr& child : e->children) {
+    if (HasNonConstant(child)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ExprPtr FoldConstants(const ExprPtr& e) {
+  if (e == nullptr) return nullptr;
+  if (e->kind == ExprKind::kLiteral || e->kind == ExprKind::kColumnRef) {
+    return e;
+  }
+  // Fold children first so partially-constant trees shrink bottom-up.
+  auto copy = std::make_shared<Expr>(*e);
+  bool changed = false;
+  for (auto& child : copy->children) {
+    ExprPtr folded = FoldConstants(child);
+    if (folded != child) changed = true;
+    child = folded;
+  }
+  ExprPtr current = changed ? copy : e;
+  if (!IsFoldableKind(current->kind) || HasNonConstant(current)) {
+    return current;
+  }
+  RowDesc empty;
+  auto bound = BindExpr(current, empty);
+  if (!bound.ok()) return current;  // type errors surface later, with context
+  Row no_row;
+  auto value = EvalExpr(*bound.value(), no_row);
+  if (!value.ok()) return current;
+  return MakeLiteral(std::move(value).value());
+}
+
+}  // namespace rfid

@@ -1,0 +1,77 @@
+// Binding and evaluation of scalar expressions against rows.
+//
+// A RowDesc describes an operator's output row: an ordered list of fields,
+// each with an optional qualifier (table alias or rule pattern reference).
+// BindExpr resolves column references to slots and infers result types;
+// EvalExpr evaluates a bound expression with SQL three-valued logic.
+#ifndef RFID_EXPR_EVAL_H_
+#define RFID_EXPR_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace rfid {
+
+struct Field {
+  std::string qualifier;  // may be empty
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+class RowDesc {
+ public:
+  RowDesc() = default;
+  explicit RowDesc(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(std::string qualifier, std::string name, DataType type) {
+    fields_.push_back({std::move(qualifier), std::move(name), type});
+  }
+
+  /// Resolves a (possibly unqualified) column reference. Errors on
+  /// ambiguity or absence.
+  Result<size_t> Resolve(std::string_view qualifier, std::string_view name) const;
+
+  /// Builds a RowDesc from a table schema with the given qualifier.
+  static RowDesc FromSchema(const Schema& schema, std::string qualifier);
+
+  /// Concatenation (for joins): left fields then right fields.
+  static RowDesc Concat(const RowDesc& left, const RowDesc& right);
+
+  /// Converts to a plain schema (drops qualifiers).
+  Schema ToSchema() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// Resolves column refs to slots and infers types. Returns a new bound
+/// tree. Rejects aggregates, window calls, and IN-subqueries — those are
+/// handled by dedicated operators before scalar binding.
+Result<ExprPtr> BindExpr(const ExprPtr& e, const RowDesc& desc);
+
+/// Evaluates a bound expression against a row (three-valued logic).
+Result<Value> EvalExpr(const Expr& e, const Row& row);
+
+/// Convenience: evaluates a bound boolean predicate; NULL counts as false.
+Result<bool> EvalPredicate(const Expr& e, const Row& row);
+
+/// Constant folding on *unbound* expressions: any subtree free of column
+/// references, subqueries, aggregates and window calls is evaluated and
+/// replaced by its literal value. Makes computed predicates sargable
+/// (e.g. "rtime <= TIMESTAMP 100 + 5 MINUTES" folds to a plain bound the
+/// index-selection and rewrite analyses can use). Nodes that fail to
+/// evaluate (type errors surface at bind time instead) are left intact.
+ExprPtr FoldConstants(const ExprPtr& e);
+
+}  // namespace rfid
+
+#endif  // RFID_EXPR_EVAL_H_

@@ -1,0 +1,417 @@
+#include "expr/expr.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+#include "common/time_util.h"
+
+namespace rfid {
+
+namespace internal {
+std::string (*subquery_renderer)(const SelectStatement&) = nullptr;
+}  // namespace internal
+
+const char* BinaryOpSymbol(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "<>";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kAnd: return "AND";
+    case BinaryOp::kOr: return "OR";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp SwapComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // =, <> are symmetric
+  }
+}
+
+BinaryOp NegateComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return BinaryOp::kNe;
+    case BinaryOp::kNe: return BinaryOp::kEq;
+    case BinaryOp::kLt: return BinaryOp::kGe;
+    case BinaryOp::kLe: return BinaryOp::kGt;
+    case BinaryOp::kGt: return BinaryOp::kLe;
+    case BinaryOp::kGe: return BinaryOp::kLt;
+    default:
+      assert(false && "not a comparison");
+      return op;
+  }
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->value = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = op;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr MakeNot(ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNot;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+ExprPtr MakeIsNull(ExprPtr operand, bool negated) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->children = {std::move(operand)};
+  e->negated = negated;
+  return e;
+}
+
+ExprPtr MakeCase(std::vector<ExprPtr> children, bool has_else) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCase;
+  e->children = std::move(children);
+  e->has_else = has_else;
+  return e;
+}
+
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args, bool distinct) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = ToLower(name);
+  e->children = std::move(args);
+  e->distinct = distinct;
+  return e;
+}
+
+ExprPtr MakeWindowCall(std::string name, std::vector<ExprPtr> args,
+                       WindowSpec window) {
+  auto e = MakeFuncCall(std::move(name), std::move(args));
+  e->window = std::move(window);
+  return e;
+}
+
+ExprPtr MakeStar() {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kStar;
+  return e;
+}
+
+ExprPtr MakeInList(ExprPtr probe, std::vector<ExprPtr> items) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kInList;
+  e->children.push_back(std::move(probe));
+  for (auto& item : items) e->children.push_back(std::move(item));
+  return e;
+}
+
+ExprPtr MakeInSubquery(ExprPtr probe, std::shared_ptr<SelectStatement> subquery) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kInSubquery;
+  e->children.push_back(std::move(probe));
+  e->subquery = std::move(subquery);
+  return e;
+}
+
+ExprPtr CloneExpr(const ExprPtr& e) {
+  if (e == nullptr) return nullptr;
+  auto copy = std::make_shared<Expr>(*e);
+  for (auto& child : copy->children) child = CloneExpr(child);
+  if (copy->window.has_value()) {
+    for (auto& p : copy->window->partition_by) p = CloneExpr(p);
+    for (auto& k : copy->window->order_by) k.expr = CloneExpr(k.expr);
+  }
+  return copy;
+}
+
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind != b->kind) return false;
+  switch (a->kind) {
+    case ExprKind::kLiteral:
+      if (!a->value.DistinctEquals(b->value)) return false;
+      break;
+    case ExprKind::kColumnRef:
+      if (!EqualsIgnoreCase(a->qualifier, b->qualifier) ||
+          !EqualsIgnoreCase(a->column, b->column)) {
+        return false;
+      }
+      break;
+    case ExprKind::kBinary:
+      if (a->op != b->op) return false;
+      break;
+    case ExprKind::kIsNull:
+      if (a->negated != b->negated) return false;
+      break;
+    case ExprKind::kCase:
+      if (a->has_else != b->has_else) return false;
+      break;
+    case ExprKind::kFuncCall:
+      if (a->func_name != b->func_name || a->distinct != b->distinct ||
+          a->window.has_value() != b->window.has_value()) {
+        return false;
+      }
+      break;
+    case ExprKind::kInSubquery:
+      if (a->subquery != b->subquery) return false;
+      break;
+    default:
+      break;
+  }
+  if (a->children.size() != b->children.size()) return false;
+  for (size_t i = 0; i < a->children.size(); ++i) {
+    if (!ExprEquals(a->children[i], b->children[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+int Precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr: return 1;
+    case BinaryOp::kAnd: return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: return 3;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub: return 4;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv: return 5;
+  }
+  return 0;
+}
+
+std::string ToSqlInner(const ExprPtr& e, int parent_prec);
+
+std::string WindowToSql(const WindowSpec& w) {
+  std::string out = "OVER (";
+  bool first_section = true;
+  if (!w.partition_by.empty()) {
+    out += "PARTITION BY ";
+    for (size_t i = 0; i < w.partition_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToSqlInner(w.partition_by[i], 0);
+    }
+    first_section = false;
+  }
+  if (!w.order_by.empty()) {
+    if (!first_section) out += " ";
+    out += "ORDER BY ";
+    for (size_t i = 0; i < w.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToSqlInner(w.order_by[i].expr, 0);
+      out += w.order_by[i].ascending ? " ASC" : " DESC";
+    }
+    first_section = false;
+  }
+  if (w.has_frame) {
+    if (!first_section) out += " ";
+    const FrameSpec& f = w.frame;
+    out += (f.unit == FrameUnit::kRows) ? "ROWS BETWEEN " : "RANGE BETWEEN ";
+    auto bound_str = [&f](const FrameBound& b) -> std::string {
+      if (b.unbounded) {
+        return b.delta <= 0 ? "UNBOUNDED PRECEDING" : "UNBOUNDED FOLLOWING";
+      }
+      if (b.delta == 0) return "CURRENT ROW";
+      std::string amount =
+          (f.unit == FrameUnit::kRows)
+              ? std::to_string(b.delta < 0 ? -b.delta : b.delta)
+              : FormatIntervalSql(b.delta < 0 ? -b.delta : b.delta);
+      return amount + (b.delta < 0 ? " PRECEDING" : " FOLLOWING");
+    };
+    out += bound_str(f.start);
+    out += " AND ";
+    out += bound_str(f.end);
+  }
+  out += ")";
+  return out;
+}
+
+std::string ToSqlInner(const ExprPtr& e, int parent_prec) {
+  if (e == nullptr) return "<null>";
+  switch (e->kind) {
+    case ExprKind::kLiteral:
+      return e->value.ToSqlLiteral();
+    case ExprKind::kColumnRef:
+      return e->qualifier.empty() ? e->column : e->qualifier + "." + e->column;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kBinary: {
+      int prec = Precedence(e->op);
+      // Comparisons are non-associative: a nested comparison (or IS NULL
+      // / IN) on either side must be parenthesized, so the left child is
+      // rendered at prec + 1 too.
+      int left_prec = IsComparisonOp(e->op) ? prec + 1 : prec;
+      std::string s = ToSqlInner(e->children[0], left_prec) + " " +
+                      BinaryOpSymbol(e->op) + " " +
+                      ToSqlInner(e->children[1], prec + 1);
+      if (prec < parent_prec) return "(" + s + ")";
+      return s;
+    }
+    case ExprKind::kNot: {
+      std::string s = "NOT " + ToSqlInner(e->children[0], 6);
+      if (parent_prec > 2) return "(" + s + ")";
+      return s;
+    }
+    case ExprKind::kIsNull: {
+      std::string s = ToSqlInner(e->children[0], 6) +
+                      (e->negated ? " IS NOT NULL" : " IS NULL");
+      if (parent_prec > 3) return "(" + s + ")";
+      return s;
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t pairs = e->children.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + ToSqlInner(e->children[2 * i], 0);
+        out += " THEN " + ToSqlInner(e->children[2 * i + 1], 0);
+      }
+      if (e->has_else) {
+        out += " ELSE " + ToSqlInner(e->children.back(), 0);
+      }
+      out += " END";
+      return out;
+    }
+    case ExprKind::kInList: {
+      std::string out = ToSqlInner(e->children[0], 6) + " IN (";
+      for (size_t i = 1; i < e->children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += ToSqlInner(e->children[i], 0);
+      }
+      out += ")";
+      if (parent_prec > 3) return "(" + out + ")";
+      return out;
+    }
+    case ExprKind::kInValueSet: {
+      std::string out = ToSqlInner(e->children[0], 6) + " IN (<" +
+                        std::to_string(e->value_set ? e->value_set->size() : 0) +
+                        " values>)";
+      if (parent_prec > 3) return "(" + out + ")";
+      return out;
+    }
+    case ExprKind::kInSubquery: {
+      std::string body = "<subquery>";
+      if (internal::subquery_renderer != nullptr && e->subquery != nullptr) {
+        body = internal::subquery_renderer(*e->subquery);
+      }
+      std::string out = ToSqlInner(e->children[0], 6) + " IN (" + body + ")";
+      if (parent_prec > 3) return "(" + out + ")";
+      return out;
+    }
+    case ExprKind::kFuncCall: {
+      std::string out = ToUpper(e->func_name) + "(";
+      if (e->distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < e->children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += ToSqlInner(e->children[i], 0);
+      }
+      out += ")";
+      if (e->window.has_value()) {
+        out += " " + WindowToSql(*e->window);
+      }
+      return out;
+    }
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ExprToSql(const ExprPtr& e) { return ToSqlInner(e, 0); }
+
+bool ContainsAggregate(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == ExprKind::kFuncCall && !e->window.has_value()) {
+    const std::string& f = e->func_name;
+    if (f == "count" || f == "sum" || f == "avg" || f == "min" || f == "max") {
+      return true;
+    }
+  }
+  for (const auto& c : e->children) {
+    if (ContainsAggregate(c)) return true;
+  }
+  return false;
+}
+
+bool ContainsWindowCall(const ExprPtr& e) {
+  if (e == nullptr) return false;
+  if (e->kind == ExprKind::kFuncCall && e->window.has_value()) return true;
+  for (const auto& c : e->children) {
+    if (ContainsWindowCall(c)) return true;
+  }
+  return false;
+}
+
+ExprPtr TransformColumnRefs(const ExprPtr& e,
+                            const std::function<ExprPtr(const Expr&)>& fn) {
+  if (e == nullptr) return nullptr;
+  if (e->kind == ExprKind::kColumnRef) {
+    ExprPtr replacement = fn(*e);
+    return replacement != nullptr ? replacement : e;
+  }
+  auto copy = std::make_shared<Expr>(*e);
+  bool changed = false;
+  for (auto& child : copy->children) {
+    ExprPtr nc = TransformColumnRefs(child, fn);
+    if (nc != child) changed = true;
+    child = nc;
+  }
+  if (copy->window.has_value()) {
+    for (auto& p : copy->window->partition_by) {
+      ExprPtr np = TransformColumnRefs(p, fn);
+      if (np != p) changed = true;
+      p = np;
+    }
+    for (auto& k : copy->window->order_by) {
+      ExprPtr nk = TransformColumnRefs(k.expr, fn);
+      if (nk != k.expr) changed = true;
+      k.expr = nk;
+    }
+  }
+  return changed ? copy : e;
+}
+
+}  // namespace rfid

@@ -1,0 +1,176 @@
+// Expression AST shared by the SQL front end, the SQL-TS rule language,
+// the evaluator, and the rewrite engine's predicate analysis.
+//
+// A single tagged node type (rather than a class hierarchy) keeps the
+// rewrite engine's structural manipulation — cloning, substitution,
+// conjunct surgery, transitivity analysis — simple and uniform.
+// Expressions are immutable by convention once built; transformations
+// produce new nodes.
+#ifndef RFID_EXPR_EXPR_H_
+#define RFID_EXPR_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace rfid {
+
+struct SelectStatement;  // defined in sql/ast.h; Expr may hold a subquery
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kBinary,    // comparison, arithmetic, AND/OR
+  kNot,
+  kIsNull,    // IS NULL / IS NOT NULL (negated flag)
+  kCase,      // searched CASE
+  kInList,    // expr IN (literal, ...)
+  kInSubquery,  // expr IN (SELECT ...)
+  kInValueSet,  // expr IN <materialized hash set> (planner-internal)
+  kFuncCall,  // scalar, aggregate, or window function call
+  kStar,      // "*" in COUNT(*) or SELECT *
+};
+
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAdd, kSub, kMul, kDiv,
+  kAnd, kOr,
+};
+
+const char* BinaryOpSymbol(BinaryOp op);
+bool IsComparisonOp(BinaryOp op);
+/// For comparisons: the op with sides swapped (a < b  <=>  b > a).
+BinaryOp SwapComparison(BinaryOp op);
+/// Logical negation of a comparison (a < b  <=>  NOT a >= b).
+BinaryOp NegateComparison(BinaryOp op);
+
+struct SortKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+enum class FrameUnit { kRows, kRange };
+
+/// One endpoint of a window frame. `delta` is a row count for ROWS frames
+/// and a microsecond interval for RANGE frames; sign encodes direction
+/// (negative = PRECEDING, positive = FOLLOWING, 0 = CURRENT ROW unless
+/// unbounded).
+struct FrameBound {
+  bool unbounded = false;
+  int64_t delta = 0;
+};
+
+struct FrameSpec {
+  FrameUnit unit = FrameUnit::kRows;
+  FrameBound start{true, 0};  // default UNBOUNDED PRECEDING
+  FrameBound end{false, 0};   // default CURRENT ROW
+};
+
+struct WindowSpec {
+  std::vector<ExprPtr> partition_by;
+  std::vector<SortKey> order_by;
+  FrameSpec frame;
+  bool has_frame = false;
+};
+
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value value;
+
+  // kColumnRef: qualifier is a table name/alias or a rule pattern
+  // reference (A, B, ...); empty when unqualified. `slot` is filled by the
+  // binder (index into the operator's output row), -1 while unbound.
+  std::string qualifier;
+  std::string column;
+  int slot = -1;
+
+  // kBinary
+  BinaryOp op = BinaryOp::kEq;
+
+  // Children. kBinary: [lhs, rhs]; kNot/kIsNull: [operand];
+  // kCase: [when1, then1, ..., whenN, thenN] (+ [else] if has_else);
+  // kInList: [probe, item1, ...]; kInSubquery: [probe];
+  // kFuncCall: arguments.
+  std::vector<ExprPtr> children;
+
+  // kIsNull
+  bool negated = false;  // IS NOT NULL
+
+  // kCase
+  bool has_else = false;
+
+  // kFuncCall
+  std::string func_name;   // lower-cased: count, sum, avg, min, max, abs...
+  bool distinct = false;   // COUNT(DISTINCT x)
+  std::optional<WindowSpec> window;  // present => window function
+
+  // kInSubquery
+  std::shared_ptr<SelectStatement> subquery;
+
+  // kInValueSet: the planner materializes IN-subqueries that cannot be
+  // planned as semi-joins (e.g. under an OR) into a shared hash set.
+  std::shared_ptr<const std::unordered_set<Value, ValueHash>> value_set;
+  bool value_set_has_null = false;  // for three-valued FALSE vs NULL
+
+  // Result type, filled by the binder.
+  DataType result_type = DataType::kNull;
+};
+
+// ---- Constructors ----
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeNot(ExprPtr operand);
+ExprPtr MakeIsNull(ExprPtr operand, bool negated);
+ExprPtr MakeCase(std::vector<ExprPtr> children, bool has_else);
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args,
+                     bool distinct = false);
+ExprPtr MakeWindowCall(std::string name, std::vector<ExprPtr> args,
+                       WindowSpec window);
+ExprPtr MakeStar();
+ExprPtr MakeInList(ExprPtr probe, std::vector<ExprPtr> items);
+ExprPtr MakeInSubquery(ExprPtr probe, std::shared_ptr<SelectStatement> subquery);
+
+/// Deep copy.
+ExprPtr CloneExpr(const ExprPtr& e);
+
+/// Structural equality (ignores bound slots; case-insensitive identifiers).
+bool ExprEquals(const ExprPtr& a, const ExprPtr& b);
+
+/// Renders the expression as SQL text. IN (SELECT ...) subqueries render
+/// through the statement renderer once sql/render.cc has been linked in
+/// (it installs internal::subquery_renderer); otherwise a placeholder is
+/// emitted.
+std::string ExprToSql(const ExprPtr& e);
+
+namespace internal {
+/// Hook installed by sql/render.cc so expression rendering can recurse
+/// into IN-subquery statement bodies without an expr->sql dependency.
+extern std::string (*subquery_renderer)(const SelectStatement&);
+}  // namespace internal
+
+/// True if the expression is an aggregate function call (no window) or
+/// contains one.
+bool ContainsAggregate(const ExprPtr& e);
+/// True if the expression is/contains a window function call.
+bool ContainsWindowCall(const ExprPtr& e);
+
+/// Rewrites every column reference through `fn`; fn may return nullptr to
+/// keep the original node. Returns a new tree (shares unchanged subtrees).
+ExprPtr TransformColumnRefs(const ExprPtr& e,
+                            const std::function<ExprPtr(const Expr&)>& fn);
+
+}  // namespace rfid
+
+#endif  // RFID_EXPR_EXPR_H_

@@ -1,0 +1,160 @@
+#include "expr/interval.h"
+
+#include <cassert>
+
+namespace rfid {
+
+bool ValueInterval::Empty() const {
+  if (!lo_ || !hi_) return false;
+  if (!TypesComparable(lo_->value.type(), hi_->value.type())) return false;
+  int c = lo_->value.Compare(hi_->value);
+  if (c > 0) return true;
+  if (c == 0) return !(lo_->inclusive && hi_->inclusive);
+  return false;
+}
+
+void ValueInterval::IntersectLo(Value v, bool inclusive) {
+  if (!lo_) {
+    lo_ = IntervalEndpoint{std::move(v), inclusive};
+    return;
+  }
+  int c = v.Compare(lo_->value);
+  if (c > 0 || (c == 0 && !inclusive && lo_->inclusive)) {
+    lo_ = IntervalEndpoint{std::move(v), inclusive};
+  }
+}
+
+void ValueInterval::IntersectHi(Value v, bool inclusive) {
+  if (!hi_) {
+    hi_ = IntervalEndpoint{std::move(v), inclusive};
+    return;
+  }
+  int c = v.Compare(hi_->value);
+  if (c < 0 || (c == 0 && !inclusive && hi_->inclusive)) {
+    hi_ = IntervalEndpoint{std::move(v), inclusive};
+  }
+}
+
+void ValueInterval::IntersectCmp(BinaryOp op, const Value& v) {
+  switch (op) {
+    case BinaryOp::kEq:
+      IntersectLo(v, true);
+      IntersectHi(v, true);
+      break;
+    case BinaryOp::kLt:
+      IntersectHi(v, false);
+      break;
+    case BinaryOp::kLe:
+      IntersectHi(v, true);
+      break;
+    case BinaryOp::kGt:
+      IntersectLo(v, false);
+      break;
+    case BinaryOp::kGe:
+      IntersectLo(v, true);
+      break;
+    case BinaryOp::kNe:
+      break;  // does not narrow an interval
+    default:
+      assert(false && "not a comparison op");
+  }
+}
+
+void ValueInterval::Intersect(const ValueInterval& other) {
+  if (other.lo_) IntersectLo(other.lo_->value, other.lo_->inclusive);
+  if (other.hi_) IntersectHi(other.hi_->value, other.hi_->inclusive);
+}
+
+void ValueInterval::UnionHull(const ValueInterval& other) {
+  if (!other.lo_) {
+    lo_.reset();
+  } else if (lo_) {
+    int c = other.lo_->value.Compare(lo_->value);
+    if (c < 0 || (c == 0 && other.lo_->inclusive)) {
+      lo_ = other.lo_;
+    }
+  }
+  if (!other.hi_) {
+    hi_.reset();
+  } else if (hi_) {
+    int c = other.hi_->value.Compare(hi_->value);
+    if (c > 0 || (c == 0 && other.hi_->inclusive)) {
+      hi_ = other.hi_;
+    }
+  }
+}
+
+namespace {
+
+Value ShiftValue(const Value& v, int64_t delta) {
+  switch (v.type()) {
+    case DataType::kInt64:
+      return Value::Int64(v.int64_value() + delta);
+    case DataType::kTimestamp:
+      return Value::Timestamp(v.timestamp_value() + delta);
+    case DataType::kInterval:
+      return Value::Interval(v.interval_value() + delta);
+    default:
+      assert(false && "Shift on non-numeric interval endpoint");
+      return v;
+  }
+}
+
+}  // namespace
+
+void ValueInterval::Shift(int64_t delta_lo, bool lo_strict_shift,
+                          int64_t delta_hi, bool hi_strict_shift) {
+  if (lo_) {
+    lo_ = IntervalEndpoint{ShiftValue(lo_->value, delta_lo),
+                           lo_->inclusive && !lo_strict_shift};
+  }
+  if (hi_) {
+    hi_ = IntervalEndpoint{ShiftValue(hi_->value, delta_hi),
+                           hi_->inclusive && !hi_strict_shift};
+  }
+}
+
+bool ValueInterval::Contains(const ValueInterval& inner) const {
+  if (lo_) {
+    if (!inner.lo_) return false;
+    int c = inner.lo_->value.Compare(lo_->value);
+    if (c < 0) return false;
+    if (c == 0 && inner.lo_->inclusive && !lo_->inclusive) return false;
+  }
+  if (hi_) {
+    if (!inner.hi_) return false;
+    int c = inner.hi_->value.Compare(hi_->value);
+    if (c > 0) return false;
+    if (c == 0 && inner.hi_->inclusive && !hi_->inclusive) return false;
+  }
+  return true;
+}
+
+ExprPtr ValueInterval::ToConjuncts(const ExprPtr& column_ref) const {
+  // Equality collapses to a single conjunct.
+  if (lo_ && hi_ && lo_->inclusive && hi_->inclusive &&
+      lo_->value.DistinctEquals(hi_->value)) {
+    return MakeBinary(BinaryOp::kEq, column_ref, MakeLiteral(lo_->value));
+  }
+  ExprPtr out;
+  if (lo_) {
+    out = MakeBinary(lo_->inclusive ? BinaryOp::kGe : BinaryOp::kGt,
+                     column_ref, MakeLiteral(lo_->value));
+  }
+  if (hi_) {
+    ExprPtr hi_conj = MakeBinary(hi_->inclusive ? BinaryOp::kLe : BinaryOp::kLt,
+                                 column_ref, MakeLiteral(hi_->value));
+    out = (out == nullptr) ? hi_conj : MakeBinary(BinaryOp::kAnd, out, hi_conj);
+  }
+  return out;
+}
+
+std::string ValueInterval::ToString() const {
+  std::string out;
+  out += lo_ ? (lo_->inclusive ? "[" : "(") + lo_->value.ToString() : "(-inf";
+  out += ", ";
+  out += hi_ ? hi_->value.ToString() + (hi_->inclusive ? "]" : ")") : "+inf)";
+  return out;
+}
+
+}  // namespace rfid

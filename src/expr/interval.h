@@ -1,0 +1,79 @@
+// One-dimensional value intervals with open/closed endpoints, used by the
+// rewrite engine's transitivity analysis and by selectivity estimation.
+//
+// An interval constrains a single variable (a column of one pattern
+// reference). Endpoints are Values; arithmetic shifting is defined for
+// the int64-represented types (INT64 / TIMESTAMP / INTERVAL).
+#ifndef RFID_EXPR_INTERVAL_H_
+#define RFID_EXPR_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "common/value.h"
+#include "expr/expr.h"
+
+namespace rfid {
+
+struct IntervalEndpoint {
+  Value value;          // never NULL
+  bool inclusive = true;
+};
+
+class ValueInterval {
+ public:
+  /// The unconstrained interval (-inf, +inf).
+  ValueInterval() = default;
+
+  static ValueInterval Exactly(Value v) {
+    ValueInterval iv;
+    iv.lo_ = IntervalEndpoint{v, true};
+    iv.hi_ = IntervalEndpoint{std::move(v), true};
+    return iv;
+  }
+
+  const std::optional<IntervalEndpoint>& lo() const { return lo_; }
+  const std::optional<IntervalEndpoint>& hi() const { return hi_; }
+
+  bool Unconstrained() const { return !lo_ && !hi_; }
+
+  /// True if no value satisfies the interval.
+  bool Empty() const;
+
+  /// Narrows with "x >= v" / "x > v".
+  void IntersectLo(Value v, bool inclusive);
+  /// Narrows with "x <= v" / "x < v".
+  void IntersectHi(Value v, bool inclusive);
+  /// Narrows with a comparison "x OP v" (op oriented column-OP-literal).
+  /// kNe is ignored (does not constrain an interval).
+  void IntersectCmp(BinaryOp op, const Value& v);
+  /// Intersection with another interval.
+  void Intersect(const ValueInterval& other);
+
+  /// Widens to the union-hull of this and other (used to OR contexts).
+  void UnionHull(const ValueInterval& other);
+
+  /// Shifts endpoints by [delta_lo, delta_hi] (adds delta_lo to the lower
+  /// endpoint, delta_hi to the upper). Only valid for int64-repped value
+  /// types; endpoints keep their type. Open-ness: an endpoint shifted by a
+  /// strict difference bound becomes strict.
+  void Shift(int64_t delta_lo, bool lo_strict_shift, int64_t delta_hi,
+             bool hi_strict_shift);
+
+  /// True if every value in `inner` also lies in this interval.
+  bool Contains(const ValueInterval& inner) const;
+
+  /// Converts back to conjuncts on the given column reference; returns
+  /// nullptr when unconstrained.
+  ExprPtr ToConjuncts(const ExprPtr& column_ref) const;
+
+  std::string ToString() const;
+
+ private:
+  std::optional<IntervalEndpoint> lo_;
+  std::optional<IntervalEndpoint> hi_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_EXPR_INTERVAL_H_

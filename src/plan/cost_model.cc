@@ -1,0 +1,143 @@
+#include "plan/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "expr/conjunct.h"
+
+namespace rfid {
+
+double SortCost(double rows) {
+  if (rows < 2) return rows;
+  return kSortRowFactor * rows * std::log2(rows);
+}
+
+namespace {
+
+// Fraction of [min, max] below/above a literal for int64-repped types.
+double RangeFraction(const ColumnStats& st, const Value& lit, BinaryOp op) {
+  if (!st.HasRange()) return kDefaultRangeSelectivity;
+  auto raw = [](const Value& v, double* out) {
+    switch (v.type()) {
+      case DataType::kInt64:
+        *out = static_cast<double>(v.int64_value());
+        return true;
+      case DataType::kTimestamp:
+        *out = static_cast<double>(v.timestamp_value());
+        return true;
+      case DataType::kInterval:
+        *out = static_cast<double>(v.interval_value());
+        return true;
+      case DataType::kDouble:
+        *out = v.double_value();
+        return true;
+      default:
+        return false;
+    }
+  };
+  double lo;
+  double hi;
+  double x;
+  if (!raw(st.min, &lo) || !raw(st.max, &hi) || !raw(lit, &x)) {
+    return kDefaultRangeSelectivity;
+  }
+  if (hi <= lo) return 1.0;
+  double frac = (x - lo) / (hi - lo);
+  frac = std::clamp(frac, 0.0, 1.0);
+  switch (op) {
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+      return frac;
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return 1.0 - frac;
+    default:
+      return kDefaultRangeSelectivity;
+  }
+}
+
+const ColumnStats* StatsFor(const Table* table, std::string_view column) {
+  if (table == nullptr || !table->has_stats()) return nullptr;
+  int idx = table->schema().FindColumn(column);
+  if (idx < 0) return nullptr;
+  return &table->stats(static_cast<size_t>(idx));
+}
+
+}  // namespace
+
+double EstimateConjunctSelectivity(const ExprPtr& conjunct, const Table* table) {
+  if (conjunct == nullptr) return 1.0;
+  // AND / OR recursion.
+  if (conjunct->kind == ExprKind::kBinary && conjunct->op == BinaryOp::kAnd) {
+    return EstimateConjunctSelectivity(conjunct->children[0], table) *
+           EstimateConjunctSelectivity(conjunct->children[1], table);
+  }
+  if (conjunct->kind == ExprKind::kBinary && conjunct->op == BinaryOp::kOr) {
+    double a = EstimateConjunctSelectivity(conjunct->children[0], table);
+    double b = EstimateConjunctSelectivity(conjunct->children[1], table);
+    return std::min(1.0, a + b - a * b);
+  }
+  if (conjunct->kind == ExprKind::kNot) {
+    return 1.0 - EstimateConjunctSelectivity(conjunct->children[0], table);
+  }
+  if (conjunct->kind == ExprKind::kIsNull) {
+    const Expr* ref = conjunct->children[0]->kind == ExprKind::kColumnRef
+                          ? conjunct->children[0].get()
+                          : nullptr;
+    if (ref != nullptr) {
+      const ColumnStats* st = StatsFor(table, ref->column);
+      if (st != nullptr && st->row_count > 0) {
+        double frac = static_cast<double>(st->null_count) /
+                      static_cast<double>(st->row_count);
+        return conjunct->negated ? 1.0 - frac : frac;
+      }
+    }
+    return conjunct->negated ? 0.9 : 0.1;
+  }
+  if (conjunct->kind == ExprKind::kInList &&
+      conjunct->children[0]->kind == ExprKind::kColumnRef) {
+    const ColumnStats* st = StatsFor(table, conjunct->children[0]->column);
+    double k = static_cast<double>(conjunct->children.size() - 1);
+    if (st != nullptr && st->ndv > 0) {
+      return std::min(1.0, k / static_cast<double>(st->ndv));
+    }
+    return std::min(1.0, k * kDefaultEqSelectivity);
+  }
+  ColumnLiteralCmp m;
+  if (MatchColumnLiteralCmp(conjunct, &m)) {
+    const ColumnStats* st = StatsFor(table, m.column->column);
+    switch (m.op) {
+      case BinaryOp::kEq:
+        if (st != nullptr && st->ndv > 0) {
+          return 1.0 / static_cast<double>(st->ndv);
+        }
+        return kDefaultEqSelectivity;
+      case BinaryOp::kNe:
+        if (st != nullptr && st->ndv > 0) {
+          return 1.0 - 1.0 / static_cast<double>(st->ndv);
+        }
+        return 1.0 - kDefaultEqSelectivity;
+      default:
+        if (st != nullptr) return RangeFraction(*st, m.literal, m.op);
+        return kDefaultRangeSelectivity;
+    }
+  }
+  return kDefaultSelectivity;
+}
+
+double EstimateSelectivity(const std::vector<ExprPtr>& conjuncts,
+                           const Table* table) {
+  double sel = 1.0;
+  for (const ExprPtr& c : conjuncts) {
+    sel *= EstimateConjunctSelectivity(c, table);
+  }
+  return sel;
+}
+
+double ColumnNdv(const Table* table, std::string_view column, double fallback) {
+  const ColumnStats* st = StatsFor(table, column);
+  if (st != nullptr && st->ndv > 0) return static_cast<double>(st->ndv);
+  return fallback;
+}
+
+}  // namespace rfid

@@ -1,0 +1,49 @@
+// Cardinality and cost estimation. The rewrite engine mirrors the paper's
+// use of DBMS cost estimates: candidate rewrites (m+1 join pushdown
+// variants, expanded vs join-back) are each planned and the cheapest
+// estimate wins (Sections 5.2/5.3). Only *relative* ordering of costs
+// matters for those decisions, so the model is a deliberately simple
+// textbook one driven by table statistics.
+#ifndef RFID_PLAN_COST_MODEL_H_
+#define RFID_PLAN_COST_MODEL_H_
+
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace rfid {
+
+// Per-row cost constants (arbitrary units).
+inline constexpr double kSeqRowCost = 1.0;
+inline constexpr double kIndexRowCost = 2.5;   // random access penalty
+inline constexpr double kFilterEvalCost = 0.2; // per conjunct
+inline constexpr double kSortRowFactor = 0.15; // * log2(n)
+inline constexpr double kHashBuildRowCost = 1.5;
+inline constexpr double kHashProbeRowCost = 1.0;
+inline constexpr double kJoinOutputRowCost = 0.5;
+inline constexpr double kWindowAggRowCost = 1.2;  // per aggregate
+inline constexpr double kGroupAggRowCost = 2.0;
+inline constexpr double kProjectExprRowCost = 0.1;
+
+// Default selectivities when statistics cannot decide.
+inline constexpr double kDefaultEqSelectivity = 0.1;
+inline constexpr double kDefaultRangeSelectivity = 0.3;
+inline constexpr double kDefaultSelectivity = 0.25;
+
+/// Cost of sorting n rows.
+double SortCost(double rows);
+
+/// Estimated fraction of rows satisfying `conjunct`, where column
+/// references resolve against `table` (nullptr => defaults only).
+/// Handles col-op-literal via min/max/ndv, IN lists, IS NULL, AND/OR.
+double EstimateConjunctSelectivity(const ExprPtr& conjunct, const Table* table);
+
+/// Product over conjuncts (independence assumption).
+double EstimateSelectivity(const std::vector<ExprPtr>& conjuncts,
+                           const Table* table);
+
+/// NDV of a column on a base table, or `fallback` when unavailable.
+double ColumnNdv(const Table* table, std::string_view column, double fallback);
+
+}  // namespace rfid
+
+#endif  // RFID_PLAN_COST_MODEL_H_

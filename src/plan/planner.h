@@ -1,0 +1,60 @@
+// Plans a parsed SelectStatement into a physical operator tree.
+//
+// Responsibilities (the subset of a DBMS optimizer the reproduction
+// needs, with the cost structure the paper's experiments depend on):
+//  - predicate pushdown to base tables, with index range-scan selection;
+//  - greedy join ordering (largest input is the probe/fact side; build
+//    sides are the filtered dimension tables) with IN-subqueries planned
+//    as hash semi-joins;
+//  - SQL/OLAP window planning with *order sharing*: a Sort is inserted
+//    only when the input's guaranteed ordering does not already satisfy
+//    the window's (PARTITION BY, ORDER BY) requirement, so consecutive
+//    cleansing rules and the user query's own OLAP functions reuse one
+//    sort (the effect Section 6.2 of the paper measures);
+//  - hash aggregation / DISTINCT / UNION ALL / ORDER BY;
+//  - cardinality and cost estimates for every operator, so the rewrite
+//    engine can compare candidate rewrites the way the paper uses DB2
+//    compile-time cost estimates.
+#ifndef RFID_PLAN_PLANNER_H_
+#define RFID_PLAN_PLANNER_H_
+
+#include "exec/operator.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace rfid {
+
+struct PlannedQuery {
+  OperatorPtr root;
+  double estimated_rows = 0;
+  double estimated_cost = 0;
+};
+
+class Planner {
+ public:
+  explicit Planner(const Database* db) : db_(db) {}
+
+  Result<PlannedQuery> Plan(const SelectStatement& stmt);
+
+ private:
+  const Database* db_;
+};
+
+/// Parses, plans and returns the plan for a SQL string.
+Result<PlannedQuery> PlanSql(const Database& db, std::string_view sql);
+
+/// Query results: the output descriptor, all rows, and the executed
+/// plan's EXPLAIN rendering with actual row counts.
+struct QueryResult {
+  RowDesc desc;
+  std::vector<Row> rows;
+  std::string explain;
+  double estimated_cost = 0;
+};
+
+/// Parses, plans, and executes a SQL string against the database.
+Result<QueryResult> ExecuteSql(const Database& db, std::string_view sql);
+
+}  // namespace rfid
+
+#endif  // RFID_PLAN_PLANNER_H_

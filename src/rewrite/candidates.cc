@@ -1,0 +1,102 @@
+#include "rewrite/candidates.h"
+
+#include "common/string_util.h"
+#include "sql/parser.h"
+#include "sql/render.h"
+
+namespace rfid {
+
+namespace {
+
+constexpr const char* kInputName = "__cl_input";
+constexpr const char* kKeysSourceName = "__jb_keysrc";
+constexpr const char* kKeysName = "__jb_keys";
+
+Result<WithClause> MakeWith(const std::string& name, const std::string& body) {
+  RFID_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSql(body));
+  return WithClause{name, std::move(stmt)};
+}
+
+}  // namespace
+
+Result<std::string> AssembleRewrite(const SelectStatement& original,
+                                    const std::string& table,
+                                    const std::vector<const CleansingRule*>& rules,
+                                    const Database& db,
+                                    const CandidateSpec& spec) {
+  const Table* base = db.GetTable(table);
+  if (base == nullptr) {
+    return Status::NotFound("rewrite target table not found: " + table);
+  }
+  std::vector<WithClause> clauses;
+
+  std::string input_filter_sql =
+      spec.input_condition == nullptr ? "" : RenderExpr(spec.input_condition);
+
+  // Join-back preamble: the distinct cluster keys of the (derived or raw)
+  // input that satisfy the query condition.
+  const std::string& ckey = rules.front()->ckey;
+  std::string keys_predicate;
+  if (spec.join_back) {
+    std::string keys_source = table;
+    for (const CleansingRule* rule : rules) {
+      if (rule->HasDerivedInput()) {
+        // Conditions apply to both the reads table and the compensation
+        // data (Section 6.3), so keys come from the derived input itself.
+        RFID_ASSIGN_OR_RETURN(
+            WithClause src,
+            MakeWith(kKeysSourceName, StatementToSql(*rule->from_select)));
+        clauses.push_back(std::move(src));
+        keys_source = kKeysSourceName;
+        break;
+      }
+    }
+    std::string body = "SELECT DISTINCT " + ckey + " FROM " + keys_source;
+    if (spec.keys_condition != nullptr) {
+      body += " WHERE " + RenderExpr(spec.keys_condition);
+    }
+    RFID_ASSIGN_OR_RETURN(WithClause keys, MakeWith(kKeysName, body));
+    clauses.push_back(std::move(keys));
+    keys_predicate =
+        ckey + " IN (SELECT " + ckey + " FROM " + std::string(kKeysName) + ")";
+  }
+
+  // Restricted input over the raw reads table.
+  {
+    std::string body = "SELECT * FROM " + table;
+    std::vector<std::string> preds;
+    if (spec.join_back) preds.push_back(keys_predicate);
+    if (!input_filter_sql.empty()) preds.push_back("(" + input_filter_sql + ")");
+    if (!preds.empty()) body += " WHERE " + Join(preds, " AND ");
+    RFID_ASSIGN_OR_RETURN(WithClause input, MakeWith(kInputName, body));
+    clauses.push_back(std::move(input));
+  }
+
+  // The cleansing chain. Derived rule inputs get the same restriction
+  // re-applied after their union.
+  std::string derived_filter;
+  if (spec.join_back) derived_filter = keys_predicate;
+  if (!input_filter_sql.empty()) {
+    if (!derived_filter.empty()) derived_filter += " AND ";
+    derived_filter += "(" + input_filter_sql + ")";
+  }
+  RFID_ASSIGN_OR_RETURN(
+      CleansingChain chain,
+      BuildCleansingChain(rules, db, kInputName, base->schema().columns(),
+                          derived_filter));
+  for (const auto& [name, body] : chain.with_clauses) {
+    RFID_ASSIGN_OR_RETURN(WithClause clause, MakeWith(name, body));
+    clauses.push_back(std::move(clause));
+  }
+
+  // Re-target the user query at the cleansed output.
+  StatementPtr rewritten = CloneStatement(
+      std::make_shared<SelectStatement>(original));
+  ReplaceTableRefs(rewritten.get(), table, chain.output_name);
+  rewritten->with.insert(rewritten->with.begin(),
+                         std::make_move_iterator(clauses.begin()),
+                         std::make_move_iterator(clauses.end()));
+  return StatementToSql(*rewritten);
+}
+
+}  // namespace rfid

@@ -1,0 +1,148 @@
+#include "rewrite/correlation.h"
+
+#include "common/string_util.h"
+#include "expr/conjunct.h"
+
+namespace rfid {
+
+namespace {
+
+// Collects the conjuncts of the rule condition that reference X and can
+// be attributed to X soundly. Conjuncts under an OR are usable when X
+// appears in exactly one branch (that branch's X-conjuncts restrict the
+// rows of X that can matter). Sets *multi_branch when X appears in more
+// than one OR branch or under NOT (no sound attribution).
+void CollectContextConjuncts(const ExprPtr& e, const std::string& x,
+                             std::vector<ExprPtr>* out, bool* multi_branch) {
+  if (e == nullptr || !References(e, x)) return;
+  if (e->kind == ExprKind::kBinary && e->op == BinaryOp::kAnd) {
+    CollectContextConjuncts(e->children[0], x, out, multi_branch);
+    CollectContextConjuncts(e->children[1], x, out, multi_branch);
+    return;
+  }
+  if (e->kind == ExprKind::kBinary && e->op == BinaryOp::kOr) {
+    bool left = References(e->children[0], x);
+    bool right = References(e->children[1], x);
+    if (left && right) {
+      *multi_branch = true;
+      return;
+    }
+    CollectContextConjuncts(left ? e->children[0] : e->children[1], x, out,
+                            multi_branch);
+    return;
+  }
+  if (e->kind == ExprKind::kNot) {
+    *multi_branch = true;  // negation flips bounds; be conservative
+    return;
+  }
+  out->push_back(e);
+}
+
+}  // namespace
+
+std::vector<ContextCorrelation> AnalyzeCorrelations(const CleansingRule& rule) {
+  std::vector<ContextCorrelation> result;
+  int ti = rule.TargetIndex();
+  if (ti < 0) return result;
+  const std::string& target = rule.target;
+
+  for (size_t i = 0; i < rule.pattern.size(); ++i) {
+    if (static_cast<int>(i) == ti) continue;
+    const PatternRef& ref = rule.pattern[i];
+    ContextCorrelation corr;
+    corr.name = ref.name;
+    corr.position_based = !ref.is_set;
+
+    // Implied conjuncts: ckey equality and the pattern-order skey bound
+    // (strict order folded to inclusive microsecond bounds).
+    corr.equalities.emplace_back(rule.ckey, rule.ckey);
+    if (static_cast<int>(i) < ti) {
+      corr.skey_diff_hi = -1;
+    } else {
+      corr.skey_diff_lo = 1;
+    }
+
+    std::vector<ExprPtr> conjuncts;
+    bool multi_branch = false;
+    CollectContextConjuncts(rule.condition, ref.name, &conjuncts, &multi_branch);
+    if (multi_branch) {
+      corr.implied_only = true;
+      result.push_back(std::move(corr));
+      continue;
+    }
+
+    for (const ExprPtr& c : conjuncts) {
+      // Context-only conjunct?
+      if (RefersOnlyTo(c, ref.name)) {
+        if (!corr.position_based) corr.context_only.push_back(c);
+        continue;  // Observation 1(b): dropped for position-based contexts
+      }
+      ColumnDifferenceCmp m;
+      if (!MatchColumnDifferenceCmp(c, &m)) continue;
+      // Identify which side is X and which is the target.
+      bool x_left = EqualsIgnoreCase(m.left->qualifier, ref.name) &&
+                    EqualsIgnoreCase(m.right->qualifier, target);
+      bool x_right = EqualsIgnoreCase(m.right->qualifier, ref.name) &&
+                     EqualsIgnoreCase(m.left->qualifier, target);
+      if (!x_left && !x_right) continue;  // correlates two contexts; unusable
+
+      bool skey_pair = EqualsIgnoreCase(m.left->column, rule.skey) &&
+                       EqualsIgnoreCase(m.right->column, rule.skey);
+      if (skey_pair) {
+        // Normalize to X - T OP offset.
+        BinaryOp op = x_left ? m.op : SwapComparison(m.op);
+        int64_t offset = x_left ? m.offset_micros : -m.offset_micros;
+        auto tighten_lo = [&corr](int64_t v) {
+          if (!corr.skey_diff_lo || v > *corr.skey_diff_lo) corr.skey_diff_lo = v;
+        };
+        auto tighten_hi = [&corr](int64_t v) {
+          if (!corr.skey_diff_hi || v < *corr.skey_diff_hi) corr.skey_diff_hi = v;
+        };
+        // Position-preserving constraint (Observation 1a): for
+        // position-based contexts only bounds that keep the window
+        // adjacent to the target are usable — a lower bound for contexts
+        // before the target, an upper bound for contexts after it.
+        switch (op) {
+          case BinaryOp::kLt:
+            if (!corr.position_based || static_cast<int>(i) > ti) {
+              tighten_hi(offset - 1);
+            }
+            break;
+          case BinaryOp::kLe:
+            if (!corr.position_based || static_cast<int>(i) > ti) {
+              tighten_hi(offset);
+            }
+            break;
+          case BinaryOp::kGt:
+            if (!corr.position_based || static_cast<int>(i) < ti) {
+              tighten_lo(offset + 1);
+            }
+            break;
+          case BinaryOp::kGe:
+            if (!corr.position_based || static_cast<int>(i) < ti) {
+              tighten_lo(offset);
+            }
+            break;
+          case BinaryOp::kEq:
+            tighten_lo(offset);
+            tighten_hi(offset);
+            break;
+          default:
+            break;
+        }
+        continue;
+      }
+      // Column equality between X and T on an arbitrary column.
+      if (m.op == BinaryOp::kEq && m.offset_micros == 0) {
+        if (corr.position_based) continue;  // Observation 1(b)
+        const Expr* x_side = x_left ? m.left : m.right;
+        const Expr* t_side = x_left ? m.right : m.left;
+        corr.equalities.emplace_back(x_side->column, t_side->column);
+      }
+    }
+    result.push_back(std::move(corr));
+  }
+  return result;
+}
+
+}  // namespace rfid

@@ -1,0 +1,54 @@
+// Correlation analysis between a rule's target reference and its context
+// references (Section 5.2, Definitions 1-2, Observation 1).
+//
+// For each context reference X the analysis produces the correlation
+// conjuncts usable for transitivity, in normalized form:
+//   - column equalities X.col = T.col (the implied ckey equality always);
+//   - bounds on the sequence-key difference X.skey - T.skey, folded to
+//     inclusive microsecond bounds (pattern position implies X-T <= -1 or
+//     >= +1; explicit "B.rtime - A.rtime < t" conjuncts tighten them);
+//   - context-only conjuncts (e.g. B.reader = 'readerX').
+//
+// Position-based contexts (no '*') additionally imply a sequence-position
+// conjunct; per Observation 1 only position-preserving correlation
+// conjuncts may be used for them: the ckey equality and skey-difference
+// bounds that keep the context window contiguous with the target. Their
+// other conjuncts (and context-only predicates) are discarded.
+#ifndef RFID_REWRITE_CORRELATION_H_
+#define RFID_REWRITE_CORRELATION_H_
+
+#include <optional>
+
+#include "cleansing/rule.h"
+
+namespace rfid {
+
+struct ContextCorrelation {
+  std::string name;           // context reference name
+  bool position_based = false;
+
+  // X.col = T.col equalities (column names on X side and T side).
+  std::vector<std::pair<std::string, std::string>> equalities;
+
+  // Inclusive microsecond bounds on X.skey - T.skey; nullopt = unbounded.
+  std::optional<int64_t> skey_diff_lo;
+  std::optional<int64_t> skey_diff_hi;
+
+  // Conjuncts referencing only X (qualifier X), usable directly as
+  // context conditions (set-based contexts only).
+  std::vector<ExprPtr> context_only;
+
+  // True when X appears in several OR branches of the rule condition; the
+  // explicit conjuncts could not be used soundly, so only the implied
+  // ckey/skey correlations are present.
+  bool implied_only = false;
+};
+
+/// Analyzes every context reference of the rule. Never fails for a valid
+/// rule; contexts whose conjuncts cannot be analyzed fall back to the
+/// implied correlations only.
+std::vector<ContextCorrelation> AnalyzeCorrelations(const CleansingRule& rule);
+
+}  // namespace rfid
+
+#endif  // RFID_REWRITE_CORRELATION_H_

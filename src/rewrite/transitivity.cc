@@ -1,0 +1,118 @@
+#include "rewrite/transitivity.h"
+
+#include "common/string_util.h"
+#include "expr/conjunct.h"
+#include "expr/interval.h"
+
+namespace rfid {
+
+namespace {
+
+bool Allowed(const std::set<std::string>& allowed, const std::string& col) {
+  return allowed.count(ToLower(col)) > 0;
+}
+
+// True if every column referenced is in the allowed set.
+bool AllColumnsAllowed(const ExprPtr& e, const std::set<std::string>& allowed) {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(e, &refs);
+  for (const Expr* r : refs) {
+    if (!Allowed(allowed, r->column)) return false;
+  }
+  return true;
+}
+
+// True when the conjunct's only column reference is an unqualified `col`
+// (after stripping) — i.e. it constrains that single column of the target.
+bool ConstrainsOnly(const ExprPtr& conjunct, const std::string& col) {
+  std::vector<const Expr*> refs;
+  CollectColumnRefs(conjunct, &refs);
+  if (refs.empty()) return false;
+  for (const Expr* r : refs) {
+    if (!EqualsIgnoreCase(r->column, col)) return false;
+  }
+  // The probe of an IN-subquery is the outer reference; subquery columns
+  // belong to other tables and are not collected here (CollectColumnRefs
+  // does not descend into subquery statements).
+  return true;
+}
+
+}  // namespace
+
+ContextDerivation DeriveContextCondition(
+    const ContextCorrelation& corr,
+    const std::vector<ExprPtr>& query_conjuncts,
+    const std::string& skey, const std::set<std::string>& allowed_columns) {
+  std::vector<ExprPtr> derived;
+
+  // (1) Sequence-key shifting: T.skey ∈ [a, b] and X.skey - T.skey ∈
+  //     [lo, hi] derive X.skey ∈ [a + lo, b + hi].
+  ValueInterval t_skey;
+  for (const ExprPtr& c : query_conjuncts) {
+    ColumnLiteralCmp m;
+    if (MatchColumnLiteralCmp(c, &m) &&
+        EqualsIgnoreCase(m.column->column, skey) && m.op != BinaryOp::kNe) {
+      t_skey.IntersectCmp(m.op, m.literal);
+    }
+  }
+  ValueInterval x_skey;
+  if (t_skey.lo() && corr.skey_diff_lo) {
+    Value shifted = t_skey.lo()->value;
+    if (shifted.type() == DataType::kTimestamp) {
+      x_skey.IntersectLo(
+          Value::Timestamp(shifted.timestamp_value() + *corr.skey_diff_lo),
+          t_skey.lo()->inclusive);
+    }
+  }
+  if (t_skey.hi() && corr.skey_diff_hi) {
+    Value shifted = t_skey.hi()->value;
+    if (shifted.type() == DataType::kTimestamp) {
+      x_skey.IntersectHi(
+          Value::Timestamp(shifted.timestamp_value() + *corr.skey_diff_hi),
+          t_skey.hi()->inclusive);
+    }
+  }
+  bool restrictive = false;
+  if (!x_skey.Unconstrained() && Allowed(allowed_columns, skey)) {
+    derived.push_back(x_skey.ToConjuncts(MakeColumnRef("", skey)));
+    restrictive = true;
+  }
+
+  // (2) Equality propagation: X.xcol = T.tcol carries any query conjunct
+  //     that constrains only T.tcol over to X.xcol.
+  for (const auto& [xcol, tcol] : corr.equalities) {
+    if (!Allowed(allowed_columns, xcol)) continue;
+    if (EqualsIgnoreCase(xcol, skey) && EqualsIgnoreCase(tcol, skey)) {
+      continue;  // skey handled by interval shifting above
+    }
+    for (const ExprPtr& c : query_conjuncts) {
+      if (!ConstrainsOnly(c, tcol)) continue;
+      if (EqualsIgnoreCase(xcol, tcol)) {
+        derived.push_back(c);
+      } else {
+        derived.push_back(TransformColumnRefs(c, [&](const Expr& ref) -> ExprPtr {
+          if (EqualsIgnoreCase(ref.column, tcol)) {
+            return MakeColumnRef("", xcol);
+          }
+          return nullptr;
+        }));
+      }
+      if (c->kind != ExprKind::kInSubquery) restrictive = true;
+    }
+  }
+
+  // (3) Context-only rule conjuncts restrict the context set directly
+  //     (set-based contexts; position-based ones were already filtered).
+  for (const ExprPtr& c : corr.context_only) {
+    if (!AllColumnsAllowed(c, allowed_columns)) continue;
+    derived.push_back(SubstituteQualifier(c, corr.name, ""));
+    restrictive = true;
+  }
+
+  ContextDerivation out;
+  out.condition = CombineConjuncts(derived);  // nullptr when nothing derived
+  out.restrictive = restrictive;
+  return out;
+}
+
+}  // namespace rfid

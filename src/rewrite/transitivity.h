@@ -1,0 +1,39 @@
+// Transitivity analysis (Figure 4, lines 3-9): derives a context
+// condition — conjuncts referencing only the context reference — from the
+// query condition s (bound to the target) and the usable correlation
+// conjuncts.
+#ifndef RFID_REWRITE_TRANSITIVITY_H_
+#define RFID_REWRITE_TRANSITIVITY_H_
+
+#include <set>
+
+#include "rewrite/correlation.h"
+
+namespace rfid {
+
+struct ContextDerivation {
+  // AND of derived conjuncts with qualifiers stripped (they apply to the
+  // rule-input relation). nullptr means nothing could be derived: the
+  // expanded rewrite is infeasible for this rule (Figure 4 line 9).
+  ExprPtr condition;
+  // True when something genuinely restrictive was derived (a sequence-key
+  // interval, a propagated literal predicate, or a context-only rule
+  // conjunct). A derivation consisting solely of join-membership
+  // IN-subqueries does not make the expanded rewrite worthwhile — the
+  // paper's Table 1 treats such contexts as having no expanded condition.
+  bool restrictive = false;
+};
+
+/// `query_conjuncts`: the query's local conjuncts on the reads table,
+/// with qualifiers stripped (they bind to the target reference).
+/// `allowed_columns`: columns present in the raw rule input — derived
+/// conjuncts on other columns (e.g. ones a previous MODIFY created) are
+/// discarded. `skey`: the rule's sequence key.
+ContextDerivation DeriveContextCondition(
+    const ContextCorrelation& corr,
+    const std::vector<ExprPtr>& query_conjuncts,
+    const std::string& skey, const std::set<std::string>& allowed_columns);
+
+}  // namespace rfid
+
+#endif  // RFID_REWRITE_TRANSITIVITY_H_

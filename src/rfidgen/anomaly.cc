@@ -1,0 +1,204 @@
+#include "rfidgen/anomaly.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace rfid::rfidgen {
+
+namespace {
+
+// Column positions in caseR (fixed by the generator's schema).
+constexpr size_t kEpc = 0;
+constexpr size_t kRtime = 1;
+constexpr size_t kReader = 2;
+constexpr size_t kBizLoc = 3;
+constexpr size_t kBizStep = 4;
+
+struct Sequences {
+  // Per EPC: row ids in rtime order.
+  std::vector<std::vector<uint32_t>> seqs;
+};
+
+Sequences BuildSequences(const Table& table) {
+  std::map<std::string, std::vector<uint32_t>> by_epc;
+  for (uint32_t i = 0; i < table.num_rows(); ++i) {
+    by_epc[table.row(i)[kEpc].string_value()].push_back(i);
+  }
+  Sequences out;
+  for (auto& [epc, ids] : by_epc) {
+    std::sort(ids.begin(), ids.end(), [&table](uint32_t a, uint32_t b) {
+      return table.row(a)[kRtime].timestamp_value() <
+             table.row(b)[kRtime].timestamp_value();
+    });
+    out.seqs.push_back(std::move(ids));
+  }
+  return out;
+}
+
+Row MakeRead(const std::string& epc, int64_t rtime, const std::string& reader,
+             const std::string& loc, int64_t step) {
+  return {Value::String(epc), Value::Timestamp(rtime), Value::String(reader),
+          Value::String(loc), Value::Int64(step)};
+}
+
+}  // namespace
+
+Result<AnomalyStats> InjectAnomalies(const AnomalyOptions& opt, Database* db) {
+  if (opt.dirty_fraction < 0 || opt.dirty_fraction > 1) {
+    return Status::InvalidArgument("dirty_fraction must be within [0, 1]");
+  }
+  RFID_ASSIGN_OR_RETURN(Table * case_r, db->ResolveTable("caseR"));
+  Random rng(opt.seed);
+  Sequences sequences = BuildSequences(*case_r);
+  if (sequences.seqs.empty()) {
+    return Status::InvalidArgument("caseR is empty");
+  }
+
+  int enabled = (opt.duplicates ? 1 : 0) + (opt.reader ? 1 : 0) +
+                (opt.replacing ? 1 : 0) + (opt.cycles ? 1 : 0) +
+                (opt.missing ? 1 : 0);
+  if (enabled == 0) return AnomalyStats{};
+  int64_t total = static_cast<int64_t>(
+      opt.dirty_fraction * static_cast<double>(case_r->num_rows()));
+  int64_t per_type = total / enabled;
+
+  AnomalyStats stats;
+  std::vector<Row> inserts;
+  std::set<uint32_t> removals;
+  // Gap slots already used by an insertion-based anomaly, keyed by the row
+  // id the injection anchors to; collisions would interleave injected
+  // reads and break the intended adjacency patterns.
+  std::set<uint32_t> used_anchor;
+
+  auto pick_seq = [&]() -> const std::vector<uint32_t>& {
+    return sequences.seqs[rng.Uniform(sequences.seqs.size())];
+  };
+  auto row_of = [&](uint32_t id) -> const Row& { return case_r->row(id); };
+
+  // --- duplicates: re-read of the same location shortly after a read ---
+  if (opt.duplicates) {
+    for (int64_t n = 0; n < per_type; ++n) {
+      const auto& seq = pick_seq();
+      const Row& r = row_of(seq[rng.Uniform(seq.size())]);
+      int64_t gap = rng.UniformRange(1, opt.t1_micros - 1);
+      inserts.push_back(MakeRead(r[kEpc].string_value(),
+                                 r[kRtime].timestamp_value() + gap, "RDR-DUP",
+                                 r[kBizLoc].string_value(),
+                                 r[kBizStep].int64_value()));
+      ++stats.duplicates;
+    }
+  }
+
+  // --- reader: a stray read shortly before a forklift (readerX) read ---
+  if (opt.reader) {
+    int64_t injected = 0;
+    int64_t attempts = 0;
+    while (injected < per_type && attempts < per_type * 20) {
+      ++attempts;
+      const auto& seq = pick_seq();
+      const Row& x = row_of(seq[rng.Uniform(seq.size())]);
+      if (x[kReader].string_value() != "readerX") continue;
+      // Place the false read at the forklift read's own location so the
+      // only rule it can trigger is the reader rule (gap > t1 avoids the
+      // duplicate rule).
+      int64_t gap = rng.UniformRange(opt.t1_micros + 1, opt.t2_micros - 1);
+      inserts.push_back(MakeRead(x[kEpc].string_value(),
+                                 x[kRtime].timestamp_value() - gap, "RDR-STRAY",
+                                 x[kBizLoc].string_value(),
+                                 x[kBizStep].int64_value()));
+      ++injected;
+      ++stats.reader;
+    }
+  }
+
+  // --- replacing: a cross-read at LOC2 followed by LOCA within t3 ---
+  if (opt.replacing) {
+    int64_t injected = 0;
+    int64_t attempts = 0;
+    while (injected < per_type && attempts < per_type * 20) {
+      ++attempts;
+      const auto& seq = pick_seq();
+      if (seq.size() < 2) continue;
+      size_t i = rng.Uniform(seq.size() - 1);
+      if (!used_anchor.insert(seq[i]).second) continue;
+      const Row& r = row_of(seq[i]);
+      int64_t base = r[kRtime].timestamp_value() + opt.t3_micros;
+      int64_t gap = rng.UniformRange(opt.t1_micros + 1, opt.t3_micros - 1);
+      inserts.push_back(MakeRead(r[kEpc].string_value(), base, "RDR-CROSS",
+                                 kLoc2, r[kBizStep].int64_value()));
+      inserts.push_back(MakeRead(r[kEpc].string_value(), base + gap, "RDR-NEXT",
+                                 kLocA, r[kBizStep].int64_value()));
+      ++stats.replacing;
+      ++injected;
+    }
+  }
+
+  // --- cycles: [L N L N] inserted between two consecutive reads ---
+  if (opt.cycles) {
+    int64_t injected = 0;
+    int64_t attempts = 0;
+    while (injected < per_type && attempts < per_type * 20) {
+      ++attempts;
+      const auto& seq = pick_seq();
+      if (seq.size() < 2) continue;
+      size_t i = rng.Uniform(seq.size() - 1);
+      if (used_anchor.count(seq[i]) > 0) continue;
+      const Row& r = row_of(seq[i]);
+      const Row& next = row_of(seq[i + 1]);
+      const std::string& loc_l = r[kBizLoc].string_value();
+      const std::string& loc_n = next[kBizLoc].string_value();
+      if (loc_l == loc_n) continue;  // need an alternation
+      int64_t t0 = r[kRtime].timestamp_value();
+      int64_t gap = next[kRtime].timestamp_value() - t0;
+      if (gap < 3 * (opt.t1_micros + 1)) continue;
+      // Sequence becomes L, N, L, N: the cycle rule deletes exactly the
+      // two injected reads (the middle N and L).
+      inserts.push_back(MakeRead(r[kEpc].string_value(), t0 + gap / 3,
+                                 "RDR-CYC", loc_n, r[kBizStep].int64_value()));
+      inserts.push_back(MakeRead(r[kEpc].string_value(), t0 + 2 * gap / 3,
+                                 "RDR-CYC", loc_l, r[kBizStep].int64_value()));
+      used_anchor.insert(seq[i]);
+      stats.cycles += 2;
+      injected += 2;
+    }
+  }
+
+  // --- missing: drop a case read outside the final site ---
+  if (opt.missing) {
+    int64_t injected = 0;
+    int64_t attempts = 0;
+    while (injected < per_type && attempts < per_type * 20) {
+      ++attempts;
+      const auto& seq = pick_seq();
+      if (seq.size() < 3) continue;
+      // Never the last site's reads: a later case+pallet sighting must
+      // remain so the compensation rule is confident (Example 5).
+      size_t last_third = seq.size() - seq.size() / 3;
+      size_t i = rng.Uniform(last_third);
+      if (!removals.insert(seq[i]).second) continue;
+      ++injected;
+      ++stats.missing;
+    }
+  }
+
+  // Apply removals and insertions.
+  std::vector<Row> rows;
+  rows.reserve(case_r->num_rows() - removals.size() + inserts.size());
+  for (uint32_t i = 0; i < case_r->num_rows(); ++i) {
+    if (removals.count(i) > 0) continue;
+    rows.push_back(case_r->row(i));
+  }
+  for (Row& r : inserts) rows.push_back(std::move(r));
+  case_r->ReplaceRows(std::move(rows));
+
+  if (opt.finalize) {
+    RFID_RETURN_IF_ERROR(FinalizeDatabase(db));
+  }
+  return stats;
+}
+
+}  // namespace rfid::rfidgen

@@ -1,0 +1,50 @@
+// Anomaly injection (Section 6.1): adds the five anomaly types of
+// Section 4.3 to clean case reads by *reversing* the cleansing-rule
+// actions — where a rule deletes a read, inject a false read meeting the
+// rule's condition; where a rule compensates a missing read, remove one.
+// Anomalies are distributed evenly among the enabled types.
+#ifndef RFID_RFIDGEN_ANOMALY_H_
+#define RFID_RFIDGEN_ANOMALY_H_
+
+#include "rfidgen/rfidgen.h"
+
+namespace rfid::rfidgen {
+
+struct AnomalyOptions {
+  /// Fraction of clean case reads to turn into anomalies (paper: 0.1-0.4).
+  double dirty_fraction = 0.1;
+  uint64_t seed = 7;
+
+  // Rule parameters (defaults match the experiments: t1=5, t2=10, t3=20).
+  int64_t t1_micros = 5LL * 60 * 1000000;
+  int64_t t2_micros = 10LL * 60 * 1000000;
+  int64_t t3_micros = 20LL * 60 * 1000000;
+
+  bool duplicates = true;
+  bool reader = true;
+  bool replacing = true;
+  bool cycles = true;
+  bool missing = true;
+
+  /// Re-index and recompute statistics afterwards.
+  bool finalize = true;
+};
+
+struct AnomalyStats {
+  int64_t duplicates = 0;
+  int64_t reader = 0;
+  int64_t replacing = 0;  // pairs injected (one modified-away read each)
+  int64_t cycles = 0;     // injected cycle reads (two per cycle)
+  int64_t missing = 0;    // case reads removed
+  int64_t total() const {
+    return duplicates + reader + replacing + cycles + missing;
+  }
+};
+
+/// Injects anomalies into db->caseR (pallet reads stay reliable, as in
+/// the paper). The database must have been produced by Generate().
+Result<AnomalyStats> InjectAnomalies(const AnomalyOptions& options, Database* db);
+
+}  // namespace rfid::rfidgen
+
+#endif  // RFID_RFIDGEN_ANOMALY_H_

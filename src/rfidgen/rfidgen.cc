@@ -1,0 +1,230 @@
+#include "rfidgen/rfidgen.h"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/time_util.h"
+
+namespace rfid::rfidgen {
+
+namespace {
+
+Schema ReadsSchema() {
+  Schema s;
+  s.AddColumn("epc", DataType::kString);
+  s.AddColumn("rtime", DataType::kTimestamp);
+  s.AddColumn("reader", DataType::kString);
+  s.AddColumn("biz_loc", DataType::kString);
+  s.AddColumn("biz_step", DataType::kInt64);
+  return s;
+}
+
+std::string Gln(const std::string& site, int loc) {
+  // 13-character Global Location Number lookalike.
+  return StrFormat("G%s-%04d", site.c_str(), loc);
+}
+
+struct SiteLayout {
+  std::vector<std::string> sites;           // "dc0".."store999"
+  std::vector<std::vector<std::string>> glns;  // per site
+};
+
+}  // namespace
+
+Result<GeneratedStats> Generate(const GeneratorOptions& opt, Database* db) {
+  Random rng(opt.seed);
+  GeneratedStats stats;
+
+  // --- dimension tables ---
+  Schema locs_schema;
+  locs_schema.AddColumn("gln", DataType::kString);
+  locs_schema.AddColumn("site", DataType::kString);
+  locs_schema.AddColumn("loc_desc", DataType::kString);
+  RFID_ASSIGN_OR_RETURN(Table * locs, db->CreateTable("locs", locs_schema));
+
+  SiteLayout layout;
+  auto add_site = [&](const std::string& site) -> Status {
+    layout.sites.push_back(site);
+    layout.glns.emplace_back();
+    for (int l = 0; l < opt.locations_per_site; ++l) {
+      std::string gln = Gln(site, l);
+      RFID_RETURN_IF_ERROR(locs->Append(
+          {Value::String(gln), Value::String(site),
+           Value::String(StrFormat("%s location %d", site.c_str(), l))}));
+      layout.glns.back().push_back(std::move(gln));
+    }
+    return Status::OK();
+  };
+  for (int i = 0; i < opt.num_dcs; ++i) {
+    RFID_RETURN_IF_ERROR(add_site(StrFormat("dc%d", i)));
+  }
+  for (int i = 0; i < opt.num_warehouses; ++i) {
+    RFID_RETURN_IF_ERROR(add_site(StrFormat("wh%d", i)));
+  }
+  for (int i = 0; i < opt.num_stores; ++i) {
+    RFID_RETURN_IF_ERROR(add_site(StrFormat("store%d", i)));
+  }
+  // Special cross-read locations for the replacing-rule scenario.
+  for (const char* gln : {kLoc1, kLoc2, kLocA}) {
+    RFID_RETURN_IF_ERROR(locs->Append({Value::String(gln),
+                                       Value::String("dc0"),
+                                       Value::String("cross-read dock")}));
+  }
+  stats.locations = static_cast<int64_t>(locs->num_rows());
+
+  Schema product_schema;
+  product_schema.AddColumn("product", DataType::kInt64);
+  product_schema.AddColumn("manufacturer", DataType::kString);
+  RFID_ASSIGN_OR_RETURN(Table * product, db->CreateTable("product", product_schema));
+  for (int p = 0; p < opt.num_products; ++p) {
+    RFID_RETURN_IF_ERROR(product->Append(
+        {Value::Int64(p),
+         Value::String(StrFormat("mfg%02d",
+                                 static_cast<int>(rng.Uniform(
+                                     static_cast<uint64_t>(opt.num_manufacturers)))))}));
+  }
+
+  Schema steps_schema;
+  steps_schema.AddColumn("biz_step", DataType::kInt64);
+  steps_schema.AddColumn("type", DataType::kInt64);
+  RFID_ASSIGN_OR_RETURN(Table * steps, db->CreateTable("steps", steps_schema));
+  for (int s = 0; s < opt.num_steps; ++s) {
+    // Evenly classified into types (s.type deliberately uncorrelated with
+    // EPCs; biz_step assignment below is uniform per read).
+    RFID_RETURN_IF_ERROR(steps->Append(
+        {Value::Int64(s), Value::Int64(s % opt.num_step_types)}));
+  }
+
+  Schema parent_schema;
+  parent_schema.AddColumn("child_epc", DataType::kString);
+  parent_schema.AddColumn("parent_epc", DataType::kString);
+  RFID_ASSIGN_OR_RETURN(Table * parent, db->CreateTable("parent", parent_schema));
+
+  Schema info_schema;
+  info_schema.AddColumn("epc", DataType::kString);
+  info_schema.AddColumn("lot", DataType::kInt64);
+  info_schema.AddColumn("manu_date", DataType::kTimestamp);
+  info_schema.AddColumn("exp_date", DataType::kTimestamp);
+  info_schema.AddColumn("product", DataType::kInt64);
+  RFID_ASSIGN_OR_RETURN(Table * info, db->CreateTable("epc_info", info_schema));
+
+  RFID_ASSIGN_OR_RETURN(Table * case_r, db->CreateTable("caseR", ReadsSchema()));
+  RFID_ASSIGN_OR_RETURN(Table * pallet_r, db->CreateTable("palletR", ReadsSchema()));
+
+  // --- shipments ---
+  int64_t case_counter = 0;
+  stats.t_begin = INT64_MAX;
+  stats.t_end = INT64_MIN;
+  for (int64_t p = 0; p < opt.num_pallets; ++p) {
+    std::string pallet_epc = StrFormat("urn:epc:pal:%010lld",
+                                       static_cast<long long>(p));
+    // Route: store determines warehouse determines DC.
+    int store = static_cast<int>(rng.Uniform(static_cast<uint64_t>(opt.num_stores)));
+    int wh = store % opt.num_warehouses;
+    int dc = wh % opt.num_dcs;
+    int site_idx[3] = {dc, opt.num_dcs + wh, opt.num_dcs + opt.num_warehouses + store};
+
+    // Pallet read times/places across the 3 sites.
+    struct ReadStub {
+      int64_t rtime;
+      std::string reader;
+      std::string gln;
+      int64_t step;
+    };
+    std::vector<ReadStub> pallet_reads;
+    int64_t t = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(opt.time_window_micros)));
+    for (int s = 0; s < 3; ++s) {
+      const auto& glns = layout.glns[static_cast<size_t>(site_idx[s])];
+      for (int k = 0; k < opt.reads_per_site; ++k) {
+        ReadStub stub;
+        stub.rtime = t;
+        stub.gln = glns[rng.Uniform(glns.size())];
+        // Clean data must contain no back-and-forth patterns (the cycle
+        // rule's [X Y X]); re-draw until the location differs from the
+        // previous two reads' locations.
+        while (!pallet_reads.empty() &&
+               (stub.gln == pallet_reads.back().gln ||
+                (pallet_reads.size() >= 2 &&
+                 stub.gln == pallet_reads[pallet_reads.size() - 2].gln))) {
+          stub.gln = glns[rng.Uniform(glns.size())];
+        }
+        // The forklift positioning read opens every site visit.
+        stub.reader = (k == 0) ? "readerX" : "RDR-" + stub.gln;
+        stub.step = static_cast<int64_t>(
+            rng.Uniform(static_cast<uint64_t>(opt.num_steps)));
+        pallet_reads.push_back(std::move(stub));
+        t += rng.UniformRange(opt.min_latency_micros, opt.max_latency_micros);
+      }
+    }
+    for (const ReadStub& r : pallet_reads) {
+      pallet_r->AppendUnchecked({Value::String(pallet_epc),
+                                 Value::Timestamp(r.rtime),
+                                 Value::String(r.reader), Value::String(r.gln),
+                                 Value::Int64(r.step)});
+    }
+    stats.pallet_reads += static_cast<int64_t>(pallet_reads.size());
+    ++stats.pallets;
+
+    // Cases travel with the pallet; each pallet read has a matching case
+    // read by the same reader within case_pallet_gap.
+    int num_cases = static_cast<int>(
+        rng.UniformRange(opt.min_cases_per_pallet, opt.max_cases_per_pallet));
+    for (int c = 0; c < num_cases; ++c) {
+      std::string case_epc = StrFormat("urn:epc:cas:%012lld",
+                                       static_cast<long long>(case_counter++));
+      parent->AppendUnchecked({Value::String(case_epc), Value::String(pallet_epc)});
+      int64_t prod = static_cast<int64_t>(
+          rng.Uniform(static_cast<uint64_t>(opt.num_products)));
+      int64_t manu = pallet_reads.front().rtime - Days(30);
+      info->AppendUnchecked({Value::String(case_epc),
+                             Value::Int64(static_cast<int64_t>(rng.Uniform(100000))),
+                             Value::Timestamp(manu),
+                             Value::Timestamp(manu + Days(730)),
+                             Value::Int64(prod)});
+      for (const ReadStub& r : pallet_reads) {
+        int64_t rtime =
+            r.rtime + rng.UniformRange(1, opt.case_pallet_gap_micros - 1);
+        case_r->AppendUnchecked({Value::String(case_epc), Value::Timestamp(rtime),
+                                 Value::String(r.reader), Value::String(r.gln),
+                                 Value::Int64(static_cast<int64_t>(rng.Uniform(
+                                     static_cast<uint64_t>(opt.num_steps))))});
+        stats.t_begin = std::min(stats.t_begin, rtime);
+        stats.t_end = std::max(stats.t_end, rtime);
+        ++stats.case_reads;
+      }
+      ++stats.cases;
+    }
+  }
+  stats.cases = case_counter;
+
+  if (opt.finalize) {
+    RFID_RETURN_IF_ERROR(FinalizeDatabase(db));
+  }
+  return stats;
+}
+
+Status FinalizeDatabase(Database* db) {
+  for (const char* name : {"caseR", "palletR"}) {
+    RFID_ASSIGN_OR_RETURN(Table * t, db->ResolveTable(name));
+    RFID_RETURN_IF_ERROR(t->BuildIndex("rtime"));
+    RFID_RETURN_IF_ERROR(t->BuildIndex("epc"));
+    t->ComputeStats();
+  }
+  RFID_ASSIGN_OR_RETURN(Table * parent, db->ResolveTable("parent"));
+  RFID_RETURN_IF_ERROR(parent->BuildIndex("child_epc"));
+  parent->ComputeStats();
+  for (const char* name : {"locs", "product", "steps", "epc_info"}) {
+    Table* t = db->GetTable(name);
+    if (t != nullptr) t->ComputeStats();
+  }
+  RFID_ASSIGN_OR_RETURN(Table * locs, db->ResolveTable("locs"));
+  RFID_RETURN_IF_ERROR(locs->BuildIndex("gln"));
+  RFID_ASSIGN_OR_RETURN(Table * info, db->ResolveTable("epc_info"));
+  RFID_RETURN_IF_ERROR(info->BuildIndex("epc"));
+  return Status::OK();
+}
+
+}  // namespace rfid::rfidgen

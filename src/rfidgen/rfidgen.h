@@ -1,0 +1,85 @@
+// RFIDGen: the supply-chain data generator of Section 6.1 (Figure 5).
+//
+// Simulates retailer W: every shipment passes a distribution center, a
+// warehouse, and a retail store (1000 stores <- 25 warehouses <- 5 DCs;
+// 100 reader-equipped locations per site). A pallet holds 20-80 cases;
+// pallets and cases travel together and are read by the same reader
+// within minutes of each other; a shipment is read `reads_per_site`
+// times per site with 1-36 h between consecutive reads; first reads fall
+// uniformly in a five-year window.
+//
+// Tables produced (primary keys as in the paper):
+//   caseR / palletR (epc, rtime, reader, biz_loc, biz_step)
+//   parent (child_epc, parent_epc)
+//   epc_info (epc, lot, manu_date, exp_date, product)
+//   product (product, manufacturer)
+//   locs (gln, site, loc_desc)
+//   steps (biz_step, type)
+//
+// The first read at each site is made by the forklift reader, globally
+// named 'readerX' (the reader rule's anchor); legitimate reads are
+// always >= 1 h apart, so the reader rule (window of minutes) never
+// fires on clean data.
+#ifndef RFID_RFIDGEN_RFIDGEN_H_
+#define RFID_RFIDGEN_RFIDGEN_H_
+
+#include "storage/catalog.h"
+
+namespace rfid::rfidgen {
+
+struct GeneratorOptions {
+  /// Scale factor s: number of pallet EPCs. Expected case reads are about
+  /// s * 50 * 3 * reads_per_site.
+  int64_t num_pallets = 100;
+  uint64_t seed = 20060912;  // VLDB'06 opening day
+
+  int num_stores = 1000;
+  int num_warehouses = 25;
+  int num_dcs = 5;
+  int locations_per_site = 100;
+  int reads_per_site = 10;
+  int min_cases_per_pallet = 20;
+  int max_cases_per_pallet = 80;
+
+  int64_t time_window_micros = 5LL * 365 * 24 * 3600 * 1000000;  // five years
+  int64_t min_latency_micros = 3600LL * 1000000;        // 1 hour
+  int64_t max_latency_micros = 36LL * 3600 * 1000000;   // 36 hours
+  int64_t case_pallet_gap_micros = 5LL * 60 * 1000000;  // within 5 minutes
+
+  int num_products = 1000;
+  int num_manufacturers = 50;
+  int num_steps = 100;
+  int num_step_types = 10;
+
+  /// Build rtime/epc indexes and statistics after generation.
+  bool finalize = true;
+};
+
+struct GeneratedStats {
+  int64_t case_reads = 0;
+  int64_t pallet_reads = 0;
+  int64_t cases = 0;
+  int64_t pallets = 0;
+  int64_t locations = 0;
+  /// The generated time window: [t_begin, t_end] over caseR.rtime.
+  int64_t t_begin = 0;
+  int64_t t_end = 0;
+};
+
+/// Populates `db` with all seven tables. Fails if they already exist.
+Result<GeneratedStats> Generate(const GeneratorOptions& options, Database* db);
+
+/// Rebuilds indexes (rtime, epc on the read tables; dimension keys) and
+/// statistics. Called by Generate when options.finalize, and again by the
+/// anomaly injector.
+Status FinalizeDatabase(Database* db);
+
+/// Special business locations used by the replacing-rule scenario
+/// (cross-reads between kLoc2 and kLoc1; the follow-up location kLocA).
+inline constexpr const char* kLoc1 = "GLN-CROSS-LOC1";
+inline constexpr const char* kLoc2 = "GLN-CROSS-LOC2";
+inline constexpr const char* kLocA = "GLN-CROSS-LOCA";
+
+}  // namespace rfid::rfidgen
+
+#endif  // RFID_RFIDGEN_RFIDGEN_H_

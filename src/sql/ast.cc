@@ -1,0 +1,32 @@
+#include "sql/ast.h"
+
+namespace rfid {
+
+SelectCore CloneCore(const SelectCore& core) {
+  SelectCore out;
+  out.distinct = core.distinct;
+  for (const SelectItem& item : core.items) {
+    out.items.push_back({CloneExpr(item.expr), item.alias, item.is_star});
+  }
+  out.from = core.from;
+  out.where = CloneExpr(core.where);
+  for (const ExprPtr& g : core.group_by) out.group_by.push_back(CloneExpr(g));
+  out.having = CloneExpr(core.having);
+  return out;
+}
+
+StatementPtr CloneStatement(const StatementPtr& s) {
+  if (s == nullptr) return nullptr;
+  auto out = std::make_shared<SelectStatement>();
+  for (const WithClause& w : s->with) {
+    out->with.push_back({w.name, CloneStatement(w.body)});
+  }
+  for (const SelectCore& c : s->cores) out->cores.push_back(CloneCore(c));
+  for (const SortKey& k : s->order_by) {
+    out->order_by.push_back({CloneExpr(k.expr), k.ascending});
+  }
+  out->limit = s->limit;
+  return out;
+}
+
+}  // namespace rfid

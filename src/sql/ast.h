@@ -1,0 +1,59 @@
+// SQL statement AST for the subset the paper's workload needs:
+//   [WITH name AS (...), ...]
+//   SELECT [DISTINCT] items FROM t1 [AS] a1, t2 a2, ... [WHERE ...]
+//   [GROUP BY ...] [UNION ALL SELECT ...] [ORDER BY ...]
+// with window functions (OVER with PARTITION BY / ORDER BY / ROWS / RANGE
+// frames), CASE, IN (list | subquery), and interval literals.
+#ifndef RFID_SQL_AST_H_
+#define RFID_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace rfid {
+
+struct TableRef {
+  std::string table_name;  // catalog table or WITH-clause name
+  std::string alias;       // defaults to table_name
+};
+
+struct SelectItem {
+  ExprPtr expr;        // null when is_star
+  std::string alias;   // output column name; empty = derived from expr
+  bool is_star = false;
+};
+
+/// One SELECT core (no WITH, no UNION, no ORDER BY).
+struct SelectCore {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // may be null; only with aggregation
+};
+
+struct WithClause {
+  std::string name;
+  std::shared_ptr<SelectStatement> body;
+};
+
+struct SelectStatement {
+  std::vector<WithClause> with;
+  std::vector<SelectCore> cores;  // >1 => UNION ALL of the cores
+  std::vector<SortKey> order_by;  // on output columns; may be empty
+  int64_t limit = -1;             // -1 = no LIMIT
+};
+
+using StatementPtr = std::shared_ptr<SelectStatement>;
+
+/// Deep copy of a statement (expressions are cloned).
+StatementPtr CloneStatement(const StatementPtr& s);
+SelectCore CloneCore(const SelectCore& core);
+
+}  // namespace rfid
+
+#endif  // RFID_SQL_AST_H_

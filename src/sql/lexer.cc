@@ -1,0 +1,123 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+namespace {
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comment
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tok.type = TokenType::kIdentifier;
+      tok.text = std::string(sql.substr(start, i - start));
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      std::string text(sql.substr(start, i - start));
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.double_value = std::stod(text);
+      } else {
+        tok.type = TokenType::kInteger;
+        try {
+          tok.int_value = std::stoll(text);
+        } catch (const std::out_of_range&) {
+          return Status::ParseError("integer literal out of range: " + text);
+        }
+      }
+      tok.text = std::move(text);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            value += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(StrFormat(
+            "unterminated string literal at offset %zu", tok.offset));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(value);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-char symbols first.
+    auto two = (i + 1 < n) ? sql.substr(i, 2) : std::string_view();
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(two);
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    static constexpr std::string_view kSingles = "(),.*=<>+-/";
+    if (kSingles.find(c) != std::string_view::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace rfid

@@ -1,0 +1,37 @@
+// SQL tokenizer. Keywords are not distinguished here — the parser matches
+// identifier tokens case-insensitively, so identifiers and keywords share
+// a token type (standard practice for small SQL dialects).
+#ifndef RFID_SQL_LEXER_H_
+#define RFID_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rfid {
+
+enum class TokenType {
+  kIdentifier,   // foo, SELECT (keywords included)
+  kInteger,      // 42
+  kFloat,        // 4.2
+  kString,       // 'abc' (escaped '' handled)
+  kSymbol,       // ( ) , . * = <> != < <= > >= + - /
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/symbol text; string value for kString
+  int64_t int_value = 0;
+  double double_value = 0;
+  size_t offset = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes SQL text; "--" comments run to end of line.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace rfid
+
+#endif  // RFID_SQL_LEXER_H_

@@ -1,0 +1,600 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "sql/lexer.h"
+
+namespace rfid {
+
+namespace {
+
+// Interval unit keywords -> microseconds per unit.
+bool IntervalUnit(const std::string& word, int64_t* unit_micros) {
+  static constexpr struct {
+    const char* name;
+    int64_t micros;
+  } kUnits[] = {
+      {"microsecond", 1},
+      {"microseconds", 1},
+      {"second", kMicrosPerSecond},
+      {"seconds", kMicrosPerSecond},
+      {"sec", kMicrosPerSecond},
+      {"secs", kMicrosPerSecond},
+      {"minute", kMicrosPerMinute},
+      {"minutes", kMicrosPerMinute},
+      {"min", kMicrosPerMinute},
+      {"mins", kMicrosPerMinute},
+      {"hour", kMicrosPerHour},
+      {"hours", kMicrosPerHour},
+      {"day", kMicrosPerDay},
+      {"days", kMicrosPerDay},
+  };
+  for (const auto& u : kUnits) {
+    if (EqualsIgnoreCase(word, u.name)) {
+      *unit_micros = u.micros;
+      return true;
+    }
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatementPtr> ParseStatement() {
+    RFID_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSelectStatement());
+    MatchSymbol(";");
+    if (!AtEnd()) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    RFID_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) {
+      return Error("unexpected trailing input after expression");
+    }
+    return e;
+  }
+
+ private:
+  // ---- token helpers ----
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  bool PeekKeyword(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && EqualsIgnoreCase(t.text, kw);
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(std::string_view kw) {
+    if (MatchKeyword(kw)) return Status::OK();
+    return Error(StrFormat("expected %s", std::string(kw).c_str()));
+  }
+  bool PeekSymbol(std::string_view sym, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kSymbol && t.text == sym;
+  }
+  bool MatchSymbol(std::string_view sym) {
+    if (PeekSymbol(sym)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(std::string_view sym) {
+    if (MatchSymbol(sym)) return Status::OK();
+    return Error(StrFormat("expected '%s'", std::string(sym).c_str()));
+  }
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    std::string got = t.type == TokenType::kEnd ? "end of input" : "'" + t.text + "'";
+    return Status::ParseError(StrFormat("%s but got %s (at offset %zu)",
+                                        message.c_str(), got.c_str(), t.offset));
+  }
+
+  // Words that cannot start an implicit alias or continue an expression.
+  bool PeekReservedKeyword() const {
+    static constexpr const char* kReserved[] = {
+        "select", "from",  "where", "group",  "order", "union",
+        "and",    "or",    "not",   "as",     "on",    "when",
+        "then",   "else",  "end",   "case",   "in",    "is",
+        "between", "distinct", "having", "with", "asc", "desc",
+        "preceding", "following", "unbounded", "current", "rows", "range",
+        "partition", "by", "over", "all", "limit",
+    };
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier) return false;
+    for (const char* kw : kReserved) {
+      if (EqualsIgnoreCase(t.text, kw)) return true;
+    }
+    return false;
+  }
+
+  // ---- statements ----
+  Result<StatementPtr> ParseSelectStatement() {
+    auto stmt = std::make_shared<SelectStatement>();
+    if (MatchKeyword("with")) {
+      while (true) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected WITH-clause name");
+        }
+        std::string name = Advance().text;
+        RFID_RETURN_IF_ERROR(ExpectKeyword("as"));
+        RFID_RETURN_IF_ERROR(ExpectSymbol("("));
+        RFID_ASSIGN_OR_RETURN(StatementPtr body, ParseSelectStatement());
+        RFID_RETURN_IF_ERROR(ExpectSymbol(")"));
+        stmt->with.push_back({std::move(name), std::move(body)});
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    while (true) {
+      RFID_ASSIGN_OR_RETURN(SelectCore core, ParseSelectCore());
+      stmt->cores.push_back(std::move(core));
+      if (PeekKeyword("union") && PeekKeyword("all", 1)) {
+        Advance();
+        Advance();
+        continue;
+      }
+      break;
+    }
+    if (PeekKeyword("order") && PeekKeyword("by", 1)) {
+      Advance();
+      Advance();
+      while (true) {
+        RFID_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        bool asc = true;
+        if (MatchKeyword("desc")) {
+          asc = false;
+        } else {
+          MatchKeyword("asc");
+        }
+        stmt->order_by.push_back({std::move(e), asc});
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    if (MatchKeyword("limit")) {
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected integer after LIMIT");
+      }
+      stmt->limit = Advance().int_value;
+    }
+    return stmt;
+  }
+
+  Result<SelectCore> ParseSelectCore() {
+    SelectCore core;
+    RFID_RETURN_IF_ERROR(ExpectKeyword("select"));
+    core.distinct = MatchKeyword("distinct");
+    // select items
+    while (true) {
+      SelectItem item;
+      if (PeekSymbol("*")) {
+        Advance();
+        item.is_star = true;
+      } else {
+        RFID_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (MatchKeyword("as")) {
+          if (Peek().type != TokenType::kIdentifier) {
+            return Error("expected alias after AS");
+          }
+          item.alias = Advance().text;
+        } else if (Peek().type == TokenType::kIdentifier && !PeekReservedKeyword()) {
+          item.alias = Advance().text;
+        }
+      }
+      core.items.push_back(std::move(item));
+      if (!MatchSymbol(",")) break;
+    }
+    RFID_RETURN_IF_ERROR(ExpectKeyword("from"));
+    while (true) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected table name");
+      }
+      TableRef ref;
+      ref.table_name = Advance().text;
+      if (MatchKeyword("as")) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        ref.alias = Advance().text;
+      } else if (Peek().type == TokenType::kIdentifier && !PeekReservedKeyword()) {
+        ref.alias = Advance().text;
+      } else {
+        ref.alias = ref.table_name;
+      }
+      core.from.push_back(std::move(ref));
+      if (!MatchSymbol(",")) break;
+    }
+    if (MatchKeyword("where")) {
+      RFID_ASSIGN_OR_RETURN(core.where, ParseExpr());
+    }
+    if (PeekKeyword("group") && PeekKeyword("by", 1)) {
+      Advance();
+      Advance();
+      while (true) {
+        RFID_ASSIGN_OR_RETURN(ExprPtr g, ParseExpr());
+        core.group_by.push_back(std::move(g));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    if (MatchKeyword("having")) {
+      RFID_ASSIGN_OR_RETURN(core.having, ParseExpr());
+    }
+    return core;
+  }
+
+  // ---- expressions (precedence climbing) ----
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    RFID_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (MatchKeyword("or")) {
+      RFID_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    RFID_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (PeekKeyword("and")) {
+      Advance();
+      RFID_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchKeyword("not")) {
+      RFID_ASSIGN_OR_RETURN(ExprPtr inner, ParseNot());
+      return MakeNot(std::move(inner));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    RFID_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    // IS [NOT] NULL
+    if (PeekKeyword("is")) {
+      Advance();
+      bool negated = MatchKeyword("not");
+      RFID_RETURN_IF_ERROR(ExpectKeyword("null"));
+      return MakeIsNull(std::move(left), negated);
+    }
+    // [NOT] IN (...) / [NOT] BETWEEN x AND y
+    bool negated = false;
+    if (PeekKeyword("not") && (PeekKeyword("in", 1) || PeekKeyword("between", 1))) {
+      Advance();
+      negated = true;
+    }
+    if (MatchKeyword("in")) {
+      RFID_RETURN_IF_ERROR(ExpectSymbol("("));
+      ExprPtr in_expr;
+      if (PeekKeyword("select") || PeekKeyword("with")) {
+        RFID_ASSIGN_OR_RETURN(StatementPtr sub, ParseSelectStatement());
+        in_expr = MakeInSubquery(std::move(left), std::move(sub));
+      } else {
+        std::vector<ExprPtr> items;
+        while (true) {
+          RFID_ASSIGN_OR_RETURN(ExprPtr item, ParseAdditive());
+          items.push_back(std::move(item));
+          if (!MatchSymbol(",")) break;
+        }
+        in_expr = MakeInList(std::move(left), std::move(items));
+      }
+      RFID_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return negated ? MakeNot(std::move(in_expr)) : in_expr;
+    }
+    if (MatchKeyword("between")) {
+      RFID_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      RFID_RETURN_IF_ERROR(ExpectKeyword("and"));
+      RFID_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      ExprPtr range = MakeBinary(
+          BinaryOp::kAnd, MakeBinary(BinaryOp::kGe, left, std::move(lo)),
+          MakeBinary(BinaryOp::kLe, CloneExpr(left), std::move(hi)));
+      return negated ? MakeNot(std::move(range)) : range;
+    }
+    // plain comparison
+    static constexpr struct {
+      const char* sym;
+      BinaryOp op;
+    } kCmps[] = {{"<=", BinaryOp::kLe}, {">=", BinaryOp::kGe},
+                 {"<>", BinaryOp::kNe}, {"!=", BinaryOp::kNe},
+                 {"=", BinaryOp::kEq},  {"<", BinaryOp::kLt},
+                 {">", BinaryOp::kGt}};
+    for (const auto& c : kCmps) {
+      if (PeekSymbol(c.sym)) {
+        Advance();
+        RFID_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return MakeBinary(c.op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    RFID_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    while (PeekSymbol("+") || PeekSymbol("-")) {
+      BinaryOp op = Peek().text == "+" ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      RFID_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    RFID_ASSIGN_OR_RETURN(ExprPtr left, ParsePrimary());
+    while (PeekSymbol("*") || PeekSymbol("/")) {
+      BinaryOp op = Peek().text == "*" ? BinaryOp::kMul : BinaryOp::kDiv;
+      Advance();
+      RFID_ASSIGN_OR_RETURN(ExprPtr right, ParsePrimary());
+      left = MakeBinary(op, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kInteger: {
+        Advance();
+        // "<n> MINUTES" style interval literal.
+        int64_t unit = 0;
+        if (Peek().type == TokenType::kIdentifier &&
+            IntervalUnit(Peek().text, &unit)) {
+          Advance();
+          return MakeLiteral(Value::Interval(t.int_value * unit));
+        }
+        return MakeLiteral(Value::Int64(t.int_value));
+      }
+      case TokenType::kFloat:
+        Advance();
+        return MakeLiteral(Value::Double(t.double_value));
+      case TokenType::kString:
+        Advance();
+        return MakeLiteral(Value::String(t.text));
+      case TokenType::kSymbol:
+        if (t.text == "(") {
+          Advance();
+          RFID_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          RFID_RETURN_IF_ERROR(ExpectSymbol(")"));
+          return inner;
+        }
+        if (t.text == "-") {  // unary minus on numeric literal/expr
+          Advance();
+          RFID_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+          return MakeBinary(BinaryOp::kSub, MakeLiteral(Value::Int64(0)),
+                            std::move(inner));
+        }
+        if (t.text == "*") {
+          Advance();
+          return MakeStar();
+        }
+        return Error("expected expression");
+      case TokenType::kIdentifier:
+        return ParseIdentifierExpr();
+      case TokenType::kEnd:
+        return Error("expected expression");
+    }
+    return Error("expected expression");
+  }
+
+  Result<ExprPtr> ParseIdentifierExpr() {
+    // CASE WHEN ... THEN ... [ELSE ...] END
+    if (PeekKeyword("case")) {
+      Advance();
+      std::vector<ExprPtr> children;
+      bool has_else = false;
+      while (MatchKeyword("when")) {
+        RFID_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+        RFID_RETURN_IF_ERROR(ExpectKeyword("then"));
+        RFID_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+        children.push_back(std::move(when));
+        children.push_back(std::move(then));
+      }
+      if (children.empty()) return Error("CASE requires at least one WHEN");
+      if (MatchKeyword("else")) {
+        RFID_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+        children.push_back(std::move(els));
+        has_else = true;
+      }
+      RFID_RETURN_IF_ERROR(ExpectKeyword("end"));
+      return MakeCase(std::move(children), has_else);
+    }
+    // NULL / TRUE / FALSE literals
+    if (PeekKeyword("null")) {
+      Advance();
+      return MakeLiteral(Value::Null());
+    }
+    if (PeekKeyword("true")) {
+      Advance();
+      return MakeLiteral(Value::Bool(true));
+    }
+    if (PeekKeyword("false")) {
+      Advance();
+      return MakeLiteral(Value::Bool(false));
+    }
+    // TIMESTAMP '...' or TIMESTAMP <micros>
+    if (PeekKeyword("timestamp")) {
+      Advance();
+      if (Peek().type == TokenType::kString) {
+        int64_t micros = 0;
+        if (!ParseTimestamp(Peek().text, &micros)) {
+          return Error("malformed timestamp literal");
+        }
+        Advance();
+        return MakeLiteral(Value::Timestamp(micros));
+      }
+      if (Peek().type == TokenType::kInteger) {
+        int64_t micros = Advance().int_value;
+        return MakeLiteral(Value::Timestamp(micros));
+      }
+      if (PeekSymbol("-") && Peek(1).type == TokenType::kInteger) {
+        Advance();
+        int64_t micros = -Advance().int_value;
+        return MakeLiteral(Value::Timestamp(micros));
+      }
+      return Error("expected timestamp literal");
+    }
+    // INTERVAL <n> <unit>
+    if (PeekKeyword("interval")) {
+      Advance();
+      if (Peek().type != TokenType::kInteger) {
+        return Error("expected integer after INTERVAL");
+      }
+      int64_t n = Advance().int_value;
+      int64_t unit = 0;
+      if (Peek().type != TokenType::kIdentifier ||
+          !IntervalUnit(Peek().text, &unit)) {
+        return Error("expected interval unit");
+      }
+      Advance();
+      return MakeLiteral(Value::Interval(n * unit));
+    }
+
+    std::string name = Advance().text;
+    // Function call?
+    if (PeekSymbol("(")) {
+      Advance();
+      bool distinct = MatchKeyword("distinct");
+      std::vector<ExprPtr> args;
+      if (!PeekSymbol(")")) {
+        while (true) {
+          RFID_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+          if (!MatchSymbol(",")) break;
+        }
+      }
+      RFID_RETURN_IF_ERROR(ExpectSymbol(")"));
+      ExprPtr call = MakeFuncCall(name, std::move(args), distinct);
+      if (MatchKeyword("over")) {
+        RFID_ASSIGN_OR_RETURN(WindowSpec w, ParseWindowSpec());
+        call->window = std::move(w);
+      }
+      return call;
+    }
+    // Column reference, optionally qualified.
+    if (MatchSymbol(".")) {
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column name after '.'");
+      }
+      std::string column = Advance().text;
+      return MakeColumnRef(std::move(name), std::move(column));
+    }
+    return MakeColumnRef("", std::move(name));
+  }
+
+  Result<WindowSpec> ParseWindowSpec() {
+    RFID_RETURN_IF_ERROR(ExpectSymbol("("));
+    WindowSpec w;
+    if (PeekKeyword("partition")) {
+      Advance();
+      RFID_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        RFID_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        w.partition_by.push_back(std::move(e));
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    if (PeekKeyword("order")) {
+      Advance();
+      RFID_RETURN_IF_ERROR(ExpectKeyword("by"));
+      while (true) {
+        RFID_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        bool asc = true;
+        if (MatchKeyword("desc")) {
+          asc = false;
+        } else {
+          MatchKeyword("asc");
+        }
+        w.order_by.push_back({std::move(e), asc});
+        if (!MatchSymbol(",")) break;
+      }
+    }
+    if (PeekKeyword("rows") || PeekKeyword("range")) {
+      w.has_frame = true;
+      w.frame.unit =
+          EqualsIgnoreCase(Advance().text, "rows") ? FrameUnit::kRows
+                                                   : FrameUnit::kRange;
+      if (MatchKeyword("between")) {
+        RFID_ASSIGN_OR_RETURN(w.frame.start, ParseFrameBound(w.frame.unit, true));
+        RFID_RETURN_IF_ERROR(ExpectKeyword("and"));
+        RFID_ASSIGN_OR_RETURN(w.frame.end, ParseFrameBound(w.frame.unit, false));
+      } else {
+        // Shorthand "ROWS <n> PRECEDING" = BETWEEN n PRECEDING AND CURRENT ROW.
+        RFID_ASSIGN_OR_RETURN(w.frame.start, ParseFrameBound(w.frame.unit, true));
+        w.frame.end = FrameBound{false, 0};
+      }
+    }
+    RFID_RETURN_IF_ERROR(ExpectSymbol(")"));
+    return w;
+  }
+
+  Result<FrameBound> ParseFrameBound(FrameUnit unit, bool is_start) {
+    if (MatchKeyword("unbounded")) {
+      if (MatchKeyword("preceding")) return FrameBound{true, -1};
+      if (MatchKeyword("following")) return FrameBound{true, 1};
+      return Error("expected PRECEDING or FOLLOWING");
+    }
+    if (MatchKeyword("current")) {
+      RFID_RETURN_IF_ERROR(ExpectKeyword("row"));
+      return FrameBound{false, 0};
+    }
+    int64_t amount = 0;
+    if (Peek().type == TokenType::kInteger) {
+      amount = Advance().int_value;
+      int64_t unit_micros = 0;
+      if (unit == FrameUnit::kRange) {
+        if (Peek().type != TokenType::kIdentifier ||
+            !IntervalUnit(Peek().text, &unit_micros)) {
+          return Error("RANGE frame offsets require a time unit");
+        }
+        Advance();
+        amount *= unit_micros;
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 IntervalUnit(Peek().text, &unit_micros)) {
+        return Error("ROWS frame offsets must be plain row counts");
+      }
+    } else {
+      return Error("expected frame offset");
+    }
+    (void)is_start;
+    if (MatchKeyword("preceding")) return FrameBound{false, -amount};
+    if (MatchKeyword("following")) return FrameBound{false, amount};
+    return Error("expected PRECEDING or FOLLOWING");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<StatementPtr> ParseSql(std::string_view sql) {
+  RFID_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view text) {
+  RFID_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace rfid

@@ -1,0 +1,19 @@
+// Recursive-descent parser for the SQL subset (see sql/ast.h).
+#ifndef RFID_SQL_PARSER_H_
+#define RFID_SQL_PARSER_H_
+
+#include "sql/ast.h"
+
+namespace rfid {
+
+/// Parses a complete SELECT statement (optionally with WITH / UNION ALL /
+/// ORDER BY). Trailing semicolon allowed.
+Result<StatementPtr> ParseSql(std::string_view sql);
+
+/// Parses a standalone scalar/boolean expression (used by the rule parser
+/// for WHERE conditions over pattern references).
+Result<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace rfid
+
+#endif  // RFID_SQL_PARSER_H_

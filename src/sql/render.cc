@@ -1,0 +1,92 @@
+#include "sql/render.h"
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+namespace {
+
+std::string RenderCore(const SelectCore& core) {
+  std::string out = "SELECT ";
+  if (core.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < core.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = core.items[i];
+    if (item.is_star) {
+      out += "*";
+      continue;
+    }
+    out += ExprToSql(item.expr);
+    if (!item.alias.empty()) out += " AS " + item.alias;
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < core.from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += core.from[i].table_name;
+    if (!EqualsIgnoreCase(core.from[i].alias, core.from[i].table_name)) {
+      out += " " + core.from[i].alias;
+    }
+  }
+  if (core.where != nullptr) {
+    out += " WHERE " + ExprToSql(core.where);
+  }
+  if (!core.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < core.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ExprToSql(core.group_by[i]);
+    }
+  }
+  if (core.having != nullptr) {
+    out += " HAVING " + ExprToSql(core.having);
+  }
+  return out;
+}
+
+std::string RenderStatement(const SelectStatement& stmt) {
+  std::string out;
+  if (!stmt.with.empty()) {
+    out += "WITH ";
+    for (size_t i = 0; i < stmt.with.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += stmt.with[i].name + " AS (" + RenderStatement(*stmt.with[i].body) + ")";
+    }
+    out += " ";
+  }
+  for (size_t i = 0; i < stmt.cores.size(); ++i) {
+    if (i > 0) out += " UNION ALL ";
+    out += RenderCore(stmt.cores[i]);
+  }
+  if (!stmt.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ExprToSql(stmt.order_by[i].expr);
+      if (!stmt.order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (stmt.limit >= 0) {
+    out += " LIMIT " + std::to_string(stmt.limit);
+  }
+  return out;
+}
+
+void EnsureHookInstalled() {
+  if (internal::subquery_renderer == nullptr) {
+    internal::subquery_renderer = &RenderStatement;
+  }
+}
+
+}  // namespace
+
+std::string StatementToSql(const SelectStatement& stmt) {
+  EnsureHookInstalled();
+  return RenderStatement(stmt);
+}
+
+std::string RenderExpr(const ExprPtr& e) {
+  EnsureHookInstalled();
+  return ExprToSql(e);
+}
+
+}  // namespace rfid

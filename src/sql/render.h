@@ -1,0 +1,22 @@
+// Renders statement ASTs back to SQL text. The rewrite engine works on
+// ASTs and then emits SQL, mirroring the paper's architecture where the
+// rewrite unit sits outside the DBMS and submits rewritten SQL (Figure 1,
+// step 5).
+#ifndef RFID_SQL_RENDER_H_
+#define RFID_SQL_RENDER_H_
+
+#include "sql/ast.h"
+
+namespace rfid {
+
+/// Renders a full statement (WITH, UNION ALL, ORDER BY). Idempotent with
+/// ParseSql up to whitespace.
+std::string StatementToSql(const SelectStatement& stmt);
+
+/// Expression rendering that resolves IN-subqueries (installs the
+/// statement renderer hook before delegating to ExprToSql).
+std::string RenderExpr(const ExprPtr& e);
+
+}  // namespace rfid
+
+#endif  // RFID_SQL_RENDER_H_

@@ -1,0 +1,52 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+Result<Table*> Database::CreateTable(std::string name, Schema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + name);
+  }
+  auto table = std::make_unique<Table>(std::move(name), std::move(schema));
+  Table* ptr = table.get();
+  tables_[key] = std::move(table);
+  return ptr;
+}
+
+Table* Database::GetTable(std::string_view name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Database::GetTable(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Table*> Database::ResolveTable(std::string_view name) {
+  Table* t = GetTable(name);
+  if (t == nullptr) {
+    return Status::NotFound("table not found: " + std::string(name));
+  }
+  return t;
+}
+
+Status Database::DropTable(std::string_view name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + std::string(name));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace rfid

@@ -1,0 +1,43 @@
+// The Database catalog: owns tables by (case-insensitive) name. This is
+// the "DBMS" boundary of the reproduction — the rule engine and rewrite
+// engine sit above it, as in the paper's Figure 1.
+#ifndef RFID_STORAGE_CATALOG_H_
+#define RFID_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace rfid {
+
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates a table; fails if one with the same name exists.
+  Result<Table*> CreateTable(std::string name, Schema schema);
+
+  /// Returns the table or nullptr.
+  Table* GetTable(std::string_view name);
+  const Table* GetTable(std::string_view name) const;
+
+  /// Returns the table or a NotFound status.
+  Result<Table*> ResolveTable(std::string_view name);
+
+  Status DropTable(std::string_view name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  // Keyed by lower-cased name.
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STORAGE_CATALOG_H_

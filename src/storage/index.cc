@@ -1,0 +1,46 @@
+#include "storage/index.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+void SortedIndex::Build(const std::vector<std::vector<Value>>& rows) {
+  entries_.clear();
+  entries_.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Value& v = rows[i][column_index_];
+    if (v.is_null()) continue;
+    entries_.push_back({v, static_cast<uint32_t>(i)});
+  }
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.value.Compare(b.value) < 0;
+                   });
+}
+
+std::vector<uint32_t> SortedIndex::RangeScan(const std::optional<Bound>& lo,
+                                             const std::optional<Bound>& hi) const {
+  // Lower bound: first entry >= lo (or > lo when exclusive).
+  auto begin = entries_.begin();
+  if (lo.has_value()) {
+    begin = std::lower_bound(entries_.begin(), entries_.end(), *lo,
+                             [](const Entry& e, const Bound& b) {
+                               int c = e.value.Compare(b.value);
+                               return b.inclusive ? c < 0 : c <= 0;
+                             });
+  }
+  auto end = entries_.end();
+  if (hi.has_value()) {
+    end = std::upper_bound(begin, entries_.end(), *hi,
+                           [](const Bound& b, const Entry& e) {
+                             int c = e.value.Compare(b.value);
+                             return b.inclusive ? c > 0 : c >= 0;
+                           });
+  }
+  std::vector<uint32_t> out;
+  out.reserve(static_cast<size_t>(end - begin));
+  for (auto it = begin; it != end; ++it) out.push_back(it->row_id);
+  return out;
+}
+
+}  // namespace rfid

@@ -1,0 +1,55 @@
+// Sorted single-column secondary index: (value, row id) pairs in value
+// order, supporting range scans via binary search. This plays the role a
+// B-tree index plays in the paper's DB2 setup — the cost structure
+// (touch only qualifying rows vs scan everything) is what matters.
+#ifndef RFID_STORAGE_INDEX_H_
+#define RFID_STORAGE_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace rfid {
+
+/// One endpoint of a range scan; unset means unbounded.
+struct Bound {
+  Value value;
+  bool inclusive = true;
+};
+
+class SortedIndex {
+ public:
+  SortedIndex(std::string column_name, size_t column_index)
+      : column_name_(std::move(column_name)), column_index_(column_index) {}
+
+  const std::string& column_name() const { return column_name_; }
+  size_t column_index() const { return column_index_; }
+
+  /// Rebuilds the index from the rows. NULL values are excluded (a range
+  /// predicate never matches NULL).
+  void Build(const std::vector<std::vector<Value>>& rows);
+
+  /// Returns row ids whose column value lies within [lo, hi] (either bound
+  /// optional), in index (value) order.
+  std::vector<uint32_t> RangeScan(const std::optional<Bound>& lo,
+                                  const std::optional<Bound>& hi) const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Value value;
+    uint32_t row_id;
+  };
+
+  std::string column_name_;
+  size_t column_index_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STORAGE_INDEX_H_

@@ -1,0 +1,228 @@
+#include "storage/persist.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sys/stat.h>
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+namespace {
+
+constexpr const char* kManifestMagic = "rfiddb 1";
+
+const char* TypeTag(DataType t) {
+  switch (t) {
+    case DataType::kBool: return "BOOL";
+    case DataType::kInt64: return "INT64";
+    case DataType::kDouble: return "DOUBLE";
+    case DataType::kString: return "STRING";
+    case DataType::kTimestamp: return "TIMESTAMP";
+    case DataType::kInterval: return "INTERVAL";
+    case DataType::kNull: return "NULL";
+  }
+  return "?";
+}
+
+Result<DataType> TypeFromTag(const std::string& tag) {
+  if (tag == "BOOL") return DataType::kBool;
+  if (tag == "INT64") return DataType::kInt64;
+  if (tag == "DOUBLE") return DataType::kDouble;
+  if (tag == "STRING") return DataType::kString;
+  if (tag == "TIMESTAMP") return DataType::kTimestamp;
+  if (tag == "INTERVAL") return DataType::kInterval;
+  if (tag == "NULL") return DataType::kNull;
+  return Status::InvalidArgument("unknown column type tag: " + tag);
+}
+
+std::string EscapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\\': out += "\\\\"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeField(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      return Status::InvalidArgument("dangling escape in persisted field");
+    }
+    switch (s[++i]) {
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case '\\': out += '\\'; break;
+      default:
+        return Status::InvalidArgument("bad escape in persisted field");
+    }
+  }
+  return out;
+}
+
+std::string FieldOf(const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      return "\\N";
+    case DataType::kBool:
+      return v.bool_value() ? "1" : "0";
+    case DataType::kInt64:
+      return std::to_string(v.int64_value());
+    case DataType::kDouble: {
+      char buf[40];
+      snprintf(buf, sizeof(buf), "%.17g", v.double_value());
+      return buf;
+    }
+    case DataType::kString:
+      return EscapeField(v.string_value());
+    case DataType::kTimestamp:
+      return std::to_string(v.timestamp_value());
+    case DataType::kInterval:
+      return std::to_string(v.interval_value());
+  }
+  return "\\N";
+}
+
+Result<Value> ValueOf(const std::string& field, DataType type) {
+  if (field == "\\N") return Value::Null();
+  try {
+    switch (type) {
+      case DataType::kBool:
+        return Value::Bool(field == "1");
+      case DataType::kInt64:
+        return Value::Int64(std::stoll(field));
+      case DataType::kDouble:
+        return Value::Double(std::stod(field));
+      case DataType::kString: {
+        RFID_ASSIGN_OR_RETURN(std::string s, UnescapeField(field));
+        return Value::String(std::move(s));
+      }
+      case DataType::kTimestamp:
+        return Value::Timestamp(std::stoll(field));
+      case DataType::kInterval:
+        return Value::Interval(std::stoll(field));
+      case DataType::kNull:
+        return Value::Null();
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed persisted value: " + field);
+  }
+  return Status::InvalidArgument("unhandled persisted type");
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal(StrFormat("mkdir %s: %s", dir.c_str(),
+                                      strerror(errno)));
+  }
+  std::ofstream manifest(dir + "/MANIFEST", std::ios::trunc);
+  if (!manifest) return Status::Internal("cannot write manifest");
+  manifest << kManifestMagic << "\n";
+  for (const std::string& name : db.TableNames()) {
+    const Table* table = db.GetTable(name);
+    manifest << name << "\n";
+    std::ofstream out(dir + "/" + name + ".tsv", std::ios::trunc);
+    if (!out) return Status::Internal("cannot write table file for " + name);
+    // Header: col:TYPE pairs.
+    for (size_t c = 0; c < table->schema().num_columns(); ++c) {
+      if (c > 0) out << '\t';
+      const Column& col = table->schema().column(c);
+      out << col.name << ':' << TypeTag(col.type);
+    }
+    out << '\n';
+    for (const Row& row : table->rows()) {
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) out << '\t';
+        out << FieldOf(row[c]);
+      }
+      out << '\n';
+    }
+    if (!out.good()) return Status::Internal("write failure for " + name);
+  }
+  manifest.flush();
+  if (!manifest.good()) return Status::Internal("manifest write failure");
+  return Status::OK();
+}
+
+Status LoadDatabase(const std::string& dir, Database* db,
+                    bool skip_existing) {
+  std::ifstream manifest(dir + "/MANIFEST");
+  if (!manifest) {
+    return Status::NotFound("no database manifest in " + dir);
+  }
+  std::string line;
+  if (!std::getline(manifest, line) || line != kManifestMagic) {
+    return Status::InvalidArgument("unrecognized database format in " + dir);
+  }
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const std::string& name = line;
+    std::ifstream in(dir + "/" + name + ".tsv");
+    if (!in) return Status::NotFound("missing table file for " + name);
+    std::string header;
+    if (!std::getline(in, header)) {
+      return Status::InvalidArgument("empty table file for " + name);
+    }
+    Schema schema;
+    for (const std::string& field : SplitTabs(header)) {
+      size_t colon = field.rfind(':');
+      if (colon == std::string::npos) {
+        return Status::InvalidArgument("malformed header in " + name);
+      }
+      RFID_ASSIGN_OR_RETURN(DataType type, TypeFromTag(field.substr(colon + 1)));
+      schema.AddColumn(field.substr(0, colon), type);
+    }
+    if (skip_existing && db->GetTable(name) != nullptr) continue;
+    RFID_ASSIGN_OR_RETURN(Table * table, db->CreateTable(name, schema));
+    std::string row_line;
+    while (std::getline(in, row_line)) {
+      std::vector<std::string> fields = SplitTabs(row_line);
+      if (fields.size() != table->schema().num_columns()) {
+        return Status::InvalidArgument(StrFormat(
+            "row arity mismatch in %s: got %zu want %zu", name.c_str(),
+            fields.size(), table->schema().num_columns()));
+      }
+      Row row;
+      row.reserve(fields.size());
+      for (size_t c = 0; c < fields.size(); ++c) {
+        RFID_ASSIGN_OR_RETURN(Value v,
+                              ValueOf(fields[c], table->schema().column(c).type));
+        row.push_back(std::move(v));
+      }
+      table->AppendUnchecked(std::move(row));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rfid

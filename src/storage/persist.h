@@ -1,0 +1,32 @@
+// Database persistence: saves/loads every table to a directory as a
+// manifest plus one tab-separated file per table. Used to cache generated
+// benchmark databases and by the rfidsql shell's .save/.load commands.
+//
+// Format, version 1:
+//   <dir>/MANIFEST        "rfiddb 1" then one table name per line
+//   <dir>/<table>.tsv     line 1: col:TYPE\t...; then one row per line.
+// Values are tab-separated; NULL is "\N"; strings are escaped (\t, \n,
+// \\, and \N). Timestamps/intervals are raw microsecond integers.
+#ifndef RFID_STORAGE_PERSIST_H_
+#define RFID_STORAGE_PERSIST_H_
+
+#include <string>
+
+#include "storage/catalog.h"
+
+namespace rfid {
+
+/// Writes every table of the database into `dir` (created if needed).
+Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// Loads all tables from `dir` into `db` (tables must not already exist
+/// unless `skip_existing`, in which case clashing tables are left
+/// untouched). Indexes and statistics are NOT rebuilt; call the
+/// appropriate Build/ComputeStats afterwards (or
+/// rfidgen::FinalizeDatabase for RFID data).
+Status LoadDatabase(const std::string& dir, Database* db,
+                    bool skip_existing = false);
+
+}  // namespace rfid
+
+#endif  // RFID_STORAGE_PERSIST_H_

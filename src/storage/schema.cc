@@ -1,0 +1,41 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+int Schema::FindColumn(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> Schema::ResolveColumn(std::string_view name) const {
+  int idx = FindColumn(name);
+  if (idx < 0) {
+    return Status::NotFound("column not found: " + std::string(name));
+  }
+  return static_cast<size_t>(idx);
+}
+
+std::vector<std::string> Schema::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += DataTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rfid

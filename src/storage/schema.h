@@ -1,0 +1,51 @@
+// Table schemas: ordered lists of typed, named columns with
+// case-insensitive name lookup (SQL identifier semantics).
+#ifndef RFID_STORAGE_SCHEMA_H_
+#define RFID_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace rfid {
+
+struct Column {
+  std::string name;
+  DataType type = DataType::kNull;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(std::string name, DataType type) {
+    columns_.push_back({std::move(name), type});
+  }
+
+  /// Returns the index of the column with the given name (case-insensitive),
+  /// or -1 if absent.
+  int FindColumn(std::string_view name) const;
+
+  /// Like FindColumn but returns an error naming the missing column.
+  Result<size_t> ResolveColumn(std::string_view name) const;
+
+  bool HasColumn(std::string_view name) const { return FindColumn(name) >= 0; }
+
+  std::vector<std::string> ColumnNames() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STORAGE_SCHEMA_H_

@@ -1,0 +1,5 @@
+#include "storage/stats.h"
+
+namespace rfid {
+// ColumnStats is a plain aggregate; computation lives in Table::ComputeStats.
+}  // namespace rfid

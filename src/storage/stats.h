@@ -1,0 +1,24 @@
+// Per-column statistics for cardinality estimation: min/max, approximate
+// number of distinct values, and null count.
+#ifndef RFID_STORAGE_STATS_H_
+#define RFID_STORAGE_STATS_H_
+
+#include <cstdint>
+
+#include "common/value.h"
+
+namespace rfid {
+
+struct ColumnStats {
+  Value min;   // NULL if the column has no non-null values
+  Value max;
+  uint64_t ndv = 0;         // number of distinct non-null values
+  uint64_t null_count = 0;
+  uint64_t row_count = 0;
+
+  bool HasRange() const { return !min.is_null() && !max.is_null(); }
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STORAGE_STATS_H_

@@ -1,0 +1,69 @@
+#include "storage/table.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "row arity %zu does not match schema arity %zu for table %s",
+        row.size(), schema_.num_columns(), name_.c_str()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].is_null()) continue;
+    if (row[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument(StrFormat(
+          "type mismatch in column %s of table %s: expected %s got %s",
+          schema_.column(i).name.c_str(), name_.c_str(),
+          DataTypeName(schema_.column(i).type), DataTypeName(row[i].type())));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::BuildIndex(std::string_view column_name) {
+  RFID_ASSIGN_OR_RETURN(size_t col, schema_.ResolveColumn(column_name));
+  for (auto& idx : indexes_) {
+    if (idx->column_index() == col) {
+      idx->Build(rows_);
+      return Status::OK();
+    }
+  }
+  auto idx = std::make_unique<SortedIndex>(schema_.column(col).name, col);
+  idx->Build(rows_);
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+const SortedIndex* Table::GetIndex(std::string_view column_name) const {
+  for (const auto& idx : indexes_) {
+    if (EqualsIgnoreCase(idx->column_name(), column_name)) return idx.get();
+  }
+  return nullptr;
+}
+
+void Table::ComputeStats() {
+  stats_.assign(schema_.num_columns(), ColumnStats{});
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    ColumnStats& st = stats_[c];
+    st.row_count = rows_.size();
+    std::unordered_set<Value, ValueHash> distinct;
+    for (const Row& r : rows_) {
+      const Value& v = r[c];
+      if (v.is_null()) {
+        ++st.null_count;
+        continue;
+      }
+      if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
+      if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
+      distinct.insert(v);
+    }
+    st.ndv = distinct.size();
+  }
+}
+
+}  // namespace rfid

@@ -1,0 +1,66 @@
+// In-memory row-store table with optional sorted secondary indexes and
+// per-column statistics used by the cost model.
+#ifndef RFID_STORAGE_TABLE_H_
+#define RFID_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/index.h"
+#include "storage/schema.h"
+#include "storage/stats.h"
+
+namespace rfid {
+
+using Row = std::vector<Value>;
+
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; the row must match the schema arity. Invalidates
+  /// indexes and stats until Build*/ComputeStats is called again.
+  Status Append(Row row);
+
+  /// Bulk-append without per-row checks (generator fast path).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Mutable row access for in-place updates (anomaly injection). The
+  /// caller must rebuild indexes/statistics afterwards.
+  Row& mutable_row(size_t i) { return rows_[i]; }
+
+  /// Replaces the entire row set (bulk delete/update path).
+  void ReplaceRows(std::vector<Row> rows) { rows_ = std::move(rows); }
+
+  /// Builds (or rebuilds) a sorted index on the named column.
+  Status BuildIndex(std::string_view column_name);
+
+  /// Returns the index on the column, or nullptr if none exists.
+  const SortedIndex* GetIndex(std::string_view column_name) const;
+
+  /// Recomputes min/max/NDV statistics for every column.
+  void ComputeStats();
+
+  /// Stats for column i; valid only after ComputeStats().
+  const ColumnStats& stats(size_t column) const { return stats_[column]; }
+  bool has_stats() const { return !stats_.empty(); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+  std::vector<std::unique_ptr<SortedIndex>> indexes_;
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STORAGE_TABLE_H_

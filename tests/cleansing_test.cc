@@ -1,0 +1,379 @@
+// Tests for the SQL-TS rule parser, the SQL/OLAP rule compiler, and the
+// cleansing chain — including all five example rules of Section 4.3 and
+// the rule-ordering example of Section 4.4.
+#include <gtest/gtest.h>
+
+#include "cleansing/chain.h"
+#include "cleansing/rule_parser.h"
+#include "common/time_util.h"
+#include "plan/planner.h"
+#include "sql/render.h"
+
+namespace rfid {
+namespace {
+
+constexpr const char* kDuplicateRule =
+    "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+    "AS (A, B) "
+    "WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 MINUTES "
+    "ACTION DELETE B";
+
+constexpr const char* kReaderRule =
+    "DEFINE reader ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+    "AS (A, *B) "
+    "WHERE B.reader = 'readerX' AND B.rtime - A.rtime < 10 MINUTES "
+    "ACTION DELETE A";
+
+constexpr const char* kReplacingRule =
+    "DEFINE replacing ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+    "AS (A, B) "
+    "WHERE A.biz_loc = 'loc2' AND B.biz_loc = 'locA' AND "
+    "B.rtime - A.rtime < 20 MINUTES "
+    "ACTION MODIFY A.biz_loc = 'loc1'";
+
+constexpr const char* kCycleRule =
+    "DEFINE cycle ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+    "AS (A, B, C) "
+    "WHERE A.biz_loc = C.biz_loc AND A.biz_loc <> B.biz_loc "
+    "ACTION DELETE B";
+
+// Missing-read compensation (Example 5), split into sub-rules r1/r2 over
+// the derived caseR ∪ expected-pallet-reads input.
+constexpr const char* kMissingRule1 =
+    "DEFINE missing_r1 ON caseR "
+    "FROM (select epc, rtime, biz_loc, reader, 0 as is_pallet from caseR "
+    "      union all "
+    "      select parent.child_epc as epc, palletR.rtime, palletR.biz_loc, "
+    "             palletR.reader, 1 as is_pallet "
+    "      from palletR, parent where palletR.epc = parent.parent_epc) "
+    "CLUSTER BY epc SEQUENCE BY rtime "
+    "AS (X, A, Y) "
+    "WHERE A.is_pallet = 1 AND "
+    "((X.is_pallet = 0 AND A.biz_loc = X.biz_loc AND "
+    "  A.rtime - X.rtime < 5 MINUTES) OR "
+    " (Y.is_pallet = 0 AND A.biz_loc = Y.biz_loc AND "
+    "  Y.rtime - A.rtime < 5 MINUTES)) "
+    "ACTION MODIFY A.has_case_nearby = 1";
+
+constexpr const char* kMissingRule2 =
+    "DEFINE missing_r2 ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+    "AS (A, *B) "
+    "WHERE A.is_pallet = 0 OR "
+    "(A.has_case_nearby = 0 AND B.has_case_nearby = 1) "
+    "ACTION KEEP A";
+
+class CleansingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema reads;
+    reads.AddColumn("epc", DataType::kString);
+    reads.AddColumn("rtime", DataType::kTimestamp);
+    reads.AddColumn("reader", DataType::kString);
+    reads.AddColumn("biz_loc", DataType::kString);
+    case_r_ = db_.CreateTable("caseR", reads).value();
+    pallet_r_ = db_.CreateTable("palletR", reads).value();
+    Schema parent;
+    parent.AddColumn("child_epc", DataType::kString);
+    parent.AddColumn("parent_epc", DataType::kString);
+    parent_ = db_.CreateTable("parent", parent).value();
+    engine_ = std::make_unique<CleansingRuleEngine>(&db_);
+  }
+
+  void AddRead(Table* t, const std::string& epc, int64_t rtime,
+               const std::string& reader, const std::string& loc) {
+    ASSERT_TRUE(t->Append({Value::String(epc), Value::Timestamp(rtime),
+                           Value::String(reader), Value::String(loc)})
+                    .ok());
+  }
+
+  // Runs the given rules over the full caseR table (naive cleansing) and
+  // returns the resulting rows.
+  std::vector<Row> Clean(const std::vector<std::string>& rule_texts,
+                         std::string select_cols = "*") {
+    std::vector<const CleansingRule*> rules;
+    for (const std::string& text : rule_texts) {
+      Status st = engine_->DefineRule(text);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      if (!st.ok()) return {};
+    }
+    for (const CleansingRule& r : engine_->rules()) rules.push_back(&r);
+    auto chain = BuildCleansingChain(rules, db_, "__input",
+                                     case_r_->schema().columns());
+    EXPECT_TRUE(chain.ok()) << chain.status().ToString();
+    if (!chain.ok()) return {};
+    std::string sql = "WITH __input AS (SELECT * FROM caseR)";
+    for (const auto& [name, body] : chain->with_clauses) {
+      sql += ", " + name + " AS (" + body + ")";
+    }
+    sql += " SELECT " + select_cols + " FROM " + chain->output_name;
+    auto res = ExecuteSql(db_, sql);
+    EXPECT_TRUE(res.ok()) << sql << "\n" << res.status().ToString();
+    if (!res.ok()) return {};
+    last_desc_ = res->desc;
+    return res->rows;
+  }
+
+  Database db_;
+  Table* case_r_ = nullptr;
+  Table* pallet_r_ = nullptr;
+  Table* parent_ = nullptr;
+  std::unique_ptr<CleansingRuleEngine> engine_;
+  RowDesc last_desc_;
+};
+
+TEST_F(CleansingTest, ParseDuplicateRule) {
+  auto rule = ParseRule(kDuplicateRule);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->name, "duplicate");
+  EXPECT_EQ(rule->on_table, "caseR");
+  EXPECT_EQ(rule->ckey, "epc");
+  EXPECT_EQ(rule->skey, "rtime");
+  ASSERT_EQ(rule->pattern.size(), 2u);
+  EXPECT_FALSE(rule->pattern[0].is_set);
+  EXPECT_EQ(rule->action, RuleAction::kDelete);
+  EXPECT_EQ(rule->target, "B");
+  EXPECT_EQ(rule->TargetIndex(), 1);
+}
+
+TEST_F(CleansingTest, ParseSetReferenceAndModify) {
+  auto rule = ParseRule(kReaderRule);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->pattern[1].is_set);
+  EXPECT_EQ(rule->target, "A");
+
+  auto mod = ParseRule(kReplacingRule);
+  ASSERT_TRUE(mod.ok()) << mod.status().ToString();
+  EXPECT_EQ(mod->action, RuleAction::kModify);
+  ASSERT_EQ(mod->assignments.size(), 1u);
+  EXPECT_EQ(mod->assignments[0].column, "biz_loc");
+  EXPECT_EQ(mod->target, "A");
+}
+
+TEST_F(CleansingTest, ParseDerivedInput) {
+  auto rule = ParseRule(kMissingRule1);
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_TRUE(rule->HasDerivedInput());
+  EXPECT_EQ(rule->from_select->cores.size(), 2u);  // UNION ALL
+}
+
+TEST_F(CleansingTest, ValidationRejectsBadRules) {
+  // Set reference in the middle.
+  EXPECT_FALSE(ParseRule("DEFINE x ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                         "AS (A, *B, C) WHERE A.epc = C.epc ACTION DELETE A")
+                   .ok());
+  // Target is a set.
+  EXPECT_FALSE(ParseRule("DEFINE x ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                         "AS (A, *B) WHERE B.reader = 'x' ACTION DELETE B")
+                   .ok());
+  // Unknown reference in condition.
+  EXPECT_FALSE(ParseRule("DEFINE x ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                         "AS (A, B) WHERE Z.epc = A.epc ACTION DELETE A")
+                   .ok());
+  // Unqualified condition column.
+  EXPECT_FALSE(ParseRule("DEFINE x ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                         "AS (A, B) WHERE epc = A.epc ACTION DELETE A")
+                   .ok());
+  // Duplicate reference names.
+  EXPECT_FALSE(ParseRule("DEFINE x ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                         "AS (A, A) WHERE A.epc = A.epc ACTION DELETE A")
+                   .ok());
+}
+
+TEST_F(CleansingTest, EngineRejectsDuplicateNamesAndUnknownTables) {
+  EXPECT_TRUE(engine_->DefineRule(kDuplicateRule).ok());
+  EXPECT_FALSE(engine_->DefineRule(kDuplicateRule).ok());  // same name
+  EXPECT_FALSE(engine_
+                   ->DefineRule("DEFINE r ON nosuch CLUSTER BY epc SEQUENCE BY "
+                                "rtime AS (A, B) WHERE A.epc = B.epc "
+                                "ACTION DELETE A")
+                   .ok());
+  // Unknown column in condition is rejected at definition time.
+  EXPECT_FALSE(engine_
+                   ->DefineRule("DEFINE r2 ON caseR CLUSTER BY epc SEQUENCE BY "
+                                "rtime AS (A, B) WHERE A.nope = B.nope "
+                                "ACTION DELETE A")
+                   .ok());
+}
+
+TEST_F(CleansingTest, TemplatePersistedInRulesTable) {
+  ASSERT_TRUE(engine_->DefineRule(kReaderRule).ok());
+  auto res = ExecuteSql(db_, "SELECT name, template_sql FROM __rules");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->rows.size(), 1u);
+  const std::string& tmpl = res->rows[0][1].string_value();
+  EXPECT_NE(tmpl.find("OVER (PARTITION BY epc ORDER BY rtime"), std::string::npos)
+      << tmpl;
+  EXPECT_NE(tmpl.find("RANGE BETWEEN 1 MICROSECONDS FOLLOWING"), std::string::npos)
+      << tmpl;
+}
+
+TEST_F(CleansingTest, DuplicateRuleKeepsFirstRead) {
+  // e1: locA@0, locA@2m (dup), locA@20m (not dup: >5m), locB@60m.
+  AddRead(case_r_, "e1", Minutes(0), "r1", "locA");
+  AddRead(case_r_, "e1", Minutes(2), "r2", "locA");
+  AddRead(case_r_, "e1", Minutes(20), "r1", "locA");
+  AddRead(case_r_, "e1", Minutes(60), "r1", "locB");
+  auto rows = Clean({kDuplicateRule});
+  ASSERT_EQ(rows.size(), 3u);
+}
+
+TEST_F(CleansingTest, DuplicateRuleBorderRowSurvives) {
+  // A single read has no predecessor: the condition is unknown, DELETE
+  // must keep it (the paper's NULL-handling requirement).
+  AddRead(case_r_, "e1", Minutes(0), "r1", "locA");
+  auto rows = Clean({kDuplicateRule});
+  EXPECT_EQ(rows.size(), 1u);
+}
+
+TEST_F(CleansingTest, ReaderRuleDeletesTrailingWindow) {
+  // Reads at 0m and 4m precede a readerX read at 8m within 10 minutes:
+  // both deleted. The readerX read itself and a later read survive.
+  AddRead(case_r_, "e1", Minutes(0), "r1", "locA");
+  AddRead(case_r_, "e1", Minutes(4), "r2", "locB");
+  AddRead(case_r_, "e1", Minutes(8), "readerX", "locC");
+  AddRead(case_r_, "e1", Minutes(120), "r3", "locD");
+  auto rows = Clean({kReaderRule});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][3].string_value(), "locC");
+  EXPECT_EQ(rows[1][3].string_value(), "locD");
+}
+
+TEST_F(CleansingTest, ReaderRuleRespectsSequenceBoundaries) {
+  // readerX read on e2 must not delete e1's reads.
+  AddRead(case_r_, "e1", Minutes(0), "r1", "locA");
+  AddRead(case_r_, "e2", Minutes(2), "readerX", "locB");
+  auto rows = Clean({kReaderRule});
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(CleansingTest, ReplacingRuleModifiesLocation) {
+  // Cross read at loc2 followed by locA within 20 minutes -> loc1.
+  AddRead(case_r_, "e1", Minutes(0), "r1", "loc2");
+  AddRead(case_r_, "e1", Minutes(10), "r2", "locA");
+  // Control: loc2 NOT followed by locA in time stays loc2.
+  AddRead(case_r_, "e2", Minutes(0), "r1", "loc2");
+  AddRead(case_r_, "e2", Minutes(300), "r2", "locA");
+  auto rows = Clean({kReplacingRule});
+  ASSERT_EQ(rows.size(), 4u);
+  int loc1_count = 0;
+  int loc2_count = 0;
+  for (const Row& r : rows) {
+    if (r[3].string_value() == "loc1") ++loc1_count;
+    if (r[3].string_value() == "loc2") ++loc2_count;
+  }
+  EXPECT_EQ(loc1_count, 1);
+  EXPECT_EQ(loc2_count, 1);
+}
+
+TEST_F(CleansingTest, CycleRuleCollapsesAlternation) {
+  // Section 4.3 Example 4: [X Y X Y X Y] -> [X Y].
+  const char* locs[] = {"X", "Y", "X", "Y", "X", "Y"};
+  for (int i = 0; i < 6; ++i) {
+    AddRead(case_r_, "e1", Hours(i), "r1", locs[i]);
+  }
+  auto rows = Clean({kCycleRule});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][3].string_value(), "X");
+  EXPECT_EQ(rows[0][1].timestamp_value(), Hours(0));  // first X
+  EXPECT_EQ(rows[1][3].string_value(), "Y");
+  EXPECT_EQ(rows[1][1].timestamp_value(), Hours(5));  // last Y
+}
+
+TEST_F(CleansingTest, CycleRuleLeavesStraightPathsAlone) {
+  const char* locs[] = {"X", "Y", "Z", "W"};
+  for (int i = 0; i < 4; ++i) {
+    AddRead(case_r_, "e1", Hours(i), "r1", locs[i]);
+  }
+  auto rows = Clean({kCycleRule});
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(CleansingTest, MissingRuleCompensatesWithPalletRead) {
+  // Pallet P1 contains case C1. Both travel L1 -> L2. The case read at L1
+  // is missing; a pallet read exists at both sites; the case is read with
+  // the pallet at L2. Cleansing must emit a compensating row for C1@L1.
+  AddRead(pallet_r_, "P1", Hours(1), "r1", "L1");
+  AddRead(pallet_r_, "P1", Hours(20), "r2", "L2");
+  ASSERT_TRUE(parent_
+                  ->Append({Value::String("C1"), Value::String("P1")})
+                  .ok());
+  // Case read at L2 only, 2 minutes after the pallet read.
+  AddRead(case_r_, "C1", Hours(20) + Minutes(2), "r2", "L2");
+  auto rows = Clean({kMissingRule1, kMissingRule2}, "epc, rtime, biz_loc, is_pallet");
+  // Expected output: compensating pallet read at L1 (is_pallet=1) and the
+  // real case read at L2 (is_pallet=0). The pallet read at L2 is dropped
+  // because the case was seen there.
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][2].string_value(), "L1");
+  EXPECT_EQ(rows[0][3].int64_value(), 1);
+  EXPECT_EQ(rows[1][2].string_value(), "L2");
+  EXPECT_EQ(rows[1][3].int64_value(), 0);
+}
+
+TEST_F(CleansingTest, MissingRuleDoesNotCompensateWithoutLaterSighting) {
+  // Case never seen with the pallet again: possible theft, no compensation
+  // (the "more confident" requirement of Example 5).
+  AddRead(pallet_r_, "P1", Hours(1), "r1", "L1");
+  AddRead(pallet_r_, "P1", Hours(20), "r2", "L2");
+  ASSERT_TRUE(parent_
+                  ->Append({Value::String("C1"), Value::String("P1")})
+                  .ok());
+  // No case reads at all for C1.
+  auto rows = Clean({kMissingRule1, kMissingRule2}, "epc, rtime, biz_loc, is_pallet");
+  EXPECT_EQ(rows.size(), 0u);
+}
+
+TEST_F(CleansingTest, RuleOrderingMattersSection44) {
+  // Section 4.4: location sequence [X Y X]. Cycle-then-duplicate yields
+  // [X] (the first X); duplicate-then-cycle yields [X X].
+  AddRead(case_r_, "e1", Hours(0), "r1", "X");
+  AddRead(case_r_, "e1", Hours(1), "r1", "Y");
+  AddRead(case_r_, "e1", Hours(2), "r1", "X");
+  const char* dup_no_time =
+      "DEFINE dup ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE A.biz_loc = B.biz_loc ACTION DELETE B";
+  {
+    auto rows = Clean({kCycleRule, dup_no_time});
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0][1].timestamp_value(), Hours(0));
+  }
+  // Fresh engine, reversed order.
+  engine_ = std::make_unique<CleansingRuleEngine>(&db_);
+  {
+    auto rows = Clean({dup_no_time, kCycleRule});
+    ASSERT_EQ(rows.size(), 2u);  // duplicate rule sees X,Y,X: nothing adjacent
+  }
+}
+
+TEST_F(CleansingTest, ChainSharesOneSortAcrossRules) {
+  // Multiple rules with the same CLUSTER BY / SEQUENCE BY must plan with a
+  // single Sort (Section 6.3: "only the first rule incurs the sorting
+  // overhead").
+  AddRead(case_r_, "e1", Minutes(0), "r1", "locA");
+  AddRead(case_r_, "e1", Minutes(2), "r2", "locA");
+  ASSERT_TRUE(engine_->DefineRule(kDuplicateRule).ok());
+  ASSERT_TRUE(engine_->DefineRule(kReaderRule).ok());
+  ASSERT_TRUE(engine_->DefineRule(kCycleRule).ok());
+  std::vector<const CleansingRule*> rules;
+  for (const CleansingRule& r : engine_->rules()) rules.push_back(&r);
+  auto chain = BuildCleansingChain(rules, db_, "__input",
+                                   case_r_->schema().columns());
+  ASSERT_TRUE(chain.ok()) << chain.status().ToString();
+  std::string sql = "WITH __input AS (SELECT * FROM caseR)";
+  for (const auto& [name, body] : chain->with_clauses) {
+    sql += ", " + name + " AS (" + body + ")";
+  }
+  sql += " SELECT * FROM " + chain->output_name;
+  auto res = ExecuteSql(db_, sql);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  size_t sort_count = 0;
+  size_t pos = 0;
+  while ((pos = res->explain.find("Sort", pos)) != std::string::npos) {
+    ++sort_count;
+    pos += 4;
+  }
+  EXPECT_EQ(sort_count, 1u) << res->explain;
+}
+
+}  // namespace
+}  // namespace rfid

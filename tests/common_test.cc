@@ -1,0 +1,182 @@
+// Unit tests for the common module: Status/Result, Value semantics,
+// time formatting, string helpers, PRNG determinism.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "common/value.h"
+
+namespace rfid {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rule");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Halve(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseMacros(int x, int* out) {
+  RFID_ASSIGN_OR_RETURN(int half, Halve(x));
+  *out = half;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(UseMacros(7, &out).ok());
+}
+
+TEST(ValueTest, NullBehaviour) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), DataType::kNull);
+  EXPECT_EQ(v.ToString(), "NULL");
+}
+
+TEST(ValueTest, CompareInt64) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Int64(5).Compare(Value::Int64(5)), 0);
+  EXPECT_GT(Value::Int64(9).Compare(Value::Int64(2)), 0);
+}
+
+TEST(ValueTest, CompareMixedNumeric) {
+  EXPECT_EQ(Value::Int64(3).Compare(Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Int64(3).Compare(Value::Double(3.5)), 0);
+  EXPECT_GT(Value::Double(4.5).Compare(Value::Int64(4)), 0);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::String("abc").Compare(Value::String("abd")), 0);
+  EXPECT_EQ(Value::String("x").Compare(Value::String("x")), 0);
+}
+
+TEST(ValueTest, DistinctEqualsTreatsNullsEqual) {
+  EXPECT_TRUE(Value::Null().DistinctEquals(Value::Null()));
+  EXPECT_FALSE(Value::Null().DistinctEquals(Value::Int64(0)));
+  EXPECT_TRUE(Value::Int64(7).DistinctEquals(Value::Int64(7)));
+}
+
+TEST(ValueTest, HashConsistentForEqualValues) {
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Int64(3).Hash());
+  EXPECT_EQ(Value::Int64(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+}
+
+TEST(ValueTest, SqlLiteralQuoting) {
+  EXPECT_EQ(Value::String("o'neil").ToSqlLiteral(), "'o''neil'");
+  EXPECT_EQ(Value::Int64(12).ToSqlLiteral(), "12");
+  EXPECT_EQ(Value::Bool(true).ToSqlLiteral(), "TRUE");
+}
+
+TEST(ValueTest, TimestampAndIntervalRoundTrip) {
+  Value ts = Value::Timestamp(Minutes(5));
+  EXPECT_EQ(ts.timestamp_value(), 5 * 60 * 1000000LL);
+  Value iv = Value::Interval(Hours(2));
+  EXPECT_EQ(iv.interval_value(), 2 * 3600 * 1000000LL);
+}
+
+TEST(TypesComparableTest, Rules) {
+  EXPECT_TRUE(TypesComparable(DataType::kInt64, DataType::kDouble));
+  EXPECT_TRUE(TypesComparable(DataType::kTimestamp, DataType::kTimestamp));
+  EXPECT_FALSE(TypesComparable(DataType::kTimestamp, DataType::kInt64));
+  EXPECT_FALSE(TypesComparable(DataType::kString, DataType::kInt64));
+}
+
+TEST(TimeUtilTest, FormatTimestampEpoch) {
+  EXPECT_EQ(FormatTimestamp(0), "1970-01-01 00:00:00");
+}
+
+TEST(TimeUtilTest, FormatTimestampWithFraction) {
+  EXPECT_EQ(FormatTimestamp(1500000), "1970-01-01 00:00:01.500000");
+}
+
+TEST(TimeUtilTest, FormatInterval) {
+  EXPECT_EQ(FormatInterval(Minutes(5)), "5m");
+  EXPECT_EQ(FormatInterval(Hours(1) + Minutes(30)), "1h30m");
+  EXPECT_EQ(FormatInterval(0), "0s");
+  EXPECT_EQ(FormatInterval(-Minutes(2)), "-2m");
+}
+
+TEST(TimeUtilTest, FormatIntervalSql) {
+  EXPECT_EQ(FormatIntervalSql(Minutes(5)), "5 MINUTES");
+  EXPECT_EQ(FormatIntervalSql(Hours(3)), "3 HOURS");
+  EXPECT_EQ(FormatIntervalSql(Seconds(90)), "90 SECONDS");
+  EXPECT_EQ(FormatIntervalSql(1), "1 MICROSECONDS");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+}
+
+TEST(StringUtilTest, JoinAndFormat) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random r(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.UniformRange(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    saw_lo |= (v == 1);
+    saw_hi |= (v == 4);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random r(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (r.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,176 @@
+// Tests for the COUNT(<set ref>) threshold extension (the SQL/OLAP
+// capability Section 4.3 sketches: "if we change the scalar aggregate ...
+// from max() to count(), we can further control how many reads by readerX
+// should be observed before taking an action").
+#include <gtest/gtest.h>
+
+#include "cleansing/chain.h"
+#include "cleansing/rule_parser.h"
+#include "common/time_util.h"
+#include "plan/planner.h"
+#include "rewrite/rewriter.h"
+
+namespace rfid {
+namespace {
+
+class CountThresholdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema reads;
+    reads.AddColumn("epc", DataType::kString);
+    reads.AddColumn("rtime", DataType::kTimestamp);
+    reads.AddColumn("reader", DataType::kString);
+    reads.AddColumn("biz_loc", DataType::kString);
+    case_r_ = db_.CreateTable("caseR", reads).value();
+    engine_ = std::make_unique<CleansingRuleEngine>(&db_);
+  }
+
+  void AddRead(const std::string& epc, int64_t rtime, const std::string& reader) {
+    ASSERT_TRUE(case_r_
+                    ->Append({Value::String(epc), Value::Timestamp(rtime),
+                              Value::String(reader), Value::String("loc")})
+                    .ok());
+  }
+
+  std::vector<Row> Clean() {
+    std::vector<const CleansingRule*> rules;
+    for (const CleansingRule& r : engine_->rules()) rules.push_back(&r);
+    auto chain = BuildCleansingChain(rules, db_, "__input",
+                                     case_r_->schema().columns());
+    EXPECT_TRUE(chain.ok()) << chain.status().ToString();
+    std::string sql = "WITH __input AS (SELECT * FROM caseR)";
+    for (const auto& [name, body] : chain->with_clauses) {
+      sql += ", " + name + " AS (" + body + ")";
+    }
+    sql += " SELECT * FROM " + chain->output_name;
+    auto res = ExecuteSql(db_, sql);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() ? res->rows : std::vector<Row>{};
+  }
+
+  Database db_;
+  Table* case_r_ = nullptr;
+  std::unique_ptr<CleansingRuleEngine> engine_;
+};
+
+TEST_F(CountThresholdTest, RequiresTwoMatchesBeforeDeleting) {
+  // Delete a read only when at least TWO readerX reads trail it within 10
+  // minutes — one is not enough.
+  ASSERT_TRUE(engine_
+                  ->DefineRule(
+                      "DEFINE r ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                      "AS (A, *B) "
+                      "WHERE B.reader = 'readerX' AND COUNT(B) >= 2 AND "
+                      "B.rtime - A.rtime < 10 MINUTES "
+                      "ACTION DELETE A")
+                  .ok());
+  // e1: one trailing readerX read -> survives.
+  AddRead("e1", Minutes(0), "r1");
+  AddRead("e1", Minutes(2), "readerX");
+  // e2: two trailing readerX reads -> deleted.
+  AddRead("e2", Minutes(0), "r1");
+  AddRead("e2", Minutes(2), "readerX");
+  AddRead("e2", Minutes(4), "readerX");
+  auto rows = Clean();
+  // Survivors: both e1 reads, plus e2's two readerX reads (the first
+  // readerX read of e2 is itself followed by only ONE readerX read).
+  ASSERT_EQ(rows.size(), 4u);
+  for (const Row& r : rows) {
+    EXPECT_FALSE(r[0].string_value() == "e2" && r[2].string_value() == "r1");
+  }
+}
+
+TEST_F(CountThresholdTest, BareCountWithoutPredicate) {
+  // KEEP rows followed by at least 2 reads of any kind within an hour.
+  ASSERT_TRUE(engine_
+                  ->DefineRule(
+                      "DEFINE k ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                      "AS (A, *B) "
+                      "WHERE COUNT(B) >= 2 AND B.rtime - A.rtime < 60 MINUTES "
+                      "ACTION KEEP A")
+                  .ok());
+  AddRead("e1", Minutes(0), "r1");
+  AddRead("e1", Minutes(5), "r1");
+  AddRead("e1", Minutes(10), "r1");
+  AddRead("e1", Minutes(200), "r1");
+  auto rows = Clean();
+  // Only the first read has >= 2 followers within the hour.
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].timestamp_value(), Minutes(0));
+}
+
+TEST_F(CountThresholdTest, TemplateUsesSumAggregate) {
+  ASSERT_TRUE(engine_
+                  ->DefineRule(
+                      "DEFINE r ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                      "AS (A, *B) "
+                      "WHERE B.reader = 'readerX' AND COUNT(B) >= 3 "
+                      "ACTION DELETE A")
+                  .ok());
+  auto res = ExecuteSql(db_, "SELECT template_sql FROM __rules");
+  ASSERT_TRUE(res.ok());
+  const std::string& tmpl = res->rows[0][0].string_value();
+  EXPECT_NE(tmpl.find("SUM(CASE WHEN reader = 'readerX'"), std::string::npos)
+      << tmpl;
+  EXPECT_NE(tmpl.find(">= 3"), std::string::npos) << tmpl;
+}
+
+TEST_F(CountThresholdTest, RewritesStayCorrect) {
+  ASSERT_TRUE(engine_
+                  ->DefineRule(
+                      "DEFINE r ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                      "AS (A, *B) "
+                      "WHERE B.reader = 'readerX' AND COUNT(B) >= 2 AND "
+                      "B.rtime - A.rtime < 10 MINUTES "
+                      "ACTION DELETE A")
+                  .ok());
+  AddRead("e1", Minutes(55), "r1");
+  AddRead("e1", Minutes(57), "readerX");
+  AddRead("e1", Minutes(58), "readerX");
+  AddRead("e2", Minutes(50), "r1");
+  ASSERT_TRUE(case_r_->BuildIndex("rtime").ok());
+  case_r_->ComputeStats();
+
+  QueryRewriter rewriter(&db_, engine_.get());
+  std::string q = "SELECT epc, rtime FROM caseR WHERE rtime <= TIMESTAMP " +
+                  std::to_string(Minutes(56));
+  RewriteOptions naive;
+  naive.strategy = RewriteStrategy::kNaive;
+  auto truth = rewriter.Rewrite(q, naive);
+  ASSERT_TRUE(truth.ok());
+  auto truth_rows = ExecuteSql(db_, truth->sql);
+  ASSERT_TRUE(truth_rows.ok());
+  // e1@55 deleted (two readerX within 10m); e2@50 kept.
+  ASSERT_EQ(truth_rows->rows.size(), 1u);
+  EXPECT_EQ(truth_rows->rows[0][0].string_value(), "e2");
+
+  for (RewriteStrategy s :
+       {RewriteStrategy::kExpanded, RewriteStrategy::kJoinBack}) {
+    RewriteOptions opts;
+    opts.strategy = s;
+    auto info = rewriter.Rewrite(q, opts);
+    ASSERT_TRUE(info.ok()) << RewriteStrategyName(s);
+    auto rows = ExecuteSql(db_, info->sql);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows->rows.size(), 1u) << RewriteStrategyName(s);
+  }
+}
+
+TEST_F(CountThresholdTest, CountOfSingletonRejected) {
+  EXPECT_FALSE(engine_
+                   ->DefineRule(
+                       "DEFINE bad ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                       "AS (A, B) WHERE COUNT(B) >= 2 ACTION DELETE A")
+                   .ok());
+}
+
+TEST_F(CountThresholdTest, ArbitraryAggregateRejected) {
+  EXPECT_FALSE(engine_
+                   ->DefineRule(
+                       "DEFINE bad ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+                       "AS (A, *B) WHERE SUM(B.rtime) >= 2 ACTION DELETE A")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace rfid

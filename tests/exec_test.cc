@@ -1,0 +1,419 @@
+// Unit tests for the physical operators, including the SQL/OLAP window
+// operator that cleansing rules compile into.
+#include <gtest/gtest.h>
+
+#include "common/time_util.h"
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/hash_join.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "exec/union_all.h"
+#include "exec/window.h"
+#include "storage/catalog.h"
+
+namespace rfid {
+namespace {
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema reads;
+    reads.AddColumn("epc", DataType::kString);
+    reads.AddColumn("rtime", DataType::kTimestamp);
+    reads.AddColumn("biz_loc", DataType::kString);
+    auto t = db_.CreateTable("reads", reads);
+    ASSERT_TRUE(t.ok());
+    reads_ = t.value();
+    // Two EPC sequences; e1 has a duplicate location pair.
+    AddRead("e1", 0, "locA");
+    AddRead("e1", Minutes(2), "locA");   // duplicate of previous
+    AddRead("e1", Minutes(60), "locB");
+    AddRead("e2", Minutes(5), "locA");
+    AddRead("e2", Minutes(70), "locC");
+    ASSERT_TRUE(reads_->BuildIndex("rtime").ok());
+
+    Schema locs;
+    locs.AddColumn("gln", DataType::kString);
+    locs.AddColumn("site", DataType::kString);
+    auto l = db_.CreateTable("locs", locs);
+    ASSERT_TRUE(l.ok());
+    locs_ = l.value();
+    ASSERT_TRUE(locs_->Append({Value::String("locA"), Value::String("dc1")}).ok());
+    ASSERT_TRUE(locs_->Append({Value::String("locB"), Value::String("store1")}).ok());
+    // locC intentionally missing (tests inner-join drop).
+  }
+
+  void AddRead(const std::string& epc, int64_t rtime, const std::string& loc) {
+    ASSERT_TRUE(reads_
+                    ->Append({Value::String(epc), Value::Timestamp(rtime),
+                              Value::String(loc)})
+                    .ok());
+  }
+
+  // Binds e against op's output.
+  ExprPtr Bind(const ExprPtr& e, const Operator& op) {
+    auto r = BindExpr(e, op.output_desc());
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : nullptr;
+  }
+
+  Database db_;
+  Table* reads_ = nullptr;
+  Table* locs_ = nullptr;
+};
+
+TEST_F(ExecTest, TableScanProducesAllRows) {
+  TableScanOp scan(reads_, "r");
+  auto rows = CollectRows(&scan);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 5u);
+  EXPECT_EQ(scan.output_desc().num_fields(), 3u);
+  EXPECT_EQ(scan.output_desc().field(0).qualifier, "r");
+}
+
+TEST_F(ExecTest, IndexRangeScanHonorsBoundsAndOrder) {
+  IndexRangeScanOp scan(reads_, reads_->GetIndex("rtime"), "r",
+                        Bound{Value::Timestamp(Minutes(2)), true},
+                        Bound{Value::Timestamp(Minutes(60)), true});
+  auto rows = CollectRows(&scan);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);  // minutes 2, 5, 60
+  EXPECT_EQ((*rows)[0][1].timestamp_value(), Minutes(2));
+  EXPECT_EQ((*rows)[2][1].timestamp_value(), Minutes(60));
+}
+
+TEST_F(ExecTest, FilterKeepsOnlyTrueRows) {
+  auto scan = std::make_unique<TableScanOp>(reads_, "r");
+  ExprPtr pred = Bind(MakeBinary(BinaryOp::kEq, MakeColumnRef("r", "biz_loc"),
+                                 MakeLiteral(Value::String("locA"))),
+                      *scan);
+  FilterOp filter(std::move(scan), pred);
+  auto rows = CollectRows(&filter);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(ExecTest, ProjectComputesExpressions) {
+  auto scan = std::make_unique<TableScanOp>(reads_, "r");
+  ExprPtr epc = Bind(MakeColumnRef("r", "epc"), *scan);
+  ExprPtr shifted =
+      Bind(MakeBinary(BinaryOp::kAdd, MakeColumnRef("r", "rtime"),
+                      MakeLiteral(Value::Interval(Minutes(1)))),
+           *scan);
+  RowDesc out;
+  out.AddField("", "epc", DataType::kString);
+  out.AddField("", "shifted", DataType::kTimestamp);
+  ProjectOp proj(std::move(scan), {epc, shifted}, out);
+  auto rows = CollectRows(&proj);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  EXPECT_EQ((*rows)[0].size(), 2u);
+  EXPECT_EQ((*rows)[0][1].timestamp_value(), Minutes(1));
+}
+
+TEST_F(ExecTest, SortOrdersByKeys) {
+  auto scan = std::make_unique<TableScanOp>(reads_, "r");
+  SortOp sort(std::move(scan), {{0, true}, {1, false}});  // epc asc, rtime desc
+  auto rows = CollectRows(&sort);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  EXPECT_EQ((*rows)[0][0].string_value(), "e1");
+  EXPECT_EQ((*rows)[0][1].timestamp_value(), Minutes(60));  // e1 newest first
+  EXPECT_EQ((*rows)[4][0].string_value(), "e2");
+  EXPECT_EQ(sort.rows_sorted(), 5u);
+}
+
+TEST_F(ExecTest, SortPutsNullsFirst) {
+  AddRead("e0", 0, "x");
+  reads_->rows();  // silence unused warnings in some configs
+  // Make the new row's epc NULL via a direct append.
+  Table* t = db_.GetTable("reads");
+  ASSERT_TRUE(t->Append({Value::Null(), Value::Timestamp(1), Value::String("y")}).ok());
+  auto scan = std::make_unique<TableScanOp>(t, "r");
+  SortOp sort(std::move(scan), {{0, true}});
+  auto rows = CollectRows(&sort);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE((*rows)[0][0].is_null());
+}
+
+TEST_F(ExecTest, HashJoinInnerPreservesProbeOrder) {
+  auto probe = std::make_unique<TableScanOp>(reads_, "r");
+  auto build = std::make_unique<TableScanOp>(locs_, "l");
+  // r.biz_loc = l.gln
+  HashJoinOp join(std::move(probe), std::move(build), {2}, {0}, JoinType::kInner);
+  auto rows = CollectRows(&join);
+  ASSERT_TRUE(rows.ok());
+  // locC read drops out: 4 matches.
+  ASSERT_EQ(rows->size(), 4u);
+  EXPECT_EQ((*rows)[0].size(), 5u);  // 3 probe + 2 build columns
+  // Probe order preserved: rows appear in reads-table order.
+  EXPECT_EQ((*rows)[0][0].string_value(), "e1");
+  EXPECT_EQ((*rows)[3][0].string_value(), "e2");
+  EXPECT_EQ((*rows)[3][4].string_value(), "dc1");
+}
+
+TEST_F(ExecTest, HashSemiJoinEmitsProbeOnceAndProbeColumnsOnly) {
+  // Build side with duplicate keys must not duplicate probe rows.
+  ASSERT_TRUE(locs_->Append({Value::String("locA"), Value::String("dc2")}).ok());
+  auto probe = std::make_unique<TableScanOp>(reads_, "r");
+  auto build = std::make_unique<TableScanOp>(locs_, "l");
+  HashJoinOp join(std::move(probe), std::move(build), {2}, {0},
+                  JoinType::kLeftSemi);
+  auto rows = CollectRows(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);       // locA x3 + locB x1
+  EXPECT_EQ((*rows)[0].size(), 3u);  // probe columns only
+}
+
+TEST_F(ExecTest, HashJoinNullKeysNeverMatch) {
+  Table* t = db_.GetTable("reads");
+  ASSERT_TRUE(t->Append({Value::String("e9"), Value::Timestamp(2), Value::Null()}).ok());
+  auto probe = std::make_unique<TableScanOp>(t, "r");
+  auto build = std::make_unique<TableScanOp>(locs_, "l");
+  HashJoinOp join(std::move(probe), std::move(build), {2}, {0}, JoinType::kInner);
+  auto rows = CollectRows(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 4u);  // NULL biz_loc row does not join
+}
+
+TEST_F(ExecTest, HashAggregateGroupsAndAggregates) {
+  auto scan = std::make_unique<TableScanOp>(reads_, "r");
+  ExprPtr group = Bind(MakeColumnRef("r", "epc"), *scan);
+  AggSpec count_star{AggFunc::kCount, nullptr, false, DataType::kInt64};
+  AggSpec max_time{AggFunc::kMax, Bind(MakeColumnRef("r", "rtime"), *scan), false,
+                   DataType::kTimestamp};
+  RowDesc out;
+  out.AddField("", "epc", DataType::kString);
+  out.AddField("", "n", DataType::kInt64);
+  out.AddField("", "max_rtime", DataType::kTimestamp);
+  HashAggregateOp agg(std::move(scan), {group}, {count_star, max_time}, out);
+  auto rows = CollectRows(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  // First-seen group order: e1 then e2.
+  EXPECT_EQ((*rows)[0][0].string_value(), "e1");
+  EXPECT_EQ((*rows)[0][1].int64_value(), 3);
+  EXPECT_EQ((*rows)[0][2].timestamp_value(), Minutes(60));
+  EXPECT_EQ((*rows)[1][1].int64_value(), 2);
+}
+
+TEST_F(ExecTest, HashAggregateCountDistinct) {
+  auto scan = std::make_unique<TableScanOp>(reads_, "r");
+  AggSpec distinct_locs{AggFunc::kCount, Bind(MakeColumnRef("r", "biz_loc"), *scan),
+                        true, DataType::kInt64};
+  RowDesc out;
+  out.AddField("", "n", DataType::kInt64);
+  HashAggregateOp agg(std::move(scan), {}, {distinct_locs}, out);
+  auto rows = CollectRows(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].int64_value(), 3);  // locA, locB, locC
+}
+
+TEST_F(ExecTest, GlobalAggregateOnEmptyInputEmitsOneRow) {
+  auto scan = std::make_unique<TableScanOp>(reads_, "r");
+  ExprPtr never = Bind(MakeBinary(BinaryOp::kEq, MakeColumnRef("r", "epc"),
+                                  MakeLiteral(Value::String("zzz"))),
+                       *scan);
+  auto filter = std::make_unique<FilterOp>(std::move(scan), never);
+  AggSpec count_star{AggFunc::kCount, nullptr, false, DataType::kInt64};
+  AggSpec max_time{AggFunc::kMax, Bind(MakeColumnRef("r", "rtime"), *filter), false,
+                   DataType::kTimestamp};
+  RowDesc out;
+  out.AddField("", "n", DataType::kInt64);
+  out.AddField("", "m", DataType::kTimestamp);
+  HashAggregateOp agg(std::move(filter), {}, {count_star, max_time}, out);
+  auto rows = CollectRows(&agg);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].int64_value(), 0);
+  EXPECT_TRUE((*rows)[0][1].is_null());
+}
+
+TEST_F(ExecTest, DistinctRemovesDuplicates) {
+  auto scan = std::make_unique<TableScanOp>(reads_, "r");
+  ExprPtr loc = Bind(MakeColumnRef("r", "biz_loc"), *scan);
+  RowDesc out;
+  out.AddField("", "biz_loc", DataType::kString);
+  auto proj = std::make_unique<ProjectOp>(std::move(scan), std::vector<ExprPtr>{loc}, out);
+  DistinctOp distinct(std::move(proj));
+  auto rows = CollectRows(&distinct);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(ExecTest, UnionAllConcatenates) {
+  std::vector<OperatorPtr> inputs;
+  inputs.push_back(std::make_unique<TableScanOp>(reads_, "a"));
+  inputs.push_back(std::make_unique<TableScanOp>(reads_, "b"));
+  UnionAllOp u(std::move(inputs));
+  auto rows = CollectRows(&u);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 10u);
+  EXPECT_EQ(u.output_desc().field(0).qualifier, "");  // qualifiers cleared
+}
+
+// --- Window operator ---
+
+class WindowExecTest : public ExecTest {
+ protected:
+  // Builds scan -> sort(epc, rtime) -> window(aggs).
+  std::unique_ptr<WindowOp> MakeWindow(std::vector<WindowAggSpec> aggs) {
+    auto scan = std::make_unique<TableScanOp>(reads_, "r");
+    auto sort = std::make_unique<SortOp>(
+        std::move(scan), std::vector<SlotSortKey>{{0, true}, {1, true}});
+    return std::make_unique<WindowOp>(std::move(sort), std::vector<size_t>{0},
+                                      std::vector<SlotSortKey>{{1, true}},
+                                      std::move(aggs));
+  }
+
+  ExprPtr BindToReads(const ExprPtr& e) {
+    RowDesc d = RowDesc::FromSchema(reads_->schema(), "r");
+    auto r = BindExpr(e, d);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r.value() : nullptr;
+  }
+};
+
+TEST_F(WindowExecTest, LagViaRowsFrame) {
+  // max(biz_loc) over (partition by epc order by rtime
+  //                    rows between 1 preceding and 1 preceding)
+  WindowAggSpec prev_loc;
+  prev_loc.func = AggFunc::kMax;
+  prev_loc.arg = BindToReads(MakeColumnRef("r", "biz_loc"));
+  prev_loc.frame = {FrameUnit::kRows, {false, -1}, {false, -1}};
+  prev_loc.output_name = "prev_loc";
+  prev_loc.result_type = DataType::kString;
+
+  auto w = MakeWindow({prev_loc});
+  auto rows = CollectRows(w.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  // Sorted order: e1@0(locA), e1@2m(locA), e1@60m(locB), e2@5m, e2@70m.
+  EXPECT_TRUE((*rows)[0][3].is_null());  // first row of e1: empty frame
+  EXPECT_EQ((*rows)[1][3].string_value(), "locA");
+  EXPECT_EQ((*rows)[2][3].string_value(), "locA");
+  EXPECT_TRUE((*rows)[3][3].is_null());  // partition boundary resets
+  EXPECT_EQ((*rows)[4][3].string_value(), "locA");
+}
+
+TEST_F(WindowExecTest, RangeFollowingFrame) {
+  // count(*) over (partition by epc order by rtime
+  //                range between 1 microsecond following and 10 min following)
+  WindowAggSpec cnt;
+  cnt.func = AggFunc::kCount;
+  cnt.arg = nullptr;
+  cnt.frame = {FrameUnit::kRange, {false, 1}, {false, Minutes(10)}};
+  cnt.output_name = "n_next10";
+  cnt.result_type = DataType::kInt64;
+
+  auto w = MakeWindow({cnt});
+  auto rows = CollectRows(w.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 5u);
+  EXPECT_EQ((*rows)[0][3].int64_value(), 1);  // e1@0 sees e1@2m
+  EXPECT_EQ((*rows)[1][3].int64_value(), 0);  // e1@2m: e1@60m too far
+  EXPECT_EQ((*rows)[2][3].int64_value(), 0);
+  EXPECT_EQ((*rows)[3][3].int64_value(), 0);  // e2@5m: e2@70m too far
+  EXPECT_EQ((*rows)[4][3].int64_value(), 0);
+}
+
+TEST_F(WindowExecTest, RangeUnboundedFollowing) {
+  WindowAggSpec cnt;
+  cnt.func = AggFunc::kCount;
+  cnt.arg = nullptr;
+  cnt.frame = {FrameUnit::kRange, {false, 1}, {true, 1}};  // 1us following .. unbounded
+  cnt.output_name = "n_after";
+  cnt.result_type = DataType::kInt64;
+
+  auto w = MakeWindow({cnt});
+  auto rows = CollectRows(w.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][3].int64_value(), 2);  // e1@0: two later reads
+  EXPECT_EQ((*rows)[2][3].int64_value(), 0);  // e1@60m: none
+  EXPECT_EQ((*rows)[3][3].int64_value(), 1);  // e2@5m: one later
+}
+
+TEST_F(WindowExecTest, CaseInsideWindowAggregate) {
+  // max(case when biz_loc = 'locB' then 1 else 0 end) over
+  //   (range between 1 us following and 120 min following)
+  ExprPtr case_expr = MakeCase(
+      {MakeBinary(BinaryOp::kEq, MakeColumnRef("r", "biz_loc"),
+                  MakeLiteral(Value::String("locB"))),
+       MakeLiteral(Value::Int64(1)), MakeLiteral(Value::Int64(0))},
+      true);
+  WindowAggSpec has_b;
+  has_b.func = AggFunc::kMax;
+  has_b.arg = BindToReads(case_expr);
+  has_b.frame = {FrameUnit::kRange, {false, 1}, {false, Minutes(120)}};
+  has_b.output_name = "has_locB_after";
+  has_b.result_type = DataType::kInt64;
+
+  auto w = MakeWindow({has_b});
+  auto rows = CollectRows(w.get());
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0][3].int64_value(), 1);  // locB read at 60m trails e1@0
+  EXPECT_EQ((*rows)[1][3].int64_value(), 1);
+  EXPECT_TRUE((*rows)[2][3].is_null());       // empty frame -> NULL for max
+  EXPECT_EQ((*rows)[3][3].int64_value(), 0);  // e2 never hits locB
+}
+
+TEST_F(WindowExecTest, MultipleAggsComputedIndependently) {
+  WindowAggSpec prev_time;
+  prev_time.func = AggFunc::kMax;
+  prev_time.arg = BindToReads(MakeColumnRef("r", "rtime"));
+  prev_time.frame = {FrameUnit::kRows, {false, -1}, {false, -1}};
+  prev_time.output_name = "prev_time";
+  prev_time.result_type = DataType::kTimestamp;
+
+  WindowAggSpec total;
+  total.func = AggFunc::kCount;
+  total.arg = nullptr;
+  total.frame = {FrameUnit::kRows, {true, 0}, {true, 1}};  // whole partition
+  total.output_name = "n_in_seq";
+  total.result_type = DataType::kInt64;
+
+  auto w = MakeWindow({prev_time, total});
+  auto rows = CollectRows(w.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ((*rows)[0].size(), 5u);
+  EXPECT_TRUE((*rows)[0][3].is_null());
+  EXPECT_EQ((*rows)[0][4].int64_value(), 3);  // e1 partition size
+  EXPECT_EQ((*rows)[1][3].timestamp_value(), 0);
+  EXPECT_EQ((*rows)[3][4].int64_value(), 2);  // e2 partition size
+}
+
+TEST_F(WindowExecTest, AvgOverRowsFrame) {
+  WindowAggSpec avg;
+  avg.func = AggFunc::kAvg;
+  avg.arg = BindToReads(MakeColumnRef("r", "rtime"));
+  avg.frame = {FrameUnit::kRows, {true, 0}, {true, 1}};
+  avg.output_name = "avg_time";
+  avg.result_type = DataType::kInterval;  // avg of timestamps: engine-internal
+  auto w = MakeWindow({avg});
+  auto rows = CollectRows(w.get());
+  ASSERT_TRUE(rows.ok());
+  // e1 times: 0, 2m, 60m -> avg 20.67m; just check it is non-null and fixed.
+  EXPECT_FALSE((*rows)[0][3].is_null());
+}
+
+TEST_F(WindowExecTest, ExplainTreeShowsCounts) {
+  WindowAggSpec cnt;
+  cnt.func = AggFunc::kCount;
+  cnt.arg = nullptr;
+  cnt.frame = {FrameUnit::kRows, {true, 0}, {true, 1}};
+  cnt.output_name = "n";
+  cnt.result_type = DataType::kInt64;
+  auto w = MakeWindow({cnt});
+  auto rows = CollectRows(w.get());
+  ASSERT_TRUE(rows.ok());
+  std::string explain = ExplainOperatorTree(*w);
+  EXPECT_NE(explain.find("Window"), std::string::npos);
+  EXPECT_NE(explain.find("Sort"), std::string::npos);
+  EXPECT_NE(explain.find("TableScan"), std::string::npos);
+  EXPECT_NE(explain.find("rows=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,380 @@
+// Unit tests for the expression AST, binder/evaluator, conjunct surgery,
+// and interval analysis.
+#include <gtest/gtest.h>
+
+#include "common/time_util.h"
+#include "expr/conjunct.h"
+#include "expr/eval.h"
+#include "expr/interval.h"
+
+namespace rfid {
+namespace {
+
+RowDesc TwoColDesc() {
+  RowDesc d;
+  d.AddField("t", "a", DataType::kInt64);
+  d.AddField("t", "b", DataType::kInt64);
+  d.AddField("t", "name", DataType::kString);
+  d.AddField("t", "ts", DataType::kTimestamp);
+  return d;
+}
+
+Result<Value> BindAndEval(const ExprPtr& e, const RowDesc& desc, const Row& row) {
+  auto bound = BindExpr(e, desc);
+  if (!bound.ok()) return bound.status();
+  return EvalExpr(*bound.value(), row);
+}
+
+Row SampleRow() {
+  return {Value::Int64(3), Value::Int64(10), Value::String("abc"),
+          Value::Timestamp(Minutes(30))};
+}
+
+TEST(ExprBuildTest, ToSqlRendering) {
+  ExprPtr e = MakeBinary(
+      BinaryOp::kAnd,
+      MakeBinary(BinaryOp::kLt, MakeColumnRef("t", "a"), MakeLiteral(Value::Int64(5))),
+      MakeBinary(BinaryOp::kEq, MakeColumnRef("", "name"),
+                 MakeLiteral(Value::String("x"))));
+  EXPECT_EQ(ExprToSql(e), "t.a < 5 AND name = 'x'");
+}
+
+TEST(ExprBuildTest, OrInsideAndParenthesized) {
+  ExprPtr lt = MakeBinary(BinaryOp::kLt, MakeColumnRef("", "a"),
+                          MakeLiteral(Value::Int64(1)));
+  ExprPtr gt = MakeBinary(BinaryOp::kGt, MakeColumnRef("", "a"),
+                          MakeLiteral(Value::Int64(5)));
+  ExprPtr e = MakeBinary(BinaryOp::kAnd, MakeBinary(BinaryOp::kOr, lt, gt),
+                         MakeIsNull(MakeColumnRef("", "b"), true));
+  EXPECT_EQ(ExprToSql(e), "(a < 1 OR a > 5) AND b IS NOT NULL");
+}
+
+TEST(ExprBuildTest, CloneAndEquals) {
+  ExprPtr e = MakeBinary(BinaryOp::kSub, MakeColumnRef("B", "rtime"),
+                         MakeColumnRef("A", "rtime"));
+  ExprPtr c = CloneExpr(e);
+  EXPECT_TRUE(ExprEquals(e, c));
+  c->children[0] = MakeColumnRef("C", "rtime");
+  EXPECT_FALSE(ExprEquals(e, c));
+  // Case-insensitive identifier equality.
+  ExprPtr e2 = MakeBinary(BinaryOp::kSub, MakeColumnRef("b", "RTIME"),
+                          MakeColumnRef("a", "rtime"));
+  EXPECT_TRUE(ExprEquals(e, e2));
+}
+
+TEST(BindTest, ResolvesQualifiedAndUnqualified) {
+  RowDesc d = TwoColDesc();
+  auto bound = BindExpr(MakeColumnRef("t", "b"), d);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound.value()->slot, 1);
+  EXPECT_EQ(bound.value()->result_type, DataType::kInt64);
+  bound = BindExpr(MakeColumnRef("", "name"), d);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound.value()->slot, 2);
+  EXPECT_FALSE(BindExpr(MakeColumnRef("t", "zz"), d).ok());
+  EXPECT_FALSE(BindExpr(MakeColumnRef("u", "a"), d).ok());
+}
+
+TEST(BindTest, AmbiguityIsAnError) {
+  RowDesc d;
+  d.AddField("x", "id", DataType::kInt64);
+  d.AddField("y", "id", DataType::kInt64);
+  EXPECT_FALSE(BindExpr(MakeColumnRef("", "id"), d).ok());
+  EXPECT_TRUE(BindExpr(MakeColumnRef("x", "id"), d).ok());
+}
+
+TEST(BindTest, TimestampArithmeticTypes) {
+  RowDesc d = TwoColDesc();
+  // ts - ts -> interval
+  auto e = BindExpr(MakeBinary(BinaryOp::kSub, MakeColumnRef("", "ts"),
+                               MakeColumnRef("", "ts")),
+                    d);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->result_type, DataType::kInterval);
+  // ts + interval -> ts
+  e = BindExpr(MakeBinary(BinaryOp::kAdd, MakeColumnRef("", "ts"),
+                          MakeLiteral(Value::Interval(Minutes(5)))),
+               d);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e.value()->result_type, DataType::kTimestamp);
+  // ts + int is a type error
+  e = BindExpr(MakeBinary(BinaryOp::kAdd, MakeColumnRef("", "ts"),
+                          MakeLiteral(Value::Int64(5))),
+               d);
+  EXPECT_FALSE(e.ok());
+  // comparing string with int is a type error
+  e = BindExpr(MakeBinary(BinaryOp::kEq, MakeColumnRef("", "name"),
+                          MakeLiteral(Value::Int64(5))),
+               d);
+  EXPECT_FALSE(e.ok());
+}
+
+TEST(EvalTest, ComparisonAndArithmetic) {
+  RowDesc d = TwoColDesc();
+  Row row = SampleRow();
+  auto v = BindAndEval(MakeBinary(BinaryOp::kAdd, MakeColumnRef("", "a"),
+                                  MakeColumnRef("", "b")),
+                       d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().int64_value(), 13);
+
+  v = BindAndEval(MakeBinary(BinaryOp::kLt, MakeColumnRef("", "a"),
+                             MakeColumnRef("", "b")),
+                  d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().bool_value());
+}
+
+TEST(EvalTest, TimestampMinusTimestamp) {
+  RowDesc d;
+  d.AddField("", "t1", DataType::kTimestamp);
+  d.AddField("", "t2", DataType::kTimestamp);
+  Row row = {Value::Timestamp(Minutes(30)), Value::Timestamp(Minutes(12))};
+  auto v = BindAndEval(MakeBinary(BinaryOp::kSub, MakeColumnRef("", "t1"),
+                                  MakeColumnRef("", "t2")),
+                       d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().type(), DataType::kInterval);
+  EXPECT_EQ(v.value().interval_value(), Minutes(18));
+}
+
+TEST(EvalTest, ThreeValuedLogic) {
+  RowDesc d = TwoColDesc();
+  Row row = SampleRow();
+  row[0] = Value::Null();
+
+  // NULL < 5 is NULL
+  auto v = BindAndEval(MakeBinary(BinaryOp::kLt, MakeColumnRef("", "a"),
+                                  MakeLiteral(Value::Int64(5))),
+                       d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_null());
+
+  // NULL AND FALSE is FALSE
+  ExprPtr null_cmp = MakeBinary(BinaryOp::kLt, MakeColumnRef("", "a"),
+                                MakeLiteral(Value::Int64(5)));
+  ExprPtr false_cmp = MakeBinary(BinaryOp::kGt, MakeColumnRef("", "b"),
+                                 MakeLiteral(Value::Int64(100)));
+  v = BindAndEval(MakeBinary(BinaryOp::kAnd, null_cmp, false_cmp), d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v.value().is_null());
+  EXPECT_FALSE(v.value().bool_value());
+
+  // NULL OR TRUE is TRUE
+  ExprPtr true_cmp = MakeBinary(BinaryOp::kLt, MakeColumnRef("", "b"),
+                                MakeLiteral(Value::Int64(100)));
+  v = BindAndEval(MakeBinary(BinaryOp::kOr, null_cmp, true_cmp), d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().bool_value());
+
+  // NOT NULL is NULL
+  v = BindAndEval(MakeNot(null_cmp), d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_null());
+
+  // IS NULL
+  v = BindAndEval(MakeIsNull(MakeColumnRef("", "a"), false), d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().bool_value());
+}
+
+TEST(EvalTest, CaseExpression) {
+  RowDesc d = TwoColDesc();
+  Row row = SampleRow();
+  // CASE WHEN a = 3 THEN 'three' ELSE 'other' END
+  ExprPtr c = MakeCase(
+      {MakeBinary(BinaryOp::kEq, MakeColumnRef("", "a"),
+                  MakeLiteral(Value::Int64(3))),
+       MakeLiteral(Value::String("three")), MakeLiteral(Value::String("other"))},
+      /*has_else=*/true);
+  auto v = BindAndEval(c, d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value(), "three");
+
+  row[0] = Value::Int64(4);
+  v = BindAndEval(c, d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().string_value(), "other");
+
+  // No ELSE: falls through to NULL.
+  ExprPtr c2 = MakeCase({MakeBinary(BinaryOp::kEq, MakeColumnRef("", "a"),
+                                    MakeLiteral(Value::Int64(3))),
+                         MakeLiteral(Value::String("three"))},
+                        /*has_else=*/false);
+  v = BindAndEval(c2, d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_null());
+}
+
+TEST(EvalTest, InList) {
+  RowDesc d = TwoColDesc();
+  Row row = SampleRow();
+  ExprPtr in = MakeInList(MakeColumnRef("", "a"),
+                          {MakeLiteral(Value::Int64(1)), MakeLiteral(Value::Int64(3))});
+  auto v = BindAndEval(in, d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().bool_value());
+
+  row[0] = Value::Int64(9);
+  v = BindAndEval(in, d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v.value().bool_value());
+}
+
+TEST(EvalTest, DivisionByZeroYieldsNull) {
+  RowDesc d = TwoColDesc();
+  Row row = SampleRow();
+  row[1] = Value::Int64(0);
+  auto v = BindAndEval(MakeBinary(BinaryOp::kDiv, MakeColumnRef("", "a"),
+                                  MakeColumnRef("", "b")),
+                       d, row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value().is_null());
+}
+
+TEST(ConjunctTest, SplitAndCombine) {
+  ExprPtr a = MakeBinary(BinaryOp::kLt, MakeColumnRef("", "a"),
+                         MakeLiteral(Value::Int64(1)));
+  ExprPtr b = MakeBinary(BinaryOp::kGt, MakeColumnRef("", "b"),
+                         MakeLiteral(Value::Int64(2)));
+  ExprPtr c = MakeBinary(BinaryOp::kEq, MakeColumnRef("", "name"),
+                         MakeLiteral(Value::String("x")));
+  ExprPtr all = CombineConjuncts({a, b, c});
+  auto parts = SplitConjuncts(all);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_TRUE(ExprEquals(parts[0], a));
+  EXPECT_TRUE(ExprEquals(parts[2], c));
+  // ORs are not split.
+  ExprPtr either = CombineDisjuncts({a, b});
+  EXPECT_EQ(SplitConjuncts(either).size(), 1u);
+  EXPECT_EQ(SplitConjuncts(nullptr).size(), 0u);
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+}
+
+TEST(ConjunctTest, QualifierHelpers) {
+  ExprPtr e = MakeBinary(BinaryOp::kLt, MakeColumnRef("A", "rtime"),
+                         MakeColumnRef("B", "rtime"));
+  auto quals = ReferencedQualifiers(e);
+  EXPECT_EQ(quals.size(), 2u);
+  EXPECT_TRUE(quals.count("a"));
+  EXPECT_TRUE(quals.count("b"));
+  EXPECT_FALSE(RefersOnlyTo(e, "A"));
+  EXPECT_TRUE(References(e, "b"));
+
+  ExprPtr subst = SubstituteQualifier(e, "A", "T");
+  EXPECT_EQ(ExprToSql(subst), "T.rtime < B.rtime");
+  ExprPtr stripped = StripQualifiers(subst);
+  EXPECT_EQ(ExprToSql(stripped), "rtime < rtime");
+}
+
+TEST(ConjunctTest, MatchColumnLiteralCmp) {
+  ColumnLiteralCmp m;
+  ExprPtr e = MakeBinary(BinaryOp::kLt, MakeColumnRef("t", "rtime"),
+                         MakeLiteral(Value::Timestamp(Minutes(10))));
+  ASSERT_TRUE(MatchColumnLiteralCmp(e, &m));
+  EXPECT_EQ(m.op, BinaryOp::kLt);
+  EXPECT_EQ(m.literal.timestamp_value(), Minutes(10));
+
+  // Literal on the left flips the comparison.
+  ExprPtr f = MakeBinary(BinaryOp::kLt, MakeLiteral(Value::Int64(5)),
+                         MakeColumnRef("t", "a"));
+  ASSERT_TRUE(MatchColumnLiteralCmp(f, &m));
+  EXPECT_EQ(m.op, BinaryOp::kGt);
+
+  // Column-to-column does not match.
+  ExprPtr g = MakeBinary(BinaryOp::kLt, MakeColumnRef("t", "a"),
+                         MakeColumnRef("t", "b"));
+  EXPECT_FALSE(MatchColumnLiteralCmp(g, &m));
+}
+
+TEST(ConjunctTest, MatchColumnDifferenceCmp) {
+  ColumnDifferenceCmp m;
+  // B.rtime - A.rtime < 5 MINUTES
+  ExprPtr e = MakeBinary(
+      BinaryOp::kLt,
+      MakeBinary(BinaryOp::kSub, MakeColumnRef("B", "rtime"),
+                 MakeColumnRef("A", "rtime")),
+      MakeLiteral(Value::Interval(Minutes(5))));
+  ASSERT_TRUE(MatchColumnDifferenceCmp(e, &m));
+  EXPECT_EQ(m.left->qualifier, "B");
+  EXPECT_EQ(m.right->qualifier, "A");
+  EXPECT_EQ(m.op, BinaryOp::kLt);
+  EXPECT_EQ(m.offset_micros, Minutes(5));
+
+  // A.rtime < B.rtime (plain column comparison)
+  ExprPtr f = MakeBinary(BinaryOp::kLt, MakeColumnRef("A", "rtime"),
+                         MakeColumnRef("B", "rtime"));
+  ASSERT_TRUE(MatchColumnDifferenceCmp(f, &m));
+  EXPECT_EQ(m.left->qualifier, "A");
+  EXPECT_EQ(m.offset_micros, 0);
+
+  // A.epc = B.epc
+  ExprPtr g = MakeBinary(BinaryOp::kEq, MakeColumnRef("A", "epc"),
+                         MakeColumnRef("B", "epc"));
+  ASSERT_TRUE(MatchColumnDifferenceCmp(g, &m));
+  EXPECT_EQ(m.op, BinaryOp::kEq);
+
+  // Literal-only comparison does not match.
+  ExprPtr h = MakeBinary(BinaryOp::kLt, MakeColumnRef("A", "rtime"),
+                         MakeLiteral(Value::Timestamp(0)));
+  EXPECT_FALSE(MatchColumnDifferenceCmp(h, &m));
+}
+
+TEST(IntervalTest, IntersectAndEmpty) {
+  ValueInterval iv;
+  EXPECT_TRUE(iv.Unconstrained());
+  iv.IntersectCmp(BinaryOp::kLt, Value::Int64(10));
+  iv.IntersectCmp(BinaryOp::kGe, Value::Int64(5));
+  EXPECT_FALSE(iv.Empty());
+  EXPECT_EQ(iv.ToString(), "[5, 10)");
+  iv.IntersectCmp(BinaryOp::kLt, Value::Int64(5));
+  EXPECT_TRUE(iv.Empty());
+}
+
+TEST(IntervalTest, EqualityCollapses) {
+  ValueInterval iv;
+  iv.IntersectCmp(BinaryOp::kEq, Value::Int64(7));
+  ExprPtr c = iv.ToConjuncts(MakeColumnRef("t", "a"));
+  EXPECT_EQ(ExprToSql(c), "t.a = 7");
+}
+
+TEST(IntervalTest, ShiftPreservesStrictness) {
+  ValueInterval iv;
+  iv.IntersectCmp(BinaryOp::kLe, Value::Timestamp(Minutes(10)));
+  // Shift upper bound by a strict +5min (difference bound is strict).
+  iv.Shift(0, false, Minutes(5), true);
+  ExprPtr c = iv.ToConjuncts(MakeColumnRef("B", "rtime"));
+  EXPECT_EQ(ExprToSql(c), "B.rtime < TIMESTAMP " + std::to_string(Minutes(15)));
+}
+
+TEST(IntervalTest, UnionHull) {
+  ValueInterval a;
+  a.IntersectCmp(BinaryOp::kGe, Value::Int64(0));
+  a.IntersectCmp(BinaryOp::kLe, Value::Int64(10));
+  ValueInterval b;
+  b.IntersectCmp(BinaryOp::kGe, Value::Int64(5));
+  b.IntersectCmp(BinaryOp::kLe, Value::Int64(20));
+  a.UnionHull(b);
+  EXPECT_EQ(a.ToString(), "[0, 20]");
+  ValueInterval c;  // unconstrained
+  a.UnionHull(c);
+  EXPECT_TRUE(a.Unconstrained());
+}
+
+TEST(IntervalTest, Contains) {
+  ValueInterval outer;
+  outer.IntersectCmp(BinaryOp::kLt, Value::Int64(100));
+  ValueInterval inner;
+  inner.IntersectCmp(BinaryOp::kGe, Value::Int64(5));
+  inner.IntersectCmp(BinaryOp::kLt, Value::Int64(50));
+  EXPECT_TRUE(outer.Contains(inner));
+  EXPECT_FALSE(inner.Contains(outer));
+  // Boundary strictness: [5,50) is not contained in (5,50).
+  ValueInterval open;
+  open.IntersectCmp(BinaryOp::kGt, Value::Int64(5));
+  open.IntersectCmp(BinaryOp::kLt, Value::Int64(50));
+  EXPECT_FALSE(open.Contains(inner));
+}
+
+}  // namespace
+}  // namespace rfid

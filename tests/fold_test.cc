@@ -1,0 +1,84 @@
+// Tests for constant folding, including its effect on index selection.
+#include <gtest/gtest.h>
+
+#include "common/time_util.h"
+#include "expr/eval.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+
+namespace rfid {
+namespace {
+
+ExprPtr Fold(const std::string& text) {
+  auto e = ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return FoldConstants(e.value());
+}
+
+TEST(FoldTest, ArithmeticFolds) {
+  ExprPtr e = Fold("1 + 2 * 3");
+  ASSERT_EQ(e->kind, ExprKind::kLiteral);
+  EXPECT_EQ(e->value.int64_value(), 7);
+}
+
+TEST(FoldTest, TimestampPlusIntervalFolds) {
+  ExprPtr e = Fold("TIMESTAMP 100 + 5 MINUTES");
+  ASSERT_EQ(e->kind, ExprKind::kLiteral);
+  EXPECT_EQ(e->value.type(), DataType::kTimestamp);
+  EXPECT_EQ(e->value.timestamp_value(), 100 + Minutes(5));
+}
+
+TEST(FoldTest, ComparisonFoldsWithinPredicate) {
+  // The column side stays; the computed bound becomes a literal.
+  ExprPtr e = Fold("rtime <= TIMESTAMP 100 + 5 MINUTES");
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->children[0]->kind, ExprKind::kColumnRef);
+  ASSERT_EQ(e->children[1]->kind, ExprKind::kLiteral);
+  EXPECT_EQ(e->children[1]->value.timestamp_value(), 100 + Minutes(5));
+}
+
+TEST(FoldTest, BooleanAndCaseFold) {
+  ExprPtr e = Fold("1 = 1 AND NOT 2 > 3");
+  ASSERT_EQ(e->kind, ExprKind::kLiteral);
+  EXPECT_TRUE(e->value.bool_value());
+  e = Fold("CASE WHEN 1 = 2 THEN 'a' ELSE 'b' END");
+  ASSERT_EQ(e->kind, ExprKind::kLiteral);
+  EXPECT_EQ(e->value.string_value(), "b");
+}
+
+TEST(FoldTest, ColumnsBlockFolding) {
+  ExprPtr e = Fold("rtime + 1 MINUTES");
+  EXPECT_EQ(e->kind, ExprKind::kBinary);
+  e = Fold("epc = 'x' OR 1 = 1");
+  // The constant disjunct folds but the tree keeps the column reference.
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->children[1]->kind, ExprKind::kLiteral);
+}
+
+TEST(FoldTest, IllTypedExpressionLeftIntactForBinderDiagnostics) {
+  // TIMESTAMP + INT64 is a type error; folding must not swallow it.
+  ExprPtr e = Fold("TIMESTAMP 100 + 5");
+  EXPECT_EQ(e->kind, ExprKind::kBinary);
+}
+
+TEST(FoldTest, FoldedBoundEnablesIndexScan) {
+  Database db;
+  Schema s;
+  s.AddColumn("epc", DataType::kString);
+  s.AddColumn("rtime", DataType::kTimestamp);
+  Table* t = db.CreateTable("caseR", s).value();
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(t->Append({Value::String("e"), Value::Timestamp(Minutes(i))}).ok());
+  }
+  ASSERT_TRUE(t->BuildIndex("rtime").ok());
+  t->ComputeStats();
+  auto res = ExecuteSql(
+      db, "SELECT * FROM caseR WHERE rtime <= TIMESTAMP 0 + 9 MINUTES");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->rows.size(), 10u);
+  EXPECT_NE(res->explain.find("IndexRangeScan"), std::string::npos)
+      << res->explain;
+}
+
+}  // namespace
+}  // namespace rfid

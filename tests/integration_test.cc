@@ -1,0 +1,204 @@
+// End-to-end integration tests: generated supply-chain data with injected
+// anomalies, the paper's five rules, the Figure 6 queries, and all three
+// rewrite strategies — expanded and join-back answers must equal naive
+// cleansing (Q[C] correctness), and dirty answers must differ.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "plan/planner.h"
+#include "rewrite/rewriter.h"
+#include "rfidgen/anomaly.h"
+#include "rfidgen/workload.h"
+
+namespace rfid {
+namespace {
+
+std::vector<std::string> Canonical(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  for (const Row& r : rows) {
+    std::string s;
+    for (const Value& v : r) s += v.ToString() + "|";
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rfidgen::GeneratorOptions gen;
+    gen.num_pallets = 8;
+    gen.min_cases_per_pallet = 3;
+    gen.max_cases_per_pallet = 6;
+    gen.reads_per_site = 5;
+    gen.num_stores = 30;
+    gen.num_warehouses = 10;
+    gen.num_dcs = 5;
+    gen.locations_per_site = 10;
+    auto g = rfidgen::Generate(gen, &db_);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+
+    rfidgen::AnomalyOptions anomalies;
+    anomalies.dirty_fraction = 0.15;
+    auto a = rfidgen::InjectAnomalies(anomalies, &db_);
+    ASSERT_TRUE(a.ok()) << a.status().ToString();
+    anomaly_stats_ = a.value();
+
+    engine_ = std::make_unique<CleansingRuleEngine>(&db_);
+    rewriter_ = std::make_unique<QueryRewriter>(&db_, engine_.get());
+  }
+
+  void DefineRules(int count) {
+    for (const std::string& def : workload::StandardRuleDefinitions(count)) {
+      Status st = engine_->DefineRule(def);
+      ASSERT_TRUE(st.ok()) << st.ToString() << "\n" << def;
+    }
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto res = ExecuteSql(db_, sql);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() ? std::move(res).value() : QueryResult{};
+  }
+
+  RewriteInfo MustRewrite(const std::string& sql, RewriteStrategy strategy) {
+    RewriteOptions opts;
+    opts.strategy = strategy;
+    auto r = rewriter_->Rewrite(sql, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : RewriteInfo{};
+  }
+
+  void ExpectAllStrategiesAgree(const std::string& sql, bool expanded_feasible) {
+    RewriteInfo naive = MustRewrite(sql, RewriteStrategy::kNaive);
+    QueryResult truth = Run(naive.sql);
+    RewriteInfo jb = MustRewrite(sql, RewriteStrategy::kJoinBack);
+    QueryResult jb_res = Run(jb.sql);
+    EXPECT_EQ(Canonical(truth.rows), Canonical(jb_res.rows)) << "join-back";
+    if (expanded_feasible) {
+      RewriteInfo ex = MustRewrite(sql, RewriteStrategy::kExpanded);
+      QueryResult ex_res = Run(ex.sql);
+      EXPECT_EQ(Canonical(truth.rows), Canonical(ex_res.rows)) << "expanded";
+    } else {
+      RewriteOptions opts;
+      opts.strategy = RewriteStrategy::kExpanded;
+      EXPECT_FALSE(rewriter_->Rewrite(sql, opts).ok());
+    }
+  }
+
+  Database db_;
+  rfidgen::AnomalyStats anomaly_stats_;
+  std::unique_ptr<CleansingRuleEngine> engine_;
+  std::unique_ptr<QueryRewriter> rewriter_;
+};
+
+TEST_F(IntegrationTest, Q1AllStrategiesAgreeThreeRules) {
+  DefineRules(3);
+  std::string q1 = workload::Q1(workload::T1ForSelectivity(db_, 0.5));
+  ExpectAllStrategiesAgree(q1, /*expanded_feasible=*/true);
+}
+
+TEST_F(IntegrationTest, Q1CycleRuleKillsExpanded) {
+  DefineRules(4);
+  std::string q1 = workload::Q1(workload::T1ForSelectivity(db_, 0.5));
+  ExpectAllStrategiesAgree(q1, /*expanded_feasible=*/false);
+}
+
+TEST_F(IntegrationTest, Q1AllFiveRules) {
+  DefineRules(5);
+  std::string q1 = workload::Q1(workload::T1ForSelectivity(db_, 0.5));
+  ExpectAllStrategiesAgree(q1, /*expanded_feasible=*/false);
+}
+
+TEST_F(IntegrationTest, Q2AllStrategiesAgreeThreeRules) {
+  DefineRules(3);
+  std::string q2 = workload::Q2(workload::T2ForSelectivity(db_, 0.5), "dc2");
+  ExpectAllStrategiesAgree(q2, /*expanded_feasible=*/true);
+}
+
+TEST_F(IntegrationTest, Q2AllFiveRules) {
+  DefineRules(5);
+  std::string q2 = workload::Q2(workload::T2ForSelectivity(db_, 0.5), "dc2");
+  ExpectAllStrategiesAgree(q2, /*expanded_feasible=*/false);
+}
+
+TEST_F(IntegrationTest, Q2PrimeAgrees) {
+  DefineRules(1);
+  std::string q = workload::Q2Prime(workload::T2ForSelectivity(db_, 0.4), 3);
+  ExpectAllStrategiesAgree(q, /*expanded_feasible=*/true);
+}
+
+TEST_F(IntegrationTest, DirtyAnswersDifferFromCleansed) {
+  DefineRules(2);
+  std::string sql = StrFormat(
+      "SELECT count(*) FROM caseR WHERE rtime <= TIMESTAMP %lld",
+      static_cast<long long>(workload::T1ForSelectivity(db_, 1.0)));
+  QueryResult dirty = Run(sql);
+  RewriteInfo naive = MustRewrite(sql, RewriteStrategy::kNaive);
+  QueryResult clean = Run(naive.sql);
+  ASSERT_EQ(dirty.rows.size(), 1u);
+  ASSERT_EQ(clean.rows.size(), 1u);
+  EXPECT_GT(dirty.rows[0][0].int64_value(), clean.rows[0][0].int64_value());
+}
+
+TEST_F(IntegrationTest, Table1FeasibilityShape) {
+  // Expanded conditions per rule for q1 and q2 (Table 1): reader,
+  // duplicate, replacing are derivable for both queries; cycle for
+  // neither; missing only for q2.
+  DefineRules(5);
+  std::string q1 = workload::Q1(workload::T1ForSelectivity(db_, 0.1));
+  std::string q2 = workload::Q2(workload::T2ForSelectivity(db_, 0.1), "dc2");
+
+  auto feasibility = [&](const std::string& sql) {
+    RewriteInfo info = MustRewrite(sql, RewriteStrategy::kAuto);
+    std::map<std::string, bool> by_rule;
+    for (const RuleContextInfo& c : info.contexts) {
+      // missing_r1/missing_r2 both belong to the "missing" rule group.
+      std::string group = c.rule_name.substr(0, c.rule_name.find("_r"));
+      auto [it, inserted] = by_rule.try_emplace(group, c.feasible);
+      it->second = it->second && c.feasible;
+    }
+    return by_rule;
+  };
+
+  auto q1f = feasibility(q1);
+  EXPECT_TRUE(q1f.at("reader"));
+  EXPECT_TRUE(q1f.at("duplicate"));
+  EXPECT_TRUE(q1f.at("replacing"));
+  EXPECT_FALSE(q1f.at("cycle"));
+  EXPECT_FALSE(q1f.at("missing"));
+
+  auto q2f = feasibility(q2);
+  EXPECT_TRUE(q2f.at("reader"));
+  EXPECT_TRUE(q2f.at("duplicate"));
+  EXPECT_TRUE(q2f.at("replacing"));
+  EXPECT_FALSE(q2f.at("cycle"));
+  EXPECT_TRUE(q2f.at("missing"));
+}
+
+TEST_F(IntegrationTest, MissingRuleCompensatesInQueries) {
+  // With all five rules, cleansed q-counts include compensating pallet
+  // reads for removed case reads.
+  DefineRules(5);
+  std::string sql = StrFormat(
+      "SELECT count(*) FROM caseR WHERE rtime <= TIMESTAMP %lld",
+      static_cast<long long>(workload::T1ForSelectivity(db_, 1.0)));
+  RewriteInfo naive = MustRewrite(sql, RewriteStrategy::kNaive);
+  QueryResult clean = Run(naive.sql);
+  ASSERT_EQ(clean.rows.size(), 1u);
+  // All injected delete-type anomalies removed; missing reads compensated.
+  // clean count = original clean reads (duplicates/reader/cycle reads
+  // removed, missing reads replaced by pallet rows, LOC2 modified rows
+  // kept, the extra LOCA reads from replacing injection remain).
+  QueryResult dirty = Run(sql);
+  int64_t removed = anomaly_stats_.duplicates + anomaly_stats_.reader +
+                    anomaly_stats_.cycles;
+  EXPECT_EQ(clean.rows[0][0].int64_value(),
+            dirty.rows[0][0].int64_value() - removed + anomaly_stats_.missing);
+}
+
+}  // namespace
+}  // namespace rfid

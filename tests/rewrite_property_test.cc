@@ -1,0 +1,208 @@
+// Property sweep for the rewrite engine: across a family of rules, query
+// predicate shapes, selectivities, and strategies, the rewritten query
+// must return exactly the rows naive whole-table cleansing returns
+// (the paper's correctness criterion Q[C1..Cn]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "plan/planner.h"
+#include "rewrite/rewriter.h"
+
+namespace rfid {
+namespace {
+
+struct Scenario {
+  int rule_set;      // which rule combination (see MakeEngine)
+  int predicate;     // 0: <=, 1: >=, 2: between, 3: epc equality, 4: reader
+  uint64_t seed;
+};
+
+std::string ScenarioName(const ::testing::TestParamInfo<Scenario>& info) {
+  const Scenario& s = info.param;
+  static const char* preds[] = {"le", "ge", "between", "epc", "reader"};
+  return StrFormat("rules%d_%s_s%llu", s.rule_set, preds[s.predicate],
+                   static_cast<unsigned long long>(s.seed));
+}
+
+class RewritePropertyTest : public ::testing::TestWithParam<Scenario> {
+ protected:
+  void BuildData(uint64_t seed) {
+    Schema reads;
+    reads.AddColumn("epc", DataType::kString);
+    reads.AddColumn("rtime", DataType::kTimestamp);
+    reads.AddColumn("reader", DataType::kString);
+    reads.AddColumn("biz_loc", DataType::kString);
+    case_r_ = db_.CreateTable("caseR", reads).value();
+    Random rng(seed);
+    const char* locs[] = {"locA", "locB", "locC", "loc2", "locD"};
+    const char* readers[] = {"r1", "r2", "r3", "readerX"};
+    int epcs = 6 + static_cast<int>(rng.Uniform(6));
+    for (int e = 0; e < epcs; ++e) {
+      int64_t t = static_cast<int64_t>(rng.Uniform(50)) * Minutes(1);
+      int n = 2 + static_cast<int>(rng.Uniform(10));
+      for (int i = 0; i < n; ++i) {
+        ASSERT_TRUE(case_r_
+                        ->Append({Value::String("e" + std::to_string(e)),
+                                  Value::Timestamp(t),
+                                  Value::String(readers[rng.Uniform(4)]),
+                                  Value::String(locs[rng.Uniform(5)])})
+                        .ok());
+        // Mix of short and long gaps so every rule window has hits and
+        // misses.
+        t += rng.Bernoulli(0.4) ? Minutes(1 + static_cast<int64_t>(rng.Uniform(8)))
+                                : Minutes(30 + static_cast<int64_t>(rng.Uniform(300)));
+      }
+    }
+    ASSERT_TRUE(case_r_->BuildIndex("rtime").ok());
+    ASSERT_TRUE(case_r_->BuildIndex("epc").ok());
+    case_r_->ComputeStats();
+  }
+
+  void DefineRuleSet(int rule_set) {
+    engine_ = std::make_unique<CleansingRuleEngine>(&db_);
+    const char* kReader =
+        "DEFINE reader ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) "
+        "WHERE B.reader = 'readerX' AND B.rtime - A.rtime < 10 MINUTES "
+        "ACTION DELETE A";
+    const char* kDup =
+        "DEFINE dup ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+        "WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 MINUTES "
+        "ACTION DELETE B";
+    const char* kModify =
+        "DEFINE repl ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+        "WHERE A.biz_loc = 'loc2' AND B.biz_loc = 'locA' AND "
+        "B.rtime - A.rtime < 20 MINUTES ACTION MODIFY A.biz_loc = 'loc1'";
+    const char* kLeadingSet =
+        "DEFINE lead ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (*B, A) "
+        "WHERE B.reader = 'readerX' AND A.rtime - B.rtime < 7 MINUTES "
+        "ACTION DELETE A";
+    const char* kKeep =
+        "DEFINE keepfar ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+        "WHERE B.rtime - A.rtime > 1 MINUTES OR B.rtime IS NULL "
+        "ACTION KEEP A";
+    std::vector<const char*> defs;
+    switch (rule_set) {
+      case 0: defs = {kReader}; break;
+      case 1: defs = {kDup}; break;
+      case 2: defs = {kReader, kDup}; break;
+      case 3: defs = {kModify, kDup}; break;
+      case 4: defs = {kLeadingSet}; break;
+      case 5: defs = {kReader, kDup, kModify}; break;
+      case 6: defs = {kKeep}; break;
+      default: FAIL() << "bad rule set";
+    }
+    for (const char* d : defs) {
+      Status st = engine_->DefineRule(d);
+      ASSERT_TRUE(st.ok()) << st.ToString() << "\n" << d;
+    }
+  }
+
+  std::string BuildQuery(int predicate) {
+    int64_t lo = Minutes(60);
+    int64_t hi = Minutes(240);
+    switch (predicate) {
+      case 0:
+        return StrFormat("SELECT epc, rtime, biz_loc FROM caseR WHERE rtime "
+                         "<= TIMESTAMP %lld",
+                         static_cast<long long>(hi));
+      case 1:
+        return StrFormat("SELECT epc, rtime, biz_loc FROM caseR WHERE rtime "
+                         ">= TIMESTAMP %lld",
+                         static_cast<long long>(lo));
+      case 2:
+        return StrFormat(
+            "SELECT epc, rtime, biz_loc FROM caseR WHERE rtime >= TIMESTAMP "
+            "%lld AND rtime <= TIMESTAMP %lld",
+            static_cast<long long>(lo), static_cast<long long>(hi));
+      case 3:
+        return "SELECT epc, rtime, biz_loc FROM caseR WHERE epc = 'e3'";
+      case 4:
+        return StrFormat(
+            "SELECT epc, rtime FROM caseR WHERE reader = 'r1' AND rtime <= "
+            "TIMESTAMP %lld",
+            static_cast<long long>(hi));
+      default:
+        return "";
+    }
+  }
+
+  std::vector<std::string> RunCanonical(const std::string& sql) {
+    auto res = ExecuteSql(db_, sql);
+    EXPECT_TRUE(res.ok()) << sql << "\n" << res.status().ToString();
+    std::vector<std::string> out;
+    if (!res.ok()) return out;
+    for (const Row& r : res->rows) {
+      std::string s;
+      for (const Value& v : r) s += v.ToString() + "|";
+      out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  Database db_;
+  Table* case_r_ = nullptr;
+  std::unique_ptr<CleansingRuleEngine> engine_;
+};
+
+TEST_P(RewritePropertyTest, AllStrategiesMatchNaive) {
+  const Scenario& s = GetParam();
+  BuildData(s.seed);
+  DefineRuleSet(s.rule_set);
+  QueryRewriter rewriter(&db_, engine_.get());
+  std::string query = BuildQuery(s.predicate);
+
+  RewriteOptions naive_opts;
+  naive_opts.strategy = RewriteStrategy::kNaive;
+  auto naive = rewriter.Rewrite(query, naive_opts);
+  ASSERT_TRUE(naive.ok()) << naive.status().ToString();
+  std::vector<std::string> truth = RunCanonical(naive->sql);
+
+  for (RewriteStrategy strategy :
+       {RewriteStrategy::kExpanded, RewriteStrategy::kJoinBack,
+        RewriteStrategy::kAuto}) {
+    RewriteOptions opts;
+    opts.strategy = strategy;
+    auto info = rewriter.Rewrite(query, opts);
+    if (!info.ok()) {
+      // Expanded may be infeasible; anything else must succeed.
+      ASSERT_EQ(strategy, RewriteStrategy::kExpanded)
+          << info.status().ToString();
+      ASSERT_EQ(info.status().code(), StatusCode::kRewriteInfeasible);
+      continue;
+    }
+    EXPECT_EQ(truth, RunCanonical(info->sql))
+        << RewriteStrategyName(strategy) << " diverged\nquery: " << query
+        << "\nrewritten: " << info->sql;
+  }
+
+  // The aggressive pushdown extension must also stay correct.
+  RewriteOptions aggressive;
+  aggressive.strategy = RewriteStrategy::kAuto;
+  aggressive.aggressive_join_pushdown = true;
+  auto info = rewriter.Rewrite(query, aggressive);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(truth, RunCanonical(info->sql)) << "aggressive pushdown diverged";
+}
+
+std::vector<Scenario> MakeScenarios() {
+  std::vector<Scenario> out;
+  for (int rule_set = 0; rule_set <= 6; ++rule_set) {
+    for (int predicate = 0; predicate <= 4; ++predicate) {
+      for (uint64_t seed : {11ull, 23ull}) {
+        out.push_back({rule_set, predicate, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RewritePropertyTest,
+                         ::testing::ValuesIn(MakeScenarios()), ScenarioName);
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,270 @@
+// Tests for RFIDGen and the anomaly injector: schema/shape invariants of
+// Section 6.1 and, crucially, that each injected anomaly type is removed
+// by its cleansing rule (injection is the inverse of cleansing).
+#include <gtest/gtest.h>
+
+#include "cleansing/chain.h"
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "plan/planner.h"
+#include "rfidgen/anomaly.h"
+
+namespace rfid {
+namespace {
+
+using rfidgen::AnomalyOptions;
+using rfidgen::AnomalyStats;
+using rfidgen::GeneratedStats;
+using rfidgen::GeneratorOptions;
+
+GeneratorOptions SmallOptions() {
+  GeneratorOptions opt;
+  opt.num_pallets = 6;
+  opt.min_cases_per_pallet = 3;
+  opt.max_cases_per_pallet = 6;
+  opt.reads_per_site = 4;
+  opt.num_stores = 40;
+  opt.num_warehouses = 10;
+  opt.num_dcs = 3;
+  opt.locations_per_site = 8;
+  return opt;
+}
+
+class RfidGenTest : public ::testing::Test {
+ protected:
+  void Generate(const GeneratorOptions& opt) {
+    auto r = rfidgen::Generate(opt, &db_);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    stats_ = r.value();
+  }
+
+  int64_t Count(const std::string& sql) {
+    auto res = ExecuteSql(db_, sql);
+    EXPECT_TRUE(res.ok()) << sql << " -> " << res.status().ToString();
+    if (!res.ok() || res->rows.empty()) return -1;
+    return res->rows[0][0].int64_value();
+  }
+
+  Database db_;
+  GeneratedStats stats_;
+};
+
+TEST_F(RfidGenTest, TablesAndCardinalities) {
+  GeneratorOptions opt = SmallOptions();
+  Generate(opt);
+  for (const char* t : {"caseR", "palletR", "parent", "epc_info", "product",
+                        "locs", "steps"}) {
+    EXPECT_NE(db_.GetTable(t), nullptr) << t;
+  }
+  // locations: (3 + 10 + 40) sites x 8 + 3 special cross-read locations.
+  EXPECT_EQ(stats_.locations, 53 * 8 + 3);
+  EXPECT_EQ(Count("SELECT count(*) FROM locs"), stats_.locations);
+  // pallet reads: pallets x 3 sites x reads_per_site.
+  EXPECT_EQ(stats_.pallet_reads, 6 * 3 * 4);
+  // Every case read pairs 1:1 with a pallet read.
+  EXPECT_EQ(stats_.case_reads, stats_.cases * 3 * 4);
+  EXPECT_EQ(Count("SELECT count(*) FROM caseR"), stats_.case_reads);
+  EXPECT_EQ(Count("SELECT count(*) FROM parent"), stats_.cases);
+  EXPECT_EQ(Count("SELECT count(*) FROM epc_info"), stats_.cases);
+  EXPECT_EQ(Count("SELECT count(*) FROM product"), 1000);
+  EXPECT_EQ(Count("SELECT count(*) FROM steps"), 100);
+}
+
+TEST_F(RfidGenTest, Deterministic) {
+  GeneratorOptions opt = SmallOptions();
+  Generate(opt);
+  Database db2;
+  auto r2 = rfidgen::Generate(opt, &db2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(stats_.case_reads, r2->case_reads);
+  // Spot-check the first rows match.
+  ASSERT_GT(db_.GetTable("caseR")->num_rows(), 0u);
+  EXPECT_TRUE(db_.GetTable("caseR")->row(0) == db2.GetTable("caseR")->row(0));
+}
+
+TEST_F(RfidGenTest, SequencesAreHoursApartAndSiteOrdered) {
+  Generate(SmallOptions());
+  // Consecutive reads of one pallet are 1-36 h apart.
+  auto res = ExecuteSql(db_,
+                        "SELECT rtime, max(rtime) OVER (PARTITION BY epc ORDER "
+                        "BY rtime ROWS BETWEEN 1 PRECEDING AND 1 PRECEDING) AS "
+                        "prev FROM palletR");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  for (const Row& r : res->rows) {
+    if (r[1].is_null()) continue;
+    int64_t gap = r[0].timestamp_value() - r[1].timestamp_value();
+    EXPECT_GE(gap, Hours(1));
+    EXPECT_LE(gap, Hours(36));
+  }
+}
+
+TEST_F(RfidGenTest, ForkliftReadsPresent) {
+  Generate(SmallOptions());
+  // Each pallet has one readerX read per site visit.
+  EXPECT_EQ(Count("SELECT count(*) FROM palletR WHERE reader = 'readerX'"),
+            6 * 3);
+}
+
+TEST_F(RfidGenTest, CaseReadsTrailTheirPalletReads) {
+  Generate(SmallOptions());
+  // Every case read is within (0, 5 min) of a pallet read of its pallet at
+  // the same location — checked via the minimum over a sampled case.
+  auto res = ExecuteSql(
+      db_,
+      "SELECT c.rtime, p.rtime FROM caseR c, parent pa, palletR p "
+      "WHERE c.epc = pa.child_epc AND pa.parent_epc = p.epc "
+      "AND c.biz_loc = p.biz_loc AND c.reader = p.reader");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_GT(res->rows.size(), 0u);
+  size_t paired = 0;
+  for (const Row& r : res->rows) {
+    int64_t gap = r[0].timestamp_value() - r[1].timestamp_value();
+    if (gap > 0 && gap < Minutes(5)) ++paired;
+  }
+  EXPECT_GT(paired, 0u);
+}
+
+class AnomalyTest : public RfidGenTest {
+ protected:
+  // Counts rows surviving the full rule set over all of caseR.
+  int64_t CleanCount(const std::vector<std::string>& rule_texts) {
+    CleansingRuleEngine engine(&db_);
+    std::vector<const CleansingRule*> rules;
+    for (const auto& text : rule_texts) {
+      Status st = engine.DefineRule(text);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    for (const CleansingRule& r : engine.rules()) rules.push_back(&r);
+    auto chain = BuildCleansingChain(
+        rules, db_, "__input", db_.GetTable("caseR")->schema().columns());
+    EXPECT_TRUE(chain.ok()) << chain.status().ToString();
+    std::string sql = "WITH __input AS (SELECT * FROM caseR)";
+    for (const auto& [name, body] : chain->with_clauses) {
+      sql += ", " + name + " AS (" + body + ")";
+    }
+    sql += " SELECT count(*) FROM " + chain->output_name;
+    return Count(sql);
+  }
+
+  static std::string DuplicateRule() {
+    return "DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+           "AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 "
+           "MINUTES ACTION DELETE B";
+  }
+  static std::string ReaderRule() {
+    return "DEFINE reader ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+           "AS (A, *B) WHERE B.reader = 'readerX' AND B.rtime - A.rtime < 10 "
+           "MINUTES ACTION DELETE A";
+  }
+  static std::string CycleRule() {
+    return "DEFINE cycle ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+           "AS (A, B, C) WHERE A.biz_loc = C.biz_loc AND A.biz_loc <> "
+           "B.biz_loc ACTION DELETE B";
+  }
+};
+
+TEST_F(AnomalyTest, CleanDataHasNoAnomalies) {
+  Generate(SmallOptions());
+  int64_t base = Count("SELECT count(*) FROM caseR");
+  EXPECT_EQ(CleanCount({DuplicateRule()}), base);
+  EXPECT_EQ(CleanCount({ReaderRule()}), base);
+  EXPECT_EQ(CleanCount({CycleRule()}), base);
+}
+
+TEST_F(AnomalyTest, DuplicateInjectionInvertedByRule) {
+  Generate(SmallOptions());
+  int64_t base = Count("SELECT count(*) FROM caseR");
+  AnomalyOptions opt;
+  opt.dirty_fraction = 0.10;
+  opt.reader = opt.replacing = opt.cycles = opt.missing = false;
+  auto st = rfidgen::InjectAnomalies(opt, &db_);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  ASSERT_GT(st->duplicates, 0);
+  EXPECT_EQ(Count("SELECT count(*) FROM caseR"), base + st->duplicates);
+  EXPECT_EQ(CleanCount({DuplicateRule()}), base);
+}
+
+TEST_F(AnomalyTest, ReaderInjectionInvertedByRule) {
+  Generate(SmallOptions());
+  int64_t base = Count("SELECT count(*) FROM caseR");
+  AnomalyOptions opt;
+  opt.dirty_fraction = 0.10;
+  opt.duplicates = opt.replacing = opt.cycles = opt.missing = false;
+  auto st = rfidgen::InjectAnomalies(opt, &db_);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  ASSERT_GT(st->reader, 0);
+  EXPECT_EQ(CleanCount({ReaderRule()}), base);
+}
+
+TEST_F(AnomalyTest, CycleInjectionInvertedByRule) {
+  Generate(SmallOptions());
+  int64_t base = Count("SELECT count(*) FROM caseR");
+  AnomalyOptions opt;
+  opt.dirty_fraction = 0.10;
+  opt.duplicates = opt.reader = opt.replacing = opt.missing = false;
+  auto st = rfidgen::InjectAnomalies(opt, &db_);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  ASSERT_GT(st->cycles, 0);
+  EXPECT_EQ(CleanCount({CycleRule()}), base);
+}
+
+TEST_F(AnomalyTest, ReplacingInjectionModifiedByRule) {
+  Generate(SmallOptions());
+  AnomalyOptions opt;
+  opt.dirty_fraction = 0.10;
+  opt.duplicates = opt.reader = opt.cycles = opt.missing = false;
+  auto st = rfidgen::InjectAnomalies(opt, &db_);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  ASSERT_GT(st->replacing, 0);
+  int64_t at_loc2 = Count(StrFormat("SELECT count(*) FROM caseR WHERE biz_loc "
+                                    "= '%s'", rfidgen::kLoc2));
+  EXPECT_EQ(at_loc2, st->replacing);
+  // After the replacing rule, every LOC2 read has moved to LOC1.
+  std::string rule = StrFormat(
+      "DEFINE replacing ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE A.biz_loc = '%s' AND B.biz_loc = '%s' AND B.rtime - A.rtime < 20 "
+      "MINUTES ACTION MODIFY A.biz_loc = '%s'",
+      rfidgen::kLoc2, rfidgen::kLocA, rfidgen::kLoc1);
+  CleansingRuleEngine engine(&db_);
+  ASSERT_TRUE(engine.DefineRule(rule).ok());
+  std::vector<const CleansingRule*> rules;
+  for (const CleansingRule& r : engine.rules()) rules.push_back(&r);
+  auto chain = BuildCleansingChain(rules, db_, "__input",
+                                   db_.GetTable("caseR")->schema().columns());
+  ASSERT_TRUE(chain.ok());
+  std::string sql = "WITH __input AS (SELECT * FROM caseR)";
+  for (const auto& [name, body] : chain->with_clauses) {
+    sql += ", " + name + " AS (" + body + ")";
+  }
+  sql += StrFormat(" SELECT count(*) FROM %s WHERE biz_loc = '%s'",
+                   chain->output_name.c_str(), rfidgen::kLoc2);
+  EXPECT_EQ(Count(sql), 0);
+}
+
+TEST_F(AnomalyTest, MissingInjectionRemovesReads) {
+  Generate(SmallOptions());
+  int64_t base = Count("SELECT count(*) FROM caseR");
+  AnomalyOptions opt;
+  opt.dirty_fraction = 0.10;
+  opt.duplicates = opt.reader = opt.replacing = opt.cycles = false;
+  auto st = rfidgen::InjectAnomalies(opt, &db_);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  ASSERT_GT(st->missing, 0);
+  EXPECT_EQ(Count("SELECT count(*) FROM caseR"), base - st->missing);
+}
+
+TEST_F(AnomalyTest, AllTypesRoughlyEven) {
+  Generate(SmallOptions());
+  AnomalyOptions opt;
+  opt.dirty_fraction = 0.20;
+  auto st = rfidgen::InjectAnomalies(opt, &db_);
+  ASSERT_TRUE(st.ok()) << st.status().ToString();
+  EXPECT_GT(st->duplicates, 0);
+  EXPECT_GT(st->reader, 0);
+  EXPECT_GT(st->replacing, 0);
+  EXPECT_GT(st->cycles, 0);
+  EXPECT_GT(st->missing, 0);
+}
+
+}  // namespace
+}  // namespace rfid

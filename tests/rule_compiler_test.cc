@@ -1,0 +1,217 @@
+// Focused tests for the SQL-TS -> SQL/OLAP rule compiler: generated
+// template shapes, frame-bound folding, action encodings, and the
+// compiler's error surface.
+#include <gtest/gtest.h>
+
+#include "cleansing/rule_compiler.h"
+#include "cleansing/rule_parser.h"
+#include "common/time_util.h"
+
+namespace rfid {
+namespace {
+
+std::vector<Column> ReadsColumns() {
+  return {{"epc", DataType::kString},
+          {"rtime", DataType::kTimestamp},
+          {"reader", DataType::kString},
+          {"biz_loc", DataType::kString}};
+}
+
+Result<CompiledRule> Compile(const std::string& text) {
+  auto rule = ParseRule(text);
+  if (!rule.ok()) return rule.status();
+  return CompileRule(*rule, ReadsColumns(), "__r0");
+}
+
+TEST(RuleCompilerTest, DuplicateRuleTemplate) {
+  auto compiled = Compile(
+      "DEFINE dup ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 MINUTES "
+      "ACTION DELETE B");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_EQ(compiled->stages.size(), 2u);
+  const std::string& stage1 = compiled->stages[0].body_sql;
+  // Singleton context A at offset -1: one scalar aggregate per column.
+  EXPECT_NE(stage1.find("ROWS BETWEEN 1 PRECEDING AND 1 PRECEDING"),
+            std::string::npos)
+      << stage1;
+  EXPECT_NE(stage1.find("__a_biz_loc"), std::string::npos);
+  EXPECT_NE(stage1.find("__a_rtime"), std::string::npos);
+  EXPECT_NE(stage1.find(kInputPlaceholder), std::string::npos);
+  // DELETE keeps rows whose condition is false or unknown.
+  const std::string& stage2 = compiled->stages[1].body_sql;
+  EXPECT_NE(stage2.find("WHERE NOT ("), std::string::npos) << stage2;
+  EXPECT_NE(stage2.find(") IS NULL"), std::string::npos) << stage2;
+  // Output schema unchanged by DELETE.
+  EXPECT_EQ(compiled->output_columns.size(), 4u);
+}
+
+TEST(RuleCompilerTest, SetReferenceFrameFromTimeBound) {
+  auto compiled = Compile(
+      "DEFINE reader ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) "
+      "WHERE B.reader = 'readerX' AND B.rtime - A.rtime < 10 MINUTES "
+      "ACTION DELETE A");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string& stage1 = compiled->stages[0].body_sql;
+  // Strict < 10min folds to an inclusive bound one microsecond short.
+  EXPECT_NE(stage1.find("RANGE BETWEEN 1 MICROSECONDS FOLLOWING AND 599999999 "
+                        "MICROSECONDS FOLLOWING"),
+            std::string::npos)
+      << stage1;
+  EXPECT_NE(stage1.find("CASE WHEN reader = 'readerX' THEN 1 ELSE 0 END"),
+            std::string::npos)
+      << stage1;
+}
+
+TEST(RuleCompilerTest, SetReferenceAtPatternStart) {
+  // Leading set: all rows before the target within 5 minutes.
+  auto compiled = Compile(
+      "DEFINE lead ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (*B, A) "
+      "WHERE B.reader = 'readerX' AND A.rtime - B.rtime < 5 MINUTES "
+      "ACTION DELETE A");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string& stage1 = compiled->stages[0].body_sql;
+  EXPECT_NE(stage1.find("RANGE BETWEEN 299999999 MICROSECONDS PRECEDING AND 1 "
+                        "MICROSECONDS PRECEDING"),
+            std::string::npos)
+      << stage1;
+}
+
+TEST(RuleCompilerTest, SetReferenceUnboundedWithoutTimeConjunct) {
+  auto compiled = Compile(
+      "DEFINE k ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) "
+      "WHERE B.reader = 'readerX' ACTION DELETE A");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_NE(compiled->stages[0].body_sql.find(
+                "RANGE BETWEEN 1 MICROSECONDS FOLLOWING AND UNBOUNDED FOLLOWING"),
+            std::string::npos)
+      << compiled->stages[0].body_sql;
+}
+
+TEST(RuleCompilerTest, TwoSidedTimeBoundsOnSet) {
+  auto compiled = Compile(
+      "DEFINE k ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) "
+      "WHERE B.reader = 'readerX' AND B.rtime - A.rtime < 10 MINUTES AND "
+      "B.rtime - A.rtime > 2 MINUTES ACTION DELETE A");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string& stage1 = compiled->stages[0].body_sql;
+  EXPECT_NE(stage1.find("RANGE BETWEEN 120000001 MICROSECONDS FOLLOWING AND "
+                        "599999999 MICROSECONDS FOLLOWING"),
+            std::string::npos)
+      << stage1;
+}
+
+TEST(RuleCompilerTest, KeepActionFiltersOnTrue) {
+  auto compiled = Compile(
+      "DEFINE k ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE A.biz_loc <> B.biz_loc ACTION KEEP B");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string& stage2 = compiled->stages[1].body_sql;
+  EXPECT_NE(stage2.find("WHERE __a_biz_loc <> biz_loc"), std::string::npos)
+      << stage2;
+  EXPECT_EQ(stage2.find("IS NULL"), std::string::npos) << stage2;
+}
+
+TEST(RuleCompilerTest, ModifyExistingColumnUsesCase) {
+  auto compiled = Compile(
+      "DEFINE m ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE B.biz_loc = 'locA' ACTION MODIFY A.biz_loc = 'loc1'");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string& stage2 = compiled->stages[1].body_sql;
+  EXPECT_NE(stage2.find("THEN 'loc1' ELSE biz_loc END AS biz_loc"),
+            std::string::npos)
+      << stage2;
+  EXPECT_EQ(compiled->output_columns.size(), 4u);
+}
+
+TEST(RuleCompilerTest, ModifyNewColumnDefaultsToZero) {
+  auto compiled = Compile(
+      "DEFINE m ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE B.biz_loc = 'locA' ACTION MODIFY A.flag = 1");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string& stage2 = compiled->stages[1].body_sql;
+  EXPECT_NE(stage2.find("THEN 1 ELSE 0 END AS flag"), std::string::npos)
+      << stage2;
+  ASSERT_EQ(compiled->output_columns.size(), 5u);
+  EXPECT_EQ(compiled->output_columns.back().name, "flag");
+}
+
+TEST(RuleCompilerTest, ModifyMultipleAssignments) {
+  auto compiled = Compile(
+      "DEFINE m ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE B.biz_loc = 'locA' "
+      "ACTION MODIFY A.biz_loc = 'loc1', A.reader = 'fixed'");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string& stage2 = compiled->stages[1].body_sql;
+  EXPECT_NE(stage2.find("AS biz_loc"), std::string::npos);
+  EXPECT_NE(stage2.find("AS reader"), std::string::npos);
+}
+
+TEST(RuleCompilerTest, ModifyValueMayReferenceTargetColumns) {
+  auto compiled = Compile(
+      "DEFINE m ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE B.biz_loc = 'locA' ACTION MODIFY A.rtime = A.rtime + 1 MINUTES");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_NE(compiled->stages[1].body_sql.find("THEN rtime + 1 MINUTES"),
+            std::string::npos)
+      << compiled->stages[1].body_sql;
+}
+
+TEST(RuleCompilerTest, RejectsComparisonMixingSetAndTarget) {
+  // A single comparison between a set column and a target column (other
+  // than sequence-key bounds) is outside the supported fragment.
+  auto compiled = Compile(
+      "DEFINE bad ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, *B) "
+      "WHERE B.biz_loc = A.biz_loc ACTION DELETE A");
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(RuleCompilerTest, RejectsUnknownColumns) {
+  auto compiled = Compile(
+      "DEFINE bad ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE A.bogus = B.bogus ACTION DELETE B");
+  ASSERT_FALSE(compiled.ok());
+}
+
+TEST(RuleCompilerTest, RejectsMissingKeys) {
+  auto rule = ParseRule(
+      "DEFINE r ON caseR CLUSTER BY nope SEQUENCE BY rtime AS (A, B) "
+      "WHERE A.rtime < B.rtime ACTION DELETE B");
+  ASSERT_TRUE(rule.ok());
+  auto compiled = CompileRule(*rule, ReadsColumns(), "__r0");
+  ASSERT_FALSE(compiled.ok());
+}
+
+TEST(RuleCompilerTest, ThreeSingletonContexts) {
+  // (W, X, A, Y): contexts at offsets -2, -1, +1 from target A.
+  auto compiled = Compile(
+      "DEFINE multi ON caseR CLUSTER BY epc SEQUENCE BY rtime "
+      "AS (W, X, A, Y) "
+      "WHERE W.biz_loc = A.biz_loc AND X.biz_loc <> A.biz_loc AND "
+      "Y.biz_loc = A.biz_loc ACTION DELETE A");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string& stage1 = compiled->stages[0].body_sql;
+  EXPECT_NE(stage1.find("ROWS BETWEEN 2 PRECEDING AND 2 PRECEDING"),
+            std::string::npos);
+  EXPECT_NE(stage1.find("ROWS BETWEEN 1 PRECEDING AND 1 PRECEDING"),
+            std::string::npos);
+  EXPECT_NE(stage1.find("ROWS BETWEEN 1 FOLLOWING AND 1 FOLLOWING"),
+            std::string::npos);
+}
+
+TEST(RuleCompilerTest, SharedColumnAggregateDeduplicated) {
+  // A.rtime referenced twice must produce a single scalar aggregate.
+  auto compiled = Compile(
+      "DEFINE d ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) "
+      "WHERE B.rtime - A.rtime < 5 MINUTES AND B.rtime - A.rtime > 1 MINUTES "
+      "ACTION DELETE B");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  const std::string& stage1 = compiled->stages[0].body_sql;
+  size_t first = stage1.find("AS __a_rtime");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(stage1.find("AS __a_rtime", first + 1), std::string::npos) << stage1;
+}
+
+}  // namespace
+}  // namespace rfid

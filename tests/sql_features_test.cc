@@ -1,0 +1,130 @@
+// Tests for the HAVING / LIMIT / COALESCE engine features.
+#include <gtest/gtest.h>
+
+#include "common/time_util.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "sql/render.h"
+
+namespace rfid {
+namespace {
+
+class SqlFeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema reads;
+    reads.AddColumn("epc", DataType::kString);
+    reads.AddColumn("rtime", DataType::kTimestamp);
+    reads.AddColumn("reader", DataType::kString);
+    Table* t = db_.CreateTable("caseR", reads).value();
+    // e0: 6 reads, e1: 4, e2: 2 (reader NULL on one row of e2).
+    int counts[] = {6, 4, 2};
+    int64_t ts = 0;
+    for (int e = 0; e < 3; ++e) {
+      for (int i = 0; i < counts[e]; ++i) {
+        Value reader = (e == 2 && i == 0)
+                           ? Value::Null()
+                           : Value::String("r" + std::to_string(i % 2));
+        ASSERT_TRUE(t->Append({Value::String("e" + std::to_string(e)),
+                               Value::Timestamp(Minutes(ts++)), reader})
+                        .ok());
+      }
+    }
+    t->ComputeStats();
+  }
+
+  QueryResult MustRun(const std::string& sql) {
+    auto r = ExecuteSql(db_, sql);
+    EXPECT_TRUE(r.ok()) << sql << "\n" << r.status().ToString();
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlFeaturesTest, HavingFiltersGroups) {
+  QueryResult res = MustRun(
+      "SELECT epc, count(*) AS n FROM caseR GROUP BY epc HAVING count(*) > 3");
+  ASSERT_EQ(res.rows.size(), 2u);
+  for (const Row& r : res.rows) {
+    EXPECT_GT(r[1].int64_value(), 3);
+  }
+}
+
+TEST_F(SqlFeaturesTest, HavingMayReferenceGroupKey) {
+  QueryResult res = MustRun(
+      "SELECT epc, count(*) FROM caseR GROUP BY epc HAVING epc = 'e1'");
+  ASSERT_EQ(res.rows.size(), 1u);
+  EXPECT_EQ(res.rows[0][0].string_value(), "e1");
+}
+
+TEST_F(SqlFeaturesTest, HavingAggregateNotInSelect) {
+  QueryResult res = MustRun(
+      "SELECT epc FROM caseR GROUP BY epc HAVING min(rtime) > TIMESTAMP " +
+      std::to_string(Minutes(3)));
+  ASSERT_EQ(res.rows.size(), 2u);  // e1 (starts at 6m) and e2 (10m)
+}
+
+TEST_F(SqlFeaturesTest, HavingWithoutAggregationRejected) {
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT epc FROM caseR HAVING epc = 'x'").ok());
+}
+
+TEST_F(SqlFeaturesTest, LimitTruncates) {
+  QueryResult res = MustRun("SELECT epc, rtime FROM caseR LIMIT 5");
+  EXPECT_EQ(res.rows.size(), 5u);
+  res = MustRun("SELECT epc FROM caseR LIMIT 0");
+  EXPECT_EQ(res.rows.size(), 0u);
+  res = MustRun("SELECT epc FROM caseR LIMIT 100");
+  EXPECT_EQ(res.rows.size(), 12u);
+}
+
+TEST_F(SqlFeaturesTest, LimitAfterOrderBy) {
+  QueryResult res = MustRun(
+      "SELECT epc, rtime FROM caseR ORDER BY rtime DESC LIMIT 2");
+  ASSERT_EQ(res.rows.size(), 2u);
+  EXPECT_EQ(res.rows[0][1].timestamp_value(), Minutes(11));
+  EXPECT_EQ(res.rows[1][1].timestamp_value(), Minutes(10));
+}
+
+TEST_F(SqlFeaturesTest, CoalesceScalars) {
+  QueryResult res = MustRun(
+      "SELECT epc, rtime, coalesce(reader, 'unknown') AS r FROM caseR "
+      "WHERE epc = 'e2' ORDER BY rtime");
+  ASSERT_EQ(res.rows.size(), 2u);
+  EXPECT_EQ(res.rows[0][2].string_value(), "unknown");
+  EXPECT_EQ(res.rows[1][2].string_value(), "r1");
+}
+
+TEST_F(SqlFeaturesTest, CoalesceInPredicate) {
+  QueryResult res = MustRun(
+      "SELECT count(*) FROM caseR WHERE coalesce(reader, 'r0') = 'r0'");
+  // Rows with reader r0 (3 in e0, 2 in e1) plus the NULL-reader row.
+  ASSERT_EQ(res.rows.size(), 1u);
+  EXPECT_EQ(res.rows[0][0].int64_value(), 6);
+}
+
+TEST_F(SqlFeaturesTest, CoalesceErrors) {
+  EXPECT_FALSE(ExecuteSql(db_, "SELECT coalesce() FROM caseR").ok());
+}
+
+TEST_F(SqlFeaturesTest, RenderRoundTripNewClauses) {
+  const char* q =
+      "SELECT epc, COUNT(*) AS n FROM caseR GROUP BY epc HAVING COUNT(*) > 3 "
+      "ORDER BY epc DESC LIMIT 7";
+  auto parsed = ParseSql(q);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string rendered = StatementToSql(*parsed.value());
+  EXPECT_NE(rendered.find("HAVING"), std::string::npos);
+  EXPECT_NE(rendered.find("LIMIT 7"), std::string::npos);
+  auto reparsed = ParseSql(rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  EXPECT_EQ(rendered, StatementToSql(*reparsed.value()));
+}
+
+TEST_F(SqlFeaturesTest, ExplainShowsLimit) {
+  QueryResult res = MustRun("SELECT epc FROM caseR LIMIT 3");
+  EXPECT_NE(res.explain.find("Limit"), std::string::npos) << res.explain;
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,144 @@
+// Robustness properties of the SQL front end:
+//  - random token soup must never crash the parser (errors are Status,
+//    never exceptions or UB);
+//  - randomly generated expressions must round-trip through render+parse
+//    structurally unchanged (precedence/parenthesization correctness);
+//  - rendered statements are a fixed point of parse ∘ render.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/time_util.h"
+#include "sql/parser.h"
+#include "sql/render.h"
+
+namespace rfid {
+namespace {
+
+// --- fuzz: token soup ---
+
+class ParserFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  Random rng(static_cast<uint64_t>(GetParam()));
+  static const char* kPieces[] = {
+      "SELECT", "FROM",  "WHERE",  "GROUP",  "BY",     "ORDER",  "LIMIT",
+      "WITH",   "AS",    "UNION",  "ALL",    "AND",    "OR",     "NOT",
+      "IN",     "CASE",  "WHEN",   "THEN",   "ELSE",   "END",    "OVER",
+      "ROWS",   "RANGE", "BETWEEN", "(",     ")",      ",",      "*",
+      "caseR",  "epc",   "rtime",  "42",     "4.5",    "'x'",    "=",
+      "<",      ">=",    "<>",     "+",      "-",      ".",      "MINUTES",
+      "TIMESTAMP", "PRECEDING", "FOLLOWING", "PARTITION", "COUNT", "MAX",
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string sql;
+    int len = 1 + static_cast<int>(rng.Uniform(25));
+    for (int i = 0; i < len; ++i) {
+      sql += kPieces[rng.Uniform(std::size(kPieces))];
+      sql += ' ';
+    }
+    // Must return, never throw or crash; ok or error both fine.
+    auto result = ParseSql(sql);
+    if (result.ok()) {
+      // Whatever parsed must render and re-parse.
+      std::string rendered = StatementToSql(*result.value());
+      auto reparsed = ParseSql(rendered);
+      EXPECT_TRUE(reparsed.ok()) << sql << "\n-> " << rendered;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(1, 6));
+
+// --- property: expression round trip ---
+
+ExprPtr RandomExpr(Random& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.3)) {
+    switch (rng.Uniform(4)) {
+      case 0:
+        return MakeColumnRef("", "c" + std::to_string(rng.Uniform(4)));
+      case 1:
+        return MakeColumnRef("t" + std::to_string(rng.Uniform(2)),
+                             "c" + std::to_string(rng.Uniform(4)));
+      case 2:
+        return MakeLiteral(Value::Int64(static_cast<int64_t>(rng.Uniform(100))));
+      default:
+        return MakeLiteral(Value::String("s" + std::to_string(rng.Uniform(5))));
+    }
+  }
+  switch (rng.Uniform(7)) {
+    case 0:
+      return MakeBinary(BinaryOp::kAnd, RandomExpr(rng, depth - 1),
+                        RandomExpr(rng, depth - 1));
+    case 1:
+      return MakeBinary(BinaryOp::kOr, RandomExpr(rng, depth - 1),
+                        RandomExpr(rng, depth - 1));
+    case 2: {
+      static const BinaryOp kCmps[] = {BinaryOp::kEq, BinaryOp::kNe,
+                                       BinaryOp::kLt, BinaryOp::kLe,
+                                       BinaryOp::kGt, BinaryOp::kGe};
+      return MakeBinary(kCmps[rng.Uniform(6)], RandomExpr(rng, depth - 1),
+                        RandomExpr(rng, depth - 1));
+    }
+    case 3: {
+      static const BinaryOp kArith[] = {BinaryOp::kAdd, BinaryOp::kSub,
+                                        BinaryOp::kMul, BinaryOp::kDiv};
+      return MakeBinary(kArith[rng.Uniform(4)], RandomExpr(rng, depth - 1),
+                        RandomExpr(rng, depth - 1));
+    }
+    case 4:
+      return MakeNot(RandomExpr(rng, depth - 1));
+    case 5:
+      return MakeIsNull(RandomExpr(rng, depth - 1), rng.Bernoulli(0.5));
+    default:
+      return MakeCase({RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1),
+                       RandomExpr(rng, depth - 1)},
+                      /*has_else=*/true);
+  }
+}
+
+class ExprRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprRoundTripTest, RenderedExpressionReparsesStructurallyEqual) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 977);
+  for (int i = 0; i < 300; ++i) {
+    ExprPtr e = RandomExpr(rng, 4);
+    std::string sql = ExprToSql(e);
+    auto reparsed = ParseExpression(sql);
+    ASSERT_TRUE(reparsed.ok()) << sql << ": " << reparsed.status().ToString();
+    EXPECT_TRUE(ExprEquals(e, reparsed.value()))
+        << "original: " << sql
+        << "\nreparsed: " << ExprToSql(reparsed.value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundTripTest, ::testing::Range(1, 6));
+
+// --- fixed point on a realistic corpus ---
+
+TEST(RenderFixedPointTest, CorpusStatements) {
+  const char* corpus[] = {
+      "SELECT * FROM caseR",
+      "SELECT a, b AS bee FROM t WHERE a < 1 AND b IS NOT NULL",
+      "WITH v AS (SELECT * FROM t) SELECT count(*) FROM v GROUP BY a "
+      "HAVING count(*) > 2 ORDER BY a LIMIT 3",
+      "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+      "SELECT max(a) OVER (PARTITION BY b ORDER BY c ASC ROWS BETWEEN 2 "
+      "PRECEDING AND CURRENT ROW) FROM t",
+      "SELECT sum(x) OVER (PARTITION BY p ORDER BY ts ASC RANGE BETWEEN 5 "
+      "MINUTES PRECEDING AND UNBOUNDED FOLLOWING) FROM t",
+      "SELECT a FROM t WHERE a IN (1, 2, 3) OR a IN (SELECT a FROM u WHERE "
+      "b = 'z')",
+      "SELECT a FROM t UNION ALL SELECT b FROM u",
+  };
+  for (const char* q : corpus) {
+    auto p1 = ParseSql(q);
+    ASSERT_TRUE(p1.ok()) << q << ": " << p1.status().ToString();
+    std::string r1 = StatementToSql(*p1.value());
+    auto p2 = ParseSql(r1);
+    ASSERT_TRUE(p2.ok()) << r1;
+    EXPECT_EQ(r1, StatementToSql(*p2.value())) << q;
+  }
+}
+
+}  // namespace
+}  // namespace rfid

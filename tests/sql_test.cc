@@ -1,0 +1,240 @@
+// Unit tests for the SQL lexer, parser, and renderer.
+#include <gtest/gtest.h>
+
+#include "common/time_util.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "sql/render.h"
+
+namespace rfid {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a.b, 42, 4.5, 'x''y' <= <> -- comment\n =");
+  ASSERT_TRUE(tokens.ok());
+  const auto& t = tokens.value();
+  // SELECT a . b , 42 , 4.5 , 'x''y' <= <> = <end>  (comment skipped)
+  ASSERT_EQ(t.size(), 14u);
+  EXPECT_EQ(t[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[0].text, "SELECT");
+  EXPECT_EQ(t[2].text, ".");
+  EXPECT_EQ(t[5].int_value, 42);
+  EXPECT_EQ(t[7].double_value, 4.5);
+  EXPECT_EQ(t[9].type, TokenType::kString);
+  EXPECT_EQ(t[9].text, "x'y");
+  EXPECT_EQ(t[10].text, "<=");
+  EXPECT_EQ(t[11].text, "<>");
+  EXPECT_EQ(t[12].text, "=");
+  EXPECT_EQ(t[13].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("select 'unterminated").ok());
+  EXPECT_FALSE(Tokenize("select @").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto r = ParseSql("select * from caseR where rtime <= TIMESTAMP 500");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStatement& s = *r.value();
+  ASSERT_EQ(s.cores.size(), 1u);
+  EXPECT_TRUE(s.cores[0].items[0].is_star);
+  ASSERT_EQ(s.cores[0].from.size(), 1u);
+  EXPECT_EQ(s.cores[0].from[0].table_name, "caseR");
+  EXPECT_EQ(s.cores[0].from[0].alias, "caseR");
+  ASSERT_NE(s.cores[0].where, nullptr);
+  EXPECT_EQ(ExprToSql(s.cores[0].where), "rtime <= TIMESTAMP 500");
+}
+
+TEST(ParserTest, AliasesImplicitAndExplicit) {
+  auto r = ParseSql("select c.epc x, l.gln as y from caseR c, locs as l");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectCore& core = r.value()->cores[0];
+  EXPECT_EQ(core.items[0].alias, "x");
+  EXPECT_EQ(core.items[1].alias, "y");
+  EXPECT_EQ(core.from[0].alias, "c");
+  EXPECT_EQ(core.from[1].alias, "l");
+}
+
+TEST(ParserTest, IntervalLiterals) {
+  auto r = ParseExpression("b.rtime - a.rtime < 5 mins");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(ExprToSql(r.value()), "b.rtime - a.rtime < 5 MINUTES");
+  r = ParseExpression("x < interval 2 hours");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ExprToSql(r.value()), "x < 2 HOURS");
+}
+
+TEST(ParserTest, TimestampLiterals) {
+  auto r = ParseExpression("rtime >= TIMESTAMP '1970-01-01 00:01:00'");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ExprPtr& e = r.value();
+  EXPECT_EQ(e->children[1]->value.timestamp_value(), Minutes(1));
+  EXPECT_FALSE(ParseExpression("rtime >= TIMESTAMP 'bogus'").ok());
+}
+
+TEST(ParserTest, PrecedenceAndParens) {
+  auto r = ParseExpression("a = 1 or b = 2 and c = 3");
+  ASSERT_TRUE(r.ok());
+  // AND binds tighter than OR.
+  EXPECT_EQ(ExprToSql(r.value()), "a = 1 OR b = 2 AND c = 3");
+  EXPECT_EQ(r.value()->op, BinaryOp::kOr);
+
+  r = ParseExpression("(a = 1 or b = 2) and c = 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, CaseInAndBetween) {
+  auto r = ParseExpression(
+      "case when reader = 'readerX' then 1 else 0 end");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value()->kind, ExprKind::kCase);
+
+  r = ParseExpression("x in (1, 2, 3)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->kind, ExprKind::kInList);
+
+  r = ParseExpression("x not in (1, 2)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()->kind, ExprKind::kNot);
+
+  r = ParseExpression("x between 1 and 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(ExprToSql(r.value()), "x >= 1 AND x <= 3");
+}
+
+TEST(ParserTest, InSubquery) {
+  auto r = ParseSql(
+      "select * from caseR where epc in (select epc from caseR where rtime > "
+      "TIMESTAMP 5)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ExprPtr& w = r.value()->cores[0].where;
+  ASSERT_EQ(w->kind, ExprKind::kInSubquery);
+  ASSERT_NE(w->subquery, nullptr);
+  EXPECT_EQ(w->subquery->cores[0].from[0].table_name, "caseR");
+}
+
+TEST(ParserTest, WindowFunctionFull) {
+  auto r = ParseSql(
+      "select max(biz_loc) over (partition by epc order by rtime asc "
+      "rows between 1 preceding and 1 preceding) as prev_loc from caseR");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ExprPtr& e = r.value()->cores[0].items[0].expr;
+  ASSERT_EQ(e->kind, ExprKind::kFuncCall);
+  ASSERT_TRUE(e->window.has_value());
+  EXPECT_EQ(e->window->partition_by.size(), 1u);
+  EXPECT_EQ(e->window->order_by.size(), 1u);
+  ASSERT_TRUE(e->window->has_frame);
+  EXPECT_EQ(e->window->frame.unit, FrameUnit::kRows);
+  EXPECT_EQ(e->window->frame.start.delta, -1);
+  EXPECT_EQ(e->window->frame.end.delta, -1);
+}
+
+TEST(ParserTest, WindowRangeFrame) {
+  auto r = ParseSql(
+      "select max(x) over (partition by epc order by rtime "
+      "range between 1 microseconds following and 10 minutes following) "
+      "from caseR");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& f = r.value()->cores[0].items[0].expr->window->frame;
+  EXPECT_EQ(f.unit, FrameUnit::kRange);
+  EXPECT_EQ(f.start.delta, 1);
+  EXPECT_EQ(f.end.delta, Minutes(10));
+}
+
+TEST(ParserTest, WindowShorthandRowsPreceding) {
+  auto r = ParseSql("select max(x) over (rows 1 preceding) from t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& f = r.value()->cores[0].items[0].expr->window->frame;
+  EXPECT_EQ(f.start.delta, -1);
+  EXPECT_EQ(f.end.delta, 0);  // CURRENT ROW
+}
+
+TEST(ParserTest, WithClausesAndUnionAll) {
+  auto r = ParseSql(
+      "with v1 as (select * from caseR), "
+      "v2 as (select * from v1 union all select * from caseR) "
+      "select count(*) from v2 group by epc");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectStatement& s = *r.value();
+  ASSERT_EQ(s.with.size(), 2u);
+  EXPECT_EQ(s.with[1].body->cores.size(), 2u);
+  EXPECT_EQ(s.cores[0].group_by.size(), 1u);
+}
+
+TEST(ParserTest, CountDistinctAndStar) {
+  auto r = ParseSql("select count(distinct reader), count(*) from caseR");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& items = r.value()->cores[0].items;
+  EXPECT_TRUE(items[0].expr->distinct);
+  EXPECT_EQ(items[1].expr->children[0]->kind, ExprKind::kStar);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSql("select from t").ok());
+  EXPECT_FALSE(ParseSql("select * t").ok());
+  EXPECT_FALSE(ParseSql("select * from t where").ok());
+  EXPECT_FALSE(ParseSql("select * from t extra_garbage huh zz").ok());
+  EXPECT_FALSE(ParseSql("with v as select * from t) select * from v").ok());
+  EXPECT_FALSE(ParseExpression("case end").ok());
+}
+
+TEST(RenderTest, RoundTrip) {
+  const char* queries[] = {
+      "SELECT * FROM caseR WHERE rtime <= TIMESTAMP 100",
+      "SELECT c.epc, count(*) AS n FROM caseR c, locs l WHERE c.biz_loc = "
+      "l.gln AND l.site = 'dc1' GROUP BY c.epc",
+      "WITH v1 AS (SELECT epc, rtime FROM caseR) SELECT * FROM v1 WHERE "
+      "rtime > TIMESTAMP 5",
+      "SELECT epc FROM caseR UNION ALL SELECT epc FROM palletR",
+      "SELECT * FROM caseR WHERE epc IN (SELECT epc FROM caseR WHERE rtime > "
+      "TIMESTAMP 7)",
+  };
+  for (const char* q : queries) {
+    auto parsed = ParseSql(q);
+    ASSERT_TRUE(parsed.ok()) << q << ": " << parsed.status().ToString();
+    std::string rendered = StatementToSql(*parsed.value());
+    auto reparsed = ParseSql(rendered);
+    ASSERT_TRUE(reparsed.ok()) << rendered << ": " << reparsed.status().ToString();
+    EXPECT_EQ(rendered, StatementToSql(*reparsed.value())) << q;
+  }
+}
+
+TEST(RenderTest, WindowRoundTrip) {
+  const char* q =
+      "SELECT MAX(biz_loc) OVER (PARTITION BY epc ORDER BY rtime ASC ROWS "
+      "BETWEEN 1 PRECEDING AND 1 PRECEDING) AS prev_loc FROM caseR";
+  auto parsed = ParseSql(q);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::string rendered = StatementToSql(*parsed.value());
+  auto reparsed = ParseSql(rendered);
+  ASSERT_TRUE(reparsed.ok()) << rendered;
+  EXPECT_EQ(rendered, StatementToSql(*reparsed.value()));
+}
+
+TEST(RenderTest, SubqueryRendered) {
+  auto parsed = ParseSql(
+      "select * from caseR where epc in (select epc from caseR where rtime > "
+      "TIMESTAMP 7)");
+  ASSERT_TRUE(parsed.ok());
+  std::string rendered = StatementToSql(*parsed.value());
+  EXPECT_NE(rendered.find("IN (SELECT epc FROM caseR"), std::string::npos)
+      << rendered;
+}
+
+TEST(CloneTest, StatementDeepCopy) {
+  auto parsed = ParseSql(
+      "with v as (select * from t) select a, count(*) from v where a > 1 "
+      "group by a order by a desc");
+  ASSERT_TRUE(parsed.ok());
+  StatementPtr clone = CloneStatement(parsed.value());
+  // Mutating the clone must not affect the original.
+  clone->cores[0].where = nullptr;
+  clone->with.clear();
+  EXPECT_NE(parsed.value()->cores[0].where, nullptr);
+  EXPECT_EQ(parsed.value()->with.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,149 @@
+// Unit tests for schema, table, index, catalog and statistics.
+#include <gtest/gtest.h>
+
+#include "common/time_util.h"
+#include "storage/catalog.h"
+
+namespace rfid {
+namespace {
+
+Schema ReadsSchema() {
+  Schema s;
+  s.AddColumn("epc", DataType::kString);
+  s.AddColumn("rtime", DataType::kTimestamp);
+  s.AddColumn("reader", DataType::kString);
+  s.AddColumn("biz_loc", DataType::kString);
+  s.AddColumn("biz_step", DataType::kInt64);
+  return s;
+}
+
+Row MakeRead(const std::string& epc, int64_t rtime, const std::string& reader,
+             const std::string& loc, int64_t step) {
+  return {Value::String(epc), Value::Timestamp(rtime), Value::String(reader),
+          Value::String(loc), Value::Int64(step)};
+}
+
+TEST(SchemaTest, LookupIsCaseInsensitive) {
+  Schema s = ReadsSchema();
+  EXPECT_EQ(s.FindColumn("EPC"), 0);
+  EXPECT_EQ(s.FindColumn("Rtime"), 1);
+  EXPECT_EQ(s.FindColumn("missing"), -1);
+  auto r = s.ResolveColumn("biz_loc");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 3u);
+  EXPECT_FALSE(s.ResolveColumn("nope").ok());
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s;
+  s.AddColumn("a", DataType::kInt64);
+  s.AddColumn("b", DataType::kString);
+  EXPECT_EQ(s.ToString(), "(a INT64, b STRING)");
+}
+
+TEST(TableTest, AppendChecksArityAndTypes) {
+  Table t("reads", ReadsSchema());
+  EXPECT_TRUE(t.Append(MakeRead("e1", 100, "r1", "l1", 1)).ok());
+  EXPECT_FALSE(t.Append({Value::Int64(1)}).ok());  // wrong arity
+  Row bad = MakeRead("e1", 100, "r1", "l1", 1);
+  bad[0] = Value::Int64(7);  // wrong type for epc
+  EXPECT_FALSE(t.Append(bad).ok());
+  // NULLs are allowed in any column.
+  Row with_null = MakeRead("e1", 100, "r1", "l1", 1);
+  with_null[2] = Value::Null();
+  EXPECT_TRUE(t.Append(with_null).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(IndexTest, RangeScanInclusiveExclusive) {
+  Table t("reads", ReadsSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Append(MakeRead("e", Minutes(i), "r", "l", i)).ok());
+  }
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  const SortedIndex* idx = t.GetIndex("rtime");
+  ASSERT_NE(idx, nullptr);
+
+  auto ids = idx->RangeScan(Bound{Value::Timestamp(Minutes(3)), true},
+                            Bound{Value::Timestamp(Minutes(6)), true});
+  EXPECT_EQ(ids.size(), 4u);  // minutes 3,4,5,6
+
+  ids = idx->RangeScan(Bound{Value::Timestamp(Minutes(3)), false},
+                       Bound{Value::Timestamp(Minutes(6)), false});
+  EXPECT_EQ(ids.size(), 2u);  // minutes 4,5
+
+  ids = idx->RangeScan(std::nullopt, Bound{Value::Timestamp(Minutes(2)), true});
+  EXPECT_EQ(ids.size(), 3u);  // 0,1,2
+
+  ids = idx->RangeScan(Bound{Value::Timestamp(Minutes(8)), true}, std::nullopt);
+  EXPECT_EQ(ids.size(), 2u);  // 8,9
+}
+
+TEST(IndexTest, ScanReturnsRowsInValueOrder) {
+  Table t("reads", ReadsSchema());
+  // Insert out of time order.
+  ASSERT_TRUE(t.Append(MakeRead("e", Minutes(5), "r", "l", 0)).ok());
+  ASSERT_TRUE(t.Append(MakeRead("e", Minutes(1), "r", "l", 1)).ok());
+  ASSERT_TRUE(t.Append(MakeRead("e", Minutes(3), "r", "l", 2)).ok());
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  auto ids = t.GetIndex("rtime")->RangeScan(std::nullopt, std::nullopt);
+  ASSERT_EQ(ids.size(), 3u);
+  int64_t prev = -1;
+  for (uint32_t id : ids) {
+    int64_t v = t.row(id)[1].timestamp_value();
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(IndexTest, NullValuesExcluded) {
+  Table t("reads", ReadsSchema());
+  Row r = MakeRead("e", Minutes(1), "r", "l", 0);
+  r[1] = Value::Null();
+  ASSERT_TRUE(t.Append(r).ok());
+  ASSERT_TRUE(t.Append(MakeRead("e", Minutes(2), "r", "l", 1)).ok());
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  auto ids = t.GetIndex("rtime")->RangeScan(std::nullopt, std::nullopt);
+  EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(StatsTest, MinMaxNdvNulls) {
+  Table t("reads", ReadsSchema());
+  ASSERT_TRUE(t.Append(MakeRead("e1", Minutes(1), "r1", "l1", 1)).ok());
+  ASSERT_TRUE(t.Append(MakeRead("e2", Minutes(9), "r1", "l2", 2)).ok());
+  Row with_null = MakeRead("e1", Minutes(5), "r2", "l1", 3);
+  with_null[2] = Value::Null();
+  ASSERT_TRUE(t.Append(with_null).ok());
+  t.ComputeStats();
+
+  const ColumnStats& epc = t.stats(0);
+  EXPECT_EQ(epc.ndv, 2u);
+  EXPECT_EQ(epc.null_count, 0u);
+  EXPECT_EQ(epc.min.string_value(), "e1");
+  EXPECT_EQ(epc.max.string_value(), "e2");
+
+  const ColumnStats& rtime = t.stats(1);
+  EXPECT_EQ(rtime.min.timestamp_value(), Minutes(1));
+  EXPECT_EQ(rtime.max.timestamp_value(), Minutes(9));
+
+  const ColumnStats& reader = t.stats(2);
+  EXPECT_EQ(reader.null_count, 1u);
+  EXPECT_EQ(reader.ndv, 1u);  // "r2" was overwritten with NULL; only "r1" remains
+}
+
+TEST(CatalogTest, CreateGetDrop) {
+  Database db;
+  auto created = db.CreateTable("caseR", ReadsSchema());
+  ASSERT_TRUE(created.ok());
+  EXPECT_NE(db.GetTable("caser"), nullptr);  // case-insensitive
+  EXPECT_NE(db.GetTable("CASER"), nullptr);
+  EXPECT_FALSE(db.CreateTable("CaseR", ReadsSchema()).ok());  // duplicate
+  EXPECT_EQ(db.GetTable("other"), nullptr);
+  EXPECT_FALSE(db.ResolveTable("other").ok());
+  EXPECT_TRUE(db.DropTable("caseR").ok());
+  EXPECT_EQ(db.GetTable("caseR"), nullptr);
+  EXPECT_FALSE(db.DropTable("caseR").ok());
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,229 @@
+// Property tests for the SQL/OLAP window operator: for random partitioned
+// sequences and random frames, WindowOp must agree with a brute-force
+// reference implementation computed directly from the definition.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/random.h"
+#include "common/time_util.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "exec/window.h"
+#include "storage/catalog.h"
+
+namespace rfid {
+namespace {
+
+struct Config {
+  uint64_t seed;
+  FrameUnit unit;
+  // Deltas as in FrameBound (rows or micros).
+  int64_t start_delta;
+  bool start_unbounded;
+  int64_t end_delta;
+  bool end_unbounded;
+  AggFunc func;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
+  const Config& c = info.param;
+  std::string name = c.unit == FrameUnit::kRows ? "rows" : "range";
+  name += "_" + std::string(AggFuncName(c.func));
+  name += c.start_unbounded ? "_ub" : (c.start_delta < 0 ? "_p" : "_f") +
+                                          std::to_string(std::abs(c.start_delta));
+  name += c.end_unbounded ? "_ub" : (c.end_delta < 0 ? "_p" : "_f") +
+                                        std::to_string(std::abs(c.end_delta));
+  name += "_s" + std::to_string(c.seed);
+  return name;
+}
+
+class WindowPropertyTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(WindowPropertyTest, MatchesBruteForce) {
+  const Config& cfg = GetParam();
+  Random rng(cfg.seed);
+
+  // Random data: a handful of partitions with strictly increasing,
+  // irregular timestamps and small integer payloads (some NULL).
+  Schema schema;
+  schema.AddColumn("part", DataType::kString);
+  schema.AddColumn("ts", DataType::kTimestamp);
+  schema.AddColumn("val", DataType::kInt64);
+  Database db;
+  Table* table = db.CreateTable("t", schema).value();
+  int num_parts = 1 + static_cast<int>(rng.Uniform(4));
+  for (int p = 0; p < num_parts; ++p) {
+    int64_t t = static_cast<int64_t>(rng.Uniform(1000));
+    int rows = 1 + static_cast<int>(rng.Uniform(25));
+    for (int i = 0; i < rows; ++i) {
+      Value val = rng.Bernoulli(0.15)
+                      ? Value::Null()
+                      : Value::Int64(static_cast<int64_t>(rng.Uniform(50)));
+      ASSERT_TRUE(table
+                      ->Append({Value::String("p" + std::to_string(p)),
+                                Value::Timestamp(t), val})
+                      .ok());
+      t += 1 + static_cast<int64_t>(rng.Uniform(200));
+    }
+  }
+
+  WindowAggSpec spec;
+  spec.func = cfg.func;
+  RowDesc desc = RowDesc::FromSchema(schema, "t");
+  if (cfg.func == AggFunc::kCount && cfg.seed % 2 == 0) {
+    spec.arg = nullptr;  // COUNT(*)
+  } else {
+    spec.arg = BindExpr(MakeColumnRef("t", "val"), desc).value();
+  }
+  spec.frame.unit = cfg.unit;
+  spec.frame.start = {cfg.start_unbounded, cfg.start_delta};
+  spec.frame.end = {cfg.end_unbounded, cfg.end_delta};
+  spec.output_name = "w";
+  spec.result_type =
+      cfg.func == AggFunc::kCount
+          ? DataType::kInt64
+          : (cfg.func == AggFunc::kAvg ? DataType::kDouble : DataType::kInt64);
+
+  auto scan = std::make_unique<TableScanOp>(table, "t");
+  auto sort = std::make_unique<SortOp>(
+      std::move(scan), std::vector<SlotSortKey>{{0, true}, {1, true}});
+  WindowOp window(std::move(sort), {0}, {{1, true}}, {spec});
+  auto rows_or = CollectRows(&window);
+  ASSERT_TRUE(rows_or.ok()) << rows_or.status().ToString();
+  const std::vector<Row>& rows = *rows_or;
+
+  // Brute force over the sorted base rows.
+  std::vector<Row> sorted;
+  for (const Row& r : table->rows()) sorted.push_back(r);
+  std::stable_sort(sorted.begin(), sorted.end(), [](const Row& a, const Row& b) {
+    int c = a[0].Compare(b[0]);
+    if (c != 0) return c < 0;
+    return a[1].Compare(b[1]) < 0;
+  });
+  ASSERT_EQ(sorted.size(), rows.size());
+
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    // Frame membership for row j relative to row i.
+    int64_t count = 0;
+    std::optional<int64_t> sum;
+    std::optional<int64_t> best;
+    // Find partition bounds.
+    size_t pbegin = i;
+    while (pbegin > 0 && sorted[pbegin - 1][0] == sorted[i][0]) --pbegin;
+    size_t pend = i + 1;
+    while (pend < sorted.size() && sorted[pend][0] == sorted[i][0]) ++pend;
+    for (size_t j = pbegin; j < pend; ++j) {
+      bool in_frame;
+      if (cfg.unit == FrameUnit::kRows) {
+        int64_t off = static_cast<int64_t>(j) - static_cast<int64_t>(i);
+        bool after_start =
+            cfg.start_unbounded || off >= cfg.start_delta;
+        bool before_end = cfg.end_unbounded || off <= cfg.end_delta;
+        in_frame = after_start && before_end;
+      } else {
+        int64_t diff = sorted[j][1].timestamp_value() -
+                       sorted[i][1].timestamp_value();
+        bool after_start = cfg.start_unbounded || diff >= cfg.start_delta;
+        bool before_end = cfg.end_unbounded || diff <= cfg.end_delta;
+        in_frame = after_start && before_end;
+      }
+      if (!in_frame) continue;
+      if (spec.arg == nullptr) {
+        ++count;
+        continue;
+      }
+      const Value& v = sorted[j][2];
+      if (v.is_null()) continue;
+      ++count;
+      sum = sum.value_or(0) + v.int64_value();
+      if (cfg.func == AggFunc::kMin) {
+        best = best.has_value() ? std::min(*best, v.int64_value())
+                                : v.int64_value();
+      } else if (cfg.func == AggFunc::kMax) {
+        best = best.has_value() ? std::max(*best, v.int64_value())
+                                : v.int64_value();
+      }
+    }
+    const Value& got = rows[i][3];
+    switch (cfg.func) {
+      case AggFunc::kCount:
+        ASSERT_EQ(got.int64_value(), count) << "row " << i;
+        break;
+      case AggFunc::kSum:
+        if (count == 0) {
+          ASSERT_TRUE(got.is_null()) << "row " << i;
+        } else {
+          ASSERT_EQ(got.int64_value(), *sum) << "row " << i;
+        }
+        break;
+      case AggFunc::kAvg:
+        if (count == 0) {
+          ASSERT_TRUE(got.is_null()) << "row " << i;
+        } else {
+          ASSERT_DOUBLE_EQ(got.double_value(),
+                           static_cast<double>(*sum) / static_cast<double>(count))
+              << "row " << i;
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        if (!best.has_value()) {
+          ASSERT_TRUE(got.is_null()) << "row " << i;
+        } else {
+          ASSERT_EQ(got.int64_value(), *best) << "row " << i;
+        }
+        break;
+    }
+  }
+}
+
+std::vector<Config> MakeConfigs() {
+  std::vector<Config> configs;
+  uint64_t seed = 1;
+  // ROWS frames: the shapes rules compile into plus general ones.
+  struct RowsFrame {
+    int64_t s;
+    bool su;
+    int64_t e;
+    bool eu;
+  } rows_frames[] = {
+      {-1, false, -1, false},  // 1 preceding .. 1 preceding (lag)
+      {1, false, 1, false},    // lead
+      {-2, false, 2, false},   // around
+      {0, true, 0, false},     // unbounded preceding .. current
+      {0, false, 0, true},     // current .. unbounded following
+      {-3, false, -1, false},  // window strictly before
+      {2, false, 1, false},    // empty frame (start > end)
+  };
+  for (const auto& f : rows_frames) {
+    for (AggFunc func : {AggFunc::kCount, AggFunc::kMax, AggFunc::kSum}) {
+      configs.push_back({seed++, FrameUnit::kRows, f.s, f.su, f.e, f.eu, func});
+    }
+  }
+  // RANGE frames (micros offsets against the irregular ts column).
+  struct RangeFrame {
+    int64_t s;
+    bool su;
+    int64_t e;
+    bool eu;
+  } range_frames[] = {
+      {1, false, 300, false},     // trailing window (reader rule shape)
+      {-300, false, -1, false},   // leading window
+      {-100, false, 100, false},  // symmetric
+      {1, false, 0, true},        // strictly-after .. unbounded
+      {0, true, -1, false},       // unbounded .. strictly-before
+  };
+  for (const auto& f : range_frames) {
+    for (AggFunc func : {AggFunc::kCount, AggFunc::kMin, AggFunc::kAvg}) {
+      configs.push_back({seed++, FrameUnit::kRange, f.s, f.su, f.e, f.eu, func});
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Frames, WindowPropertyTest,
+                         ::testing::ValuesIn(MakeConfigs()), ConfigName);
+
+}  // namespace
+}  // namespace rfid
