@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
-# Full verification: configure, build, run the test suite, smoke every
-# example, and run the benchmark harnesses (RFID_BENCH_PALLETS scales the
-# data; default 40).
+# Full verification: configure, build, run the test suite, re-run the
+# guardrail/fault-injection suites under ASan+UBSan, smoke every example,
+# and run the benchmark harnesses (RFID_BENCH_PALLETS scales the data;
+# default 40).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# Sanitizer pass: the fault-injection sweeps fail at every injection
+# point; ASan+UBSan turns any leak or UB on those unwind paths into a
+# hard failure.
+cmake -B build-asan -G Ninja -DRFID_SANITIZE=ON
+cmake --build build-asan --target fault_injection_test guardrails_test \
+  exec_test common_test
+./build-asan/tests/fault_injection_test
+./build-asan/tests/guardrails_test
+./build-asan/tests/exec_test
+./build-asan/tests/common_test
 
 ./build/examples/quickstart > /dev/null
 ./build/examples/dwell_analysis 8 0.1 > /dev/null

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "sql/render.h"
 
@@ -57,6 +58,7 @@ Result<CleansingChain> BuildCleansingChain(
     const std::vector<const CleansingRule*>& rules, const Database& db,
     const std::string& input_name, const std::vector<Column>& input_columns,
     const std::string& derived_filter_sql) {
+  RFID_FAULT_POINT("cleansing.BuildChain");
   CleansingChain chain;
   std::string current = input_name;
   std::vector<Column> current_cols = input_columns;

@@ -2,6 +2,7 @@
 
 #include "cleansing/chain.h"
 #include "cleansing/rule_parser.h"
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "expr/conjunct.h"
 #include "sql/render.h"
@@ -122,6 +123,7 @@ CleansingRuleEngine::CleansingRuleEngine(Database* db) : db_(db) {
 }
 
 Status CleansingRuleEngine::DefineRule(std::string_view rule_text) {
+  RFID_FAULT_POINT("cleansing.DefineRule");
   RFID_ASSIGN_OR_RETURN(CleansingRule rule, ParseRule(rule_text));
   return AddRule(std::move(rule));
 }

@@ -1,0 +1,50 @@
+#include "common/fault.h"
+
+namespace rfid {
+
+namespace {
+thread_local FaultInjector* g_active_injector = nullptr;
+}  // namespace
+
+Status FaultInjector::Poke(const std::string& site) {
+  uint64_t step = steps_++;
+  if (!fired_) {
+    bool fire = false;
+    switch (mode_) {
+      case Mode::kCountOnly:
+        break;
+      case Mode::kFailAtStep:
+        fire = step == fail_at_step_;
+        break;
+      case Mode::kRandom:
+        if (!rng_init_) {
+          rng_ = Random(rng_seed_);
+          rng_init_ = true;
+        }
+        fire = rng_.Bernoulli(probability_);
+        break;
+    }
+    if (!fire) return Status::OK();
+    fired_ = true;
+    fired_site_ = site;
+    fired_step_ = step;
+  }
+  return Status::Internal("injected fault at " + fired_site_ + " (step " +
+                          std::to_string(fired_step_) + ")");
+}
+
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector)
+    : previous_(g_active_injector) {
+  g_active_injector = injector;
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() { g_active_injector = previous_; }
+
+bool FaultInjectionActive() { return g_active_injector != nullptr; }
+
+Status PokeFault(const std::string& site) {
+  if (g_active_injector == nullptr) return Status::OK();
+  return g_active_injector->Poke(site);
+}
+
+}  // namespace rfid

@@ -1,0 +1,103 @@
+// Deterministic fault-injection harness.
+//
+// Injection points are sprinkled through the engine (operator Open/Next,
+// allocation/charge sites, the SQL/cleansing/rewrite entry points) as
+// calls to PokeFault("site"). In production no injector is installed and
+// FaultInjectionActive() is a single thread-local pointer test, so call
+// sites cost nothing; callers are expected to guard any site-name
+// construction behind it.
+//
+// Tests install an injector with ScopedFaultInjector. Three modes:
+//  - CountOnly      : never fires; counts the injection points a run
+//                     crosses, which defines the sweep space below.
+//  - FailAtStep(k)  : fires exactly at the k-th point crossed (0-based),
+//                     making "fail at step k" sweeps fully deterministic.
+//  - SeededRandom   : fires each point with probability p under a fixed
+//                     seed — reproducible chaos testing.
+//
+// A fired injector keeps failing every subsequent poke (a dead subsystem
+// stays dead), so partially-unwound retries inside one query cannot
+// silently succeed.
+#ifndef RFID_COMMON_FAULT_H_
+#define RFID_COMMON_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace rfid {
+
+class FaultInjector {
+ public:
+  static FaultInjector CountOnly() { return FaultInjector(Mode::kCountOnly); }
+  static FaultInjector FailAtStep(uint64_t step) {
+    FaultInjector f(Mode::kFailAtStep);
+    f.fail_at_step_ = step;
+    return f;
+  }
+  static FaultInjector SeededRandom(uint64_t seed, double probability) {
+    FaultInjector f(Mode::kRandom);
+    f.rng_seed_ = seed;
+    f.probability_ = probability;
+    return f;
+  }
+
+  /// Crosses one injection point. Returns kInternal when the injector
+  /// decides to fire (and on every poke thereafter).
+  Status Poke(const std::string& site);
+
+  /// Injection points crossed so far (including the firing one).
+  uint64_t steps() const { return steps_; }
+  bool fired() const { return fired_; }
+  const std::string& fired_site() const { return fired_site_; }
+  uint64_t fired_step() const { return fired_step_; }
+
+ private:
+  enum class Mode { kCountOnly, kFailAtStep, kRandom };
+
+  explicit FaultInjector(Mode mode) : mode_(mode), rng_(0) {}
+
+  Mode mode_;
+  uint64_t fail_at_step_ = 0;
+  double probability_ = 0;
+  uint64_t rng_seed_ = 0;
+  Random rng_;
+  bool rng_init_ = false;
+
+  uint64_t steps_ = 0;
+  bool fired_ = false;
+  std::string fired_site_;
+  uint64_t fired_step_ = 0;
+};
+
+/// Installs `injector` as the calling thread's active injector for the
+/// scope's lifetime; restores the previous one (usually none) on exit.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector);
+  ~ScopedFaultInjector();
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+/// True when the calling thread has an injector installed.
+bool FaultInjectionActive();
+
+/// Pokes the thread's injector; OK when none is installed.
+Status PokeFault(const std::string& site);
+
+#define RFID_FAULT_POINT(site)                          \
+  do {                                                  \
+    if (::rfid::FaultInjectionActive()) {               \
+      RFID_RETURN_IF_ERROR(::rfid::PokeFault(site));    \
+    }                                                   \
+  } while (0)
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_FAULT_H_

@@ -23,6 +23,12 @@ const char* CodeName(StatusCode code) {
       return "BindError";
     case StatusCode::kRewriteInfeasible:
       return "RewriteInfeasible";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -21,6 +21,9 @@ enum class StatusCode {
   kParseError,
   kBindError,
   kRewriteInfeasible,
+  kResourceExhausted,
+  kCancelled,
+  kDeadlineExceeded,
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -54,6 +57,15 @@ class Status {
   }
   static Status RewriteInfeasible(std::string m) {
     return Status(StatusCode::kRewriteInfeasible, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,6 @@
 #include "exec/aggregate.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/string_util.h"
@@ -35,8 +36,13 @@ HashAggregateOp::HashAggregateOp(OperatorPtr child,
       group_exprs_(std::move(group_exprs)),
       aggs_(std::move(aggs)) {}
 
-Status HashAggregateOp::Open() {
-  rows_produced_ = 0;
+// Rough footprint of one group's aggregation state (the per-agg vectors
+// in State below), excluding key values and distinct sets, which are
+// charged separately.
+constexpr uint64_t kGroupStateBytes = 96;
+constexpr uint64_t kDistinctEntryOverheadBytes = 32;
+
+Status HashAggregateOp::OpenImpl() {
   pos_ = 0;
   results_.clear();
 
@@ -64,6 +70,9 @@ Status HashAggregateOp::Open() {
     }
     auto [it, inserted] = groups.try_emplace(key);
     if (inserted) {
+      RFID_RETURN_IF_ERROR(ChargeMemory(
+          2 * ApproxRowBytes(key) +
+          kGroupStateBytes * std::max<uint64_t>(1, aggs_.size())));
       group_order.push_back(key);
       State& st = it->second;
       st.counts.assign(aggs_.size(), 0);
@@ -83,6 +92,8 @@ Status HashAggregateOp::Open() {
       }
       if (spec.distinct) {
         if (!st.distinct[i].insert(arg).second) continue;
+        RFID_RETURN_IF_ERROR(ChargeMemory(ApproxValueBytes(arg) +
+                                          kDistinctEntryOverheadBytes));
       }
       switch (spec.func) {
         case AggFunc::kCount:
@@ -172,16 +183,17 @@ Status HashAggregateOp::Open() {
   return Status::OK();
 }
 
-Result<bool> HashAggregateOp::Next(Row* row) {
+Result<bool> HashAggregateOp::NextImpl(Row* row) {
   if (pos_ >= results_.size()) return false;
   *row = std::move(results_[pos_++]);
   ++rows_produced_;
   return true;
 }
 
-void HashAggregateOp::Close() {
+void HashAggregateOp::CloseImpl() {
   results_.clear();
   results_.shrink_to_fit();
+  child_->Close();
 }
 
 std::string HashAggregateOp::detail() const {
@@ -201,24 +213,25 @@ std::string HashAggregateOp::detail() const {
 DistinctOp::DistinctOp(OperatorPtr child)
     : Operator(child->output_desc()), child_(std::move(child)) {}
 
-Status DistinctOp::Open() {
-  rows_produced_ = 0;
+Status DistinctOp::OpenImpl() {
   seen_.clear();
   return child_->Open();
 }
 
-Result<bool> DistinctOp::Next(Row* row) {
+Result<bool> DistinctOp::NextImpl(Row* row) {
   while (true) {
     RFID_ASSIGN_OR_RETURN(bool has, child_->Next(row));
     if (!has) return false;
     if (seen_.insert(*row).second) {
+      RFID_RETURN_IF_ERROR(
+          ChargeMemory(ApproxRowBytes(*row) + kDistinctEntryOverheadBytes));
       ++rows_produced_;
       return true;
     }
   }
 }
 
-void DistinctOp::Close() {
+void DistinctOp::CloseImpl() {
   seen_.clear();
   child_->Close();
 }

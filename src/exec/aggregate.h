@@ -30,13 +30,14 @@ class HashAggregateOp : public Operator {
   HashAggregateOp(OperatorPtr child, std::vector<ExprPtr> group_exprs,
                   std::vector<AggSpec> aggs, RowDesc output_desc);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  void Close() override;
-
   std::string name() const override { return "HashAggregate"; }
   std::string detail() const override;
   std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -52,12 +53,13 @@ class DistinctOp : public Operator {
  public:
   explicit DistinctOp(OperatorPtr child);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  void Close() override;
-
   std::string name() const override { return "Distinct"; }
   std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

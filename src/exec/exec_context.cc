@@ -1,0 +1,72 @@
+#include "exec/exec_context.h"
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+ExecContext::ExecContext(const ExecLimits& limits) : limits_(limits) {
+  if (limits_.timeout_micros > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::microseconds(limits_.timeout_micros);
+  }
+}
+
+ExecContext* ExecContext::Default() {
+  static ExecContext* ctx = new ExecContext();
+  return ctx;
+}
+
+Status ExecContext::ChargeMemory(uint64_t bytes) {
+  uint64_t used =
+      memory_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limits_.memory_budget_bytes > 0 && used > limits_.memory_budget_bytes) {
+    memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(StrFormat(
+        "query memory budget exceeded: %llu bytes needed, budget %llu bytes",
+        static_cast<unsigned long long>(used),
+        static_cast<unsigned long long>(limits_.memory_budget_bytes)));
+  }
+  uint64_t peak = memory_peak_.load(std::memory_order_relaxed);
+  while (used > peak &&
+         !memory_peak_.compare_exchange_weak(peak, used,
+                                             std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void ExecContext::ReleaseMemory(uint64_t bytes) {
+  memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status ExecContext::CheckCancelled() {
+  uint64_t n = checks_.fetch_add(1, std::memory_order_relaxed);
+  if (cancelled_.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("query cancelled");
+  }
+  if (has_deadline_) {
+    if (deadline_hit_.load(std::memory_order_relaxed) ||
+        (n % kDeadlineStride == 0 &&
+         std::chrono::steady_clock::now() > deadline_)) {
+      deadline_hit_.store(true, std::memory_order_relaxed);
+      return Status::DeadlineExceeded(StrFormat(
+          "query deadline exceeded (timeout %lld us)",
+          static_cast<long long>(limits_.timeout_micros)));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t ApproxValueBytes(const Value& v) {
+  uint64_t b = sizeof(Value);
+  if (v.type() == DataType::kString) b += v.string_value().capacity();
+  return b;
+}
+
+uint64_t ApproxRowBytes(const Row& row) {
+  uint64_t b = sizeof(Row);
+  for (const Value& v : row) b += ApproxValueBytes(v);
+  return b;
+}
+
+}  // namespace rfid

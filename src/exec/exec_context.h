@@ -1,0 +1,103 @@
+// Per-query execution context: resource budgets and cooperative
+// cancellation, threaded through the whole operator tree.
+//
+// The context carries three guardrails, all off by default:
+//  - a memory accountant with a per-query byte budget, charged by every
+//    blocking operator (sort, hash-join build, aggregate, window,
+//    distinct) and by result-row accumulation in CollectRows;
+//  - a cancellation token plus wall-clock deadline, checked in every
+//    operator Next() and per row inside Open() materialization;
+//  - an output-row limit enforced by CollectRows.
+//
+// Budget trips surface as kResourceExhausted, cancellation as kCancelled,
+// deadline expiry as kDeadlineExceeded; the operator tree unwinds through
+// idempotent Close() so a trip mid-Open leaks nothing.
+//
+// Counters are atomic so a future parallel executor can share one context
+// across worker threads; RequestCancel() is safe to call from any thread.
+#ifndef RFID_EXEC_EXEC_CONTEXT_H_
+#define RFID_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace rfid {
+
+/// Per-query limits. Zero means "unlimited" for every field.
+struct ExecLimits {
+  uint64_t memory_budget_bytes = 0;
+  int64_t timeout_micros = 0;     // wall clock, armed at context creation
+  uint64_t max_output_rows = 0;   // enforced by CollectRows
+};
+
+class ExecContext {
+ public:
+  ExecContext() = default;
+  explicit ExecContext(const ExecLimits& limits);
+
+  /// Process-wide context with no limits, used by operators that were
+  /// never explicitly bound (direct operator-level tests, plan-time
+  /// subquery execution without a caller context).
+  static ExecContext* Default();
+
+  const ExecLimits& limits() const { return limits_; }
+
+  // --- memory accounting ---
+
+  /// Reserves bytes against the budget; kResourceExhausted when the
+  /// budget would be exceeded (the reservation is rolled back).
+  Status ChargeMemory(uint64_t bytes);
+  void ReleaseMemory(uint64_t bytes);
+  uint64_t memory_used() const {
+    return memory_used_.load(std::memory_order_relaxed);
+  }
+  uint64_t memory_peak() const {
+    return memory_peak_.load(std::memory_order_relaxed);
+  }
+
+  // --- cancellation / deadline ---
+
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Cooperative check: the cancellation flag on every call; the
+  /// wall-clock deadline on the first call and then every
+  /// kDeadlineStride calls (a clock read per row would dominate
+  /// streaming operators). Once the deadline trips it stays tripped.
+  Status CheckCancelled();
+
+  /// Total cooperative checks performed across the query.
+  uint64_t cancel_checks() const {
+    return checks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr uint64_t kDeadlineStride = 128;
+
+  ExecLimits limits_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+
+  std::atomic<uint64_t> memory_used_{0};
+  std::atomic<uint64_t> memory_peak_{0};
+  std::atomic<uint64_t> checks_{0};
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> deadline_hit_{false};
+};
+
+/// Approximate heap footprint of a row (vector + inline values + string
+/// payloads) used by the memory accountant. An estimate, not malloc
+/// truth — consistent on both charge and release, which is what budget
+/// enforcement needs.
+uint64_t ApproxValueBytes(const Value& v);
+uint64_t ApproxRowBytes(const Row& row);
+
+}  // namespace rfid
+
+#endif  // RFID_EXEC_EXEC_CONTEXT_H_

@@ -7,12 +7,9 @@ FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
       child_(std::move(child)),
       predicate_(std::move(predicate)) {}
 
-Status FilterOp::Open() {
-  rows_produced_ = 0;
-  return child_->Open();
-}
+Status FilterOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> FilterOp::Next(Row* row) {
+Result<bool> FilterOp::NextImpl(Row* row) {
   while (true) {
     RFID_ASSIGN_OR_RETURN(bool has, child_->Next(row));
     if (!has) return false;
@@ -30,12 +27,9 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
       child_(std::move(child)),
       exprs_(std::move(exprs)) {}
 
-Status ProjectOp::Open() {
-  rows_produced_ = 0;
-  return child_->Open();
-}
+Status ProjectOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> ProjectOp::Next(Row* row) {
+Result<bool> ProjectOp::NextImpl(Row* row) {
   Row input;
   RFID_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
   if (!has) return false;

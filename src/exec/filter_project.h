@@ -12,13 +12,14 @@ class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, ExprPtr predicate);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  void Close() override { child_->Close(); }
-
   std::string name() const override { return "Filter"; }
   std::string detail() const override { return ExprToSql(predicate_); }
   std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
@@ -30,13 +31,14 @@ class ProjectOp : public Operator {
  public:
   ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs, RowDesc output_desc);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  void Close() override { child_->Close(); }
-
   std::string name() const override { return "Project"; }
   std::string detail() const override;
   std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
@@ -49,12 +51,16 @@ class LimitOp : public Operator {
   LimitOp(OperatorPtr child, int64_t limit)
       : Operator(child->output_desc()), child_(std::move(child)), limit_(limit) {}
 
-  Status Open() override {
-    rows_produced_ = 0;
+  std::string name() const override { return "Limit"; }
+  std::string detail() const override { return std::to_string(limit_); }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override {
     emitted_ = 0;
     return child_->Open();
   }
-  Result<bool> Next(Row* row) override {
+  Result<bool> NextImpl(Row* row) override {
     if (emitted_ >= limit_) return false;
     RFID_ASSIGN_OR_RETURN(bool has, child_->Next(row));
     if (!has) return false;
@@ -62,11 +68,7 @@ class LimitOp : public Operator {
     ++rows_produced_;
     return true;
   }
-  void Close() override { child_->Close(); }
-
-  std::string name() const override { return "Limit"; }
-  std::string detail() const override { return std::to_string(limit_); }
-  std::vector<const Operator*> children() const override { return {child_.get()}; }
+  void CloseImpl() override { child_->Close(); }
 
  private:
   OperatorPtr child_;
@@ -80,20 +82,18 @@ class RenameOp : public Operator {
  public:
   RenameOp(OperatorPtr child, const std::string& qualifier);
 
-  Status Open() override {
-    rows_produced_ = 0;
-    return child_->Open();
-  }
-  Result<bool> Next(Row* row) override {
+  std::string name() const override { return "Rename"; }
+  std::string detail() const override { return qualifier_; }
+  std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  Result<bool> NextImpl(Row* row) override {
     RFID_ASSIGN_OR_RETURN(bool has, child_->Next(row));
     if (has) ++rows_produced_;
     return has;
   }
-  void Close() override { child_->Close(); }
-
-  std::string name() const override { return "Rename"; }
-  std::string detail() const override { return qualifier_; }
-  std::vector<const Operator*> children() const override { return {child_.get()}; }
+  void CloseImpl() override { child_->Close(); }
 
  private:
   OperatorPtr child_;

@@ -31,23 +31,28 @@ HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build,
       build_key_slots_(std::move(build_key_slots)),
       type_(type) {}
 
-Status HashJoinOp::Open() {
-  rows_produced_ = 0;
+// Rough per-entry bookkeeping overhead of the build hash table (bucket
+// array slot, node header, key vector) on top of the row payload.
+constexpr uint64_t kHashEntryOverheadBytes = 64;
+
+Status HashJoinOp::OpenImpl() {
   table_.clear();
   current_matches_ = nullptr;
   match_pos_ = 0;
-  RFID_ASSIGN_OR_RETURN(std::vector<Row> build_rows, CollectRows(build_.get()));
+  std::vector<Row> build_rows;
+  RFID_RETURN_IF_ERROR(DrainChildAccounted(build_.get(), &build_rows));
   std::vector<Value> key;
   for (Row& r : build_rows) {
     if (!ExtractKey(r, build_key_slots_, &key)) continue;
     auto& bucket = table_[key];
     if (type_ == JoinType::kLeftSemi && !bucket.empty()) continue;  // presence only
+    RFID_RETURN_IF_ERROR(ChargeMemory(kHashEntryOverheadBytes));
     bucket.push_back(std::move(r));
   }
   return probe_->Open();
 }
 
-Result<bool> HashJoinOp::Next(Row* row) {
+Result<bool> HashJoinOp::NextImpl(Row* row) {
   std::vector<Value> key;
   while (true) {
     if (current_matches_ != nullptr && match_pos_ < current_matches_->size()) {
@@ -73,9 +78,11 @@ Result<bool> HashJoinOp::Next(Row* row) {
   }
 }
 
-void HashJoinOp::Close() {
+void HashJoinOp::CloseImpl() {
+  current_matches_ = nullptr;
   table_.clear();
   probe_->Close();
+  build_->Close();
 }
 
 std::string HashJoinOp::detail() const {

@@ -24,10 +24,6 @@ class HashJoinOp : public Operator {
              std::vector<size_t> probe_key_slots,
              std::vector<size_t> build_key_slots, JoinType type);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  void Close() override;
-
   std::string name() const override {
     return type_ == JoinType::kInner ? "HashJoin" : "HashSemiJoin";
   }
@@ -35,6 +31,11 @@ class HashJoinOp : public Operator {
   std::vector<const Operator*> children() const override {
     return {probe_.get(), build_.get()};
   }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override;
 
  private:
   // Returns true and sets key when every key value is non-null (SQL joins

@@ -1,17 +1,111 @@
 #include "exec/operator.h"
 
+#include "common/fault.h"
+#include "common/string_util.h"
+
 namespace rfid {
 
-Result<std::vector<Row>> CollectRows(Operator* op) {
+void Operator::BindExecContext(ExecContext* ctx) {
+  ctx_ = ctx;
+  // Children are owned (non-const) by this operator; children() only
+  // exposes them const for plan printing.
+  for (const Operator* child : children()) {
+    const_cast<Operator*>(child)->BindExecContext(ctx);
+  }
+}
+
+Status Operator::Open() {
+  if (ctx_ == nullptr) BindExecContext(ExecContext::Default());
+  // Mark open before running OpenImpl so Close() unwinds a partial Open.
+  open_ = true;
+  rows_produced_ = 0;
+  RFID_FAULT_POINT(name() + ".Open");
+  ++cancel_checks_;
+  RFID_RETURN_IF_ERROR(ctx_->CheckCancelled());
+  return OpenImpl();
+}
+
+Result<bool> Operator::Next(Row* row) {
+  ++cancel_checks_;
+  RFID_RETURN_IF_ERROR(exec_context()->CheckCancelled());
+  RFID_FAULT_POINT(name() + ".Next");
+  return NextImpl(row);
+}
+
+void Operator::Close() {
+  if (!open_) return;
+  open_ = false;
+  CloseImpl();
+  if (mem_charged_ > 0) {
+    exec_context()->ReleaseMemory(mem_charged_);
+    mem_charged_ = 0;
+  }
+}
+
+Status Operator::ChargeMemory(uint64_t bytes) {
+  RFID_FAULT_POINT(name() + ".Alloc");
+  RFID_RETURN_IF_ERROR(exec_context()->ChargeMemory(bytes));
+  mem_charged_ += bytes;
+  if (mem_charged_ > mem_peak_) mem_peak_ = mem_charged_;
+  return Status::OK();
+}
+
+Status Operator::DrainChildAccounted(Operator* child, std::vector<Row>* out) {
+  RFID_RETURN_IF_ERROR(child->Open());
+  Row row;
+  while (true) {
+    RFID_ASSIGN_OR_RETURN(bool has, child->Next(&row));
+    if (!has) break;
+    RFID_RETURN_IF_ERROR(ChargeMemory(ApproxRowBytes(row)));
+    out->push_back(std::move(row));
+  }
+  child->Close();
+  return Status::OK();
+}
+
+namespace {
+
+// Releases bytes charged directly against a context on scope exit (used
+// for result-row accumulation, which no operator owns).
+class ScopedContextCharge {
+ public:
+  explicit ScopedContextCharge(ExecContext* ctx) : ctx_(ctx) {}
+  ~ScopedContextCharge() {
+    if (bytes_ > 0) ctx_->ReleaseMemory(bytes_);
+  }
+  Status Add(uint64_t bytes) {
+    RFID_RETURN_IF_ERROR(ctx_->ChargeMemory(bytes));
+    bytes_ += bytes;
+    return Status::OK();
+  }
+
+ private:
+  ExecContext* ctx_;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx) {
+  if (ctx != nullptr) op->BindExecContext(ctx);
+  OperatorTreeCloser closer(op);
   RFID_RETURN_IF_ERROR(op->Open());
+  ExecContext* ec = op->exec_context();
+  ScopedContextCharge charge(ec);
+  const uint64_t max_rows = ec->limits().max_output_rows;
   std::vector<Row> rows;
   Row row;
   while (true) {
     RFID_ASSIGN_OR_RETURN(bool has, op->Next(&row));
     if (!has) break;
+    if (max_rows > 0 && rows.size() >= max_rows) {
+      return Status::ResourceExhausted(
+          StrFormat("query output exceeds the row limit (%llu rows)",
+                    static_cast<unsigned long long>(max_rows)));
+    }
+    RFID_RETURN_IF_ERROR(charge.Add(ApproxRowBytes(row)));
     rows.push_back(std::move(row));
   }
-  op->Close();
   return rows;
 }
 
@@ -27,6 +121,12 @@ void ExplainRec(const Operator& op, int depth, std::string* out) {
   }
   out->append(" rows=");
   out->append(std::to_string(op.rows_produced()));
+  if (op.memory_peak_bytes() > 0) {
+    out->append(" mem=");
+    out->append(std::to_string(op.memory_peak_bytes()));
+  }
+  out->append(" checks=");
+  out->append(std::to_string(op.cancel_checks()));
   out->append("\n");
   for (const Operator* child : op.children()) {
     ExplainRec(*child, depth + 1, out);

@@ -6,6 +6,14 @@
 // produce rows on demand. Each operator counts output rows so EXPLAIN can
 // report actual cardinalities — the experiments lean on these counters to
 // show *why* a rewrite wins (rows cleansed, rows sorted).
+//
+// Execution guardrails: the public Open()/Next()/Close() are non-virtual
+// guards around the OpenImpl/NextImpl/CloseImpl hooks subclasses
+// implement. The guards thread an ExecContext through the tree (memory
+// budget, cancellation token, wall-clock deadline), cross a fault
+// injection point per call, and make Close() idempotent — it runs the
+// subclass cleanup exactly once per Open and then returns every byte the
+// operator charged, so a budget trip mid-Open unwinds leak-free.
 #ifndef RFID_EXEC_OPERATOR_H_
 #define RFID_EXEC_OPERATOR_H_
 
@@ -13,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/exec_context.h"
 #include "expr/eval.h"
 
 namespace rfid {
@@ -22,18 +31,38 @@ class Operator {
   virtual ~Operator() = default;
 
   /// Prepares the operator (and recursively its inputs) for iteration.
-  /// Blocking operators do their work here.
-  virtual Status Open() = 0;
+  /// Blocking operators do their work here. If Open fails midway, the
+  /// tree is left in a state where Close() still unwinds it cleanly.
+  Status Open();
 
-  /// Produces the next row. Returns false at end of stream.
-  virtual Result<bool> Next(Row* row) = 0;
+  /// Produces the next row. Returns false at end of stream. Checks the
+  /// cancellation token / deadline on every call.
+  Result<bool> Next(Row* row);
 
-  virtual void Close() {}
+  /// Releases operator state and accounted memory, recursively.
+  /// Idempotent: safe to call multiple times, after a failed Open, or on
+  /// a never-opened operator.
+  void Close();
+
+  /// Binds the execution context to this subtree. Called by CollectRows /
+  /// the SQL executor on the root; operators opened without an explicit
+  /// bind fall back to the unlimited default context.
+  void BindExecContext(ExecContext* ctx);
+  ExecContext* exec_context() const {
+    return ctx_ != nullptr ? ctx_ : ExecContext::Default();
+  }
 
   const RowDesc& output_desc() const { return output_desc_; }
 
   /// Rows emitted so far (reset by Open).
   uint64_t rows_produced() const { return rows_produced_; }
+
+  /// Peak bytes this operator had charged against the query budget.
+  uint64_t memory_peak_bytes() const { return mem_peak_; }
+
+  /// Cancellation/deadline checks this operator performed (one per Open
+  /// and per Next call).
+  uint64_t cancel_checks() const { return cancel_checks_; }
 
   /// Operator name and per-operator detail for EXPLAIN.
   virtual std::string name() const = 0;
@@ -45,11 +74,46 @@ class Operator {
  protected:
   explicit Operator(RowDesc output_desc) : output_desc_(std::move(output_desc)) {}
 
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(Row* row) = 0;
+  virtual void CloseImpl() {}
+
+  /// Charges bytes to the query budget, attributed to this operator.
+  /// Everything charged is released automatically on Close().
+  Status ChargeMemory(uint64_t bytes);
+
+  /// Open-drains-close `child` into *out, charging every materialized row
+  /// to this operator's budget. Cancellation is honored per row (each
+  /// child Next() is itself guarded).
+  Status DrainChildAccounted(Operator* child, std::vector<Row>* out);
+
   RowDesc output_desc_;
   uint64_t rows_produced_ = 0;
+
+ private:
+  ExecContext* ctx_ = nullptr;
+  bool open_ = false;
+  uint64_t mem_charged_ = 0;
+  uint64_t mem_peak_ = 0;
+  uint64_t cancel_checks_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Closes an operator tree on scope exit — the RAII guard CollectRows and
+/// the SQL executor use so early error returns still unwind the tree.
+class OperatorTreeCloser {
+ public:
+  explicit OperatorTreeCloser(Operator* op) : op_(op) {}
+  ~OperatorTreeCloser() {
+    if (op_ != nullptr) op_->Close();
+  }
+  OperatorTreeCloser(const OperatorTreeCloser&) = delete;
+  OperatorTreeCloser& operator=(const OperatorTreeCloser&) = delete;
+
+ private:
+  Operator* op_;
+};
 
 /// Hash/equality over whole rows or key tuples (SQL DISTINCT semantics:
 /// NULLs compare equal).
@@ -71,10 +135,14 @@ struct RowEq {
   }
 };
 
-/// Drains the operator into a vector of rows (Open/Next/Close).
-Result<std::vector<Row>> CollectRows(Operator* op);
+/// Drains the operator into a vector of rows (Open/Next/Close). When
+/// `ctx` is non-null it is bound to the tree first; accumulated result
+/// rows are charged against its budget and its output-row limit is
+/// enforced. The tree is always closed, success or error.
+Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx = nullptr);
 
-/// Renders the operator tree with actual row counts, one node per line.
+/// Renders the operator tree with actual row counts, peak accounted
+/// memory, and cancellation-check counts, one node per line.
 std::string ExplainOperatorTree(const Operator& root);
 
 }  // namespace rfid

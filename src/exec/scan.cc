@@ -9,13 +9,12 @@ TableScanOp::TableScanOp(const Table* table, std::string alias)
       table_(table),
       alias_(std::move(alias)) {}
 
-Status TableScanOp::Open() {
+Status TableScanOp::OpenImpl() {
   pos_ = 0;
-  rows_produced_ = 0;
   return Status::OK();
 }
 
-Result<bool> TableScanOp::Next(Row* row) {
+Result<bool> TableScanOp::NextImpl(Row* row) {
   if (pos_ >= table_->num_rows()) return false;
   *row = table_->row(pos_++);
   ++rows_produced_;
@@ -37,18 +36,23 @@ IndexRangeScanOp::IndexRangeScanOp(const Table* table, const SortedIndex* index,
       lo_(std::move(lo)),
       hi_(std::move(hi)) {}
 
-Status IndexRangeScanOp::Open() {
+Status IndexRangeScanOp::OpenImpl() {
   row_ids_ = index_->RangeScan(lo_, hi_);
   pos_ = 0;
-  rows_produced_ = 0;
-  return Status::OK();
+  // The qualifying row-id list is the scan's only materialized state.
+  return ChargeMemory(row_ids_.capacity() * sizeof(uint32_t));
 }
 
-Result<bool> IndexRangeScanOp::Next(Row* row) {
+Result<bool> IndexRangeScanOp::NextImpl(Row* row) {
   if (pos_ >= row_ids_.size()) return false;
   *row = table_->row(row_ids_[pos_++]);
   ++rows_produced_;
   return true;
+}
+
+void IndexRangeScanOp::CloseImpl() {
+  row_ids_.clear();
+  row_ids_.shrink_to_fit();
 }
 
 std::string IndexRangeScanOp::detail() const {

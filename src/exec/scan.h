@@ -15,11 +15,12 @@ class TableScanOp : public Operator {
  public:
   TableScanOp(const Table* table, std::string alias);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-
   std::string name() const override { return "TableScan"; }
   std::string detail() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
 
  private:
   const Table* table_;
@@ -35,11 +36,13 @@ class IndexRangeScanOp : public Operator {
                    std::string alias, std::optional<Bound> lo,
                    std::optional<Bound> hi);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-
   std::string name() const override { return "IndexRangeScan"; }
   std::string detail() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override;
 
  private:
   const Table* table_;

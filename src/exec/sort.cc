@@ -25,11 +25,10 @@ SortOp::SortOp(OperatorPtr child, std::vector<SlotSortKey> keys)
       child_(std::move(child)),
       keys_(std::move(keys)) {}
 
-Status SortOp::Open() {
-  rows_produced_ = 0;
+Status SortOp::OpenImpl() {
   pos_ = 0;
   rows_.clear();
-  RFID_ASSIGN_OR_RETURN(rows_, CollectRows(child_.get()));
+  RFID_RETURN_IF_ERROR(DrainChildAccounted(child_.get(), &rows_));
   rows_sorted_ += rows_.size();
   std::stable_sort(rows_.begin(), rows_.end(), [this](const Row& a, const Row& b) {
     return CompareRows(a, b, keys_) < 0;
@@ -37,16 +36,17 @@ Status SortOp::Open() {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(Row* row) {
+Result<bool> SortOp::NextImpl(Row* row) {
   if (pos_ >= rows_.size()) return false;
   *row = std::move(rows_[pos_++]);
   ++rows_produced_;
   return true;
 }
 
-void SortOp::Close() {
+void SortOp::CloseImpl() {
   rows_.clear();
   rows_.shrink_to_fit();
+  child_->Close();
 }
 
 std::string SortOp::detail() const {

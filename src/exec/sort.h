@@ -19,10 +19,6 @@ class SortOp : public Operator {
  public:
   SortOp(OperatorPtr child, std::vector<SlotSortKey> keys);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  void Close() override;
-
   std::string name() const override { return "Sort"; }
   std::string detail() const override;
   std::vector<const Operator*> children() const override { return {child_.get()}; }
@@ -31,6 +27,11 @@ class SortOp : public Operator {
   /// track sorting volume because sequence-ordering cost dominates
   /// cleansing (Section 6.2 of the paper).
   uint64_t rows_sorted() const { return rows_sorted_; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

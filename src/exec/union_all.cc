@@ -18,14 +18,13 @@ RowDesc UnionDesc(const std::vector<OperatorPtr>& inputs) {
 UnionAllOp::UnionAllOp(std::vector<OperatorPtr> inputs)
     : Operator(UnionDesc(inputs)), inputs_(std::move(inputs)) {}
 
-Status UnionAllOp::Open() {
-  rows_produced_ = 0;
+Status UnionAllOp::OpenImpl() {
   current_ = 0;
   if (!inputs_.empty()) return inputs_[0]->Open();
   return Status::OK();
 }
 
-Result<bool> UnionAllOp::Next(Row* row) {
+Result<bool> UnionAllOp::NextImpl(Row* row) {
   while (current_ < inputs_.size()) {
     RFID_ASSIGN_OR_RETURN(bool has, inputs_[current_]->Next(row));
     if (has) {
@@ -41,7 +40,7 @@ Result<bool> UnionAllOp::Next(Row* row) {
   return false;
 }
 
-void UnionAllOp::Close() {
+void UnionAllOp::CloseImpl() {
   for (auto& in : inputs_) in->Close();
 }
 

@@ -13,12 +13,13 @@ class UnionAllOp : public Operator {
  public:
   explicit UnionAllOp(std::vector<OperatorPtr> inputs);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  void Close() override;
-
   std::string name() const override { return "UnionAll"; }
   std::vector<const Operator*> children() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override;
 
  private:
   std::vector<OperatorPtr> inputs_;

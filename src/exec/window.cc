@@ -116,11 +116,10 @@ WindowOp::WindowOp(OperatorPtr child, std::vector<size_t> partition_slots,
       order_keys_(std::move(order_keys)),
       aggs_(std::move(aggs)) {}
 
-Status WindowOp::Open() {
-  rows_produced_ = 0;
+Status WindowOp::OpenImpl() {
   pos_ = 0;
   rows_.clear();
-  RFID_ASSIGN_OR_RETURN(rows_, CollectRows(child_.get()));
+  RFID_RETURN_IF_ERROR(DrainChildAccounted(child_.get(), &rows_));
 
   // Process each maximal run of equal partition keys.
   size_t begin = 0;
@@ -147,6 +146,8 @@ Status WindowOp::ComputePartition(size_t begin, size_t end) {
   const size_t n = end - begin;
   // Results per agg, appended to rows after all aggs are computed so that
   // no agg sees another's output (same-SELECT-level semantics).
+  RFID_RETURN_IF_ERROR(
+      ChargeMemory(static_cast<uint64_t>(n) * aggs_.size() * sizeof(Value)));
   std::vector<std::vector<Value>> outputs(aggs_.size());
 
   for (size_t a = 0; a < aggs_.size(); ++a) {
@@ -242,16 +243,17 @@ Status WindowOp::ComputePartition(size_t begin, size_t end) {
   return Status::OK();
 }
 
-Result<bool> WindowOp::Next(Row* row) {
+Result<bool> WindowOp::NextImpl(Row* row) {
   if (pos_ >= rows_.size()) return false;
   *row = std::move(rows_[pos_++]);
   ++rows_produced_;
   return true;
 }
 
-void WindowOp::Close() {
+void WindowOp::CloseImpl() {
   rows_.clear();
   rows_.shrink_to_fit();
+  child_->Close();
 }
 
 std::string WindowOp::detail() const {

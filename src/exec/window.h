@@ -39,13 +39,14 @@ class WindowOp : public Operator {
   WindowOp(OperatorPtr child, std::vector<size_t> partition_slots,
            std::vector<SlotSortKey> order_keys, std::vector<WindowAggSpec> aggs);
 
-  Status Open() override;
-  Result<bool> Next(Row* row) override;
-  void Close() override;
-
   std::string name() const override { return "Window"; }
   std::string detail() const override;
   std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override;
 
  private:
   Status ComputePartition(size_t begin, size_t end);

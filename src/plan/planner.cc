@@ -5,6 +5,7 @@
 #include <map>
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "exec/aggregate.h"
 #include "exec/filter_project.h"
@@ -125,7 +126,8 @@ bool IsAggName(const std::string& f) {
 
 class PlannerImpl {
  public:
-  explicit PlannerImpl(const Database* db) : db_(db) {}
+  explicit PlannerImpl(const Database* db, ExecContext* ctx)
+      : db_(db), ctx_(ctx) {}
 
   // `scope` holds enclosing WITH clauses, innermost last.
   Result<PlanNode> PlanStatement(const SelectStatement& stmt,
@@ -581,7 +583,8 @@ class PlannerImpl {
         return Status::BindError("IN subquery must produce exactly one column");
       }
       *extra_cost += sub.cost;
-      RFID_ASSIGN_OR_RETURN(std::vector<Row> rows, CollectRows(sub.op.get()));
+      RFID_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                            CollectRows(sub.op.get(), ctx_));
       auto set = std::make_shared<std::unordered_set<Value, ValueHash>>();
       bool has_null = false;
       for (const Row& r : rows) {
@@ -933,13 +936,15 @@ class PlannerImpl {
   }
 
   const Database* db_;
+  ExecContext* ctx_;
   size_t window_counter_ = 0;
 };
 
 }  // namespace
 
 Result<PlannedQuery> Planner::Plan(const SelectStatement& stmt) {
-  PlannerImpl impl(db_);
+  RFID_FAULT_POINT("plan.Plan");
+  PlannerImpl impl(db_, ctx_);
   RFID_ASSIGN_OR_RETURN(PlanNode node, impl.PlanStatement(stmt, {}));
   PlannedQuery out;
   out.root = std::move(node.op);
@@ -948,19 +953,28 @@ Result<PlannedQuery> Planner::Plan(const SelectStatement& stmt) {
   return out;
 }
 
-Result<PlannedQuery> PlanSql(const Database& db, std::string_view sql) {
+Result<PlannedQuery> PlanSql(const Database& db, std::string_view sql,
+                             ExecContext* ctx) {
   RFID_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSql(sql));
-  Planner planner(&db);
+  Planner planner(&db, ctx);
   return planner.Plan(*stmt);
 }
 
 Result<QueryResult> ExecuteSql(const Database& db, std::string_view sql) {
-  RFID_ASSIGN_OR_RETURN(PlannedQuery plan, PlanSql(db, sql));
+  ExecContext ctx;  // unlimited per-query context
+  return ExecuteSql(db, sql, &ctx);
+}
+
+Result<QueryResult> ExecuteSql(const Database& db, std::string_view sql,
+                               ExecContext* ctx) {
+  if (ctx == nullptr) ctx = ExecContext::Default();
+  RFID_ASSIGN_OR_RETURN(PlannedQuery plan, PlanSql(db, sql, ctx));
   QueryResult result;
   result.desc = plan.root->output_desc();
   result.estimated_cost = plan.estimated_cost;
-  RFID_ASSIGN_OR_RETURN(result.rows, CollectRows(plan.root.get()));
+  RFID_ASSIGN_OR_RETURN(result.rows, CollectRows(plan.root.get(), ctx));
   result.explain = ExplainOperatorTree(*plan.root);
+  result.peak_memory_bytes = ctx->memory_peak();
   return result;
 }
 

@@ -32,16 +32,23 @@ struct PlannedQuery {
 
 class Planner {
  public:
-  explicit Planner(const Database* db) : db_(db) {}
+  /// `ctx` (optional) governs plan-time subquery materialization and is
+  /// bound to the produced operator tree's plan-time work; passing
+  /// nullptr uses the unlimited default context.
+  explicit Planner(const Database* db, ExecContext* ctx = nullptr)
+      : db_(db), ctx_(ctx) {}
 
   Result<PlannedQuery> Plan(const SelectStatement& stmt);
 
  private:
   const Database* db_;
+  ExecContext* ctx_;
 };
 
-/// Parses, plans and returns the plan for a SQL string.
-Result<PlannedQuery> PlanSql(const Database& db, std::string_view sql);
+/// Parses, plans and returns the plan for a SQL string. `ctx` limits
+/// plan-time subquery execution (nullptr = unlimited default context).
+Result<PlannedQuery> PlanSql(const Database& db, std::string_view sql,
+                             ExecContext* ctx = nullptr);
 
 /// Query results: the output descriptor, all rows, and the executed
 /// plan's EXPLAIN rendering with actual row counts.
@@ -50,10 +57,19 @@ struct QueryResult {
   std::vector<Row> rows;
   std::string explain;
   double estimated_cost = 0;
+  uint64_t peak_memory_bytes = 0;  // peak accounted memory during execution
 };
 
 /// Parses, plans, and executes a SQL string against the database.
 Result<QueryResult> ExecuteSql(const Database& db, std::string_view sql);
+
+/// As above, but runs under `ctx`'s guardrails: memory budget, deadline,
+/// cancellation, and output-row limit (see ExecLimits). Execution aborts
+/// with kResourceExhausted / kDeadlineExceeded / kCancelled when a limit
+/// trips; the operator tree is always closed and accounted memory
+/// released before returning.
+Result<QueryResult> ExecuteSql(const Database& db, std::string_view sql,
+                               ExecContext* ctx);
 
 }  // namespace rfid
 

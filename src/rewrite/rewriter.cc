@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "expr/conjunct.h"
 #include "expr/interval.h"
@@ -260,6 +261,7 @@ std::vector<ExprPtr> SimplifyDisjuncts(std::vector<ExprPtr> disjuncts) {
 
 Result<RewriteInfo> QueryRewriter::Rewrite(std::string_view sql,
                                            const RewriteOptions& options) const {
+  RFID_FAULT_POINT("rewrite.Rewrite");
   RFID_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSql(sql));
 
   // Find the (single) table with rules that the query reads.
@@ -429,7 +431,9 @@ Result<RewriteInfo> QueryRewriter::Rewrite(std::string_view sql,
   for (const PendingCandidate& p : pending) {
     RFID_ASSIGN_OR_RETURN(std::string candidate_sql,
                           AssembleRewrite(*stmt, table, rules, *db_, p.spec));
-    RFID_ASSIGN_OR_RETURN(PlannedQuery plan, PlanSql(*db_, candidate_sql));
+    RFID_ASSIGN_OR_RETURN(
+        PlannedQuery plan,
+        PlanSql(*db_, candidate_sql, options.exec_context));
     info.candidates.push_back({p.spec.label, p.spec.strategy,
                                std::move(candidate_sql), plan.estimated_cost});
   }

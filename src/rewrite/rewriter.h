@@ -18,6 +18,7 @@
 #define RFID_REWRITE_REWRITER_H_
 
 #include "cleansing/rule.h"
+#include "exec/exec_context.h"
 
 namespace rfid {
 
@@ -42,6 +43,11 @@ struct RewriteOptions {
   /// condition: context rows are still covered by the cc disjuncts, so
   /// answers stay correct, and the cleansing input shrinks further.
   bool aggressive_join_pushdown = false;
+
+  /// Execution context used while costing candidates (plan-time subquery
+  /// materialization runs under its budget/deadline/cancellation).
+  /// nullptr = the unlimited default context.
+  ExecContext* exec_context = nullptr;
 };
 
 struct RewriteCandidate {

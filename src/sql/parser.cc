@@ -1,5 +1,6 @@
 #include "sql/parser.h"
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "common/time_util.h"
 #include "sql/lexer.h"
@@ -586,6 +587,7 @@ class Parser {
 }  // namespace
 
 Result<StatementPtr> ParseSql(std::string_view sql) {
+  RFID_FAULT_POINT("sql.Parse");
   RFID_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   return parser.ParseStatement();

@@ -2,11 +2,13 @@
 
 #include <unordered_set>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 
 namespace rfid {
 
 Status Table::Append(Row row) {
+  RFID_FAULT_POINT("storage.Append");
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(StrFormat(
         "row arity %zu does not match schema arity %zu for table %s",
@@ -26,6 +28,7 @@ Status Table::Append(Row row) {
 }
 
 Status Table::BuildIndex(std::string_view column_name) {
+  RFID_FAULT_POINT("storage.BuildIndex");
   RFID_ASSIGN_OR_RETURN(size_t col, schema_.ResolveColumn(column_name));
   for (auto& idx : indexes_) {
     if (idx->column_index() == col) {

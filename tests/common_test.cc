@@ -2,6 +2,9 @@
 // time formatting, string helpers, PRNG determinism.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 #include "common/random.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -36,6 +39,37 @@ TEST(ResultTest, HoldsError) {
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
+TEST(StatusTest, ToStringCoversEveryCode) {
+  const std::pair<Status, const char*> cases[] = {
+      {Status::InvalidArgument("m"), "InvalidArgument: m"},
+      {Status::NotFound("m"), "NotFound: m"},
+      {Status::AlreadyExists("m"), "AlreadyExists: m"},
+      {Status::Unimplemented("m"), "Unimplemented: m"},
+      {Status::Internal("m"), "Internal: m"},
+      {Status::ParseError("m"), "ParseError: m"},
+      {Status::BindError("m"), "BindError: m"},
+      {Status::RewriteInfeasible("m"), "RewriteInfeasible: m"},
+      {Status::ResourceExhausted("m"), "ResourceExhausted: m"},
+      {Status::Cancelled("m"), "Cancelled: m"},
+      {Status::DeadlineExceeded("m"), "DeadlineExceeded: m"},
+  };
+  for (const auto& [status, expected] : cases) {
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.ToString(), expected);
+  }
+  EXPECT_EQ(Status::OK().ToString(), "OK");
+}
+
+TEST(StatusTest, GuardrailCodesAreDistinct) {
+  EXPECT_NE(StatusCode::kResourceExhausted, StatusCode::kCancelled);
+  EXPECT_NE(StatusCode::kCancelled, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
 Result<int> Halve(int x) {
   if (x % 2 != 0) return Status::InvalidArgument("odd");
   return x / 2;
@@ -52,6 +86,34 @@ TEST(ResultTest, AssignOrReturnMacro) {
   EXPECT_TRUE(UseMacros(10, &out).ok());
   EXPECT_EQ(out, 5);
   EXPECT_FALSE(UseMacros(7, &out).ok());
+}
+
+Result<std::unique_ptr<int>> MakeBox(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return std::make_unique<int>(x);
+}
+
+Status UnwrapBox(int x, int* out) {
+  RFID_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox(x));
+  *out = *box;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMovesMoveOnlyTypes) {
+  int out = 0;
+  EXPECT_TRUE(UnwrapBox(11, &out).ok());
+  EXPECT_EQ(out, 11);
+  Status err = UnwrapBox(-1, &out);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, RvalueValueMovesOutMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = MakeBox(9);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> box = std::move(r).value();
+  ASSERT_NE(box, nullptr);
+  EXPECT_EQ(*box, 9);
 }
 
 TEST(ValueTest, NullBehaviour) {

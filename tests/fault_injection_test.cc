@@ -1,0 +1,227 @@
+// Deterministic fault-injection sweeps over representative plans.
+//
+// For each plan the test first runs with a CountOnly injector to learn
+// the number of injection points crossed (the sweep space) and the
+// baseline result, then replays the pipeline with FailAtStep(k) for every
+// step k. Each injected failure must surface as a non-OK Status with the
+// injection site in the message — never a crash — and must unwind
+// cleanly: all accounted memory released, no partial result escaping.
+// scripts/check.sh also runs this binary under ASan+UBSan, which turns
+// any leaked allocation on an unwind path into a hard failure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+
+#include "common/fault.h"
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "plan/planner.h"
+#include "rewrite/rewriter.h"
+
+namespace rfid {
+namespace {
+
+std::vector<std::string> Canonical(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  for (const Row& r : rows) {
+    std::string s;
+    for (const Value& v : r) s += v.ToString() + "|";
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct PipelineOutcome {
+  Status status = Status::OK();
+  std::vector<Row> rows;
+};
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema reads;
+    reads.AddColumn("epc", DataType::kString);
+    reads.AddColumn("rtime", DataType::kTimestamp);
+    reads.AddColumn("reader", DataType::kString);
+    reads.AddColumn("biz_loc", DataType::kString);
+    case_r_ = db_.CreateTable("caseR", reads).value();
+
+    Schema locs;
+    locs.AddColumn("gln", DataType::kString);
+    locs.AddColumn("site", DataType::kString);
+    locs_ = db_.CreateTable("locs", locs).value();
+
+    ASSERT_TRUE(
+        locs_->Append({Value::String("locA"), Value::String("dc1")}).ok());
+    ASSERT_TRUE(
+        locs_->Append({Value::String("locB"), Value::String("store1")}).ok());
+    ASSERT_TRUE(
+        locs_->Append({Value::String("locC"), Value::String("store1")}).ok());
+
+    const char* readers[] = {"r1", "r2", "readerX"};
+    const char* glns[] = {"locA", "locB", "locC"};
+    for (int e = 0; e < 6; ++e) {
+      for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(case_r_
+                        ->Append({Value::String("e" + std::to_string(e)),
+                                  Value::Timestamp(Minutes(3 * i + e)),
+                                  Value::String(readers[(e + i) % 3]),
+                                  Value::String(glns[(e + 2 * i) % 3])})
+                        .ok());
+      }
+    }
+    ASSERT_TRUE(case_r_->BuildIndex("rtime").ok());
+    ASSERT_TRUE(case_r_->BuildIndex("epc").ok());
+    case_r_->ComputeStats();
+    locs_->ComputeStats();
+
+    engine_ = std::make_unique<CleansingRuleEngine>(&db_);
+    ASSERT_TRUE(engine_
+                    ->DefineRule("DEFINE reader ON caseR CLUSTER BY epc "
+                                 "SEQUENCE BY rtime AS (A, *B) WHERE "
+                                 "B.reader = 'readerX' AND B.rtime - A.rtime "
+                                 "< 5 MINUTES ACTION DELETE A")
+                    .ok());
+    rewriter_ = std::make_unique<QueryRewriter>(&db_, engine_.get());
+  }
+
+  // Runs one full pipeline (optional rewrite, then execute) under
+  // whatever fault injector the caller installed. Verifies that failure
+  // or success, the context ends with zero accounted bytes.
+  PipelineOutcome RunPipeline(const std::string& sql,
+                              std::optional<RewriteStrategy> strategy) {
+    PipelineOutcome out;
+    ExecContext ctx;
+    std::string exec_sql = sql;
+    if (strategy.has_value()) {
+      RewriteOptions opts;
+      opts.strategy = *strategy;
+      opts.exec_context = &ctx;
+      auto info = rewriter_->Rewrite(sql, opts);
+      if (!info.ok()) {
+        out.status = info.status();
+        EXPECT_EQ(ctx.memory_used(), 0u);
+        return out;
+      }
+      exec_sql = info.value().sql;
+    }
+    auto res = ExecuteSql(db_, exec_sql, &ctx);
+    if (!res.ok()) {
+      out.status = res.status();
+    } else {
+      out.rows = std::move(res.value().rows);
+    }
+    EXPECT_EQ(ctx.memory_used(), 0u) << "accounted memory leaked: " << sql;
+    return out;
+  }
+
+  // CountOnly baseline, then the exhaustive (strided when huge) fail-at-k
+  // sweep, then a clean re-run that must reproduce the baseline.
+  void Sweep(const std::string& label, const std::string& sql,
+             std::optional<RewriteStrategy> strategy) {
+    SCOPED_TRACE(label);
+    FaultInjector counter = FaultInjector::CountOnly();
+    uint64_t total_steps = 0;
+    std::vector<std::string> baseline;
+    {
+      ScopedFaultInjector scope(&counter);
+      PipelineOutcome out = RunPipeline(sql, strategy);
+      ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+      ASSERT_FALSE(out.rows.empty());
+      baseline = Canonical(out.rows);
+      total_steps = counter.steps();
+    }
+    ASSERT_GT(total_steps, 0u);
+
+    // Cap the sweep at ~500 injected runs; the stride still covers every
+    // operator's Open, the early Next calls, and the tail.
+    const uint64_t stride = std::max<uint64_t>(1, total_steps / 500);
+    for (uint64_t k = 0; k < total_steps; k += stride) {
+      FaultInjector injector = FaultInjector::FailAtStep(k);
+      ScopedFaultInjector scope(&injector);
+      PipelineOutcome out = RunPipeline(sql, strategy);
+      ASSERT_TRUE(injector.fired()) << "step " << k;
+      EXPECT_EQ(injector.fired_step(), k);
+      ASSERT_FALSE(out.status.ok())
+          << "injected fault at step " << k << " (site "
+          << injector.fired_site() << ") was swallowed";
+      EXPECT_NE(out.status.message().find("injected fault"),
+                std::string::npos)
+          << out.status.ToString();
+      EXPECT_TRUE(out.rows.empty()) << "partial rows escaped at step " << k;
+    }
+
+    // The engine recovers completely once faults stop.
+    PipelineOutcome clean = RunPipeline(sql, strategy);
+    ASSERT_TRUE(clean.status.ok()) << clean.status.ToString();
+    EXPECT_EQ(Canonical(clean.rows), baseline);
+  }
+
+  Database db_;
+  Table* case_r_ = nullptr;
+  Table* locs_ = nullptr;
+  std::unique_ptr<CleansingRuleEngine> engine_;
+  std::unique_ptr<QueryRewriter> rewriter_;
+};
+
+TEST_F(FaultInjectionTest, ScanOnlySweep) {
+  Sweep("scan-only", "SELECT epc, rtime, reader, biz_loc FROM caseR",
+        std::nullopt);
+}
+
+TEST_F(FaultInjectionTest, NaiveWindowCleansingSweep) {
+  Sweep("naive", "SELECT epc, rtime FROM caseR WHERE biz_loc = 'locA'",
+        RewriteStrategy::kNaive);
+}
+
+TEST_F(FaultInjectionTest, ExpandedRewriteSweep) {
+  Sweep("expanded", "SELECT epc, rtime FROM caseR WHERE biz_loc = 'locA'",
+        RewriteStrategy::kExpanded);
+}
+
+TEST_F(FaultInjectionTest, JoinBackRewriteSweep) {
+  Sweep("join-back", "SELECT epc, rtime FROM caseR WHERE biz_loc = 'locA'",
+        RewriteStrategy::kJoinBack);
+}
+
+TEST_F(FaultInjectionTest, JoinAggregateSweep) {
+  Sweep("join+aggregate",
+        "SELECT l.site, count(*) FROM caseR c, locs l "
+        "WHERE c.biz_loc = l.gln AND l.site = 'store1' GROUP BY l.site",
+        RewriteStrategy::kAuto);
+}
+
+// Reproducible chaos: random-fire injectors across many seeds. The
+// pipeline must fail exactly when the injector fired, and never crash.
+TEST_F(FaultInjectionTest, SeededRandomChaos) {
+  const std::string sql = "SELECT epc, rtime FROM caseR WHERE biz_loc = 'locA'";
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    FaultInjector injector = FaultInjector::SeededRandom(seed, 0.02);
+    ScopedFaultInjector scope(&injector);
+    PipelineOutcome out = RunPipeline(sql, RewriteStrategy::kAuto);
+    EXPECT_EQ(out.status.ok(), !injector.fired())
+        << "seed " << seed << ": " << out.status.ToString();
+  }
+}
+
+// A fired injector keeps failing: retries inside the same scope cannot
+// silently succeed against a dead subsystem.
+TEST_F(FaultInjectionTest, FiredInjectorStaysFailing) {
+  FaultInjector injector = FaultInjector::FailAtStep(0);
+  ScopedFaultInjector scope(&injector);
+  EXPECT_FALSE(PokeFault("first").ok());
+  EXPECT_FALSE(PokeFault("second").ok());
+  EXPECT_EQ(injector.fired_site(), "first");
+  EXPECT_EQ(injector.fired_step(), 0u);
+  EXPECT_EQ(injector.steps(), 2u);
+}
+
+TEST_F(FaultInjectionTest, NoInjectorMeansNoOverheadPath) {
+  EXPECT_FALSE(FaultInjectionActive());
+  EXPECT_TRUE(PokeFault("anything").ok());
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,168 @@
+// Execution guardrails: per-query memory budget, cooperative
+// cancellation, wall-clock deadline, output-row limit, idempotent
+// Close(), and the accounting surfaced through QueryResult / EXPLAIN.
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "exec/scan.h"
+#include "exec/sort.h"
+#include "plan/planner.h"
+
+namespace rfid {
+namespace {
+
+class GuardrailsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema big;
+    big.AddColumn("epc", DataType::kString);
+    big.AddColumn("v", DataType::kInt64);
+    big_ = db_.CreateTable("big", big).value();
+  }
+
+  // Appends `n` rows; values are spread so ORDER BY v actually reorders.
+  void Fill(int64_t n) {
+    for (int64_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(big_->Append({Value::String(StrFormat("epc%lld",
+                                    static_cast<long long>(i % 977))),
+                                Value::Int64((i * 7919) % n)})
+                      .ok());
+    }
+    big_->ComputeStats();
+  }
+
+  Database db_;
+  Table* big_ = nullptr;
+};
+
+// The acceptance scenario: a 100k-row sort under a 1 MB budget must fail
+// with kResourceExhausted; the identical query with no budget succeeds.
+TEST_F(GuardrailsTest, SortBudgetExceededAndUnlimitedSucceeds) {
+  Fill(100000);
+  const std::string sql = "SELECT epc, v FROM big ORDER BY v";
+
+  ExecLimits limits;
+  limits.memory_budget_bytes = 1 << 20;  // 1 MB
+  ExecContext budgeted(limits);
+  auto limited = ExecuteSql(db_, sql, &budgeted);
+  ASSERT_FALSE(limited.ok());
+  EXPECT_EQ(limited.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(limited.status().message().find("memory budget"),
+            std::string::npos)
+      << limited.status().ToString();
+  // Everything charged was released during unwinding.
+  EXPECT_EQ(budgeted.memory_used(), 0u);
+  EXPECT_GT(budgeted.memory_peak(), 0u);
+
+  ExecContext unlimited;
+  auto ok = ExecuteSql(db_, sql, &unlimited);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().rows.size(), 100000u);
+  EXPECT_EQ(unlimited.memory_used(), 0u);
+  EXPECT_GT(ok.value().peak_memory_bytes, 1u << 20);
+}
+
+TEST_F(GuardrailsTest, DeadlineExceeded) {
+  Fill(5000);
+  ExecLimits limits;
+  limits.timeout_micros = 1;  // expires before execution starts
+  ExecContext ctx(limits);
+  auto res = ExecuteSql(db_, "SELECT epc, v FROM big ORDER BY v", &ctx);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(ctx.memory_used(), 0u);
+}
+
+TEST_F(GuardrailsTest, CancellationAborts) {
+  Fill(1000);
+  ExecContext ctx;
+  ctx.RequestCancel();
+  auto res = ExecuteSql(db_, "SELECT * FROM big", &ctx);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(GuardrailsTest, OutputRowLimit) {
+  Fill(1000);
+  ExecLimits limits;
+  limits.max_output_rows = 10;
+  ExecContext ctx(limits);
+  auto res = ExecuteSql(db_, "SELECT * FROM big", &ctx);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(res.status().message().find("row limit"), std::string::npos);
+  EXPECT_EQ(ctx.memory_used(), 0u);
+
+  limits.max_output_rows = 1000;
+  ExecContext enough(limits);
+  auto ok = ExecuteSql(db_, "SELECT * FROM big", &enough);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().rows.size(), 1000u);
+}
+
+TEST_F(GuardrailsTest, AggregateAndDistinctChargeBudget) {
+  Fill(50000);
+  ExecLimits limits;
+  limits.memory_budget_bytes = 16 << 10;  // 16 KB: far below 50k groups
+  ExecContext ctx(limits);
+  auto agg =
+      ExecuteSql(db_, "SELECT v, count(*) FROM big GROUP BY v", &ctx);
+  ASSERT_FALSE(agg.ok());
+  EXPECT_EQ(agg.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.memory_used(), 0u);
+
+  ExecContext ctx2(limits);
+  auto dist = ExecuteSql(db_, "SELECT DISTINCT epc, v FROM big", &ctx2);
+  ASSERT_FALSE(dist.ok());
+  EXPECT_EQ(dist.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx2.memory_used(), 0u);
+}
+
+TEST_F(GuardrailsTest, CloseIsIdempotentAndSafeWithoutOpen) {
+  Fill(10);
+  SortOp op(std::make_unique<TableScanOp>(big_, "big"),
+            {SlotSortKey{1, true}});
+  op.Close();  // never opened: no-op
+  ASSERT_TRUE(op.Open().ok());
+  Row row;
+  ASSERT_TRUE(op.Next(&row).ok());
+  op.Close();
+  op.Close();  // second close: no-op
+  EXPECT_EQ(ExecContext::Default()->memory_used(), 0u);
+
+  // Reopen after close works.
+  ASSERT_TRUE(op.Open().ok());
+  auto next = op.Next(&row);
+  ASSERT_TRUE(next.ok());
+  EXPECT_TRUE(next.value());
+  op.Close();
+  EXPECT_EQ(ExecContext::Default()->memory_used(), 0u);
+}
+
+TEST_F(GuardrailsTest, ExplainReportsMemoryAndChecks) {
+  Fill(100);
+  ExecContext ctx;
+  auto res = ExecuteSql(db_, "SELECT epc, v FROM big ORDER BY v", &ctx);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_NE(res.value().explain.find(" mem="), std::string::npos)
+      << res.value().explain;
+  EXPECT_NE(res.value().explain.find(" checks="), std::string::npos)
+      << res.value().explain;
+  EXPECT_GT(res.value().peak_memory_bytes, 0u);
+  EXPECT_GT(ctx.cancel_checks(), 100u);
+}
+
+TEST_F(GuardrailsTest, CollectRowsHonorsContextWithoutExecuteSql) {
+  Fill(100);
+  ExecLimits limits;
+  limits.max_output_rows = 5;
+  ExecContext ctx(limits);
+  TableScanOp scan(big_, "big");
+  auto rows = CollectRows(&scan, &ctx);
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(ctx.memory_used(), 0u);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -49,6 +49,89 @@ TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Range(1, 6));
 
+// --- fuzz: corpus mutation and raw byte soup ---
+
+const char* const kFuzzCorpus[] = {
+    "SELECT * FROM caseR",
+    "SELECT epc, rtime FROM caseR WHERE biz_loc = 'locA' ORDER BY rtime",
+    "WITH v AS (SELECT * FROM caseR) SELECT count(*) FROM v GROUP BY epc "
+    "HAVING count(*) > 2 LIMIT 3",
+    "SELECT max(rtime) OVER (PARTITION BY epc ORDER BY rtime ASC ROWS "
+    "BETWEEN 2 PRECEDING AND CURRENT ROW) FROM caseR",
+    "SELECT a FROM t WHERE a IN (1, 2, 3) OR a IN (SELECT a FROM u)",
+    "SELECT a FROM t UNION ALL SELECT b FROM u",
+};
+
+// Applies one random mutation: byte flip, deletion, duplication, splice
+// from another corpus entry, or truncation.
+std::string Mutate(std::string s, Random& rng) {
+  if (s.empty()) return s;
+  switch (rng.Uniform(5)) {
+    case 0:  // flip a byte to anything, including non-ASCII and NUL
+      s[rng.Uniform(s.size())] = static_cast<char>(rng.Uniform(256));
+      break;
+    case 1:  // delete a byte
+      s.erase(rng.Uniform(s.size()), 1);
+      break;
+    case 2: {  // duplicate a span
+      size_t at = rng.Uniform(s.size());
+      size_t len = 1 + rng.Uniform(8);
+      s.insert(at, s.substr(at, len));
+      break;
+    }
+    case 3: {  // splice a fragment of another corpus statement
+      const char* other = kFuzzCorpus[rng.Uniform(std::size(kFuzzCorpus))];
+      std::string frag(other);
+      size_t start = rng.Uniform(frag.size());
+      s.insert(rng.Uniform(s.size()), frag.substr(start, 1 + rng.Uniform(12)));
+      break;
+    }
+    default:  // truncate
+      s.resize(rng.Uniform(s.size()) + 1);
+      break;
+  }
+  return s;
+}
+
+class ParserMutationFuzzTest : public ::testing::TestWithParam<int> {};
+
+// Mutated real statements and raw random bytes must never crash the
+// parser, and every rejection must be a front-end error code — fuzz
+// input must not surface as kInternal or any engine-side code.
+TEST_P(ParserMutationFuzzTest, MutatedCorpusOnlyYieldsFrontEndErrors) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 7919);
+  for (int round = 0; round < 400; ++round) {
+    std::string sql = kFuzzCorpus[rng.Uniform(std::size(kFuzzCorpus))];
+    int mutations = 1 + static_cast<int>(rng.Uniform(6));
+    for (int m = 0; m < mutations; ++m) sql = Mutate(std::move(sql), rng);
+    auto result = ParseSql(sql);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().code() == StatusCode::kParseError ||
+                  result.status().code() == StatusCode::kBindError)
+          << result.status().ToString() << "\ninput: " << sql;
+    }
+  }
+}
+
+TEST_P(ParserMutationFuzzTest, RandomBytesOnlyYieldFrontEndErrors) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 104729);
+  for (int round = 0; round < 400; ++round) {
+    std::string sql;
+    size_t len = rng.Uniform(64);
+    for (size_t i = 0; i < len; ++i) {
+      sql += static_cast<char>(rng.Uniform(256));
+    }
+    auto result = ParseSql(sql);
+    if (!result.ok()) {
+      EXPECT_TRUE(result.status().code() == StatusCode::kParseError ||
+                  result.status().code() == StatusCode::kBindError)
+          << result.status().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserMutationFuzzTest, ::testing::Range(1, 9));
+
 // --- property: expression round trip ---
 
 ExprPtr RandomExpr(Random& rng, int depth) {
