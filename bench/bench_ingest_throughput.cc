@@ -1,0 +1,193 @@
+// Streaming ingest benchmarks: micro-batch append throughput through
+// IngestPipeline (rows/sec, incremental index + stats maintenance and
+// snapshot publication included), and q1 latency under concurrent load —
+// queries pin an epoch snapshot while an IngestDriver keeps publishing
+// new ones. Latency is reported as p50/p95 counters per rewrite
+// strategy (naive, expanded, join-back), idle and under live load, so
+// the snapshot-isolation overhead and the load interference can be read
+// off separately.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "ingest/ingest.h"
+#include "rfidgen/stream.h"
+
+namespace rfid::bench {
+namespace {
+
+using ingest::IngestDriver;
+using ingest::IngestPipeline;
+using ingest::TableBatch;
+using rfidgen::ReadStream;
+using rfidgen::StreamBatch;
+using rfidgen::StreamOptions;
+
+constexpr size_t kBatchRows = 256;
+
+StreamOptions BenchStream(uint64_t seed) {
+  StreamOptions opt;
+  opt.seed = seed;
+  opt.num_pallets = BenchPallets();
+  return opt;
+}
+
+std::vector<TableBatch> ToGroup(StreamBatch b) {
+  std::vector<TableBatch> group;
+  group.push_back({"caseR", std::move(b.case_rows)});
+  group.push_back({"palletR", std::move(b.pallet_rows)});
+  group.push_back({"parent", std::move(b.parent_rows)});
+  group.push_back({"epc_info", std::move(b.info_rows)});
+  return group;
+}
+
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  size_t idx = static_cast<size_t>(p * (samples.size() - 1));
+  return samples[idx];
+}
+
+// Full-stream micro-batch ingest: rows/sec through Apply(), including
+// per-epoch sorted-run inserts, sketch merges, and snapshot publication.
+void BM_AppendThroughput(benchmark::State& state) {
+  int64_t rows = 0;
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    auto stream = ReadStream::Create(&db, BenchStream(seed++));
+    if (!stream.ok()) {
+      state.SkipWithError(stream.status().ToString().c_str());
+      return;
+    }
+    IngestPipeline pipeline(&db);
+    state.ResumeTiming();
+    while (!(*stream)->exhausted()) {
+      Status st = pipeline.Apply(ToGroup((*stream)->NextBatch(kBatchRows)));
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    rows += static_cast<int64_t>(pipeline.stats().rows_ingested);
+    state.counters["epochs"] = static_cast<double>(pipeline.epoch());
+  }
+  state.SetItemsProcessed(rows);  // items/sec == append rows/sec
+}
+
+// q1 latency with a pinned snapshot, optionally while an IngestDriver
+// publishes epochs on a background thread. state.range(0) selects the
+// rewrite strategy; state.range(1) is 1 for live load.
+void BM_QueryLatency(benchmark::State& state) {
+  const RewriteStrategy strategy =
+      static_cast<RewriteStrategy>(state.range(0));
+  const bool live_load = state.range(1) != 0;
+
+  Database db;
+  uint64_t seed = 100;
+  auto created = ReadStream::Create(&db, BenchStream(seed));
+  if (!created.ok()) {
+    state.SkipWithError(created.status().ToString().c_str());
+    return;
+  }
+  std::unique_ptr<ReadStream> stream = std::move(created).value();
+  IngestPipeline pipeline(&db);
+  // Warm up most of the first stream so queries see realistic data and
+  // rtime stats exist for the selectivity computation.
+  for (int i = 0; i < 6 && !stream->exhausted(); ++i) {
+    Status st = pipeline.Apply(ToGroup(stream->NextBatch(kBatchRows)));
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+  }
+  auto engine = MakeEngine(&db, 3);
+  std::string q1 = workload::Q1(workload::T1ForSelectivity(db, 0.25));
+  std::string sql = RewriteSql(&db, engine.get(), q1, strategy);
+
+  // The load never runs dry: when a stream is exhausted a new generation
+  // (fresh seed) takes over, so every query sample races real ingest.
+  auto source = [&db, &stream, &seed]() -> std::vector<TableBatch> {
+    if (stream->exhausted()) {
+      auto next = ReadStream::Create(&db, BenchStream(++seed));
+      if (!next.ok()) return {};
+      stream = std::move(next).value();
+    }
+    return ToGroup(stream->NextBatch(kBatchRows));
+  };
+  // Pace and cap the driver so "under load" measures concurrency
+  // interference, not an ever-growing table dominating later samples
+  // (naive-query cost scales with table size, so unthrottled ingest
+  // makes the sample loop diverge).
+  IngestDriver::Options dopt;
+  dopt.pause_micros = 20000;
+  dopt.max_batches = 1000;
+  IngestDriver driver(&pipeline, source, dopt);
+  if (live_load) driver.Start();
+
+  std::vector<double> samples;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    ExecContext ctx;
+    ctx.set_snapshot(pipeline.snapshot());
+    auto res = ExecuteSql(db, sql, &ctx);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!res.ok()) {
+      state.SkipWithError(res.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(res->rows.size());
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+
+  if (live_load) {
+    driver.RequestStop();
+    Status load = driver.Join();
+    if (!load.ok()) state.SkipWithError(load.ToString().c_str());
+    state.counters["ingest_rows"] =
+        static_cast<double>(pipeline.stats().rows_ingested);
+    state.counters["epochs"] = static_cast<double>(pipeline.epoch());
+  }
+  state.counters["p50_ms"] = PercentileMs(samples, 0.50);
+  state.counters["p95_ms"] = PercentileMs(samples, 0.95);
+}
+
+}  // namespace
+}  // namespace rfid::bench
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("ingest/append_throughput",
+                               &rfid::bench::BM_AppendThroughput)
+      ->Unit(benchmark::kMillisecond);
+  struct StrategyArg {
+    const char* name;
+    rfid::RewriteStrategy strategy;
+  };
+  const StrategyArg strategies[] = {
+      {"naive", rfid::RewriteStrategy::kNaive},
+      {"expanded", rfid::RewriteStrategy::kExpanded},
+      {"joinback", rfid::RewriteStrategy::kJoinBack},
+  };
+  for (const StrategyArg& s : strategies) {
+    for (int live : {0, 1}) {
+      std::string name = std::string("ingest/q1_latency/") + s.name +
+                         (live ? "/live_load" : "/idle");
+      auto* b = benchmark::RegisterBenchmark(name.c_str(),
+                                             &rfid::bench::BM_QueryLatency)
+                    ->Args({static_cast<int64_t>(s.strategy), live})
+                    ->Unit(benchmark::kMillisecond);
+      // Fixed iteration count under live load: the table grows while we
+      // measure, so time-based calibration would never converge.
+      if (live) b->Iterations(100);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

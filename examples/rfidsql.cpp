@@ -1,6 +1,9 @@
 // rfidsql — an interactive shell over the deferred-cleansing engine.
 //
 //   .gen <pallets> [dirty%]      generate RFIDGen data (+ anomalies)
+//   .feed <batches> <rows>       stream micro-batches through the ingest
+//                                pipeline (epoch snapshots published per
+//                                batch; queries pin the latest snapshot)
 //   .rule DEFINE ...;            define a cleansing rule (SQL-TS)
 //   .rules                       list defined rules and their templates
 //   .strategy auto|expanded|joinback|naive|off
@@ -19,9 +22,11 @@
 #include <string>
 
 #include "common/string_util.h"
+#include "ingest/ingest.h"
 #include "plan/planner.h"
 #include "rewrite/rewriter.h"
 #include "rfidgen/anomaly.h"
+#include "rfidgen/stream.h"
 #include "storage/persist.h"
 #include "sql/render.h"
 
@@ -36,6 +41,11 @@ struct ShellState {
   bool rewriting_enabled = true;
   bool explain = false;
   bool show_candidates = false;
+
+  // Streaming ingest state (created lazily by .feed).
+  std::unique_ptr<rfidgen::ReadStream> stream;
+  std::unique_ptr<ingest::IngestPipeline> pipeline;
+  uint64_t feed_generation = 0;
 
   ShellState() { rules = std::make_unique<CleansingRuleEngine>(&db); }
 };
@@ -75,11 +85,19 @@ void PrintTable(const QueryResult& res, size_t max_rows = 40) {
 }
 
 void RunSql(ShellState& state, const std::string& sql) {
+  // Pin the latest ingest snapshot (when a pipeline exists) so the query
+  // — both its cost-based rewrite choice and its execution — is isolated
+  // from batches published while it runs.
+  ExecContext ctx;
+  if (state.pipeline != nullptr) {
+    ctx.set_snapshot(state.pipeline->snapshot());
+  }
   std::string final_sql = sql;
   if (state.rewriting_enabled && !state.rules->rules().empty()) {
     QueryRewriter rewriter(&state.db, state.rules.get());
     RewriteOptions opts;
     opts.strategy = state.strategy;
+    opts.exec_context = &ctx;
     auto info = rewriter.Rewrite(sql, opts);
     if (!info.ok()) {
       printf("rewrite error: %s\n", info.status().ToString().c_str());
@@ -98,7 +116,7 @@ void RunSql(ShellState& state, const std::string& sql) {
     final_sql = info->sql;
   }
   auto start = std::chrono::steady_clock::now();
-  auto res = ExecuteSql(state.db, final_sql);
+  auto res = ExecuteSql(state.db, final_sql, &ctx);
   auto end = std::chrono::steady_clock::now();
   if (!res.ok()) {
     printf("error: %s\n", res.status().ToString().c_str());
@@ -141,6 +159,55 @@ void RunCommand(ShellState& state, const std::string& line) {
            static_cast<long long>(g->case_reads),
            static_cast<long long>(g->cases),
            static_cast<long long>(a->total()), dirty);
+    return;
+  }
+  if (cmd == ".feed") {
+    int64_t batches = 10;
+    int64_t rows = 256;
+    in >> batches >> rows;
+    if (batches <= 0 || rows <= 0) {
+      printf("usage: .feed <batches> <rows_per_batch>\n");
+      return;
+    }
+    if (state.stream == nullptr || state.stream->exhausted()) {
+      rfidgen::StreamOptions opt;
+      opt.seed = 20060912 + state.feed_generation++;
+      auto stream = rfidgen::ReadStream::Create(&state.db, opt);
+      if (!stream.ok()) {
+        printf("error: %s\n", stream.status().ToString().c_str());
+        return;
+      }
+      state.stream = std::move(*stream);
+    }
+    if (state.pipeline == nullptr) {
+      state.pipeline = std::make_unique<ingest::IngestPipeline>(&state.db);
+    }
+    uint64_t applied = 0;
+    uint64_t fed_rows = 0;
+    for (int64_t i = 0; i < batches && !state.stream->exhausted(); ++i) {
+      rfidgen::StreamBatch b =
+          state.stream->NextBatch(static_cast<size_t>(rows));
+      fed_rows += b.total_rows();
+      std::vector<ingest::TableBatch> group;
+      group.push_back({"caseR", std::move(b.case_rows)});
+      group.push_back({"palletR", std::move(b.pallet_rows)});
+      group.push_back({"parent", std::move(b.parent_rows)});
+      group.push_back({"epc_info", std::move(b.info_rows)});
+      Status st = state.pipeline->Apply(std::move(group));
+      if (!st.ok()) {
+        printf("ingest error: %s\n", st.ToString().c_str());
+        return;
+      }
+      ++applied;
+    }
+    const Table* case_r = state.db.GetTable("caseR");
+    printf("fed %llu batches (%llu rows); epoch %llu; caseR now %llu rows%s\n",
+           static_cast<unsigned long long>(applied),
+           static_cast<unsigned long long>(fed_rows),
+           static_cast<unsigned long long>(state.pipeline->epoch()),
+           static_cast<unsigned long long>(
+               case_r != nullptr ? case_r->visible_rows() : 0),
+           state.stream->exhausted() ? " (stream exhausted)" : "");
     return;
   }
   if (cmd == ".save" || cmd == ".load") {

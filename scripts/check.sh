@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite, re-run the
-# guardrail/fault-injection suites under ASan+UBSan, smoke every example,
-# and run the benchmark harnesses (RFID_BENCH_PALLETS scales the data;
-# default 40).
+# guardrail/fault-injection suites under ASan+UBSan and the ingest
+# concurrency suite under TSan, smoke every example, and run the
+# benchmark harnesses (RFID_BENCH_PALLETS scales the data; default 40).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +20,15 @@ cmake --build build-asan --target fault_injection_test guardrails_test \
 ./build-asan/tests/guardrails_test
 ./build-asan/tests/exec_test
 ./build-asan/tests/common_test
+./build-asan/tests/ingest_fault_test
+
+# TSan pass: queries pin epoch snapshots while an IngestDriver publishes
+# new ones; ThreadSanitizer proves the publish/pin protocol is a proper
+# happens-before edge, not a benign-looking race.
+cmake -B build-tsan -G Ninja -DRFID_SANITIZE=thread
+cmake --build build-tsan --target ingest_concurrency_test ingest_test
+./build-tsan/tests/ingest_concurrency_test
+./build-tsan/tests/ingest_test
 
 ./build/examples/quickstart > /dev/null
 ./build/examples/dwell_analysis 8 0.1 > /dev/null
@@ -27,5 +36,6 @@ cmake --build build-asan --target fault_injection_test guardrails_test \
 ./build/examples/epedigree 6 0.3 > /dev/null
 ./build/examples/multi_policy > /dev/null
 printf '.gen 3 10\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
+printf '.feed 5 100\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
 
 for b in build/bench/bench_*; do "$b"; done

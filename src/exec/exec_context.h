@@ -23,6 +23,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "storage/snapshot.h"
 #include "storage/table.h"
 
 namespace rfid {
@@ -77,6 +78,17 @@ class ExecContext {
     return checks_.load(std::memory_order_relaxed);
   }
 
+  // --- snapshot isolation ---
+
+  /// Pins an epoch snapshot for this query: scans bound to this context
+  /// read only rows below the snapshot's per-table watermarks and range-
+  /// scan the snapshot's pinned index runs, and the planner costs
+  /// against the snapshot's pinned statistics. Null (the default) means
+  /// "live": read whatever is published at open time. Set before
+  /// planning/execution starts, never during.
+  void set_snapshot(SnapshotPtr snapshot) { snapshot_ = std::move(snapshot); }
+  const SnapshotPtr& snapshot() const { return snapshot_; }
+
  private:
   static constexpr uint64_t kDeadlineStride = 128;
 
@@ -89,6 +101,8 @@ class ExecContext {
   std::atomic<uint64_t> checks_{0};
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> deadline_hit_{false};
+
+  SnapshotPtr snapshot_;
 };
 
 /// Approximate heap footprint of a row (vector + inline values + string

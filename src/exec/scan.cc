@@ -11,11 +11,17 @@ TableScanOp::TableScanOp(const Table* table, std::string alias)
 
 Status TableScanOp::OpenImpl() {
   pos_ = 0;
+  limit_ = table_->visible_rows();
+  if (const SnapshotPtr& snap = exec_context()->snapshot()) {
+    if (const TableSnapshot* ts = snap->ForTable(table_)) {
+      limit_ = ts->watermark;
+    }
+  }
   return Status::OK();
 }
 
 Result<bool> TableScanOp::NextImpl(Row* row) {
-  if (pos_ >= table_->num_rows()) return false;
+  if (pos_ >= limit_) return false;
   *row = table_->row(pos_++);
   ++rows_produced_;
   return true;
@@ -37,7 +43,19 @@ IndexRangeScanOp::IndexRangeScanOp(const Table* table, const SortedIndex* index,
       hi_(std::move(hi)) {}
 
 Status IndexRangeScanOp::OpenImpl() {
-  row_ids_ = index_->RangeScan(lo_, hi_);
+  const TableSnapshot* ts = nullptr;
+  if (const SnapshotPtr& snap = exec_context()->snapshot()) {
+    ts = snap->ForTable(table_);
+  }
+  if (ts != nullptr) {
+    // Pinned runs may include entries from batches published after the
+    // watermark was captured; RangeScanRuns filters those out.
+    SortedIndex::RunSetPtr runs = ts->RunsFor(index_);
+    if (runs == nullptr) runs = index_->Pin();
+    row_ids_ = SortedIndex::RangeScanRuns(*runs, lo_, hi_, ts->watermark);
+  } else {
+    row_ids_ = index_->RangeScan(lo_, hi_);
+  }
   pos_ = 0;
   // The qualifying row-id list is the scan's only materialized state.
   return ChargeMemory(row_ids_.capacity() * sizeof(uint32_t));

@@ -10,7 +10,9 @@
 namespace rfid {
 
 /// Sequential scan of a table. Output fields are qualified with the given
-/// alias.
+/// alias. Reads up to the bound context's snapshot watermark when one is
+/// pinned, otherwise up to the table's published watermark — never into
+/// an in-flight ingest batch.
 class TableScanOp : public Operator {
  public:
   TableScanOp(const Table* table, std::string alias);
@@ -25,11 +27,14 @@ class TableScanOp : public Operator {
  private:
   const Table* table_;
   std::string alias_;
-  size_t pos_ = 0;
+  uint64_t pos_ = 0;
+  uint64_t limit_ = 0;
 };
 
 /// Range scan via a sorted index: emits qualifying rows in index (value)
 /// order — the property the planner exploits to skip sorts on rtime.
+/// With a snapshot pinned, scans the snapshot's pinned run set filtered
+/// to its watermark, so concurrently ingested rows never appear.
 class IndexRangeScanOp : public Operator {
  public:
   IndexRangeScanOp(const Table* table, const SortedIndex* index,

@@ -1,0 +1,140 @@
+#include "ingest/ingest.h"
+
+#include <chrono>
+
+#include "common/fault.h"
+
+namespace rfid::ingest {
+
+IngestPipeline::IngestPipeline(Database* db, ExecContext* accounting,
+                               size_t index_compact_threshold)
+    : db_(db),
+      accounting_(accounting),
+      compact_threshold_(index_compact_threshold) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = CaptureDatabaseSnapshot(*db_, epoch_);
+}
+
+Status IngestPipeline::Apply(std::vector<TableBatch> batches) {
+  std::lock_guard<std::mutex> lock(mu_);
+
+  uint64_t charged = 0;
+  auto release = [this, &charged] {
+    if (charged > 0) accounting_->ReleaseMemory(charged);
+    charged = 0;
+  };
+  auto fail = [this, &release](Status st) {
+    release();
+    ++stats_.batches_failed;
+    return st;
+  };
+
+  if (accounting_ != nullptr) {
+    uint64_t bytes = 0;
+    for (const TableBatch& tb : batches) {
+      for (const Row& row : tb.rows) bytes += ApproxRowBytes(row);
+    }
+    Status st = accounting_->ChargeMemory(bytes);
+    if (!st.ok()) return fail(std::move(st));
+    charged = bytes;
+  }
+
+  if (FaultInjectionActive()) {
+    Status st = PokeFault("ingest.Apply");
+    if (!st.ok()) return fail(std::move(st));
+  }
+
+  uint64_t rows_applied = 0;
+  for (TableBatch& tb : batches) {
+    if (tb.rows.empty()) continue;
+    Result<Table*> table = db_->ResolveTable(tb.table);
+    if (!table.ok()) return fail(table.status());
+    size_t n = tb.rows.size();
+    Result<uint64_t> first =
+        (*table)->IngestBatch(std::move(tb.rows), compact_threshold_);
+    if (!first.ok()) return fail(first.status());
+    rows_applied += n;
+  }
+
+  // Commit point: all table batches landed; publish the epoch snapshot.
+  ++epoch_;
+  snapshot_ = CaptureDatabaseSnapshot(*db_, epoch_);
+  ++stats_.epochs_published;
+  stats_.rows_ingested += rows_applied;
+  release();
+  return Status::OK();
+}
+
+SnapshotPtr IngestPipeline::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+PipelineStats IngestPipeline::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t IngestPipeline::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+IngestDriver::IngestDriver(IngestPipeline* pipeline, BatchSource source,
+                           Options options)
+    : pipeline_(pipeline), source_(std::move(source)), options_(options) {}
+
+IngestDriver::~IngestDriver() {
+  RequestStop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void IngestDriver::Start() {
+  if (thread_.joinable()) return;  // already started
+  stop_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void IngestDriver::RequestStop() {
+  stop_.store(true, std::memory_order_relaxed);
+}
+
+Status IngestDriver::Join() {
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return status_;
+}
+
+void IngestDriver::Run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (options_.max_batches > 0 &&
+        batches_applied_.load(std::memory_order_relaxed) >=
+            options_.max_batches) {
+      break;
+    }
+    std::vector<TableBatch> group = source_();
+    bool empty = true;
+    for (const TableBatch& tb : group) {
+      if (!tb.rows.empty()) empty = false;
+    }
+    if (empty) break;  // source exhausted
+    Status st = pipeline_->Apply(std::move(group));
+    if (!st.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(status_mu_);
+        if (status_.ok()) status_ = st;
+      }
+      if (options_.stop_on_error) break;
+    } else {
+      batches_applied_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (options_.pause_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.pause_micros));
+    }
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace rfid::ingest

@@ -1,0 +1,134 @@
+// Micro-batch ingest subsystem with epoch-based snapshot isolation.
+//
+// IngestPipeline is the single writer of a database under load: each
+// Apply() call takes one epoch's worth of rows (grouped by destination
+// table), appends them under the writer lock while maintaining every
+// index and the statistics incrementally (sorted-run insert; sketch
+// merge — never a full rebuild), and then atomically publishes a new
+// Snapshot: per-table row watermarks plus pinned index runs and a stats
+// version. Queries pin the current snapshot into their ExecContext and
+// are isolated for their whole lifetime — a query planned against epoch
+// k never sees rows from epoch k+1, no matter how many batches land
+// while it runs.
+//
+// Failure semantics (exercised by the fault-injection sweep): a failed
+// Apply() publishes nothing — no snapshot, no watermark advance on the
+// failing table, no charged bytes left behind. Tables earlier in the
+// same Apply() group keep their (individually atomic) batches; they
+// become visible with the next successful epoch.
+//
+// IngestDriver wraps a pipeline and a batch source in a background
+// thread: the load half of the query-during-load experiments.
+#ifndef RFID_INGEST_INGEST_H_
+#define RFID_INGEST_INGEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/exec_context.h"
+#include "storage/catalog.h"
+#include "storage/snapshot.h"
+
+namespace rfid::ingest {
+
+/// Rows destined for one table within an epoch's batch group.
+struct TableBatch {
+  std::string table;
+  std::vector<Row> rows;
+};
+
+struct PipelineStats {
+  uint64_t epochs_published = 0;
+  uint64_t rows_ingested = 0;
+  uint64_t batches_failed = 0;
+};
+
+class IngestPipeline {
+ public:
+  /// `accounting` (optional) charges each in-flight batch's approximate
+  /// bytes against that context's memory budget while it is being
+  /// applied — a budget trip rejects the batch like any other failure.
+  /// `index_compact_threshold` bounds index run counts (see
+  /// SortedIndex::PublishRun).
+  explicit IngestPipeline(Database* db, ExecContext* accounting = nullptr,
+                          size_t index_compact_threshold = 8);
+
+  /// Applies one epoch's batches and publishes the next snapshot.
+  /// Thread-safe: concurrent callers serialize on the writer lock.
+  Status Apply(std::vector<TableBatch> batches);
+
+  /// The most recently published snapshot (never null; epoch 0 is
+  /// captured at construction). Queries bind this to their ExecContext.
+  SnapshotPtr snapshot() const;
+
+  PipelineStats stats() const;
+  uint64_t epoch() const;
+
+ private:
+  Database* db_;
+  ExecContext* accounting_;
+  size_t compact_threshold_;
+
+  mutable std::mutex mu_;  // writer lock; also guards snapshot_/stats_
+  SnapshotPtr snapshot_;
+  PipelineStats stats_;
+  uint64_t epoch_ = 0;
+};
+
+/// Pulls batch groups from `source` and applies them on a background
+/// thread until the source is exhausted (returns an empty group), the
+/// batch limit is reached, or RequestStop(). Join() returns the first
+/// Apply() error; by default the driver stops on it.
+class IngestDriver {
+ public:
+  using BatchSource = std::function<std::vector<TableBatch>()>;
+
+  struct Options {
+    uint64_t max_batches = 0;      // 0 = until the source is exhausted
+    int64_t pause_micros = 0;      // sleep between batches (pacing)
+    bool stop_on_error = true;
+  };
+
+  IngestDriver(IngestPipeline* pipeline, BatchSource source, Options options);
+  IngestDriver(IngestPipeline* pipeline, BatchSource source)
+      : IngestDriver(pipeline, std::move(source), Options()) {}
+  ~IngestDriver();
+
+  IngestDriver(const IngestDriver&) = delete;
+  IngestDriver& operator=(const IngestDriver&) = delete;
+
+  void Start();
+  void RequestStop();
+
+  /// Waits for the thread to finish; returns the first error seen.
+  Status Join();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  uint64_t batches_applied() const {
+    return batches_applied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+
+  IngestPipeline* pipeline_;
+  BatchSource source_;
+  Options options_;
+
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> batches_applied_{0};
+
+  std::mutex status_mu_;
+  Status status_;
+};
+
+}  // namespace rfid::ingest
+
+#endif  // RFID_INGEST_INGEST_H_

@@ -56,16 +56,21 @@ double RangeFraction(const ColumnStats& st, const Value& lit, BinaryOp op) {
   }
 }
 
-const ColumnStats* StatsFor(const Table* table, std::string_view column) {
-  if (table == nullptr || !table->has_stats()) return nullptr;
-  int idx = table->schema().FindColumn(column);
+const ColumnStats* StatsFor(const StatsView& view, std::string_view column) {
+  if (view.schema == nullptr || view.stats == nullptr) return nullptr;
+  int idx = view.schema->FindColumn(column);
   if (idx < 0) return nullptr;
-  return &table->stats(static_cast<size_t>(idx));
+  return &(*view.stats)[static_cast<size_t>(idx)];
+}
+
+StatsView LiveView(const Table* table) {
+  return table != nullptr ? table->CurrentStatsView() : StatsView{};
 }
 
 }  // namespace
 
-double EstimateConjunctSelectivity(const ExprPtr& conjunct, const Table* table) {
+double EstimateConjunctSelectivity(const ExprPtr& conjunct,
+                                   const StatsView& table) {
   if (conjunct == nullptr) return 1.0;
   // AND / OR recursion.
   if (conjunct->kind == ExprKind::kBinary && conjunct->op == BinaryOp::kAnd) {
@@ -126,18 +131,33 @@ double EstimateConjunctSelectivity(const ExprPtr& conjunct, const Table* table) 
 }
 
 double EstimateSelectivity(const std::vector<ExprPtr>& conjuncts,
-                           const Table* table) {
+                           const StatsView& view) {
   double sel = 1.0;
   for (const ExprPtr& c : conjuncts) {
-    sel *= EstimateConjunctSelectivity(c, table);
+    sel *= EstimateConjunctSelectivity(c, view);
   }
   return sel;
 }
 
-double ColumnNdv(const Table* table, std::string_view column, double fallback) {
-  const ColumnStats* st = StatsFor(table, column);
+double ColumnNdv(const StatsView& view, std::string_view column,
+                 double fallback) {
+  const ColumnStats* st = StatsFor(view, column);
   if (st != nullptr && st->ndv > 0) return static_cast<double>(st->ndv);
   return fallback;
+}
+
+double EstimateConjunctSelectivity(const ExprPtr& conjunct,
+                                   const Table* table) {
+  return EstimateConjunctSelectivity(conjunct, LiveView(table));
+}
+
+double EstimateSelectivity(const std::vector<ExprPtr>& conjuncts,
+                           const Table* table) {
+  return EstimateSelectivity(conjuncts, LiveView(table));
+}
+
+double ColumnNdv(const Table* table, std::string_view column, double fallback) {
+  return ColumnNdv(LiveView(table), column, fallback);
 }
 
 }  // namespace rfid

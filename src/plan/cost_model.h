@@ -33,15 +33,27 @@ inline constexpr double kDefaultSelectivity = 0.25;
 double SortCost(double rows);
 
 /// Estimated fraction of rows satisfying `conjunct`, where column
-/// references resolve against `table` (nullptr => defaults only).
-/// Handles col-op-literal via min/max/ndv, IN lists, IS NULL, AND/OR.
-double EstimateConjunctSelectivity(const ExprPtr& conjunct, const Table* table);
+/// references resolve against the pinned statistics in `view` (empty
+/// view => defaults only). Handles col-op-literal via min/max/ndv, IN
+/// lists, IS NULL, AND/OR. Estimation always goes through a StatsView so
+/// a query planned under an epoch snapshot costs against the snapshot's
+/// statistics version, not whatever the ingest writer publishes next.
+double EstimateConjunctSelectivity(const ExprPtr& conjunct,
+                                   const StatsView& view);
 
 /// Product over conjuncts (independence assumption).
 double EstimateSelectivity(const std::vector<ExprPtr>& conjuncts,
-                           const Table* table);
+                           const StatsView& view);
 
-/// NDV of a column on a base table, or `fallback` when unavailable.
+/// NDV of a column, or `fallback` when unavailable.
+double ColumnNdv(const StatsView& view, std::string_view column,
+                 double fallback);
+
+// Convenience overloads against a table's live statistics (nullptr =>
+// defaults only).
+double EstimateConjunctSelectivity(const ExprPtr& conjunct, const Table* table);
+double EstimateSelectivity(const std::vector<ExprPtr>& conjuncts,
+                           const Table* table);
 double ColumnNdv(const Table* table, std::string_view column, double fallback);
 
 }  // namespace rfid

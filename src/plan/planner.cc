@@ -129,6 +129,21 @@ class PlannerImpl {
   explicit PlannerImpl(const Database* db, ExecContext* ctx)
       : db_(db), ctx_(ctx) {}
 
+  // The epoch snapshot pinned on the execution context, if any: planning
+  // under a snapshot must use its watermark (cardinality), its pinned
+  // indexes (access-path choice), and its statistics version
+  // (selectivity) so the plan matches what execution will see.
+  const TableSnapshot* SnapshotFor(const Table* table) const {
+    if (ctx_ == nullptr || table == nullptr) return nullptr;
+    const SnapshotPtr& snap = ctx_->snapshot();
+    return snap == nullptr ? nullptr : snap->ForTable(table);
+  }
+
+  StatsView ViewFor(const Table* table) const {
+    if (const TableSnapshot* ts = SnapshotFor(table)) return ts->stats_view();
+    return table != nullptr ? table->CurrentStatsView() : StatsView{};
+  }
+
   // `scope` holds enclosing WITH clauses, innermost last.
   Result<PlanNode> PlanStatement(const SelectStatement& stmt,
                                  std::vector<const WithClause*> scope) {
@@ -346,7 +361,7 @@ class PlannerImpl {
       RFID_ASSIGN_OR_RETURN(size_t probe_slot,
                             s.node.op->output_desc().Resolve(s.ref.alias, sj.column));
       double probe_ndv =
-          ColumnNdv(s.table, sj.column, std::max(1.0, s.node.rows));
+          ColumnNdv(ViewFor(s.table), sj.column, std::max(1.0, s.node.rows));
       double sel = std::min(1.0, sub.rows / std::max(1.0, probe_ndv));
       double out_rows = s.node.rows * sel;
       double cost = s.node.cost + sub.cost + sub.rows * kHashBuildRowCost +
@@ -408,7 +423,8 @@ class PlannerImpl {
           size_t build_slot,
           build.node.op->output_desc().Resolve(build.ref.alias, build_col));
       double build_key_ndv =
-          ColumnNdv(build.table, build_col, std::max(1.0, build.node.rows));
+          ColumnNdv(ViewFor(build.table), build_col,
+                    std::max(1.0, build.node.rows));
       double out_rows =
           tree.rows * build.node.rows / std::max(1.0, build_key_ndv);
       double cost = tree.cost + build.node.cost +
@@ -668,7 +684,11 @@ class PlannerImpl {
   // its local conjuncts.
   Result<PlanNode> BuildBaseAccess(Source& s) {
     const Table* table = s.table;
-    double total_rows = static_cast<double>(table->num_rows());
+    const TableSnapshot* snap = SnapshotFor(table);
+    const StatsView view = ViewFor(table);
+    double total_rows = snap != nullptr
+                            ? static_cast<double>(snap->watermark)
+                            : static_cast<double>(table->visible_rows());
     // Try every indexed column: build the value interval its sargable
     // conjuncts imply, estimate selectivity, keep the best.
     const SortedIndex* best_index = nullptr;
@@ -676,7 +696,8 @@ class PlannerImpl {
     ValueInterval best_interval;
     std::vector<size_t> best_absorbed;
     for (const Column& col : table->schema().columns()) {
-      const SortedIndex* idx = table->GetIndex(col.name);
+      const SortedIndex* idx = snap != nullptr ? snap->FindIndex(col.name)
+                                               : table->GetIndex(col.name);
       if (idx == nullptr) continue;
       ValueInterval interval;
       std::vector<size_t> absorbed;
@@ -691,7 +712,7 @@ class PlannerImpl {
       }
       if (interval.Unconstrained()) continue;
       ExprPtr as_conj = interval.ToConjuncts(MakeColumnRef(s.ref.alias, col.name));
-      double sel = EstimateConjunctSelectivity(as_conj, table);
+      double sel = EstimateConjunctSelectivity(as_conj, view);
       if (best_index == nullptr || sel < best_sel) {
         best_index = idx;
         best_sel = sel;
@@ -740,7 +761,7 @@ class PlannerImpl {
                             BindExpr(CombineConjuncts(remaining), node.op->output_desc()));
       node.cost +=
           node.rows * kFilterEvalCost * static_cast<double>(remaining.size());
-      double sel = EstimateSelectivity(remaining, table);
+      double sel = EstimateSelectivity(remaining, view);
       std::vector<SlotSortKey> ordering = node.ordering;
       node.op = std::make_unique<FilterOp>(std::move(node.op), pred);
       node.rows *= sel;

@@ -193,7 +193,7 @@ Result<AnomalyStats> InjectAnomalies(const AnomalyOptions& opt, Database* db) {
     rows.push_back(case_r->row(i));
   }
   for (Row& r : inserts) rows.push_back(std::move(r));
-  case_r->ReplaceRows(std::move(rows));
+  RFID_RETURN_IF_ERROR(case_r->ReplaceRows(std::move(rows)));
 
   if (opt.finalize) {
     RFID_RETURN_IF_ERROR(FinalizeDatabase(db));

@@ -1,0 +1,230 @@
+#include "rfidgen/stream.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/time_util.h"
+#include "rfidgen/rfidgen.h"
+
+namespace rfid::rfidgen {
+
+namespace {
+
+// Ensures the RFIDGen tables exist; creates them (dimensions populated,
+// read tables empty) when the database is fresh.
+Status EnsureTables(Database* db, const StreamOptions& opt) {
+  if (db->GetTable("caseR") != nullptr) {
+    for (const char* name :
+         {"palletR", "parent", "epc_info", "locs", "product", "steps"}) {
+      if (db->GetTable(name) == nullptr) {
+        return Status::InvalidArgument(
+            std::string("partial RFIDGen schema: missing table ") + name);
+      }
+    }
+    return Status::OK();
+  }
+  GeneratorOptions gen;
+  gen.num_pallets = 0;  // dimensions only; reads arrive via the stream
+  gen.seed = opt.seed;
+  gen.num_stores = opt.num_stores;
+  gen.num_warehouses = opt.num_warehouses;
+  gen.num_dcs = opt.num_dcs;
+  gen.locations_per_site = opt.locations_per_site;
+  gen.num_products = opt.num_products;
+  gen.num_steps = opt.num_steps;
+  gen.finalize = true;  // empty-table indexes/stats; ingest maintains them
+  Result<GeneratedStats> generated = Generate(gen, db);
+  if (!generated.ok()) return generated.status();
+  return Status::OK();
+}
+
+// Site layout read back from the locs table, so the stream draws GLNs
+// that actually exist whether the tables were just created or populated
+// by an earlier, larger Generate() run.
+struct Layout {
+  std::vector<std::vector<std::string>> glns;  // per site, any order
+};
+
+Result<Layout> LoadLayout(const Database& db) {
+  const Table* locs = db.GetTable("locs");
+  if (locs == nullptr) return Status::NotFound("locs table missing");
+  Layout layout;
+  std::string last_site;
+  for (size_t i = 0; i < locs->num_rows(); ++i) {
+    const Row& row = locs->row(i);
+    const std::string& gln = row[0].string_value();
+    const std::string& site = row[1].string_value();
+    if (gln.rfind("GLN-CROSS", 0) == 0) continue;  // replacing-rule docks
+    if (layout.glns.empty() || site != last_site) {
+      layout.glns.emplace_back();
+      last_site = site;
+    }
+    layout.glns.back().push_back(gln);
+  }
+  if (layout.glns.size() < 3) {
+    return Status::InvalidArgument("locs table has fewer than 3 sites");
+  }
+  return layout;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ReadStream>> ReadStream::Create(
+    Database* db, const StreamOptions& opt) {
+  RFID_RETURN_IF_ERROR(EnsureTables(db, opt));
+  auto stream = std::unique_ptr<ReadStream>(new ReadStream());
+  RFID_RETURN_IF_ERROR(stream->Build(db, opt));
+  return stream;
+}
+
+Status ReadStream::Build(Database* db, const StreamOptions& opt) {
+  RFID_ASSIGN_OR_RETURN(Layout layout, LoadLayout(*db));
+  Random rng(opt.seed ^ 0x5741524d53545245ULL);  // distinct from Generate()
+
+  const size_t num_sites = layout.glns.size();
+  stats_.t_begin = INT64_MAX;
+  stats_.t_end = INT64_MIN;
+  int64_t case_counter = 0;
+
+  for (int64_t p = 0; p < opt.num_pallets; ++p) {
+    // Streamed EPCs carry their own prefixes: never collide with the
+    // urn:epc:cas/pal values of a bulk Generate() into the same tables.
+    std::string pallet_epc =
+        StrFormat("urn:epc:spl:%010lld", static_cast<long long>(p));
+
+    // A 3-site route through whatever sites the catalog has.
+    size_t site_idx[3];
+    site_idx[0] = rng.Uniform(num_sites);
+    do {
+      site_idx[1] = rng.Uniform(num_sites);
+    } while (site_idx[1] == site_idx[0]);
+    do {
+      site_idx[2] = rng.Uniform(num_sites);
+    } while (site_idx[2] == site_idx[0] || site_idx[2] == site_idx[1]);
+
+    struct ReadStub {
+      int64_t rtime;
+      std::string reader;
+      std::string gln;
+    };
+    std::vector<ReadStub> pallet_reads;
+    int64_t t = static_cast<int64_t>(
+        rng.Uniform(static_cast<uint64_t>(opt.time_window_micros)));
+    for (int s = 0; s < 3; ++s) {
+      const auto& glns = layout.glns[site_idx[s]];
+      for (int k = 0; k < opt.reads_per_site; ++k) {
+        ReadStub stub;
+        stub.rtime = t;
+        stub.gln = glns[rng.Uniform(glns.size())];
+        // No back-and-forth in clean data (cycle rule's [X Y X]).
+        while (!pallet_reads.empty() &&
+               (stub.gln == pallet_reads.back().gln ||
+                (pallet_reads.size() >= 2 &&
+                 stub.gln == pallet_reads[pallet_reads.size() - 2].gln))) {
+          stub.gln = glns[rng.Uniform(glns.size())];
+        }
+        stub.reader = (k == 0) ? "readerX" : "RDR-" + stub.gln;
+        pallet_reads.push_back(std::move(stub));
+        t += rng.UniformRange(opt.min_latency_micros, opt.max_latency_micros);
+      }
+    }
+    for (const ReadStub& r : pallet_reads) {
+      events_.push_back(
+          {r.rtime, Dest::kPallet,
+           {Value::String(pallet_epc), Value::Timestamp(r.rtime),
+            Value::String(r.reader), Value::String(r.gln),
+            Value::Int64(static_cast<int64_t>(
+                rng.Uniform(static_cast<uint64_t>(opt.num_steps))))}});
+      ++stats_.pallet_reads;
+    }
+
+    int num_cases = static_cast<int>(
+        rng.UniformRange(opt.min_cases_per_pallet, opt.max_cases_per_pallet));
+    for (int c = 0; c < num_cases; ++c) {
+      std::string case_epc =
+          StrFormat("urn:epc:scs:%012lld", static_cast<long long>(case_counter++));
+      int64_t first_rtime = pallet_reads.front().rtime;
+      events_.push_back({first_rtime, Dest::kParent,
+                         {Value::String(case_epc), Value::String(pallet_epc)}});
+      int64_t manu = first_rtime - Days(30);
+      events_.push_back(
+          {first_rtime, Dest::kInfo,
+           {Value::String(case_epc),
+            Value::Int64(static_cast<int64_t>(rng.Uniform(100000))),
+            Value::Timestamp(manu), Value::Timestamp(manu + Days(730)),
+            Value::Int64(static_cast<int64_t>(
+                rng.Uniform(static_cast<uint64_t>(opt.num_products))))}});
+
+      for (const ReadStub& r : pallet_reads) {
+        if (rng.Bernoulli(opt.missing_prob)) {
+          ++stats_.missing;
+          continue;
+        }
+        int64_t rtime =
+            r.rtime + rng.UniformRange(1, opt.case_pallet_gap_micros - 1);
+        auto emit = [&](int64_t at, const std::string& reader,
+                        const std::string& gln) {
+          events_.push_back(
+              {at, Dest::kCase,
+               {Value::String(case_epc), Value::Timestamp(at),
+                Value::String(reader), Value::String(gln),
+                Value::Int64(static_cast<int64_t>(
+                    rng.Uniform(static_cast<uint64_t>(opt.num_steps))))}});
+          stats_.t_begin = std::min(stats_.t_begin, at);
+          stats_.t_end = std::max(stats_.t_end, at);
+          ++stats_.case_reads;
+        };
+        emit(rtime, r.reader, r.gln);
+        if (rng.Bernoulli(opt.duplicate_prob)) {
+          // A neighboring reader catches the same tag seconds later.
+          emit(rtime + rng.UniformRange(1, Minutes(2)), "RDR-DUP-" + r.gln,
+               r.gln);
+          ++stats_.duplicates;
+        }
+        if (rng.Bernoulli(opt.reader_prob)) {
+          // The forklift's positioning reader sees the case again within
+          // the reader rule's window.
+          emit(rtime + rng.UniformRange(1, Minutes(5)), "readerX", r.gln);
+          ++stats_.reader_rereads;
+        }
+      }
+      ++stats_.cases;
+    }
+  }
+
+  if (stats_.t_begin == INT64_MAX) {
+    stats_.t_begin = 0;
+    stats_.t_end = 0;
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.rtime < b.rtime;
+                   });
+  return Status::OK();
+}
+
+StreamBatch ReadStream::NextBatch(size_t max_rows) {
+  StreamBatch batch;
+  size_t end = std::min(events_.size(), pos_ + max_rows);
+  for (; pos_ < end; ++pos_) {
+    Event& e = events_[pos_];
+    switch (e.dest) {
+      case Dest::kCase:
+        batch.case_rows.push_back(std::move(e.row));
+        break;
+      case Dest::kPallet:
+        batch.pallet_rows.push_back(std::move(e.row));
+        break;
+      case Dest::kParent:
+        batch.parent_rows.push_back(std::move(e.row));
+        break;
+      case Dest::kInfo:
+        batch.info_rows.push_back(std::move(e.row));
+        break;
+    }
+  }
+  return batch;
+}
+
+}  // namespace rfid::rfidgen

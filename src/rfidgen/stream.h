@@ -1,0 +1,120 @@
+// Streaming mode of RFIDGen: the same supply-chain simulation as
+// Generate(), but emitted as a single time-ordered sequence of read
+// events sliced into micro-batches — the shape of an RFID data feed
+// arriving at the warehouse (Section 2's "readings keep streaming in
+// while analysts query"). Anomalies (duplicate reads, forklift re-reads,
+// missing reads) are injected inline as the stream is produced, so the
+// deferred-cleansing rewrites have work to do on streamed data exactly
+// as on bulk-generated data.
+//
+// The stream writes nothing itself: NextBatch() returns rows grouped by
+// destination table (caseR / palletR / parent / epc_info) and the ingest
+// subsystem applies them. Dimension rows for a case (parent, epc_info)
+// are emitted at the rtime of the case's first read, so referential
+// lookups succeed for every read already streamed.
+#ifndef RFID_RFIDGEN_STREAM_H_
+#define RFID_RFIDGEN_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+
+namespace rfid::rfidgen {
+
+struct StreamOptions {
+  uint64_t seed = 20060912;
+  /// Pallets whose shipments the stream covers (scale knob).
+  int64_t num_pallets = 20;
+
+  int num_stores = 20;
+  int num_warehouses = 5;
+  int num_dcs = 2;
+  int locations_per_site = 10;
+  int reads_per_site = 3;
+  int min_cases_per_pallet = 2;
+  int max_cases_per_pallet = 5;
+
+  int64_t time_window_micros = 30LL * 24 * 3600 * 1000000;  // one month
+  int64_t min_latency_micros = 3600LL * 1000000;            // 1 hour
+  int64_t max_latency_micros = 36LL * 3600 * 1000000;       // 36 hours
+  int64_t case_pallet_gap_micros = 5LL * 60 * 1000000;      // 5 minutes
+
+  int num_products = 100;
+  int num_steps = 100;
+
+  /// Per-clean-case-read anomaly probabilities.
+  double duplicate_prob = 0.05;  // second reader sees the tag seconds later
+  double reader_prob = 0.03;     // forklift (readerX) re-read within minutes
+  double missing_prob = 0.02;    // the read never happens
+};
+
+struct StreamStats {
+  int64_t case_reads = 0;    // emitted caseR rows (anomalies included)
+  int64_t pallet_reads = 0;
+  int64_t cases = 0;
+  int64_t duplicates = 0;
+  int64_t reader_rereads = 0;
+  int64_t missing = 0;
+  int64_t t_begin = 0;
+  int64_t t_end = 0;
+};
+
+/// One micro-batch of the stream, grouped by destination table. Row
+/// shapes match the schemas Generate() creates.
+struct StreamBatch {
+  std::vector<Row> case_rows;
+  std::vector<Row> pallet_rows;
+  std::vector<Row> parent_rows;
+  std::vector<Row> info_rows;
+
+  bool empty() const {
+    return case_rows.empty() && pallet_rows.empty() && parent_rows.empty() &&
+           info_rows.empty();
+  }
+  size_t total_rows() const {
+    return case_rows.size() + pallet_rows.size() + parent_rows.size() +
+           info_rows.size();
+  }
+};
+
+class ReadStream {
+ public:
+  /// Builds the stream against `db`. If the RFIDGen tables are absent
+  /// they are created (dimensions populated, read tables empty); if a
+  /// prior Generate() already populated them, the stream feeds into the
+  /// existing tables — streamed EPCs use a distinct prefix so they never
+  /// collide with bulk-generated ones. The whole event timeline is
+  /// materialized up front (deterministic in `seed`) and then sliced.
+  static Result<std::unique_ptr<ReadStream>> Create(Database* db,
+                                                    const StreamOptions& opt);
+
+  /// Returns up to `max_rows` events (rows across all four tables) in
+  /// non-decreasing rtime order. An empty batch means exhausted.
+  StreamBatch NextBatch(size_t max_rows);
+
+  bool exhausted() const { return pos_ >= events_.size(); }
+  size_t events_remaining() const { return events_.size() - pos_; }
+  const StreamStats& stats() const { return stats_; }
+
+ private:
+  enum class Dest : uint8_t { kCase, kPallet, kParent, kInfo };
+  struct Event {
+    int64_t rtime;
+    Dest dest;
+    Row row;
+  };
+
+  ReadStream() = default;
+  Status Build(Database* db, const StreamOptions& opt);
+
+  std::vector<Event> events_;  // non-decreasing rtime
+  size_t pos_ = 0;
+  StreamStats stats_;
+};
+
+}  // namespace rfid::rfidgen
+
+#endif  // RFID_RFIDGEN_STREAM_H_

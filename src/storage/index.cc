@@ -1,46 +1,156 @@
 #include "storage/index.h"
 
 #include <algorithm>
+#include <queue>
 
 namespace rfid {
 
-void SortedIndex::Build(const std::vector<std::vector<Value>>& rows) {
-  entries_.clear();
-  entries_.reserve(rows.size());
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Value& v = rows[i][column_index_];
-    if (v.is_null()) continue;
-    entries_.push_back({v, static_cast<uint32_t>(i)});
-  }
-  std::stable_sort(entries_.begin(), entries_.end(),
-                   [](const Entry& a, const Entry& b) {
-                     return a.value.Compare(b.value) < 0;
-                   });
+namespace {
+
+// Total order matching a full rebuild: value order, row id tie-break
+// (Build used to push entries in row order and stable_sort by value).
+bool EntryLess(const SortedIndex::Entry& a, const SortedIndex::Entry& b) {
+  int c = a.value.Compare(b.value);
+  if (c != 0) return c < 0;
+  return a.row_id < b.row_id;
 }
 
-std::vector<uint32_t> SortedIndex::RangeScan(const std::optional<Bound>& lo,
-                                             const std::optional<Bound>& hi) const {
-  // Lower bound: first entry >= lo (or > lo when exclusive).
-  auto begin = entries_.begin();
+using RunRange = std::pair<SortedIndex::Run::const_iterator,
+                           SortedIndex::Run::const_iterator>;
+
+// Qualifying slice of one sorted run.
+RunRange SliceRun(const SortedIndex::Run& run, const std::optional<Bound>& lo,
+                  const std::optional<Bound>& hi) {
+  auto begin = run.begin();
   if (lo.has_value()) {
-    begin = std::lower_bound(entries_.begin(), entries_.end(), *lo,
-                             [](const Entry& e, const Bound& b) {
+    begin = std::lower_bound(run.begin(), run.end(), *lo,
+                             [](const SortedIndex::Entry& e, const Bound& b) {
                                int c = e.value.Compare(b.value);
                                return b.inclusive ? c < 0 : c <= 0;
                              });
   }
-  auto end = entries_.end();
+  auto end = run.end();
   if (hi.has_value()) {
-    end = std::upper_bound(begin, entries_.end(), *hi,
-                           [](const Bound& b, const Entry& e) {
+    end = std::upper_bound(begin, run.end(), *hi,
+                           [](const Bound& b, const SortedIndex::Entry& e) {
                              int c = e.value.Compare(b.value);
                              return b.inclusive ? c > 0 : c >= 0;
                            });
   }
+  return {begin, end};
+}
+
+}  // namespace
+
+SortedIndex::SortedIndex(std::string column_name, size_t column_index)
+    : column_name_(std::move(column_name)),
+      column_index_(column_index),
+      runs_(std::make_shared<const RunSet>()) {}
+
+void SortedIndex::Build(const RowStore& rows, uint64_t num_rows) {
+  auto run = std::make_shared<Run>();
+  run->reserve(num_rows);
+  for (uint64_t i = 0; i < num_rows; ++i) {
+    const Value& v = rows.row(i)[column_index_];
+    if (v.is_null()) continue;
+    run->push_back({v, static_cast<uint32_t>(i)});
+  }
+  std::sort(run->begin(), run->end(), EntryLess);
+  auto set = std::make_shared<RunSet>();
+  set->push_back(std::move(run));
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_ = std::move(set);
+}
+
+SortedIndex::RunPtr SortedIndex::MakeRun(const RowStore& rows, uint64_t first,
+                                         uint64_t count) const {
+  auto run = std::make_shared<Run>();
+  run->reserve(count);
+  for (uint64_t i = first; i < first + count; ++i) {
+    const Value& v = rows.row(i)[column_index_];
+    if (v.is_null()) continue;
+    run->push_back({v, static_cast<uint32_t>(i)});
+  }
+  std::sort(run->begin(), run->end(), EntryLess);
+  return run;
+}
+
+void SortedIndex::PublishRun(RunPtr run, size_t compact_threshold) {
+  RunSetPtr current = Pin();
+  auto next = std::make_shared<RunSet>(*current);
+  if (!run->empty()) next->push_back(std::move(run));
+  if (compact_threshold > 0 && next->size() > compact_threshold) {
+    size_t total = 0;
+    for (const RunPtr& r : *next) total += r->size();
+    auto merged = std::make_shared<Run>();
+    merged->reserve(total);
+    for (const RunPtr& r : *next) {
+      merged->insert(merged->end(), r->begin(), r->end());
+    }
+    std::sort(merged->begin(), merged->end(), EntryLess);
+    next = std::make_shared<RunSet>();
+    next->push_back(std::move(merged));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  runs_ = std::move(next);
+}
+
+SortedIndex::RunSetPtr SortedIndex::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return runs_;
+}
+
+std::vector<uint32_t> SortedIndex::RangeScan(
+    const std::optional<Bound>& lo, const std::optional<Bound>& hi) const {
+  RunSetPtr runs = Pin();
+  return RangeScanRuns(*runs, lo, hi, UINT64_MAX);
+}
+
+std::vector<uint32_t> SortedIndex::RangeScanRuns(const RunSet& runs,
+                                                 const std::optional<Bound>& lo,
+                                                 const std::optional<Bound>& hi,
+                                                 uint64_t watermark) {
+  std::vector<RunRange> ranges;
+  size_t total = 0;
+  for (const RunPtr& run : runs) {
+    RunRange r = SliceRun(*run, lo, hi);
+    if (r.first != r.second) {
+      ranges.push_back(r);
+      total += static_cast<size_t>(r.second - r.first);
+    }
+  }
   std::vector<uint32_t> out;
-  out.reserve(static_cast<size_t>(end - begin));
-  for (auto it = begin; it != end; ++it) out.push_back(it->row_id);
+  out.reserve(total);
+  auto emit = [&out, watermark](const Entry& e) {
+    if (e.row_id < watermark) out.push_back(e.row_id);
+  };
+  if (ranges.size() == 1) {
+    for (auto it = ranges[0].first; it != ranges[0].second; ++it) emit(*it);
+    return out;
+  }
+  // k-way merge by (value, row id) — the rebuild order.
+  auto greater = [](const RunRange& a, const RunRange& b) {
+    return EntryLess(*b.first, *a.first);
+  };
+  std::priority_queue<RunRange, std::vector<RunRange>, decltype(greater)> heap(
+      greater, std::move(ranges));
+  while (!heap.empty()) {
+    RunRange top = heap.top();
+    heap.pop();
+    emit(*top.first);
+    ++top.first;
+    if (top.first != top.second) heap.push(top);
+  }
   return out;
 }
+
+size_t SortedIndex::num_entries() const {
+  RunSetPtr runs = Pin();
+  size_t n = 0;
+  for (const RunPtr& r : *runs) n += r->size();
+  return n;
+}
+
+size_t SortedIndex::num_runs() const { return Pin()->size(); }
 
 }  // namespace rfid

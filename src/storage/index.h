@@ -2,15 +2,33 @@
 // order, supporting range scans via binary search. This plays the role a
 // B-tree index plays in the paper's DB2 setup — the cost structure
 // (touch only qualifying rows vs scan everything) is what matters.
+//
+// The index is log-structured so the ingest path can maintain it
+// incrementally: it is a set of immutable sorted *runs* (a base run from
+// the last full Build plus one run per ingested batch, compacted when
+// the run count grows). A range scan merges the qualifying slices of
+// every run by (value, row id), which is exactly the order a full
+// rebuild produces — incremental maintenance and Build are
+// observationally identical.
+//
+// Concurrency: runs are immutable once published and the current run set
+// is swapped atomically under a mutex. A reader Pin()s the run set once
+// (e.g. at snapshot-capture time) and can then scan it freely while the
+// writer publishes newer runs. Entries above a snapshot's row watermark
+// are filtered out at scan time, so a pinned run set that is newer than
+// the pinned watermark still yields exactly the snapshot's rows.
 #ifndef RFID_STORAGE_INDEX_H_
 #define RFID_STORAGE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/value.h"
+#include "storage/row_store.h"
 
 namespace rfid {
 
@@ -22,32 +40,58 @@ struct Bound {
 
 class SortedIndex {
  public:
-  SortedIndex(std::string column_name, size_t column_index)
-      : column_name_(std::move(column_name)), column_index_(column_index) {}
-
-  const std::string& column_name() const { return column_name_; }
-  size_t column_index() const { return column_index_; }
-
-  /// Rebuilds the index from the rows. NULL values are excluded (a range
-  /// predicate never matches NULL).
-  void Build(const std::vector<std::vector<Value>>& rows);
-
-  /// Returns row ids whose column value lies within [lo, hi] (either bound
-  /// optional), in index (value) order.
-  std::vector<uint32_t> RangeScan(const std::optional<Bound>& lo,
-                                  const std::optional<Bound>& hi) const;
-
-  size_t num_entries() const { return entries_.size(); }
-
- private:
   struct Entry {
     Value value;
     uint32_t row_id;
   };
+  using Run = std::vector<Entry>;
+  using RunPtr = std::shared_ptr<const Run>;
+  using RunSet = std::vector<RunPtr>;
+  using RunSetPtr = std::shared_ptr<const RunSet>;
 
+  SortedIndex(std::string column_name, size_t column_index);
+
+  const std::string& column_name() const { return column_name_; }
+  size_t column_index() const { return column_index_; }
+
+  /// Rebuilds the index from rows [0, num_rows) as a single base run.
+  /// NULL values are excluded (a range predicate never matches NULL).
+  void Build(const RowStore& rows, uint64_t num_rows);
+
+  /// Builds (but does not publish) a sorted run over rows
+  /// [first, first + count) — the staging half of an ingest batch.
+  RunPtr MakeRun(const RowStore& rows, uint64_t first, uint64_t count) const;
+
+  /// Publishes a staged run. When the run count would exceed
+  /// `compact_threshold`, all runs are merged into a single base run
+  /// first (equal to what Build over the union would produce).
+  void PublishRun(RunPtr run, size_t compact_threshold);
+
+  /// Pins the current run set for lock-free scanning.
+  RunSetPtr Pin() const;
+
+  /// Returns row ids whose column value lies within [lo, hi] (either
+  /// bound optional), merged across the current runs in (value, row id)
+  /// order.
+  std::vector<uint32_t> RangeScan(const std::optional<Bound>& lo,
+                                  const std::optional<Bound>& hi) const;
+
+  /// As RangeScan, over an explicitly pinned run set, excluding entries
+  /// at or above `watermark` (UINT64_MAX = no filtering).
+  static std::vector<uint32_t> RangeScanRuns(const RunSet& runs,
+                                             const std::optional<Bound>& lo,
+                                             const std::optional<Bound>& hi,
+                                             uint64_t watermark);
+
+  size_t num_entries() const;
+  size_t num_runs() const;
+
+ private:
   std::string column_name_;
   size_t column_index_;
-  std::vector<Entry> entries_;
+
+  mutable std::mutex mu_;  // guards runs_ pointer swaps and reads
+  RunSetPtr runs_;         // never null; runs themselves are immutable
 };
 
 }  // namespace rfid

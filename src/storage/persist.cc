@@ -160,7 +160,8 @@ Status SaveDatabase(const Database& db, const std::string& dir) {
       out << col.name << ':' << TypeTag(col.type);
     }
     out << '\n';
-    for (const Row& row : table->rows()) {
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      const Row& row = table->row(r);
       for (size_t c = 0; c < row.size(); ++c) {
         if (c > 0) out << '\t';
         out << FieldOf(row[c]);

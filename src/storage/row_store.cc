@@ -1,0 +1,41 @@
+#include "storage/row_store.h"
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+Status RowStore::PushBack(Row row) {
+  uint64_t n = size();
+  size_t seg = static_cast<size_t>(n >> kSegmentBits);
+  if (seg == segments_.size()) {
+    if (seg == kMaxSegments) {
+      return Status::ResourceExhausted(
+          StrFormat("row store full (%zu segments of %zu rows)", kMaxSegments,
+                    kSegmentRows));
+    }
+    segments_.push_back(std::make_unique<Row[]>(kSegmentRows));
+  }
+  segments_[seg][n & (kSegmentRows - 1)] = std::move(row);
+  size_.store(n + 1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void RowStore::TruncateTo(uint64_t n) {
+  uint64_t cur = size();
+  for (uint64_t i = n; i < cur; ++i) {
+    at(i) = Row();  // release the payload; the slot itself stays allocated
+  }
+  size_.store(n, std::memory_order_relaxed);
+}
+
+Status RowStore::ReplaceAll(std::vector<Row> rows) {
+  segments_.clear();
+  size_.store(0, std::memory_order_relaxed);
+  for (Row& r : rows) {
+    RFID_RETURN_IF_ERROR(PushBack(std::move(r)));
+  }
+  PublishVisible();
+  return Status::OK();
+}
+
+}  // namespace rfid

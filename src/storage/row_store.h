@@ -1,0 +1,82 @@
+// Segmented row storage with single-writer / multi-reader visibility.
+//
+// Rows live in fixed-size segments whose addresses never change, so a
+// reader holding a row id can dereference it while the writer appends —
+// the reallocate-on-growth hazard of a flat std::vector<Row> is gone.
+// The segment directory is reserved to its maximum size up front, so
+// appending a segment never moves the directory either.
+//
+// Visibility contract (the basis of epoch snapshots):
+//  - PushBack/TruncateTo are writer-side operations; rows above the
+//    published watermark belong to the writer alone.
+//  - PublishVisible() release-stores the current size as the visible
+//    watermark; visible() acquire-loads it. A reader that bounds its row
+//    ids by an acquired watermark observes fully-constructed rows: the
+//    row writes happen-before the release, which happens-before the
+//    reader's acquire.
+//  - Readers must never touch rows at or above the watermark they
+//    acquired; nothing else synchronizes those slots.
+#ifndef RFID_STORAGE_ROW_STORE_H_
+#define RFID_STORAGE_ROW_STORE_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace rfid {
+
+using Row = std::vector<Value>;
+
+class RowStore {
+ public:
+  static constexpr size_t kSegmentBits = 11;
+  static constexpr size_t kSegmentRows = size_t{1} << kSegmentBits;  // 2048
+  /// Directory capacity, reserved at construction so growth never
+  /// relocates it: 32768 segments = ~67M rows per table.
+  static constexpr size_t kMaxSegments = size_t{1} << 15;
+
+  RowStore() { segments_.reserve(kMaxSegments); }
+  RowStore(const RowStore&) = delete;
+  RowStore& operator=(const RowStore&) = delete;
+
+  /// Committed rows (writer's view; includes unpublished rows).
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Published watermark: rows a concurrent reader may access.
+  uint64_t visible() const { return visible_.load(std::memory_order_acquire); }
+
+  const Row& row(uint64_t i) const {
+    return segments_[i >> kSegmentBits][i & (kSegmentRows - 1)];
+  }
+  Row& at(uint64_t i) {
+    return segments_[i >> kSegmentBits][i & (kSegmentRows - 1)];
+  }
+
+  /// Appends a row above the watermark. Writer-side only.
+  Status PushBack(Row row);
+
+  /// Publishes every committed row (release barrier for their contents).
+  void PublishVisible() {
+    visible_.store(size(), std::memory_order_release);
+  }
+
+  /// Drops unpublished rows back to `n` (>= visible). Writer-side only;
+  /// used to roll back a failed ingest batch.
+  void TruncateTo(uint64_t n);
+
+  /// Replaces the entire content. Only valid while no readers are active
+  /// (single-threaded bulk-update phases); publishes the new size.
+  Status ReplaceAll(std::vector<Row> rows);
+
+ private:
+  std::vector<std::unique_ptr<Row[]>> segments_;
+  std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> visible_{0};
+};
+
+}  // namespace rfid
+
+#endif  // RFID_STORAGE_ROW_STORE_H_

@@ -1,0 +1,66 @@
+#include "storage/snapshot.h"
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+const SortedIndex* TableSnapshot::FindIndex(
+    std::string_view column_name) const {
+  for (const SortedIndex* idx : indexes) {
+    if (EqualsIgnoreCase(idx->column_name(), column_name)) return idx;
+  }
+  return nullptr;
+}
+
+SortedIndex::RunSetPtr TableSnapshot::RunsFor(const SortedIndex* index) const {
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    if (indexes[i] == index) return runs[i];
+  }
+  return nullptr;
+}
+
+StatsView TableSnapshot::stats_view() const {
+  StatsView view;
+  view.schema = table != nullptr ? &table->schema() : nullptr;
+  view.stats = stats;
+  view.row_count = static_cast<double>(watermark);
+  return view;
+}
+
+const TableSnapshot* Snapshot::ForTable(const Table* table) const {
+  auto it = tables.find(table);
+  return it == tables.end() ? nullptr : &it->second;
+}
+
+TableSnapshot CaptureTableSnapshot(const Table& table) {
+  TableSnapshot snap;
+  snap.table = &table;
+  // Watermark FIRST (acquire): every structure pinned below was
+  // published at or after this row count, and RangeScanRuns filters any
+  // overshoot back down to it.
+  snap.watermark = table.visible_rows();
+  auto pinned = table.PinnedIndexes();
+  snap.indexes.reserve(pinned.size());
+  snap.runs.reserve(pinned.size());
+  for (auto& [idx, runs] : pinned) {
+    snap.indexes.push_back(idx);
+    snap.runs.push_back(std::move(runs));
+  }
+  StatsView view = table.CurrentStatsView();
+  snap.stats = std::move(view.stats);
+  snap.stats_version = table.stats_version();
+  return snap;
+}
+
+SnapshotPtr CaptureDatabaseSnapshot(const Database& db, uint64_t epoch) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = epoch;
+  for (const std::string& name : db.TableNames()) {
+    const Table* table = db.GetTable(name);
+    if (table == nullptr) continue;
+    snap->tables.emplace(table, CaptureTableSnapshot(*table));
+  }
+  return snap;
+}
+
+}  // namespace rfid

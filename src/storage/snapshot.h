@@ -1,0 +1,79 @@
+// Epoch snapshots: an immutable, consistent view of the database for
+// query execution while an ingest writer appends.
+//
+// A TableSnapshot pins three things per table:
+//  - watermark: the row count visible to this snapshot. Captured with an
+//    acquire load *before* anything else, so every pinned structure is
+//    at least as new as the watermark.
+//  - pinned index run sets: immutable runs that cover at least
+//    [0, watermark); entries at or above the watermark are filtered at
+//    scan time (SortedIndex::RangeScanRuns), so a run set that raced
+//    ahead of the watermark still yields exactly the snapshot's rows.
+//  - pinned statistics + stats version: the estimates the planner costs
+//    this query against, recorded so EXPLAIN output and benchmarks can
+//    attribute a plan to the stats generation that produced it.
+//
+// Snapshots are plain immutable data published via shared_ptr; queries
+// hold one for their whole lifetime (planning through execution) and a
+// query planned against epoch k never sees rows from epoch k+1.
+#ifndef RFID_STORAGE_SNAPSHOT_H_
+#define RFID_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "storage/index.h"
+#include "storage/stats.h"
+#include "storage/table.h"
+
+namespace rfid {
+
+struct TableSnapshot {
+  const Table* table = nullptr;
+  uint64_t watermark = 0;
+
+  /// Pinned run set per fresh index, parallel to `indexes`.
+  std::vector<const SortedIndex*> indexes;
+  std::vector<SortedIndex::RunSetPtr> runs;
+
+  /// Pinned statistics (null when absent or stale at capture time) and
+  /// the version counter they were published under.
+  std::shared_ptr<const std::vector<ColumnStats>> stats;
+  uint64_t stats_version = 0;
+
+  /// Pinned run set for the index on `column_name`, or nullptr. The
+  /// returned index must be scanned via RangeScanRuns with this
+  /// snapshot's watermark, never via its live RangeScan.
+  const SortedIndex* FindIndex(std::string_view column_name) const;
+  SortedIndex::RunSetPtr RunsFor(const SortedIndex* index) const;
+
+  /// Estimation view over the pinned statistics.
+  StatsView stats_view() const;
+};
+
+/// A consistent view over every table captured at one epoch.
+struct Snapshot {
+  /// Monotonic capture counter (diagnostic; epoch k+1 > k).
+  uint64_t epoch = 0;
+  std::map<const Table*, TableSnapshot> tables;
+
+  const TableSnapshot* ForTable(const Table* table) const;
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+/// Captures one table. Safe concurrently with an IngestBatch writer on
+/// the same table (watermark first, structures after).
+TableSnapshot CaptureTableSnapshot(const Table& table);
+
+/// Captures every table in the database. `epoch` is caller-assigned
+/// (the IngestPipeline uses its batch counter; ad-hoc callers pass 0).
+SnapshotPtr CaptureDatabaseSnapshot(const Database& db, uint64_t epoch = 0);
+
+}  // namespace rfid
+
+#endif  // RFID_STORAGE_SNAPSHOT_H_

@@ -1,5 +1,80 @@
 #include "storage/stats.h"
 
+#include <algorithm>
+
 namespace rfid {
-// ColumnStats is a plain aggregate; computation lives in Table::ComputeStats.
+
+namespace {
+
+// splitmix64 finalizer: Value::Hash is std::hash-based and can be close
+// to identity for integers; the sketch needs uniform high bits.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t StatsValueHash(const Value& v) {
+  return Mix64(static_cast<uint64_t>(v.Hash()));
+}
+
+void NdvSketch::InsertHash(uint64_t h) {
+  if (hashes.size() == kMaxHashes && h >= hashes.back()) return;
+  auto it = std::lower_bound(hashes.begin(), hashes.end(), h);
+  if (it != hashes.end() && *it == h) return;
+  hashes.insert(it, h);
+  if (hashes.size() > kMaxHashes) hashes.pop_back();
+}
+
+void NdvSketch::Merge(const NdvSketch& other) {
+  for (uint64_t h : other.hashes) InsertHash(h);
+}
+
+uint64_t NdvSketch::EstimateNdv() const {
+  if (hashes.size() < kMaxHashes) {
+    return hashes.size();  // exact: every distinct hash is retained
+  }
+  // u_k = largest retained hash as a fraction of the 64-bit hash space.
+  double u_k = (static_cast<double>(hashes.back()) + 1.0) / 18446744073709551616.0;
+  double est = static_cast<double>(kMaxHashes - 1) / u_k;
+  return static_cast<uint64_t>(est + 0.5);
+}
+
+void ColumnStats::Observe(const Value& v) {
+  ++row_count;
+  if (v.is_null()) {
+    ++null_count;
+    return;
+  }
+  if (min.is_null() || v.Compare(min) < 0) min = v;
+  if (max.is_null() || v.Compare(max) > 0) max = v;
+  sketch.InsertHash(StatsValueHash(v));
+}
+
+void ColumnStats::MergeFrom(const ColumnStats& other) {
+  row_count += other.row_count;
+  null_count += other.null_count;
+  if (!other.min.is_null() && (min.is_null() || other.min.Compare(min) < 0)) {
+    min = other.min;
+  }
+  if (!other.max.is_null() && (max.is_null() || other.max.Compare(max) > 0)) {
+    max = other.max;
+  }
+  sketch.Merge(other.sketch);
+  RefreshNdv();
+}
+
+bool ColumnStats::operator==(const ColumnStats& other) const {
+  auto value_eq = [](const Value& a, const Value& b) {
+    if (a.is_null() || b.is_null()) return a.is_null() == b.is_null();
+    return a.type() == b.type() && a.Compare(b) == 0;
+  };
+  return value_eq(min, other.min) && value_eq(max, other.max) &&
+         ndv == other.ndv && null_count == other.null_count &&
+         row_count == other.row_count && sketch == other.sketch;
+}
+
 }  // namespace rfid

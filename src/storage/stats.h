@@ -1,22 +1,66 @@
-// Per-column statistics for cardinality estimation: min/max, approximate
-// number of distinct values, and null count.
+// Per-column statistics for cardinality estimation: min/max, number of
+// distinct values, and null count.
+//
+// Statistics are *mergeable* so the ingest path can maintain them
+// incrementally: per-batch ColumnStats are folded into the table's
+// cumulative stats without a full recompute. The distinct count comes
+// from a KMV (k-minimum-values) sketch — order-independent and
+// union-mergeable, so incremental maintenance and a from-scratch
+// recompute over the same multiset produce bit-identical statistics
+// (the invariant the persist round-trip test checks). Below k distinct
+// hashes the estimate is exact, which keeps the NDV numbers small
+// suites assert on unchanged.
 #ifndef RFID_STORAGE_STATS_H_
 #define RFID_STORAGE_STATS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/value.h"
 
 namespace rfid {
 
+/// 64-bit mix of a value's hash; used as the sketch's hash space.
+uint64_t StatsValueHash(const Value& v);
+
+/// KMV distinct-count sketch: retains the k smallest distinct 64-bit
+/// hashes seen. Exact while fewer than k distinct hashes exist;
+/// (k-1)/u_k afterwards (u_k = largest retained hash normalized to
+/// [0,1)). Merging is set union + re-truncation, so insertion order and
+/// batch boundaries never change the result.
+struct NdvSketch {
+  static constexpr size_t kMaxHashes = 256;
+
+  std::vector<uint64_t> hashes;  // sorted ascending, distinct, <= kMaxHashes
+
+  void InsertHash(uint64_t h);
+  void Merge(const NdvSketch& other);
+  uint64_t EstimateNdv() const;
+
+  bool operator==(const NdvSketch&) const = default;
+};
+
 struct ColumnStats {
   Value min;   // NULL if the column has no non-null values
   Value max;
-  uint64_t ndv = 0;         // number of distinct non-null values
+  uint64_t ndv = 0;         // sketch estimate; exact below kMaxHashes
   uint64_t null_count = 0;
   uint64_t row_count = 0;
+  NdvSketch sketch;
 
   bool HasRange() const { return !min.is_null() && !max.is_null(); }
+
+  /// Folds one row's value into the stats (row_count, null_count,
+  /// min/max, sketch). Call RefreshNdv() after a batch of Observes.
+  void Observe(const Value& v);
+
+  /// Folds another stats object over a disjoint row set into this one.
+  void MergeFrom(const ColumnStats& other);
+
+  /// Re-derives ndv from the sketch.
+  void RefreshNdv() { ndv = sketch.EstimateNdv(); }
+
+  bool operator==(const ColumnStats& other) const;
 };
 
 }  // namespace rfid

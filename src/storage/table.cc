@@ -1,14 +1,14 @@
 #include "storage/table.h"
 
-#include <unordered_set>
+#include <cassert>
+#include <utility>
 
 #include "common/fault.h"
 #include "common/string_util.h"
 
 namespace rfid {
 
-Status Table::Append(Row row) {
-  RFID_FAULT_POINT("storage.Append");
+Status Table::ValidateRow(const Row& row) const {
   if (row.size() != schema_.num_columns()) {
     return Status::InvalidArgument(StrFormat(
         "row arity %zu does not match schema arity %zu for table %s",
@@ -23,50 +23,257 @@ Status Table::Append(Row row) {
           DataTypeName(schema_.column(i).type), DataTypeName(row[i].type())));
     }
   }
-  rows_.push_back(std::move(row));
   return Status::OK();
+}
+
+Status Table::Append(Row row) {
+  RFID_FAULT_POINT("storage.Append");
+  RFID_RETURN_IF_ERROR(ValidateRow(row));
+  RFID_RETURN_IF_ERROR(store_.PushBack(std::move(row)));
+  store_.PublishVisible();
+  MarkMutated();
+  return Status::OK();
+}
+
+void Table::AppendUnchecked(Row row) {
+  Status st = store_.PushBack(std::move(row));
+  assert(st.ok() && "RowStore capacity exceeded");
+  (void)st;
+  store_.PublishVisible();
+  MarkMutated();
+}
+
+Row& Table::mutable_row(size_t i) {
+  MarkMutated();
+  return store_.at(i);
+}
+
+Status Table::ReplaceRows(std::vector<Row> rows) {
+  MarkMutated();
+  return store_.ReplaceAll(std::move(rows));
 }
 
 Status Table::BuildIndex(std::string_view column_name) {
   RFID_FAULT_POINT("storage.BuildIndex");
   RFID_ASSIGN_OR_RETURN(size_t col, schema_.ResolveColumn(column_name));
-  for (auto& idx : indexes_) {
-    if (idx->column_index() == col) {
-      idx->Build(rows_);
+  uint64_t epoch = mutation_epoch();
+  for (auto& slot : indexes_) {
+    if (slot->index->column_index() == col) {
+      slot->index->Build(store_, store_.size());
+      slot->built_epoch.store(epoch, std::memory_order_relaxed);
       return Status::OK();
     }
   }
-  auto idx = std::make_unique<SortedIndex>(schema_.column(col).name, col);
-  idx->Build(rows_);
-  indexes_.push_back(std::move(idx));
+  auto slot = std::make_unique<IndexSlot>();
+  slot->index = std::make_unique<SortedIndex>(schema_.column(col).name, col);
+  slot->index->Build(store_, store_.size());
+  slot->built_epoch.store(epoch, std::memory_order_relaxed);
+  indexes_.push_back(std::move(slot));
   return Status::OK();
 }
 
 const SortedIndex* Table::GetIndex(std::string_view column_name) const {
-  for (const auto& idx : indexes_) {
-    if (EqualsIgnoreCase(idx->column_name(), column_name)) return idx.get();
+  uint64_t epoch = mutation_epoch();
+  for (const auto& slot : indexes_) {
+    if (EqualsIgnoreCase(slot->index->column_name(), column_name)) {
+      if (slot->built_epoch.load(std::memory_order_relaxed) != epoch) {
+        return nullptr;  // stale: degrade to sequential scan
+      }
+      return slot->index.get();
+    }
   }
   return nullptr;
 }
 
-void Table::ComputeStats() {
-  stats_.assign(schema_.num_columns(), ColumnStats{});
-  for (size_t c = 0; c < schema_.num_columns(); ++c) {
-    ColumnStats& st = stats_[c];
-    st.row_count = rows_.size();
-    std::unordered_set<Value, ValueHash> distinct;
-    for (const Row& r : rows_) {
-      const Value& v = r[c];
-      if (v.is_null()) {
-        ++st.null_count;
-        continue;
-      }
-      if (st.min.is_null() || v.Compare(st.min) < 0) st.min = v;
-      if (st.max.is_null() || v.Compare(st.max) > 0) st.max = v;
-      distinct.insert(v);
+std::vector<const SortedIndex*> Table::indexes() const {
+  uint64_t epoch = mutation_epoch();
+  std::vector<const SortedIndex*> out;
+  out.reserve(indexes_.size());
+  for (const auto& slot : indexes_) {
+    if (slot->built_epoch.load(std::memory_order_relaxed) == epoch) {
+      out.push_back(slot->index.get());
     }
-    st.ndv = distinct.size();
   }
+  return out;
+}
+
+std::vector<std::pair<const SortedIndex*, SortedIndex::RunSetPtr>>
+Table::PinnedIndexes() const {
+  uint64_t epoch = mutation_epoch();
+  std::vector<std::pair<const SortedIndex*, SortedIndex::RunSetPtr>> out;
+  out.reserve(indexes_.size());
+  for (const auto& slot : indexes_) {
+    if (slot->built_epoch.load(std::memory_order_relaxed) == epoch) {
+      out.emplace_back(slot->index.get(), slot->index->Pin());
+    }
+  }
+  return out;
+}
+
+void Table::ComputeStats() {
+  uint64_t epoch = mutation_epoch();
+  uint64_t num_rows = store_.size();
+  auto stats = std::make_shared<std::vector<ColumnStats>>(
+      schema_.num_columns(), ColumnStats{});
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    ColumnStats& st = (*stats)[c];
+    for (uint64_t i = 0; i < num_rows; ++i) {
+      st.Observe(store_.row(i)[c]);
+    }
+    st.RefreshNdv();
+  }
+  PublishStats(std::move(stats));
+  stats_epoch_.store(epoch, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const std::vector<ColumnStats>> Table::PinStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Table::PublishStats(
+    std::shared_ptr<const std::vector<ColumnStats>> stats) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_ = std::move(stats);
+  }
+  stats_version_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Table::has_stats() const {
+  if (stats_epoch_.load(std::memory_order_relaxed) != mutation_epoch()) {
+    return false;  // stale statistics must not inform estimates
+  }
+  return PinStats() != nullptr;
+}
+
+const ColumnStats& Table::stats(size_t column) const {
+  assert(stats_epoch_.load(std::memory_order_relaxed) == mutation_epoch() &&
+         "stats() on stale statistics; call ComputeStats() after mutating");
+  auto pinned = PinStats();
+  assert(pinned != nullptr && "stats() before ComputeStats()");
+  // The table keeps the vector alive: stats_ only ever swaps to a newer
+  // vector, and single-threaded callers (the contract of this accessor)
+  // observe no swap while holding the reference.
+  return (*pinned)[column];
+}
+
+StatsView Table::CurrentStatsView() const {
+  StatsView view;
+  view.schema = &schema_;
+  view.row_count = static_cast<double>(visible_rows());
+  if (stats_epoch_.load(std::memory_order_relaxed) == mutation_epoch()) {
+    view.stats = PinStats();
+  }
+  return view;
+}
+
+bool Table::structures_stale() const {
+  uint64_t epoch = mutation_epoch();
+  for (const auto& slot : indexes_) {
+    if (slot->built_epoch.load(std::memory_order_relaxed) != epoch) return true;
+  }
+  if (PinStats() != nullptr &&
+      stats_epoch_.load(std::memory_order_relaxed) != epoch) {
+    return true;
+  }
+  return false;
+}
+
+Result<uint64_t> Table::IngestBatch(std::vector<Row> batch,
+                                    size_t index_compact_threshold) {
+  RFID_FAULT_POINT("ingest.Batch");
+  for (const Row& row : batch) {
+    RFID_RETURN_IF_ERROR(ValidateRow(row));
+  }
+
+  const uint64_t first = store_.size();
+  const uint64_t count = batch.size();
+
+  // Stage 1: append rows above the watermark. Invisible to readers until
+  // the publish below, so any failure rolls back with TruncateTo.
+  auto rollback = [this, first] { store_.TruncateTo(first); };
+  for (Row& row : batch) {
+    if (FaultInjectionActive()) {
+      Status st = PokeFault("ingest.AppendRow");
+      if (!st.ok()) {
+        rollback();
+        return st;
+      }
+    }
+    Status st = store_.PushBack(std::move(row));
+    if (!st.ok()) {
+      rollback();
+      return st;
+    }
+  }
+
+  // Stage 2: stage one sorted run per *fresh* index and the merged
+  // statistics — still nothing published, so failures only need the row
+  // rollback. An index that was already stale stays stale: a batch run
+  // covers only the new rows, not whatever mutation it missed.
+  const uint64_t pre_epoch = mutation_epoch();
+  std::vector<std::pair<IndexSlot*, SortedIndex::RunPtr>> staged_runs;
+  staged_runs.reserve(indexes_.size());
+  for (auto& slot : indexes_) {
+    if (slot->built_epoch.load(std::memory_order_relaxed) != pre_epoch) {
+      continue;
+    }
+    if (FaultInjectionActive()) {
+      Status st = PokeFault("ingest.IndexRun");
+      if (!st.ok()) {
+        rollback();
+        return st;
+      }
+    }
+    staged_runs.emplace_back(slot.get(),
+                             slot->index->MakeRun(store_, first, count));
+  }
+
+  std::shared_ptr<std::vector<ColumnStats>> merged;
+  auto base = PinStats();
+  bool stats_fresh =
+      base != nullptr &&
+      stats_epoch_.load(std::memory_order_relaxed) == pre_epoch;
+  if (stats_fresh) {
+    if (FaultInjectionActive()) {
+      Status st = PokeFault("ingest.StatsMerge");
+      if (!st.ok()) {
+        rollback();
+        return st;
+      }
+    }
+    merged = std::make_shared<std::vector<ColumnStats>>(*base);
+    for (size_t c = 0; c < schema_.num_columns(); ++c) {
+      ColumnStats& st = (*merged)[c];
+      for (uint64_t i = first; i < first + count; ++i) {
+        st.Observe(store_.row(i)[c]);
+      }
+      st.RefreshNdv();
+    }
+  }
+
+  // Stage 3: publish. Past this fault point the batch is committed; the
+  // index/stats/watermark publications below are infallible.
+  if (FaultInjectionActive()) {
+    Status st = PokeFault("ingest.Publish");
+    if (!st.ok()) {
+      rollback();
+      return st;
+    }
+  }
+
+  uint64_t epoch = mutation_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (auto& [slot, run] : staged_runs) {
+    slot->index->PublishRun(std::move(run), index_compact_threshold);
+    slot->built_epoch.store(epoch, std::memory_order_relaxed);
+  }
+  if (stats_fresh) {
+    PublishStats(std::move(merged));
+    stats_epoch_.store(epoch, std::memory_order_relaxed);
+  }
+  store_.PublishVisible();
+  return first;
 }
 
 }  // namespace rfid

@@ -1,19 +1,45 @@
 // In-memory row-store table with optional sorted secondary indexes and
 // per-column statistics used by the cost model.
+//
+// Mutation discipline: every mutating call bumps the table's mutation
+// epoch. Indexes and statistics each record the epoch they were built
+// at; a structure whose epoch lags the table's is *stale* and the
+// accessors refuse to serve it (GetIndex returns nullptr, has_stats()
+// turns false, stats() asserts in debug builds) until BuildIndex /
+// ComputeStats — or the incremental ingest path — brings it current.
+//
+// Ingest path: IngestBatch appends a validated batch and maintains every
+// existing index (sorted-run insert) and the statistics (mergeable
+// sketch fold) *incrementally*, then publishes the new row watermark
+// with release semantics. Concurrent readers that bound themselves by an
+// acquired watermark (see RowStore and Snapshot) never observe a partial
+// batch. All other mutators are single-writer, no-concurrent-reader
+// operations, exactly as before.
 #ifndef RFID_STORAGE_TABLE_H_
 #define RFID_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "storage/index.h"
+#include "storage/row_store.h"
 #include "storage/schema.h"
 #include "storage/stats.h"
 
 namespace rfid {
 
-using Row = std::vector<Value>;
+/// A pinned, immutable view of a table's statistics for cost estimation:
+/// safe to use while a writer publishes newer statistics. `stats` is
+/// null when statistics are absent or stale (estimates fall back to
+/// defaults).
+struct StatsView {
+  const Schema* schema = nullptr;
+  std::shared_ptr<const std::vector<ColumnStats>> stats;
+  double row_count = 0;
+};
 
 class Table {
  public:
@@ -22,43 +48,107 @@ class Table {
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
-  const Row& row(size_t i) const { return rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return static_cast<size_t>(store_.size()); }
+  const Row& row(size_t i) const { return store_.row(i); }
+  const RowStore& store() const { return store_; }
 
-  /// Appends a row; the row must match the schema arity. Invalidates
-  /// indexes and stats until Build*/ComputeStats is called again.
+  /// Rows visible to concurrent readers (acquire load of the published
+  /// watermark). Equal to num_rows() outside an in-flight ingest batch.
+  uint64_t visible_rows() const { return store_.visible(); }
+
+  /// Appends a row; the row must match the schema arity. Marks existing
+  /// indexes and stats stale until Build*/ComputeStats runs again.
   Status Append(Row row);
 
   /// Bulk-append without per-row checks (generator fast path).
-  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+  void AppendUnchecked(Row row);
 
-  /// Mutable row access for in-place updates (anomaly injection). The
-  /// caller must rebuild indexes/statistics afterwards.
-  Row& mutable_row(size_t i) { return rows_[i]; }
+  /// Mutable row access for in-place updates (anomaly injection). Marks
+  /// indexes and statistics stale; rebuild afterwards.
+  Row& mutable_row(size_t i);
 
-  /// Replaces the entire row set (bulk delete/update path).
-  void ReplaceRows(std::vector<Row> rows) { rows_ = std::move(rows); }
+  /// Replaces the entire row set (bulk delete/update path). Marks
+  /// indexes and statistics stale.
+  Status ReplaceRows(std::vector<Row> rows);
 
   /// Builds (or rebuilds) a sorted index on the named column.
   Status BuildIndex(std::string_view column_name);
 
-  /// Returns the index on the column, or nullptr if none exists.
+  /// Returns the index on the column, or nullptr if none exists *or the
+  /// index is stale* (built before the last mutation): a stale index
+  /// must never serve a scan, so callers degrade to a sequential scan.
   const SortedIndex* GetIndex(std::string_view column_name) const;
+
+  /// Every current (non-stale) index.
+  std::vector<const SortedIndex*> indexes() const;
+
+  /// Current indexes with their pinned run sets (snapshot capture).
+  std::vector<std::pair<const SortedIndex*, SortedIndex::RunSetPtr>>
+  PinnedIndexes() const;
 
   /// Recomputes min/max/NDV statistics for every column.
   void ComputeStats();
 
-  /// Stats for column i; valid only after ComputeStats().
-  const ColumnStats& stats(size_t column) const { return stats_[column]; }
-  bool has_stats() const { return !stats_.empty(); }
+  /// Stats for column i; valid only while statistics are current
+  /// (asserts otherwise in debug builds). Not for use concurrently with
+  /// ingest — concurrent readers pin a StatsView or a Snapshot instead.
+  const ColumnStats& stats(size_t column) const;
+  bool has_stats() const;
+
+  /// Pinned statistics view for estimation; stats == nullptr when
+  /// statistics are absent or stale.
+  StatsView CurrentStatsView() const;
+
+  /// Monotonic counter bumped on every statistics publication
+  /// (ComputeStats or an ingest merge) — the "stats version" a snapshot
+  /// records and the planner costs against.
+  uint64_t stats_version() const {
+    return stats_version_.load(std::memory_order_relaxed);
+  }
+
+  /// True when any mutation happened after the last index/stats build —
+  /// the condition under which GetIndex()/stats() refuse to serve.
+  bool structures_stale() const;
+
+  /// Appends `batch` (validated up-front) and incrementally maintains
+  /// every existing index and the statistics, then publishes the new
+  /// visible watermark. All-or-nothing: on any error (validation, fault
+  /// injection, capacity) the table is left exactly as before — no rows,
+  /// runs, stats or watermark published. Returns the first row id of the
+  /// batch. Writer-side only; concurrent readers are safe throughout.
+  Result<uint64_t> IngestBatch(std::vector<Row> batch,
+                               size_t index_compact_threshold = 8);
 
  private:
+  struct IndexSlot {
+    std::unique_ptr<SortedIndex> index;
+    std::atomic<uint64_t> built_epoch{0};
+  };
+
+  Status ValidateRow(const Row& row) const;
+  void MarkMutated() {
+    mutation_epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t mutation_epoch() const {
+    return mutation_epoch_.load(std::memory_order_relaxed);
+  }
+  std::shared_ptr<const std::vector<ColumnStats>> PinStats() const;
+  void PublishStats(std::shared_ptr<const std::vector<ColumnStats>> stats);
+
   std::string name_;
   Schema schema_;
-  std::vector<Row> rows_;
-  std::vector<std::unique_ptr<SortedIndex>> indexes_;
-  std::vector<ColumnStats> stats_;
+  RowStore store_;
+  std::vector<std::unique_ptr<IndexSlot>> indexes_;
+
+  mutable std::mutex stats_mu_;  // guards stats_ pointer swaps and reads
+  std::shared_ptr<const std::vector<ColumnStats>> stats_;
+
+  // Epoch bookkeeping for staleness. Atomic so a concurrent planner's
+  // freshness probe during ingest is race-free; a momentarily
+  // conservative answer only costs an index-scan opportunity.
+  std::atomic<uint64_t> mutation_epoch_{0};
+  std::atomic<uint64_t> stats_epoch_{0};
+  std::atomic<uint64_t> stats_version_{0};
 };
 
 }  // namespace rfid

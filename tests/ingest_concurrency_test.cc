@@ -1,0 +1,224 @@
+// Query-during-load: four query threads run the paper's q1 through the
+// naive, expanded, and join-back rewrites against snapshots pinned from
+// a live IngestDriver that is publishing epochs the whole time. Every
+// iteration checks the snapshot contract — a raw count equals the
+// pinned watermark exactly, watermarks are monotone per thread, and all
+// three rewrite strategies agree on the same snapshot. The test demands
+// at least 50 published epochs and zero violations, and is the target
+// of the RFID_SANITIZE=thread pass in scripts/check.sh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ingest/ingest.h"
+#include "plan/planner.h"
+#include "rewrite/rewriter.h"
+#include "rfidgen/stream.h"
+#include "rfidgen/workload.h"
+#include "storage/snapshot.h"
+
+namespace rfid {
+namespace {
+
+using ingest::IngestDriver;
+using ingest::IngestPipeline;
+using ingest::TableBatch;
+using rfidgen::ReadStream;
+using rfidgen::StreamBatch;
+using rfidgen::StreamOptions;
+
+constexpr int kQueryThreads = 4;
+constexpr uint64_t kMinEpochs = 50;
+constexpr size_t kBatchRows = 30;
+constexpr uint64_t kWarmupEpochs = 10;
+
+std::vector<TableBatch> ToGroup(StreamBatch b) {
+  std::vector<TableBatch> group;
+  group.push_back({"caseR", std::move(b.case_rows)});
+  group.push_back({"palletR", std::move(b.pallet_rows)});
+  group.push_back({"parent", std::move(b.parent_rows)});
+  group.push_back({"epc_info", std::move(b.info_rows)});
+  return group;
+}
+
+std::vector<std::string> Canonical(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  for (const Row& r : rows) {
+    std::string s;
+    for (const Value& v : r) s += v.ToString() + "|";
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct ThreadReport {
+  uint64_t iterations = 0;
+  uint64_t violations = 0;
+  std::string first_violation;
+};
+
+TEST(IngestConcurrencyTest, QueriesStaySnapshotConsistentUnderLiveLoad) {
+  Database db;
+  StreamOptions opt;
+  opt.seed = 11;
+  opt.num_pallets = 48;
+  auto stream = ReadStream::Create(&db, opt);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+
+  IngestPipeline pipeline(&db);
+
+  // Warm up: publish a few epochs synchronously so rtime stats exist
+  // before computing the q1 predicate (stats() is only read here, before
+  // any concurrent writer runs).
+  for (uint64_t i = 0; i < kWarmupEpochs; ++i) {
+    ASSERT_FALSE((*stream)->exhausted());
+    Status st = pipeline.Apply(ToGroup((*stream)->NextBatch(kBatchRows)));
+    ASSERT_TRUE(st.ok()) << st.ToString();
+  }
+  const std::string q1 = workload::Q1(workload::T1ForSelectivity(db, 0.8));
+  const Table* case_r = db.GetTable("caseR");
+  ASSERT_NE(case_r, nullptr);
+
+  // Engines persist rule templates into shared catalog tables
+  // (__rules), so each thread's engine and rewriter are built up front,
+  // before any concurrency; the threads only rewrite and execute.
+  std::vector<std::unique_ptr<CleansingRuleEngine>> engines;
+  std::vector<std::unique_ptr<QueryRewriter>> rewriters;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    engines.push_back(std::make_unique<CleansingRuleEngine>(&db));
+    for (const std::string& def : workload::StandardRuleDefinitions(3)) {
+      Status st = engines.back()->DefineRule(def);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    rewriters.push_back(
+        std::make_unique<QueryRewriter>(&db, engines.back().get()));
+  }
+
+  IngestDriver::Options dopt;
+  dopt.pause_micros = 1000;
+  IngestDriver driver(
+      &pipeline,
+      [&stream]() {
+        if ((*stream)->exhausted()) return std::vector<TableBatch>{};
+        return ToGroup((*stream)->NextBatch(kBatchRows));
+      },
+      dopt);
+
+  std::atomic<bool> load_done{false};
+  std::vector<ThreadReport> reports(kQueryThreads);
+  std::vector<std::thread> threads;
+
+  driver.Start();
+  for (int t = 0; t < kQueryThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      QueryRewriter& rewriter = *rewriters[t];
+      ThreadReport& rep = reports[t];
+      uint64_t last_watermark = 0;
+      auto fail = [&rep](const std::string& msg) {
+        rep.violations++;
+        if (rep.first_violation.empty()) rep.first_violation = msg;
+      };
+
+      bool final_pass = false;
+      while (true) {
+        if (load_done.load(std::memory_order_acquire)) final_pass = true;
+        SnapshotPtr snap = pipeline.snapshot();
+        ExecContext ctx;
+        ctx.set_snapshot(snap);
+        const TableSnapshot* ts = snap->ForTable(case_r);
+        if (ts == nullptr) {
+          fail("snapshot missing caseR");
+          return;
+        }
+
+        // Watermarks only ever advance.
+        if (ts->watermark < last_watermark) {
+          fail("watermark went backwards");
+          return;
+        }
+        last_watermark = ts->watermark;
+
+        // A raw count under the pinned snapshot is exactly the pinned
+        // watermark — not one row more, no matter what the writer has
+        // appended since.
+        auto count = ExecuteSql(db, "SELECT count(*) FROM caseR", &ctx);
+        if (!count.ok()) {
+          fail("count failed: " + count.status().ToString());
+          return;
+        }
+        uint64_t seen =
+            static_cast<uint64_t>(count->rows[0][0].int64_value());
+        if (seen != ts->watermark) {
+          fail("count " + std::to_string(seen) + " != watermark " +
+               std::to_string(ts->watermark));
+        }
+
+        // All three rewrite strategies, evaluated against the same
+        // pinned snapshot, agree on q1.
+        std::vector<std::string> truth;
+        for (RewriteStrategy strategy :
+             {RewriteStrategy::kNaive, RewriteStrategy::kExpanded,
+              RewriteStrategy::kJoinBack}) {
+          RewriteOptions ropt;
+          ropt.strategy = strategy;
+          ropt.exec_context = &ctx;
+          auto info = rewriter.Rewrite(q1, ropt);
+          if (!info.ok()) {
+            fail("rewrite failed: " + info.status().ToString());
+            return;
+          }
+          auto res = ExecuteSql(db, info->sql, &ctx);
+          if (!res.ok()) {
+            fail("query failed: " + res.status().ToString());
+            return;
+          }
+          std::vector<std::string> got = Canonical(res->rows);
+          if (strategy == RewriteStrategy::kNaive) {
+            truth = std::move(got);
+          } else if (got != truth) {
+            fail("strategy disagreement at watermark " +
+                 std::to_string(ts->watermark));
+          }
+        }
+        rep.iterations++;
+        if (final_pass) return;
+      }
+    });
+  }
+
+  Status load = driver.Join();
+  load_done.store(true, std::memory_order_release);
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_TRUE(load.ok()) << load.ToString();
+  EXPECT_TRUE((*stream)->exhausted());
+  EXPECT_GE(pipeline.epoch(), kMinEpochs)
+      << "stream too small to exercise enough epochs";
+  EXPECT_EQ(pipeline.stats().batches_failed, 0u);
+
+  uint64_t total_iters = 0;
+  for (int t = 0; t < kQueryThreads; ++t) {
+    EXPECT_EQ(reports[t].violations, 0u)
+        << "thread " << t << ": " << reports[t].first_violation;
+    EXPECT_GE(reports[t].iterations, 1u) << "thread " << t << " never ran";
+    total_iters += reports[t].iterations;
+  }
+  EXPECT_GE(total_iters, static_cast<uint64_t>(kQueryThreads));
+
+  // After the load completes, a fresh snapshot sees every row.
+  ExecContext ctx;
+  ctx.set_snapshot(pipeline.snapshot());
+  auto final_count = ExecuteSql(db, "SELECT count(*) FROM caseR", &ctx);
+  ASSERT_TRUE(final_count.ok());
+  EXPECT_EQ(static_cast<uint64_t>(final_count->rows[0][0].int64_value()),
+            case_r->visible_rows());
+}
+
+}  // namespace
+}  // namespace rfid

@@ -131,6 +131,133 @@ TEST(StatsTest, MinMaxNdvNulls) {
   EXPECT_EQ(reader.ndv, 1u);  // "r2" was overwritten with NULL; only "r1" remains
 }
 
+TEST(StalenessTest, AppendMarksIndexAndStatsStale) {
+  Table t("reads", ReadsSchema());
+  ASSERT_TRUE(t.Append(MakeRead("e1", Minutes(1), "r", "l", 1)).ok());
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  t.ComputeStats();
+  EXPECT_NE(t.GetIndex("rtime"), nullptr);
+  EXPECT_TRUE(t.has_stats());
+  EXPECT_FALSE(t.structures_stale());
+
+  ASSERT_TRUE(t.Append(MakeRead("e2", Minutes(2), "r", "l", 2)).ok());
+  // Stale structures must refuse to serve: the index would miss the new
+  // row and the stats would under-count it.
+  EXPECT_EQ(t.GetIndex("rtime"), nullptr);
+  EXPECT_FALSE(t.has_stats());
+  EXPECT_TRUE(t.structures_stale());
+  EXPECT_TRUE(t.CurrentStatsView().stats == nullptr);
+
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  t.ComputeStats();
+  EXPECT_NE(t.GetIndex("rtime"), nullptr);
+  EXPECT_TRUE(t.has_stats());
+  EXPECT_FALSE(t.structures_stale());
+}
+
+TEST(StalenessTest, MutableRowAndReplaceRowsMarkStale) {
+  Table t("reads", ReadsSchema());
+  ASSERT_TRUE(t.Append(MakeRead("e1", Minutes(1), "r", "l", 1)).ok());
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  t.ComputeStats();
+
+  t.mutable_row(0)[1] = Value::Timestamp(Minutes(9));
+  EXPECT_EQ(t.GetIndex("rtime"), nullptr);
+  EXPECT_FALSE(t.has_stats());
+
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  t.ComputeStats();
+  ASSERT_TRUE(t.ReplaceRows({MakeRead("e2", Minutes(3), "r", "l", 2)}).ok());
+  EXPECT_EQ(t.GetIndex("rtime"), nullptr);
+  EXPECT_FALSE(t.has_stats());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(StalenessTest, IngestBatchKeepsStructuresFresh) {
+  Table t("reads", ReadsSchema());
+  ASSERT_TRUE(t.Append(MakeRead("e1", Minutes(1), "r", "l", 1)).ok());
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  t.ComputeStats();
+  uint64_t version = t.stats_version();
+
+  auto first = t.IngestBatch({MakeRead("e2", Minutes(5), "r", "l", 2),
+                              MakeRead("e3", Minutes(3), "r", "l", 3)});
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.visible_rows(), 3u);
+  // The batch maintained the index and stats incrementally: both fresh.
+  ASSERT_NE(t.GetIndex("rtime"), nullptr);
+  EXPECT_TRUE(t.has_stats());
+  EXPECT_FALSE(t.structures_stale());
+  EXPECT_GT(t.stats_version(), version);
+  auto ids = t.GetIndex("rtime")->RangeScan(std::nullopt, std::nullopt);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(t.row(ids[0])[1].timestamp_value(), Minutes(1));
+  EXPECT_EQ(t.row(ids[1])[1].timestamp_value(), Minutes(3));
+  EXPECT_EQ(t.row(ids[2])[1].timestamp_value(), Minutes(5));
+  EXPECT_EQ(t.stats(1).ndv, 3u);
+  EXPECT_EQ(t.stats(1).row_count, 3u);
+}
+
+TEST(StalenessTest, IngestBatchDoesNotFreshenStaleIndex) {
+  Table t("reads", ReadsSchema());
+  ASSERT_TRUE(t.Append(MakeRead("e1", Minutes(1), "r", "l", 1)).ok());
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  // Direct append makes the index stale; a later ingest batch only
+  // covers its own rows, so the index must stay unusable.
+  ASSERT_TRUE(t.Append(MakeRead("e2", Minutes(2), "r", "l", 2)).ok());
+  ASSERT_TRUE(t.IngestBatch({MakeRead("e3", Minutes(3), "r", "l", 3)}).ok());
+  EXPECT_EQ(t.GetIndex("rtime"), nullptr);
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  auto ids = t.GetIndex("rtime")->RangeScan(std::nullopt, std::nullopt);
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(StalenessTest, IngestBatchValidatesAndRollsBack) {
+  Table t("reads", ReadsSchema());
+  ASSERT_TRUE(t.Append(MakeRead("e1", Minutes(1), "r", "l", 1)).ok());
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  t.ComputeStats();
+  uint64_t version = t.stats_version();
+
+  Row bad = MakeRead("e2", Minutes(2), "r", "l", 2);
+  bad[0] = Value::Int64(7);  // wrong type
+  auto res = t.IngestBatch({MakeRead("e3", Minutes(3), "r", "l", 3), bad});
+  EXPECT_FALSE(res.ok());
+  // Nothing published: rows, watermark, index, stats all unchanged.
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.visible_rows(), 1u);
+  ASSERT_NE(t.GetIndex("rtime"), nullptr);
+  EXPECT_EQ(t.GetIndex("rtime")->num_entries(), 1u);
+  EXPECT_EQ(t.stats_version(), version);
+  EXPECT_TRUE(t.has_stats());
+}
+
+TEST(IndexTest, RunCompactionPreservesScanOrder) {
+  Table t("reads", ReadsSchema());
+  ASSERT_TRUE(t.BuildIndex("rtime").ok());
+  t.ComputeStats();
+  // Many single-row batches with a low compaction threshold: the run set
+  // must repeatedly collapse and still scan in (value, row id) order.
+  for (int i = 0; i < 40; ++i) {
+    int64_t rt = Minutes((i * 7) % 40);
+    ASSERT_TRUE(
+        t.IngestBatch({MakeRead("e", rt, "r", "l", i)}, /*threshold=*/3).ok());
+  }
+  const SortedIndex* idx = t.GetIndex("rtime");
+  ASSERT_NE(idx, nullptr);
+  EXPECT_LE(idx->num_runs(), 4u);
+  auto ids = idx->RangeScan(std::nullopt, std::nullopt);
+  ASSERT_EQ(ids.size(), 40u);
+  int64_t prev = -1;
+  for (uint32_t id : ids) {
+    int64_t v = t.row(id)[1].timestamp_value();
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
 TEST(CatalogTest, CreateGetDrop) {
   Database db;
   auto created = db.CreateTable("caseR", ReadsSchema());

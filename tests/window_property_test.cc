@@ -95,7 +95,7 @@ TEST_P(WindowPropertyTest, MatchesBruteForce) {
 
   // Brute force over the sorted base rows.
   std::vector<Row> sorted;
-  for (const Row& r : table->rows()) sorted.push_back(r);
+  for (size_t i = 0; i < table->num_rows(); ++i) sorted.push_back(table->row(i));
   std::stable_sort(sorted.begin(), sorted.end(), [](const Row& a, const Row& b) {
     int c = a[0].Compare(b[0]);
     if (c != 0) return c < 0;
