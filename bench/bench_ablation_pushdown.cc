@@ -42,9 +42,10 @@ void RegisterAll() {
       std::string name = std::string("ablation/q2_expanded_") +
                          (aggressive ? "aggressive" : "paper") +
                          "/sel:" + std::to_string(sel);
-      benchmark::RegisterBenchmark(name.c_str(), &BM_AblationPushdown)
-          ->Args({sel, aggressive})
-          ->Unit(benchmark::kMillisecond);
+      rfid::bench::ApplyStats(
+          benchmark::RegisterBenchmark(name.c_str(), &BM_AblationPushdown)
+              ->Args({sel, aggressive})
+              ->Unit(benchmark::kMillisecond));
     }
   }
 }

@@ -97,21 +97,21 @@ void BM_DeferredQuery(benchmark::State& state) {
 
 int main(int argc, char** argv) {
   for (int rules : {1, 3}) {
-    benchmark::RegisterBenchmark(
+    rfid::bench::ApplyStats(benchmark::RegisterBenchmark(
         ("eager_vs_deferred/cleanse_once/rules:" + std::to_string(rules)).c_str(),
         &rfid::bench::BM_EagerCleanseOnce)
         ->Arg(rules)
-        ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark(
+        ->Unit(benchmark::kMillisecond));
+    rfid::bench::ApplyStats(benchmark::RegisterBenchmark(
         ("eager_vs_deferred/eager_q1/rules:" + std::to_string(rules)).c_str(),
         &rfid::bench::BM_EagerQuery)
         ->Arg(rules)
-        ->Unit(benchmark::kMillisecond);
-    benchmark::RegisterBenchmark(
+        ->Unit(benchmark::kMillisecond));
+    rfid::bench::ApplyStats(benchmark::RegisterBenchmark(
         ("eager_vs_deferred/deferred_q1/rules:" + std::to_string(rules)).c_str(),
         &rfid::bench::BM_DeferredQuery)
         ->Arg(rules)
-        ->Unit(benchmark::kMillisecond);
+        ->Unit(benchmark::kMillisecond));
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -59,10 +59,10 @@ void RegisterAll() {
         std::string name =
             std::string("fig7") + (query == 1 ? "a/q1" : "d/q2") + "_" +
             kVariantNames[v] + "/sel:" + std::to_string(sel);
-        benchmark::RegisterBenchmark(
+        rfid::bench::ApplyStats(benchmark::RegisterBenchmark(
             name.c_str(), &BM_Fig7)
             ->Args({query, sel, v})
-            ->Unit(benchmark::kMillisecond);
+            ->Unit(benchmark::kMillisecond));
       }
     }
   }

@@ -43,9 +43,9 @@ void RegisterAll() {
     for (int v = 0; v <= 3; ++v) {
       std::string name = std::string("fig8/q2prime_") + kVariantNames[v] +
                          "/sel:" + std::to_string(sel);
-      benchmark::RegisterBenchmark(name.c_str(), &BM_Fig8)
+      rfid::bench::ApplyStats(benchmark::RegisterBenchmark(name.c_str(), &BM_Fig8)
           ->Args({sel, v})
-          ->Unit(benchmark::kMillisecond);
+          ->Unit(benchmark::kMillisecond));
     }
   }
 }

@@ -46,9 +46,10 @@ void RegisterAll() {
         std::string name = std::string("fig9") + (query == 1 ? "c/q1" : "d/q2") +
                            "_" + kVariantNames[v] +
                            "/dirty:" + std::to_string(dirty);
-        benchmark::RegisterBenchmark(name.c_str(), &BM_Fig9Dirty)
-            ->Args({query, dirty, v})
-            ->Unit(benchmark::kMillisecond);
+        rfid::bench::ApplyStats(
+            benchmark::RegisterBenchmark(name.c_str(), &BM_Fig9Dirty)
+                ->Args({query, dirty, v})
+                ->Unit(benchmark::kMillisecond));
       }
     }
   }

@@ -50,9 +50,10 @@ void RegisterAll() {
         std::string name = std::string("fig9") + (query == 1 ? "a/q1" : "b/q2") +
                            "_" + kVariantNames[v] +
                            "/rules:" + std::to_string(rules);
-        benchmark::RegisterBenchmark(name.c_str(), &BM_Fig9Rules)
-            ->Args({query, rules, v})
-            ->Unit(benchmark::kMillisecond);
+        rfid::bench::ApplyStats(
+            benchmark::RegisterBenchmark(name.c_str(), &BM_Fig9Rules)
+                ->Args({query, rules, v})
+                ->Unit(benchmark::kMillisecond));
       }
     }
   }

@@ -95,9 +95,10 @@ void RegisterAll() {
     for (int rules : {1, 3, 5}) {
       std::string name = "table1/rewrite_latency_q" + std::to_string(query) +
                          "/rules:" + std::to_string(rules);
-      benchmark::RegisterBenchmark(name.c_str(), &BM_RewriteLatency)
-          ->Args({rules, query})
-          ->Unit(benchmark::kMillisecond);
+      rfid::bench::ApplyStats(
+          benchmark::RegisterBenchmark(name.c_str(), &BM_RewriteLatency)
+              ->Args({rules, query})
+              ->Unit(benchmark::kMillisecond));
     }
   }
 }

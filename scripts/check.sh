@@ -23,12 +23,17 @@ cmake --build build-asan --target fault_injection_test guardrails_test \
 ./build-asan/tests/ingest_fault_test
 
 # TSan pass: queries pin epoch snapshots while an IngestDriver publishes
-# new ones; ThreadSanitizer proves the publish/pin protocol is a proper
-# happens-before edge, not a benign-looking race.
+# new ones, and morsel-driven parallel operators fan work out to pool
+# threads (including while that writer runs); ThreadSanitizer proves the
+# publish/pin protocol and the parallel pipeline's atomics are proper
+# happens-before edges, not benign-looking races.
 cmake -B build-tsan -G Ninja -DRFID_SANITIZE=thread
-cmake --build build-tsan --target ingest_concurrency_test ingest_test
+cmake --build build-tsan --target ingest_concurrency_test ingest_test \
+  parallel_exec_test parallel_concurrency_test
 ./build-tsan/tests/ingest_concurrency_test
 ./build-tsan/tests/ingest_test
+./build-tsan/tests/parallel_exec_test
+./build-tsan/tests/parallel_concurrency_test
 
 ./build/examples/quickstart > /dev/null
 ./build/examples/dwell_analysis 8 0.1 > /dev/null
@@ -38,4 +43,11 @@ cmake --build build-tsan --target ingest_concurrency_test ingest_test
 printf '.gen 3 10\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
 printf '.feed 5 100\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
 
-for b in build/bench/bench_*; do "$b"; done
+# DOP-sweep smoke: verifies parallel plans stay bit-identical to serial
+# at DOP 1/2/4/8 (full sweep with repetitions is a manual run).
+./build/bench/bench_parallel_scaling --quick
+
+for b in build/bench/bench_*; do
+  [ "$(basename "$b")" = bench_parallel_scaling ] && continue
+  "$b"
+done

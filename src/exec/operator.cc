@@ -1,5 +1,7 @@
 #include "exec/operator.h"
 
+#include <algorithm>
+
 #include "common/fault.h"
 #include "common/string_util.h"
 
@@ -20,13 +22,13 @@ Status Operator::Open() {
   open_ = true;
   rows_produced_ = 0;
   RFID_FAULT_POINT(name() + ".Open");
-  ++cancel_checks_;
+  cancel_checks_.fetch_add(1, std::memory_order_relaxed);
   RFID_RETURN_IF_ERROR(ctx_->CheckCancelled());
   return OpenImpl();
 }
 
 Result<bool> Operator::Next(Row* row) {
-  ++cancel_checks_;
+  cancel_checks_.fetch_add(1, std::memory_order_relaxed);
   RFID_RETURN_IF_ERROR(exec_context()->CheckCancelled());
   RFID_FAULT_POINT(name() + ".Next");
   return NextImpl(row);
@@ -36,18 +38,29 @@ void Operator::Close() {
   if (!open_) return;
   open_ = false;
   CloseImpl();
-  if (mem_charged_ > 0) {
-    exec_context()->ReleaseMemory(mem_charged_);
-    mem_charged_ = 0;
-  }
+  uint64_t charged = mem_charged_.exchange(0, std::memory_order_relaxed);
+  if (charged > 0) exec_context()->ReleaseMemory(charged);
 }
 
 Status Operator::ChargeMemory(uint64_t bytes) {
+  // No fault point here when called off-thread: injectors are
+  // thread-local and workers never carry one, so FaultInjectionActive()
+  // short-circuits the site on worker threads.
   RFID_FAULT_POINT(name() + ".Alloc");
   RFID_RETURN_IF_ERROR(exec_context()->ChargeMemory(bytes));
-  mem_charged_ += bytes;
-  if (mem_charged_ > mem_peak_) mem_peak_ = mem_charged_;
+  uint64_t charged =
+      mem_charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = mem_peak_.load(std::memory_order_relaxed);
+  while (charged > peak &&
+         !mem_peak_.compare_exchange_weak(peak, charged,
+                                          std::memory_order_relaxed)) {
+  }
   return Status::OK();
+}
+
+Status Operator::TickCancel() {
+  cancel_checks_.fetch_add(1, std::memory_order_relaxed);
+  return exec_context()->CheckCancelled();
 }
 
 Status Operator::DrainChildAccounted(Operator* child, std::vector<Row>* out) {
@@ -127,6 +140,8 @@ void ExplainRec(const Operator& op, int depth, std::string* out) {
   }
   out->append(" checks=");
   out->append(std::to_string(op.cancel_checks()));
+  out->append(" dop=");
+  out->append(std::to_string(op.dop()));
   out->append("\n");
   for (const Operator* child : op.children()) {
     ExplainRec(*child, depth + 1, out);
@@ -138,6 +153,14 @@ std::string ExplainOperatorTree(const Operator& root) {
   std::string out;
   ExplainRec(root, 0, &out);
   return out;
+}
+
+int MaxTreeDop(const Operator& root) {
+  int dop = root.dop();
+  for (const Operator* child : root.children()) {
+    dop = std::max(dop, MaxTreeDop(*child));
+  }
+  return dop;
 }
 
 }  // namespace rfid

@@ -17,6 +17,7 @@
 #ifndef RFID_EXEC_OPERATOR_H_
 #define RFID_EXEC_OPERATOR_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -58,11 +59,21 @@ class Operator {
   uint64_t rows_produced() const { return rows_produced_; }
 
   /// Peak bytes this operator had charged against the query budget.
-  uint64_t memory_peak_bytes() const { return mem_peak_; }
+  uint64_t memory_peak_bytes() const {
+    return mem_peak_.load(std::memory_order_relaxed);
+  }
 
   /// Cancellation/deadline checks this operator performed (one per Open
-  /// and per Next call).
-  uint64_t cancel_checks() const { return cancel_checks_; }
+  /// and per Next call, plus one per morsel from parallel workers). The
+  /// counter is atomic so EXPLAIN totals stay exact under parallel
+  /// execution.
+  uint64_t cancel_checks() const {
+    return cancel_checks_.load(std::memory_order_relaxed);
+  }
+
+  /// Degree of parallelism the planner chose for this operator (1 =
+  /// serial). Printed as dop= by ExplainOperatorTree.
+  int dop() const { return dop_; }
 
   /// Operator name and per-operator detail for EXPLAIN.
   virtual std::string name() const = 0;
@@ -79,13 +90,23 @@ class Operator {
   virtual void CloseImpl() {}
 
   /// Charges bytes to the query budget, attributed to this operator.
-  /// Everything charged is released automatically on Close().
+  /// Everything charged is released automatically on Close(). Thread-safe
+  /// (atomic accounting at both the operator and the context level), so
+  /// parallel workers charge directly.
   Status ChargeMemory(uint64_t bytes);
 
   /// Open-drains-close `child` into *out, charging every materialized row
   /// to this operator's budget. Cancellation is honored per row (each
-  /// child Next() is itself guarded).
+  /// child Next() is itself guarded). Coordinator-thread only.
   Status DrainChildAccounted(Operator* child, std::vector<Row>* out);
+
+  /// Cooperative cancellation/deadline check for parallel workers,
+  /// counted against this operator exactly like the Open/Next guards.
+  /// Call once per claimed morsel.
+  Status TickCancel();
+
+  /// Records the planner's parallelism decision (constructor-time).
+  void set_dop(int dop) { dop_ = dop < 1 ? 1 : dop; }
 
   RowDesc output_desc_;
   uint64_t rows_produced_ = 0;
@@ -93,9 +114,10 @@ class Operator {
  private:
   ExecContext* ctx_ = nullptr;
   bool open_ = false;
-  uint64_t mem_charged_ = 0;
-  uint64_t mem_peak_ = 0;
-  uint64_t cancel_checks_ = 0;
+  int dop_ = 1;
+  std::atomic<uint64_t> mem_charged_{0};
+  std::atomic<uint64_t> mem_peak_{0};
+  std::atomic<uint64_t> cancel_checks_{0};
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -142,8 +164,13 @@ struct RowEq {
 Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx = nullptr);
 
 /// Renders the operator tree with actual row counts, peak accounted
-/// memory, and cancellation-check counts, one node per line.
+/// memory, cancellation-check counts, and per-operator degree of
+/// parallelism (dop=), one node per line.
 std::string ExplainOperatorTree(const Operator& root);
+
+/// Largest dop() anywhere in the tree — the planner's effective
+/// serial-vs-parallel decision for the whole query.
+int MaxTreeDop(const Operator& root);
 
 }  // namespace rfid
 

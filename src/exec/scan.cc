@@ -1,6 +1,7 @@
 #include "exec/scan.h"
 
 #include "common/string_util.h"
+#include "exec/parallel.h"
 
 namespace rfid {
 
@@ -30,6 +31,76 @@ Result<bool> TableScanOp::NextImpl(Row* row) {
 std::string TableScanOp::detail() const {
   if (EqualsIgnoreCase(alias_, table_->name())) return table_->name();
   return table_->name() + " AS " + alias_;
+}
+
+ParallelTableScanOp::ParallelTableScanOp(const Table* table, std::string alias,
+                                         ExprPtr predicate, int dop)
+    : Operator(RowDesc::FromSchema(table->schema(), alias)),
+      table_(table),
+      alias_(std::move(alias)),
+      predicate_(std::move(predicate)) {
+  set_dop(dop);
+}
+
+Status ParallelTableScanOp::OpenImpl() {
+  out_idx_ = 0;
+  out_pos_ = 0;
+  uint64_t limit = table_->visible_rows();
+  if (const SnapshotPtr& snap = exec_context()->snapshot()) {
+    if (const TableSnapshot* ts = snap->ForTable(table_)) {
+      limit = ts->watermark;
+    }
+  }
+  MorselQueue queue(limit, kScanMorselRows);
+  morsel_out_.assign(queue.num_morsels(), {});
+  return ParallelRun(dop(), [this, &queue](int) -> Status {
+    uint64_t begin = 0, end = 0, morsel = 0;
+    while (queue.Claim(&begin, &end, &morsel)) {
+      RFID_RETURN_IF_ERROR(TickCancel());
+      std::vector<Row> out;
+      uint64_t bytes = 0;
+      for (uint64_t i = begin; i < end; ++i) {
+        const Row& r = table_->row(i);
+        if (predicate_ != nullptr) {
+          RFID_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, r));
+          if (!pass) continue;
+        }
+        bytes += ApproxRowBytes(r);
+        out.push_back(r);
+      }
+      RFID_RETURN_IF_ERROR(ChargeMemory(bytes));
+      morsel_out_[morsel] = std::move(out);
+    }
+    return Status::OK();
+  });
+}
+
+Result<bool> ParallelTableScanOp::NextImpl(Row* row) {
+  while (out_idx_ < morsel_out_.size()) {
+    std::vector<Row>& out = morsel_out_[out_idx_];
+    if (out_pos_ < out.size()) {
+      *row = std::move(out[out_pos_++]);
+      ++rows_produced_;
+      return true;
+    }
+    out.clear();
+    out.shrink_to_fit();
+    ++out_idx_;
+    out_pos_ = 0;
+  }
+  return false;
+}
+
+void ParallelTableScanOp::CloseImpl() {
+  morsel_out_.clear();
+  morsel_out_.shrink_to_fit();
+}
+
+std::string ParallelTableScanOp::detail() const {
+  std::string out = table_->name();
+  if (!EqualsIgnoreCase(alias_, table_->name())) out += " AS " + alias_;
+  if (predicate_ != nullptr) out += " WHERE " + ExprToSql(predicate_);
+  return out;
 }
 
 IndexRangeScanOp::IndexRangeScanOp(const Table* table, const SortedIndex* index,

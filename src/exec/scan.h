@@ -31,6 +31,40 @@ class TableScanOp : public Operator {
   uint64_t limit_ = 0;
 };
 
+/// Morsel-parallel sequential scan with an optional fused predicate
+/// (the planner folds the table's local WHERE conjuncts into the scan
+/// when it goes parallel, so filter evaluation — the expensive part of a
+/// scan — spreads across workers too).
+///
+/// Workers claim segment-aligned morsels from an atomic queue and emit
+/// surviving rows into per-morsel buffers; Next() streams the buffers in
+/// morsel order, so output order (and therefore every downstream result)
+/// is bit-identical to the serial TableScan+Filter plan. Reads stop at
+/// the bound context's snapshot watermark exactly like TableScanOp.
+class ParallelTableScanOp : public Operator {
+ public:
+  /// `predicate` is bound against this operator's output descriptor and
+  /// may be null (pure scan). `dop` >= 2.
+  ParallelTableScanOp(const Table* table, std::string alias, ExprPtr predicate,
+                      int dop);
+
+  std::string name() const override { return "ParallelTableScan"; }
+  std::string detail() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override;
+
+ private:
+  const Table* table_;
+  std::string alias_;
+  ExprPtr predicate_;  // bound; may be null
+  std::vector<std::vector<Row>> morsel_out_;
+  size_t out_idx_ = 0;
+  size_t out_pos_ = 0;
+};
+
 /// Range scan via a sorted index: emits qualifying rows in index (value)
 /// order — the property the planner exploits to skip sorts on rtime.
 /// With a snapshot pinned, scans the snapshot's pinned run set filtered

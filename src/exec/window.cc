@@ -1,8 +1,10 @@
 #include "exec/window.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/string_util.h"
+#include "exec/parallel.h"
 
 namespace rfid {
 
@@ -109,21 +111,26 @@ class FrameAggregator {
 
 WindowOp::WindowOp(OperatorPtr child, std::vector<size_t> partition_slots,
                    std::vector<SlotSortKey> order_keys,
-                   std::vector<WindowAggSpec> aggs)
+                   std::vector<WindowAggSpec> aggs, int dop)
     : Operator(ExtendedDesc(*child, aggs)),
       child_(std::move(child)),
       partition_slots_(std::move(partition_slots)),
       order_keys_(std::move(order_keys)),
-      aggs_(std::move(aggs)) {}
+      aggs_(std::move(aggs)) {
+  set_dop(dop);
+}
 
 Status WindowOp::OpenImpl() {
   pos_ = 0;
   rows_.clear();
   RFID_RETURN_IF_ERROR(DrainChildAccounted(child_.get(), &rows_));
 
-  // Process each maximal run of equal partition keys.
+  // Cut the (sorted) input at partition boundaries: groups[i] is the
+  // start of the i-th maximal run of equal partition keys.
+  std::vector<size_t> groups;
   size_t begin = 0;
   while (begin < rows_.size()) {
+    groups.push_back(begin);
     size_t end = begin + 1;
     while (end < rows_.size()) {
       bool same = true;
@@ -136,10 +143,34 @@ Status WindowOp::OpenImpl() {
       if (!same) break;
       ++end;
     }
-    RFID_RETURN_IF_ERROR(ComputePartition(begin, end));
     begin = end;
   }
-  return Status::OK();
+  groups.push_back(rows_.size());
+  const size_t num_groups = groups.empty() ? 0 : groups.size() - 1;
+
+  if (dop() <= 1 || num_groups < 2) {
+    for (size_t g = 0; g < num_groups; ++g) {
+      RFID_RETURN_IF_ERROR(ComputePartition(groups[g], groups[g + 1]));
+    }
+    return Status::OK();
+  }
+
+  // Partition-parallel: workers claim contiguous ranges of whole groups;
+  // every group's reads and writes stay inside [groups[g], groups[g+1]),
+  // so ranges are disjoint across workers and nothing is reordered.
+  const uint64_t morsel =
+      std::max<uint64_t>(1, num_groups / (static_cast<uint64_t>(dop()) * 8));
+  MorselQueue queue(num_groups, morsel);
+  return ParallelRun(dop(), [this, &queue, &groups](int) -> Status {
+    uint64_t gb = 0, ge = 0, m = 0;
+    while (queue.Claim(&gb, &ge, &m)) {
+      RFID_RETURN_IF_ERROR(TickCancel());
+      for (uint64_t g = gb; g < ge; ++g) {
+        RFID_RETURN_IF_ERROR(ComputePartition(groups[g], groups[g + 1]));
+      }
+    }
+    return Status::OK();
+  });
 }
 
 Status WindowOp::ComputePartition(size_t begin, size_t end) {

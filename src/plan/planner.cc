@@ -10,6 +10,7 @@
 #include "exec/aggregate.h"
 #include "exec/filter_project.h"
 #include "exec/hash_join.h"
+#include "exec/parallel.h"
 #include "exec/scan.h"
 #include "exec/sort.h"
 #include "exec/union_all.h"
@@ -189,8 +190,9 @@ class PlannerImpl {
         }
         keys.push_back({static_cast<size_t>(bound->slot), k.ascending});
       }
-      result.cost += SortCost(result.rows);
-      result.op = std::make_unique<SortOp>(std::move(result.op), keys);
+      int dop = ChooseDop(result.rows);
+      result.cost += SortCost(result.rows) / dop;
+      result.op = std::make_unique<SortOp>(std::move(result.op), keys, dop);
       result.ordering = keys;
     }
     if (stmt.limit >= 0) {
@@ -364,12 +366,17 @@ class PlannerImpl {
           ColumnNdv(ViewFor(s.table), sj.column, std::max(1.0, s.node.rows));
       double sel = std::min(1.0, sub.rows / std::max(1.0, probe_ndv));
       double out_rows = s.node.rows * sel;
-      double cost = s.node.cost + sub.cost + sub.rows * kHashBuildRowCost +
-                    s.node.rows * kHashProbeRowCost;
+      // Join DOP follows the probe side: build/probe work parallelizes,
+      // so its wall-clock cost shrinks by the chosen dop.
+      int dop = ChooseDop(s.node.rows);
+      double cost = s.node.cost + sub.cost +
+                    (sub.rows * kHashBuildRowCost +
+                     s.node.rows * kHashProbeRowCost) /
+                        dop;
       std::vector<SlotSortKey> ordering = s.node.ordering;
       s.node.op = std::make_unique<HashJoinOp>(
           std::move(s.node.op), std::move(sub.op), std::vector<size_t>{probe_slot},
-          std::vector<size_t>{0}, JoinType::kLeftSemi);
+          std::vector<size_t>{0}, JoinType::kLeftSemi, dop);
       s.node.rows = out_rows;
       s.node.cost = cost;
       s.node.ordering = std::move(ordering);
@@ -427,14 +434,17 @@ class PlannerImpl {
                     std::max(1.0, build.node.rows));
       double out_rows =
           tree.rows * build.node.rows / std::max(1.0, build_key_ndv);
+      int dop = ChooseDop(tree.rows);
       double cost = tree.cost + build.node.cost +
-                    build.node.rows * kHashBuildRowCost +
-                    tree.rows * kHashProbeRowCost + out_rows * kJoinOutputRowCost;
+                    (build.node.rows * kHashBuildRowCost +
+                     tree.rows * kHashProbeRowCost +
+                     out_rows * kJoinOutputRowCost) /
+                        dop;
       std::vector<SlotSortKey> ordering = tree.ordering;  // probe order kept
       tree.op = std::make_unique<HashJoinOp>(
           std::move(tree.op), std::move(build.node.op),
           std::vector<size_t>{probe_slot}, std::vector<size_t>{build_slot},
-          JoinType::kInner);
+          JoinType::kInner, dop);
       tree.rows = out_rows;
       tree.cost = cost;
       tree.ordering = std::move(ordering);
@@ -751,6 +761,28 @@ class PlannerImpl {
         }
       }
     } else {
+      // Full scan: morsel-parallel when the table clears the row
+      // threshold. Local predicates fuse into the parallel scan so the
+      // filter work parallelizes too (and row copies are avoided for
+      // non-qualifying rows); the serial path keeps the classic
+      // scan-then-filter pair.
+      int dop = ChooseDop(total_rows);
+      if (dop > 1) {
+        double sel = EstimateSelectivity(s.local_conjuncts, view);
+        ExprPtr pred;
+        if (!s.local_conjuncts.empty()) {
+          RFID_ASSIGN_OR_RETURN(
+              pred, BindExpr(CombineConjuncts(s.local_conjuncts), s.desc));
+        }
+        node.op = std::make_unique<ParallelTableScanOp>(table, s.ref.alias,
+                                                        std::move(pred), dop);
+        node.rows = total_rows * sel;
+        node.cost = (total_rows * kSeqRowCost +
+                     total_rows * kFilterEvalCost *
+                         static_cast<double>(s.local_conjuncts.size())) /
+                    dop;
+        return node;
+      }
       node.op = std::make_unique<TableScanOp>(table, s.ref.alias);
       node.rows = total_rows;
       node.cost = total_rows * kSeqRowCost;
@@ -817,8 +849,10 @@ class PlannerImpl {
         order_keys.push_back({static_cast<size_t>(bound->slot), k.ascending});
       }
       if (!OrderingSatisfies(tree->ordering, required)) {
-        tree->cost += SortCost(tree->rows);
-        tree->op = std::make_unique<SortOp>(std::move(tree->op), required);
+        int sort_dop = ChooseDop(tree->rows);
+        tree->cost += SortCost(tree->rows) / sort_dop;
+        tree->op =
+            std::make_unique<SortOp>(std::move(tree->op), required, sort_dop);
         tree->ordering = required;
       }
       // Build the aggregate specs.
@@ -854,11 +888,13 @@ class PlannerImpl {
         replacements[call.get()] = std::move(ref);
         specs.push_back(std::move(ws));
       }
+      int win_dop = ChooseDop(tree->rows);
       tree->cost += tree->rows * kWindowAggRowCost *
-                    static_cast<double>(specs.size());
+                    static_cast<double>(specs.size()) / win_dop;
       std::vector<SlotSortKey> ordering = tree->ordering;
       tree->op = std::make_unique<WindowOp>(std::move(tree->op), partition_slots,
-                                            order_keys, std::move(specs));
+                                            order_keys, std::move(specs),
+                                            win_dop);
       tree->ordering = std::move(ordering);  // window preserves input order
       pending = std::move(rest);
     }
@@ -971,6 +1007,7 @@ Result<PlannedQuery> Planner::Plan(const SelectStatement& stmt) {
   out.root = std::move(node.op);
   out.estimated_rows = node.rows;
   out.estimated_cost = node.cost;
+  out.max_dop = MaxTreeDop(*out.root);
   return out;
 }
 
@@ -994,7 +1031,21 @@ Result<QueryResult> ExecuteSql(const Database& db, std::string_view sql,
   result.desc = plan.root->output_desc();
   result.estimated_cost = plan.estimated_cost;
   RFID_ASSIGN_OR_RETURN(result.rows, CollectRows(plan.root.get(), ctx));
-  result.explain = ExplainOperatorTree(*plan.root);
+  result.max_dop = plan.max_dop;
+  // First explain line records the planner's serial-vs-parallel decision
+  // next to the policy that produced it (threshold in estimated rows).
+  const ParallelPolicy policy = CurrentParallelPolicy();
+  std::string header;
+  if (plan.max_dop > 1) {
+    header = StrFormat("parallelism: dop=%d (policy max_dop=%d, threshold=%s rows)\n",
+                       plan.max_dop, policy.max_dop,
+                       std::to_string(policy.min_parallel_rows).c_str());
+  } else {
+    header = StrFormat("parallelism: serial (policy max_dop=%d, threshold=%s rows)\n",
+                       policy.max_dop,
+                       std::to_string(policy.min_parallel_rows).c_str());
+  }
+  result.explain = header + ExplainOperatorTree(*plan.root);
   result.peak_memory_bytes = ctx->memory_peak();
   return result;
 }

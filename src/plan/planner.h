@@ -28,6 +28,10 @@ struct PlannedQuery {
   OperatorPtr root;
   double estimated_rows = 0;
   double estimated_cost = 0;
+  /// Largest per-operator degree of parallelism the planner chose (1 =
+  /// fully serial plan). Derived from estimated row counts (StatsView)
+  /// against the ParallelPolicy row threshold.
+  int max_dop = 1;
 };
 
 class Planner {
@@ -55,9 +59,12 @@ Result<PlannedQuery> PlanSql(const Database& db, std::string_view sql,
 struct QueryResult {
   RowDesc desc;
   std::vector<Row> rows;
+  /// First line states the planner's serial-vs-parallel decision; the
+  /// operator tree below it reports dop= per operator.
   std::string explain;
   double estimated_cost = 0;
   uint64_t peak_memory_bytes = 0;  // peak accounted memory during execution
+  int max_dop = 1;                 // planner's chosen degree of parallelism
 };
 
 /// Parses, plans, and executes a SQL string against the database.
