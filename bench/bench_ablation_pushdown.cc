@@ -55,7 +55,5 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   rfid::bench::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rfid::bench::RunBenchmarkMain(argc, argv, "ablation_pushdown");
 }

@@ -16,12 +16,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include "exec/parallel.h"
+#include "expr/row_batch.h"
 #include "plan/planner.h"
 #include "rewrite/rewriter.h"
 #include "rfidgen/anomaly.h"
 #include "rfidgen/workload.h"
 
 namespace rfid::bench {
+
+/// Pinned data-generation seed shared by every harness (see GetDatabase);
+/// recorded in the emitted JSON so a result file fully identifies its
+/// input data.
+constexpr uint64_t kBenchSeed = 20060912;
 
 inline int64_t BenchPallets() {
   const char* env = std::getenv("RFID_BENCH_PALLETS");
@@ -77,7 +84,7 @@ inline Database* GetDatabase(int dirty_percent) {
   // benchmark inputs stay byte-identical across runs and machines even if
   // the library defaults ever move; the anomaly seed is derived from the
   // dirty level so db-1/db-10/db-20 get independent error placements.
-  gen.seed = 20060912;
+  gen.seed = kBenchSeed;
   gen.num_pallets = BenchPallets();
   // Keep the paper's proportions at bench scale: the reads table must
   // dwarf the dimension tables (the paper pairs 10M reads with a 13k-row
@@ -151,6 +158,103 @@ inline size_t RunQuery(const Database& db, const std::string& sql) {
     exit(1);
   }
   return res->rows.size();
+}
+
+/// Console reporter that additionally captures the p50/p95 aggregates and
+/// writes them — together with everything needed to reproduce the run
+/// (pinned seeds, scale, batch size, max dop) — to BENCH_<harness>.json
+/// in the working directory. scripts/check.sh --quick invokes the
+/// harnesses from the repo root, dropping the files there so before/after
+/// numbers can be diffed and committed.
+struct BenchEntry {
+  std::string name;
+  double p50 = 0;
+  double p95 = 0;
+  std::string unit = "ns";
+};
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Writes BENCH_<harness>.json in the working directory: one p50/p95
+/// entry per benchmark plus everything needed to reproduce the run
+/// (pinned seeds, scale, batch size, max dop).
+inline void WriteBenchJson(const std::string& harness,
+                           const std::vector<BenchEntry>& entries) {
+  if (entries.empty()) return;  // e.g. --benchmark_list_tests
+  const std::string path = "BENCH_" + harness + ".json";
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "[bench] cannot write %s\n", path.c_str());
+    return;
+  }
+  fprintf(f, "{\n");
+  fprintf(f, "  \"harness\": \"%s\",\n", JsonEscape(harness).c_str());
+  fprintf(f, "  \"pallets\": %lld,\n", static_cast<long long>(BenchPallets()));
+  fprintf(f, "  \"repetitions\": %d,\n", BenchRepetitions());
+  fprintf(f, "  \"generator_seed\": %llu,\n",
+          static_cast<unsigned long long>(kBenchSeed));
+  fprintf(f, "  \"vectorized\": %s,\n", VectorizedEnabled() ? "true" : "false");
+  fprintf(f, "  \"batch_size\": %zu,\n",
+          VectorizedEnabled() ? BatchCapacity() : size_t{0});
+  fprintf(f, "  \"max_dop\": %d,\n", CurrentParallelPolicy().max_dop);
+  fprintf(f, "  \"benchmarks\": [\n");
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const BenchEntry& e = entries[i];
+    fprintf(f,
+            "    {\"name\": \"%s\", \"unit\": \"%s\", \"p50\": %.6g, "
+            "\"p95\": %.6g}%s\n",
+            JsonEscape(e.name).c_str(), e.unit.c_str(), e.p50, e.p95,
+            i + 1 < entries.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+}
+
+class JsonBenchReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonBenchReporter(std::string harness)
+      : harness_(std::move(harness)) {}
+  ~JsonBenchReporter() override { WriteBenchJson(harness_, entries_); }
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Aggregate) continue;
+      if (r.aggregate_name != "p50" && r.aggregate_name != "p95") continue;
+      BenchEntry& e = FindEntry(r.run_name.str());
+      e.unit = benchmark::GetTimeUnitString(r.time_unit);
+      (r.aggregate_name == "p50" ? e.p50 : e.p95) = r.GetAdjustedRealTime();
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  BenchEntry& FindEntry(const std::string& name) {
+    for (BenchEntry& e : entries_) {
+      if (e.name == name) return e;
+    }
+    entries_.push_back(BenchEntry{name, 0, 0, "ns"});
+    return entries_.back();
+  }
+
+  std::string harness_;
+  std::vector<BenchEntry> entries_;
+};
+
+/// Shared main-body for every harness: parse benchmark flags, run, and
+/// emit BENCH_<harness>.json alongside the console output.
+inline int RunBenchmarkMain(int argc, char** argv, const char* harness) {
+  benchmark::Initialize(&argc, argv);
+  JsonBenchReporter reporter(harness);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
 }
 
 }  // namespace rfid::bench

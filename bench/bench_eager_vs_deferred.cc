@@ -113,7 +113,5 @@ int main(int argc, char** argv) {
         ->Arg(rules)
         ->Unit(benchmark::kMillisecond));
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rfid::bench::RunBenchmarkMain(argc, argv, "eager_vs_deferred");
 }

@@ -101,7 +101,5 @@ int main(int argc, char** argv) {
     }
   }
   rfid::bench::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rfid::bench::RunBenchmarkMain(argc, argv, "fig7_selectivity");
 }

@@ -187,7 +187,5 @@ int main(int argc, char** argv) {
       if (live) b->Iterations(100);
     }
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rfid::bench::RunBenchmarkMain(argc, argv, "ingest_throughput");
 }

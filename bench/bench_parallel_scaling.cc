@@ -76,6 +76,7 @@ int Run(bool quick) {
          "p95_ms", "speedup", "identical");
 
   int failures = 0;
+  std::vector<BenchEntry> json_entries;
   for (const StrategyCase& c : cases) {
     std::string sql = RewriteSql(db, engine.get(), base, c.strategy);
 
@@ -109,9 +110,14 @@ int Run(bool quick) {
       printf("%-10s %5d %10.2f %10.2f %8.2fx  %s\n", c.name, dop, p50, p95,
              base_p50 / (p50 > 0 ? p50 : 1e-9),
              identical ? "yes" : "NO - MISMATCH");
+      json_entries.push_back(
+          BenchEntry{std::string("parallel_scaling/") + c.name +
+                         "/dop:" + std::to_string(dop),
+                     p50, p95, "ms"});
     }
   }
   SetParallelPolicyForTest(0, 0);
+  WriteBenchJson("parallel_scaling", json_entries);
   if (failures > 0) {
     fprintf(stderr, "%d parallel run(s) diverged from serial output\n",
             failures);

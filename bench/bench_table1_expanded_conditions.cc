@@ -109,7 +109,5 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   rfid::bench::PrintTable1();
   rfid::bench::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rfid::bench::RunBenchmarkMain(argc, argv, "table1_expanded_conditions");
 }

@@ -1,52 +1,80 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite, re-run the
-# guardrail/fault-injection suites under ASan+UBSan and the ingest
-# concurrency suite under TSan, smoke every example, and run the
-# benchmark harnesses (RFID_BENCH_PALLETS scales the data; default 40).
+# guardrail/fault-injection/vectorized suites under ASan+UBSan and the
+# ingest/parallel concurrency suites under TSan (batching stays ON in
+# both sanitizer passes), smoke every example, run a vectorized-vs-
+# interpreted fingerprint sweep over the naive/expanded/join-back
+# pipelines, and run the benchmark harnesses, which drop their
+# BENCH_<harness>.json results at the repo root (RFID_BENCH_PALLETS
+# scales the data; default 40).
+#
+# Usage: check.sh [--quick]
+#   --quick   build + tests + fingerprint sweep + benchmarks only (skips
+#             the sanitizer rebuilds); still refreshes BENCH_*.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+  [ "$arg" = "--quick" ] && QUICK=1
+done
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
-# Sanitizer pass: the fault-injection sweeps fail at every injection
-# point; ASan+UBSan turns any leak or UB on those unwind paths into a
-# hard failure.
-cmake -B build-asan -G Ninja -DRFID_SANITIZE=ON
-cmake --build build-asan --target fault_injection_test guardrails_test \
-  exec_test common_test
-./build-asan/tests/fault_injection_test
-./build-asan/tests/guardrails_test
-./build-asan/tests/exec_test
-./build-asan/tests/common_test
-./build-asan/tests/ingest_fault_test
+# Vectorized-vs-interpreted fingerprint sweep: batch plans must be
+# bit-identical to the row interpreter across all three cleansing rewrite
+# strategies, at several batch sizes, serial and parallel.
+./build/tests/vectorized_exec_test \
+  --gtest_filter='VectorizedExecTest.AllRewriteStrategiesBitIdentical:VectorizedExecTest.ComposesWithMorselParallelism'
 
-# TSan pass: queries pin epoch snapshots while an IngestDriver publishes
-# new ones, and morsel-driven parallel operators fan work out to pool
-# threads (including while that writer runs); ThreadSanitizer proves the
-# publish/pin protocol and the parallel pipeline's atomics are proper
-# happens-before edges, not benign-looking races.
-cmake -B build-tsan -G Ninja -DRFID_SANITIZE=thread
-cmake --build build-tsan --target ingest_concurrency_test ingest_test \
-  parallel_exec_test parallel_concurrency_test
-./build-tsan/tests/ingest_concurrency_test
-./build-tsan/tests/ingest_test
-./build-tsan/tests/parallel_exec_test
-./build-tsan/tests/parallel_concurrency_test
+if [ "$QUICK" -eq 0 ]; then
+  # Sanitizer pass: the fault-injection sweeps fail at every injection
+  # point; ASan+UBSan turns any leak or UB on those unwind paths into a
+  # hard failure. Batching is ON by default, so the batch pipelines'
+  # unwind paths and the bytecode kernels are swept too.
+  cmake -B build-asan -G Ninja -DRFID_SANITIZE=ON
+  cmake --build build-asan --target fault_injection_test guardrails_test \
+    exec_test common_test expr_golden_test vectorized_exec_test
+  ./build-asan/tests/fault_injection_test
+  ./build-asan/tests/guardrails_test
+  ./build-asan/tests/exec_test
+  ./build-asan/tests/common_test
+  ./build-asan/tests/ingest_fault_test
+  ./build-asan/tests/expr_golden_test
+  ./build-asan/tests/vectorized_exec_test
 
-./build/examples/quickstart > /dev/null
-./build/examples/dwell_analysis 8 0.1 > /dev/null
-./build/examples/site_audit 8 0.1 dc1 > /dev/null
-./build/examples/epedigree 6 0.3 > /dev/null
-./build/examples/multi_policy > /dev/null
-printf '.gen 3 10\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
-printf '.feed 5 100\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
+  # TSan pass: queries pin epoch snapshots while an IngestDriver publishes
+  # new ones, and morsel-driven parallel operators fan work out to pool
+  # threads (including while that writer runs); ThreadSanitizer proves the
+  # publish/pin protocol and the parallel pipeline's atomics are proper
+  # happens-before edges, not benign-looking races. vectorized_exec_test
+  # runs batch pipelines under parallel workers (batching ON).
+  cmake -B build-tsan -G Ninja -DRFID_SANITIZE=thread
+  cmake --build build-tsan --target ingest_concurrency_test ingest_test \
+    parallel_exec_test parallel_concurrency_test vectorized_exec_test
+  ./build-tsan/tests/ingest_concurrency_test
+  ./build-tsan/tests/ingest_test
+  ./build-tsan/tests/parallel_exec_test
+  ./build-tsan/tests/parallel_concurrency_test
+  ./build-tsan/tests/vectorized_exec_test
+
+  ./build/examples/quickstart > /dev/null
+  ./build/examples/dwell_analysis 8 0.1 > /dev/null
+  ./build/examples/site_audit 8 0.1 dc1 > /dev/null
+  ./build/examples/epedigree 6 0.3 > /dev/null
+  ./build/examples/multi_policy > /dev/null
+  printf '.gen 3 10\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
+  printf '.feed 5 100\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
+fi
 
 # DOP-sweep smoke: verifies parallel plans stay bit-identical to serial
 # at DOP 1/2/4/8 (full sweep with repetitions is a manual run).
 ./build/bench/bench_parallel_scaling --quick
 
+# Benchmark harnesses; each writes BENCH_<harness>.json into the repo
+# root (we cd'd there above) for PR-over-PR trajectory tracking.
 for b in build/bench/bench_*; do
   [ "$(basename "$b")" = bench_parallel_scaling ] && continue
   "$b"

@@ -38,6 +38,32 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
   return out;
 }
 
+bool SqlLikeMatch(std::string_view text, std::string_view pattern) {
+  // Two-pointer wildcard match: on mismatch, backtrack to one character
+  // past the last '%' anchor. Linear in practice for SQL-ish patterns.
+  size_t ti = 0;
+  size_t pi = 0;
+  size_t star_p = std::string_view::npos;
+  size_t star_t = 0;
+  while (ti < text.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || pattern[pi] == text[ti])) {
+      ++ti;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_p = pi++;
+      star_t = ti;
+    } else if (star_p != std::string_view::npos) {
+      pi = star_p + 1;
+      ti = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
 std::string StrFormat(const char* fmt, ...) {
   va_list args;
   va_start(args, fmt);

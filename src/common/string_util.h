@@ -21,6 +21,11 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// SQL LIKE pattern match: '%' matches any run of characters, '_' any
+/// single character; everything else matches literally (case-sensitive,
+/// no escape syntax).
+bool SqlLikeMatch(std::string_view text, std::string_view pattern);
+
 }  // namespace rfid
 
 #endif  // RFID_COMMON_STRING_UTIL_H_

@@ -65,6 +65,9 @@ class Value {
   int64_t int64_value() const { return std::get<int64_t>(rep_); }
   double double_value() const { return std::get<double>(rep_); }
   const std::string& string_value() const { return std::get<std::string>(rep_); }
+  /// Moves the string payload out (value becomes an empty string); lets
+  /// batch/columnar code salvage string buffers from expiring rows.
+  std::string ReleaseString() && { return std::move(std::get<std::string>(rep_)); }
   int64_t timestamp_value() const { return std::get<int64_t>(rep_); }
   int64_t interval_value() const { return std::get<int64_t>(rep_); }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 #include "common/string_util.h"
+#include "expr/bytecode.h"
 
 namespace rfid {
 
@@ -55,71 +57,170 @@ Status HashAggregateOp::OpenImpl() {
     std::vector<std::unordered_set<Value, ValueHash>> distinct;
   };
   std::unordered_map<std::vector<Value>, State, RowHash, RowEq> groups;
-  std::vector<std::vector<Value>> group_order;  // first-seen order
+  // First-seen order; pointers into the node-based map stay stable.
+  std::vector<std::pair<const std::vector<Value>*, const State*>> group_order;
 
-  RFID_RETURN_IF_ERROR(child_->Open());
-  Row row;
-  std::vector<Value> key;
-  while (true) {
-    RFID_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
-    if (!has) break;
-    key.clear();
-    for (const ExprPtr& g : group_exprs_) {
-      RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
-      key.push_back(std::move(v));
-    }
-    auto [it, inserted] = groups.try_emplace(key);
+  auto init_state = [this](State* st) {
+    st->counts.assign(aggs_.size(), 0);
+    st->sums.assign(aggs_.size(), 0.0);
+    st->int_sums.assign(aggs_.size(), 0);
+    st->sum_is_double.assign(aggs_.size(), false);
+    st->minmax.assign(aggs_.size(), Value::Null());
+    st->distinct.resize(aggs_.size());
+  };
+  // Moves the key into the map only when it starts a new group; the
+  // caller's key buffer survives (and is cleared for reuse) otherwise.
+  auto touch_group = [&](std::vector<Value>&& key) -> Result<State*> {
+    auto [it, inserted] = groups.try_emplace(std::move(key));
     if (inserted) {
       RFID_RETURN_IF_ERROR(ChargeMemory(
-          2 * ApproxRowBytes(key) +
+          2 * ApproxRowBytes(it->first) +
           kGroupStateBytes * std::max<uint64_t>(1, aggs_.size())));
-      group_order.push_back(key);
-      State& st = it->second;
-      st.counts.assign(aggs_.size(), 0);
-      st.sums.assign(aggs_.size(), 0.0);
-      st.int_sums.assign(aggs_.size(), 0);
-      st.sum_is_double.assign(aggs_.size(), false);
-      st.minmax.assign(aggs_.size(), Value::Null());
-      st.distinct.resize(aggs_.size());
+      init_state(&it->second);
+      group_order.emplace_back(&it->first, &it->second);
     }
-    State& st = it->second;
-    for (size_t i = 0; i < aggs_.size(); ++i) {
-      const AggSpec& spec = aggs_[i];
-      Value arg;
-      if (spec.arg != nullptr) {
-        RFID_ASSIGN_OR_RETURN(arg, EvalExpr(*spec.arg, row));
-        if (arg.is_null()) continue;  // aggregates ignore NULL inputs
+    return &it->second;
+  };
+  // Folds one non-null (or COUNT(*)) argument into the group's state.
+  // `arg` is consumed: min/max keep it by move instead of copying.
+  auto update_agg = [this](State* st, size_t i, const AggSpec& spec,
+                           Value&& arg) -> Status {
+    if (spec.distinct) {
+      if (!st->distinct[i].insert(arg).second) return Status::OK();
+      RFID_RETURN_IF_ERROR(ChargeMemory(ApproxValueBytes(arg) +
+                                        kDistinctEntryOverheadBytes));
+    }
+    switch (spec.func) {
+      case AggFunc::kCount:
+        ++st->counts[i];
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        ++st->counts[i];
+        if (arg.type() == DataType::kDouble) st->sum_is_double[i] = true;
+        st->sums[i] += arg.AsDouble();
+        if (arg.type() == DataType::kInt64) {
+          st->int_sums[i] += arg.int64_value();
+        } else if (arg.type() == DataType::kInterval) {
+          st->int_sums[i] += arg.interval_value();
+        }
+        break;
+      case AggFunc::kMin:
+        if (st->minmax[i].is_null() || arg.Compare(st->minmax[i]) < 0) {
+          st->minmax[i] = std::move(arg);
+        }
+        break;
+      case AggFunc::kMax:
+        if (st->minmax[i].is_null() || arg.Compare(st->minmax[i]) > 0) {
+          st->minmax[i] = std::move(arg);
+        }
+        break;
+    }
+    return Status::OK();
+  };
+
+  RFID_RETURN_IF_ERROR(child_->Open());
+  std::vector<Value> key;
+  if (VectorizedEnabled()) {
+    // Batch-at-a-time consumption: group keys and aggregate arguments are
+    // evaluated a column at a time by compiled programs (falling back to
+    // the interpreter over a boxed row for expressions the compiler
+    // rejects); grouping itself stays row-at-a-time because the hash
+    // table needs one key per row either way.
+    std::vector<std::optional<ExprProgram>> key_progs;
+    std::vector<std::optional<ExprProgram>> arg_progs;
+    for (const ExprPtr& g : group_exprs_) {
+      Result<ExprProgram> c = ExprProgram::Compile(*g);
+      key_progs.emplace_back(c.ok() ? std::optional<ExprProgram>(
+                                          std::move(c).value())
+                                    : std::nullopt);
+    }
+    for (const AggSpec& spec : aggs_) {
+      if (spec.arg == nullptr) {
+        arg_progs.emplace_back(std::nullopt);
+        continue;
       }
-      if (spec.distinct) {
-        if (!st.distinct[i].insert(arg).second) continue;
-        RFID_RETURN_IF_ERROR(ChargeMemory(ApproxValueBytes(arg) +
-                                          kDistinctEntryOverheadBytes));
+      Result<ExprProgram> c = ExprProgram::Compile(*spec.arg);
+      arg_progs.emplace_back(c.ok() ? std::optional<ExprProgram>(
+                                          std::move(c).value())
+                                    : std::nullopt);
+    }
+    RowBatch batch;
+    ExprScratch scratch;
+    std::vector<ColumnVector> key_cols(group_exprs_.size());
+    std::vector<ColumnVector> arg_cols(aggs_.size());
+    Row boxed;
+    uint64_t scratch_bytes = 0;
+    while (true) {
+      RFID_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&batch));
+      if (!has) break;
+      ReleaseMemory(scratch_bytes);
+      scratch_bytes = batch.ApproxBytes();
+      RFID_RETURN_IF_ERROR(ChargeMemory(scratch_bytes));
+      const size_t n = batch.num_rows();
+      bool need_boxed = false;
+      for (size_t g = 0; g < group_exprs_.size(); ++g) {
+        if (key_progs[g].has_value()) {
+          key_progs[g]->Eval(batch, nullptr, 0, &key_cols[g], &scratch);
+        } else {
+          need_boxed = true;
+        }
       }
-      switch (spec.func) {
-        case AggFunc::kCount:
-          ++st.counts[i];
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kAvg:
-          ++st.counts[i];
-          if (arg.type() == DataType::kDouble) st.sum_is_double[i] = true;
-          st.sums[i] += arg.AsDouble();
-          if (arg.type() == DataType::kInt64) {
-            st.int_sums[i] += arg.int64_value();
-          } else if (arg.type() == DataType::kInterval) {
-            st.int_sums[i] += arg.interval_value();
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (aggs_[a].arg == nullptr) continue;
+        if (arg_progs[a].has_value()) {
+          arg_progs[a]->Eval(batch, nullptr, 0, &arg_cols[a], &scratch);
+        } else {
+          need_boxed = true;
+        }
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (need_boxed) batch.EmitRow(i, &boxed);
+        key.clear();
+        for (size_t g = 0; g < group_exprs_.size(); ++g) {
+          if (key_progs[g].has_value()) {
+            key.push_back(key_cols[g].ValueAt(i));
+          } else {
+            RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*group_exprs_[g], boxed));
+            key.push_back(std::move(v));
           }
-          break;
-        case AggFunc::kMin:
-          if (st.minmax[i].is_null() || arg.Compare(st.minmax[i]) < 0) {
-            st.minmax[i] = arg;
+        }
+        RFID_ASSIGN_OR_RETURN(State * st, touch_group(std::move(key)));
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          const AggSpec& spec = aggs_[a];
+          Value arg;
+          if (spec.arg != nullptr) {
+            if (arg_progs[a].has_value()) {
+              arg = arg_cols[a].ValueAt(i);
+            } else {
+              RFID_ASSIGN_OR_RETURN(arg, EvalExpr(*spec.arg, boxed));
+            }
+            if (arg.is_null()) continue;  // aggregates ignore NULL inputs
           }
-          break;
-        case AggFunc::kMax:
-          if (st.minmax[i].is_null() || arg.Compare(st.minmax[i]) > 0) {
-            st.minmax[i] = arg;
-          }
-          break;
+          RFID_RETURN_IF_ERROR(update_agg(st, a, spec, std::move(arg)));
+        }
+      }
+    }
+    ReleaseMemory(scratch_bytes);
+  } else {
+    Row row;
+    while (true) {
+      RFID_ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+      if (!has) break;
+      key.clear();
+      for (const ExprPtr& g : group_exprs_) {
+        RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*g, row));
+        key.push_back(std::move(v));
+      }
+      RFID_ASSIGN_OR_RETURN(State * st, touch_group(std::move(key)));
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        const AggSpec& spec = aggs_[i];
+        Value arg;
+        if (spec.arg != nullptr) {
+          RFID_ASSIGN_OR_RETURN(arg, EvalExpr(*spec.arg, row));
+          if (arg.is_null()) continue;  // aggregates ignore NULL inputs
+        }
+        RFID_RETURN_IF_ERROR(update_agg(st, i, spec, std::move(arg)));
       }
     }
   }
@@ -127,22 +228,15 @@ Status HashAggregateOp::OpenImpl() {
 
   // Global aggregation with no groups still emits one row.
   if (group_exprs_.empty() && groups.empty()) {
-    std::vector<Value> empty_key;
-    groups.try_emplace(empty_key);
-    State& st = groups.begin()->second;
-    st.counts.assign(aggs_.size(), 0);
-    st.sums.assign(aggs_.size(), 0.0);
-    st.int_sums.assign(aggs_.size(), 0);
-    st.sum_is_double.assign(aggs_.size(), false);
-    st.minmax.assign(aggs_.size(), Value::Null());
-    st.distinct.resize(aggs_.size());
-    group_order.push_back(empty_key);
+    auto [it, inserted] = groups.try_emplace(std::vector<Value>());
+    init_state(&it->second);
+    group_order.emplace_back(&it->first, &it->second);
   }
 
   results_.reserve(group_order.size());
-  for (const auto& gkey : group_order) {
-    const State& st = groups.at(gkey);
-    Row out = gkey;
+  for (const auto& [gkey_ptr, st_ptr] : group_order) {
+    const State& st = *st_ptr;
+    Row out = *gkey_ptr;
     for (size_t i = 0; i < aggs_.size(); ++i) {
       const AggSpec& spec = aggs_[i];
       switch (spec.func) {

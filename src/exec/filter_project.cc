@@ -7,7 +7,18 @@ FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
       child_(std::move(child)),
       predicate_(std::move(predicate)) {}
 
-Status FilterOp::OpenImpl() { return child_->Open(); }
+Status FilterOp::OpenImpl() {
+  sel_.clear();
+  sel_pos_ = 0;
+  in_done_ = false;
+  in_bytes_ = 0;
+  program_.reset();
+  if (VectorizedEnabled()) {
+    Result<FilterProgram> compiled = FilterProgram::Compile(*predicate_);
+    if (compiled.ok()) program_.emplace(std::move(compiled).value());
+  }
+  return child_->Open();
+}
 
 Result<bool> FilterOp::NextImpl(Row* row) {
   while (true) {
@@ -21,13 +32,75 @@ Result<bool> FilterOp::NextImpl(Row* row) {
   }
 }
 
+Result<bool> FilterOp::NextBatchImpl(RowBatch* batch) {
+  while (!batch->full()) {
+    if (sel_pos_ >= sel_.size()) {
+      if (in_done_) break;
+      RFID_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_batch_));
+      if (!has) {
+        in_done_ = true;
+        break;
+      }
+      // The scratch batch is bounded by the batch capacity; recharge it
+      // to this refill's footprint.
+      ReleaseMemory(in_bytes_);
+      in_bytes_ = 0;
+      const uint64_t bytes = in_batch_.ApproxBytes();
+      RFID_RETURN_IF_ERROR(ChargeMemory(bytes));
+      in_bytes_ = bytes;
+      const size_t n = in_batch_.num_rows();
+      sel_.resize(n);
+      for (size_t i = 0; i < n; ++i) sel_[i] = static_cast<uint32_t>(i);
+      if (program_.has_value()) {
+        program_->Apply(in_batch_, &sel_, &scratch_);
+      } else {
+        size_t kept = 0;
+        for (size_t i = 0; i < n; ++i) {
+          in_batch_.EmitRow(i, &tmp_row_);
+          RFID_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, tmp_row_));
+          if (pass) sel_[kept++] = static_cast<uint32_t>(i);
+        }
+        sel_.resize(kept);
+      }
+      sel_pos_ = 0;
+      continue;
+    }
+    batch->AppendGathered(in_batch_, sel_[sel_pos_++]);
+  }
+  rows_produced_ += batch->num_rows();
+  return !batch->empty();
+}
+
+void FilterOp::CloseImpl() {
+  in_batch_.ResetColumns(0);
+  sel_.clear();
+  sel_.shrink_to_fit();
+  scratch_ = ExprScratch();
+  child_->Close();
+}
+
 ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
                      RowDesc output_desc)
     : Operator(std::move(output_desc)),
       child_(std::move(child)),
       exprs_(std::move(exprs)) {}
 
-Status ProjectOp::OpenImpl() { return child_->Open(); }
+Status ProjectOp::OpenImpl() {
+  progs_.clear();
+  in_bytes_ = 0;
+  if (VectorizedEnabled()) {
+    progs_.reserve(exprs_.size());
+    for (const ExprPtr& e : exprs_) {
+      Result<ExprProgram> compiled = ExprProgram::Compile(*e);
+      if (compiled.ok()) {
+        progs_.emplace_back(std::move(compiled).value());
+      } else {
+        progs_.emplace_back(std::nullopt);
+      }
+    }
+  }
+  return child_->Open();
+}
 
 Result<bool> ProjectOp::NextImpl(Row* row) {
   Row input;
@@ -41,6 +114,48 @@ Result<bool> ProjectOp::NextImpl(Row* row) {
   }
   ++rows_produced_;
   return true;
+}
+
+Result<bool> ProjectOp::NextBatchImpl(RowBatch* batch) {
+  if (progs_.empty()) return Operator::NextBatchImpl(batch);
+  RFID_ASSIGN_OR_RETURN(bool has, child_->NextBatch(&in_batch_));
+  if (!has) return false;
+  ReleaseMemory(in_bytes_);
+  in_bytes_ = 0;
+  const uint64_t bytes = in_batch_.ApproxBytes();
+  RFID_RETURN_IF_ERROR(ChargeMemory(bytes));
+  in_bytes_ = bytes;
+  const size_t n = in_batch_.num_rows();
+  bool any_fallback = false;
+  for (size_t e = 0; e < exprs_.size(); ++e) {
+    if (progs_[e].has_value()) {
+      progs_[e]->Eval(in_batch_, nullptr, 0, &batch->col(e), &scratch_);
+    } else {
+      batch->col(e).Reset(n);
+      any_fallback = true;
+    }
+  }
+  if (any_fallback) {
+    // Row-interpreter fallback for the expressions the compiler
+    // rejected; boxed once per row, shared across those expressions.
+    for (size_t i = 0; i < n; ++i) {
+      in_batch_.EmitRow(i, &tmp_row_);
+      for (size_t e = 0; e < exprs_.size(); ++e) {
+        if (progs_[e].has_value()) continue;
+        RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*exprs_[e], tmp_row_));
+        batch->col(e).SetValue(i, v);
+      }
+    }
+  }
+  batch->set_num_rows(n);
+  rows_produced_ += n;
+  return true;
+}
+
+void ProjectOp::CloseImpl() {
+  in_batch_.ResetColumns(0);
+  scratch_ = ExprScratch();
+  child_->Close();
 }
 
 namespace {

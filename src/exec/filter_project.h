@@ -1,8 +1,19 @@
 // Streaming filter and projection operators.
+//
+// Both have batch-native paths: on Open (with the vectorized engine on)
+// the bound expressions are compiled into bytecode programs and
+// NextBatchImpl evaluates them a column at a time over the child's
+// batches — a selection vector for Filter, one output column per
+// expression for Project. Expressions the compiler rejects fall back to
+// the row interpreter per row, inside the same batch loop, so results
+// are identical either way.
 #ifndef RFID_EXEC_FILTER_PROJECT_H_
 #define RFID_EXEC_FILTER_PROJECT_H_
 
+#include <optional>
+
 #include "exec/operator.h"
+#include "expr/bytecode.h"
 
 namespace rfid {
 
@@ -19,11 +30,24 @@ class FilterOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
-  void CloseImpl() override { child_->Close(); }
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
   ExprPtr predicate_;  // bound
+
+  // Batch state: compiled conjuncts (absent -> per-row interpreter over
+  // boxed rows), the current input batch, and the selection of
+  // surviving rows not yet handed out.
+  std::optional<FilterProgram> program_;
+  RowBatch in_batch_;
+  std::vector<uint32_t> sel_;
+  size_t sel_pos_ = 0;
+  bool in_done_ = false;
+  uint64_t in_bytes_ = 0;  // scratch-batch bytes currently charged
+  ExprScratch scratch_;
+  Row tmp_row_;
 };
 
 /// Computes one bound scalar expression per output field.
@@ -38,11 +62,21 @@ class ProjectOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
-  void CloseImpl() override { child_->Close(); }
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;  // bound against child's output
+
+  // Batch state: one program per expression (nullopt -> interpreter
+  // fallback for that expression only). Empty when the vectorized
+  // engine is off.
+  std::vector<std::optional<ExprProgram>> progs_;
+  RowBatch in_batch_;
+  uint64_t in_bytes_ = 0;
+  ExprScratch scratch_;
+  Row tmp_row_;
 };
 
 /// Emits at most `limit` rows from the child.
@@ -68,6 +102,18 @@ class LimitOp : public Operator {
     ++rows_produced_;
     return true;
   }
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    if (emitted_ >= limit_) return false;
+    RFID_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+    if (!has) return false;
+    const int64_t room = limit_ - emitted_;
+    if (static_cast<int64_t>(batch->num_rows()) > room) {
+      batch->set_num_rows(static_cast<size_t>(room));
+    }
+    emitted_ += static_cast<int64_t>(batch->num_rows());
+    rows_produced_ += batch->num_rows();
+    return batch->num_rows() > 0;
+  }
   void CloseImpl() override { child_->Close(); }
 
  private:
@@ -91,6 +137,11 @@ class RenameOp : public Operator {
   Result<bool> NextImpl(Row* row) override {
     RFID_ASSIGN_OR_RETURN(bool has, child_->Next(row));
     if (has) ++rows_produced_;
+    return has;
+  }
+  Result<bool> NextBatchImpl(RowBatch* batch) override {
+    RFID_ASSIGN_OR_RETURN(bool has, child_->NextBatch(batch));
+    rows_produced_ += batch->num_rows();
     return has;
   }
   void CloseImpl() override { child_->Close(); }

@@ -18,15 +18,11 @@ RowDesc JoinOutputDesc(const Operator& probe, const Operator& build,
 constexpr size_t kProbeTickRows = 1024;
 }  // namespace
 
-bool HashJoinOp::ExtractKey(const Row& row, const std::vector<size_t>& slots,
-                            std::vector<Value>* key) {
-  key->clear();
-  key->reserve(slots.size());
+bool HashJoinOp::HasNullKey(const Row& row, const std::vector<size_t>& slots) {
   for (size_t s : slots) {
-    if (row[s].is_null()) return false;
-    key->push_back(row[s]);
+    if (row[s].is_null()) return true;
   }
-  return true;
+  return false;
 }
 
 HashJoinOp::HashJoinOp(OperatorPtr probe, OperatorPtr build,
@@ -52,10 +48,16 @@ Status HashJoinOp::BuildTables() {
 
   const size_t parts = tables_.size();
   if (parts == 1) {
-    std::vector<Value> key;
     for (Row& r : build_rows) {
-      if (!ExtractKey(r, build_key_slots_, &key)) continue;
-      auto& bucket = tables_[0][key];
+      if (HasNullKey(r, build_key_slots_)) continue;
+      auto it = tables_[0].find(RowKeyView{&r, &build_key_slots_});
+      if (it == tables_[0].end()) {
+        std::vector<Value> key;
+        key.reserve(build_key_slots_.size());
+        for (size_t s : build_key_slots_) key.push_back(r[s]);
+        it = tables_[0].emplace(std::move(key), std::vector<Row>()).first;
+      }
+      std::vector<Row>& bucket = it->second;
       if (type_ == JoinType::kLeftSemi && !bucket.empty()) continue;
       RFID_RETURN_IF_ERROR(ChargeMemory(kHashEntryOverheadBytes));
       bucket.push_back(std::move(r));
@@ -71,10 +73,10 @@ Status HashJoinOp::BuildTables() {
   std::vector<std::vector<uint32_t>> part_rows(parts);
   {
     RowHash hasher;
-    std::vector<Value> key;
     for (size_t i = 0; i < build_rows.size(); ++i) {
-      if (!ExtractKey(build_rows[i], build_key_slots_, &key)) continue;
-      part_rows[hasher(key) % parts].push_back(static_cast<uint32_t>(i));
+      if (HasNullKey(build_rows[i], build_key_slots_)) continue;
+      part_rows[hasher(RowKeyView{&build_rows[i], &build_key_slots_}) % parts]
+          .push_back(static_cast<uint32_t>(i));
     }
   }
   return ParallelRun(
@@ -82,12 +84,17 @@ Status HashJoinOp::BuildTables() {
       [this, &part_rows, &build_rows](int w) -> Status {
         RFID_RETURN_IF_ERROR(TickCancel());
         HashTable& table = tables_[static_cast<size_t>(w)];
-        std::vector<Value> key;
         uint64_t bytes = 0;
         for (uint32_t i : part_rows[static_cast<size_t>(w)]) {
           Row& r = build_rows[i];
-          if (!ExtractKey(r, build_key_slots_, &key)) continue;
-          auto& bucket = table[key];
+          auto it = table.find(RowKeyView{&r, &build_key_slots_});
+          if (it == table.end()) {
+            std::vector<Value> key;
+            key.reserve(build_key_slots_.size());
+            for (size_t s : build_key_slots_) key.push_back(r[s]);
+            it = table.emplace(std::move(key), std::vector<Row>()).first;
+          }
+          std::vector<Row>& bucket = it->second;
           if (type_ == JoinType::kLeftSemi && !bucket.empty()) continue;
           bytes += kHashEntryOverheadBytes;
           bucket.push_back(std::move(r));
@@ -113,7 +120,6 @@ Status HashJoinOp::ParallelProbe() {
         size_t end = std::min(n, begin + chunk);
         std::vector<Row>& out = out_chunks_[static_cast<size_t>(w)];
         RowHash hasher;
-        std::vector<Value> key;
         uint64_t pending_bytes = 0;
         for (size_t i = begin; i < end; ++i) {
           if ((i - begin) % kProbeTickRows == 0) {
@@ -124,17 +130,25 @@ Status HashJoinOp::ParallelProbe() {
             }
           }
           Row& probe_row = probe_rows[i];
-          if (!ExtractKey(probe_row, probe_key_slots_, &key)) continue;
-          const HashTable& table = tables_[hasher(key) % parts];
-          auto it = table.find(key);
+          if (HasNullKey(probe_row, probe_key_slots_)) continue;
+          RowKeyView view{&probe_row, &probe_key_slots_};
+          const HashTable& table = tables_[hasher(view) % parts];
+          auto it = table.find(view);
           if (it == table.end()) continue;
           if (type_ == JoinType::kLeftSemi) {
             pending_bytes += ApproxRowBytes(probe_row);
             out.push_back(std::move(probe_row));
             continue;
           }
-          for (const Row& build_row : it->second) {
-            Row joined = probe_row;
+          const std::vector<Row>& matches = it->second;
+          for (size_t m = 0; m < matches.size(); ++m) {
+            Row joined;
+            if (m + 1 == matches.size()) {
+              joined = std::move(probe_row);  // last match owns the probe row
+            } else {
+              joined = probe_row;
+            }
+            const Row& build_row = matches[m];
             joined.insert(joined.end(), build_row.begin(), build_row.end());
             pending_bytes += ApproxRowBytes(joined);
             out.push_back(std::move(joined));
@@ -151,6 +165,10 @@ Status HashJoinOp::OpenImpl() {
   match_pos_ = 0;
   chunk_idx_ = 0;
   chunk_pos_ = 0;
+  probe_row_ = 0;
+  cur_row_ = 0;
+  probe_done_ = false;
+  probe_bytes_ = 0;
   materialized_ = dop() > 1;
   tables_.resize(materialized_ ? static_cast<size_t>(dop()) : 1);
   RFID_RETURN_IF_ERROR(BuildTables());
@@ -174,11 +192,14 @@ Result<bool> HashJoinOp::NextImpl(Row* row) {
     }
     return false;
   }
-  std::vector<Value> key;
   while (true) {
     if (current_matches_ != nullptr && match_pos_ < current_matches_->size()) {
-      *row = current_probe_;
       const Row& build_row = (*current_matches_)[match_pos_++];
+      if (match_pos_ == current_matches_->size()) {
+        *row = std::move(current_probe_);  // last match owns the probe row
+      } else {
+        *row = current_probe_;
+      }
       row->insert(row->end(), build_row.begin(), build_row.end());
       ++rows_produced_;
       return true;
@@ -186,8 +207,8 @@ Result<bool> HashJoinOp::NextImpl(Row* row) {
     current_matches_ = nullptr;
     RFID_ASSIGN_OR_RETURN(bool has, probe_->Next(&current_probe_));
     if (!has) return false;
-    if (!ExtractKey(current_probe_, probe_key_slots_, &key)) continue;
-    auto it = tables_[0].find(key);
+    if (HasNullKey(current_probe_, probe_key_slots_)) continue;
+    auto it = tables_[0].find(RowKeyView{&current_probe_, &probe_key_slots_});
     if (it == tables_[0].end()) continue;
     if (type_ == JoinType::kLeftSemi) {
       *row = std::move(current_probe_);
@@ -199,11 +220,68 @@ Result<bool> HashJoinOp::NextImpl(Row* row) {
   }
 }
 
+Result<bool> HashJoinOp::NextBatchImpl(RowBatch* batch) {
+  if (materialized_) return Operator::NextBatchImpl(batch);
+  const size_t probe_width = probe_->output_desc().num_fields();
+  while (!batch->full()) {
+    if (current_matches_ != nullptr) {
+      if (match_pos_ < current_matches_->size()) {
+        const Row& build_row = (*current_matches_)[match_pos_++];
+        for (size_t c = 0; c < probe_width; ++c) {
+          batch->col(c).AppendFrom(probe_batch_.col(c), cur_row_);
+        }
+        for (size_t c = 0; c < build_row.size(); ++c) {
+          batch->col(probe_width + c).AppendValue(build_row[c]);
+        }
+        batch->set_num_rows(batch->num_rows() + 1);
+        continue;
+      }
+      current_matches_ = nullptr;
+    }
+    if (probe_row_ >= probe_batch_.num_rows()) {
+      if (probe_done_) break;
+      RFID_ASSIGN_OR_RETURN(bool has, probe_->NextBatch(&probe_batch_));
+      if (!has) {
+        probe_done_ = true;
+        break;
+      }
+      ReleaseMemory(probe_bytes_);
+      probe_bytes_ = 0;
+      const uint64_t bytes = probe_batch_.ApproxBytes();
+      RFID_RETURN_IF_ERROR(ChargeMemory(bytes));
+      probe_bytes_ = bytes;
+      probe_row_ = 0;
+      continue;
+    }
+    const size_t r = probe_row_++;
+    bool null_key = false;
+    for (size_t s : probe_key_slots_) {
+      if (probe_batch_.col(s).is_null(r)) {
+        null_key = true;
+        break;
+      }
+    }
+    if (null_key) continue;
+    auto it = tables_[0].find(BatchKeyView{&probe_batch_, r, &probe_key_slots_});
+    if (it == tables_[0].end()) continue;
+    if (type_ == JoinType::kLeftSemi) {
+      batch->AppendGathered(probe_batch_, r);
+      continue;
+    }
+    cur_row_ = r;
+    current_matches_ = &it->second;
+    match_pos_ = 0;
+  }
+  rows_produced_ += batch->num_rows();
+  return !batch->empty();
+}
+
 void HashJoinOp::CloseImpl() {
   current_matches_ = nullptr;
   tables_.clear();
   out_chunks_.clear();
   out_chunks_.shrink_to_fit();
+  probe_batch_.ResetColumns(0);
   probe_->Close();
   build_->Close();
 }

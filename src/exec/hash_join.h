@@ -44,16 +44,19 @@ class HashJoinOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
   void CloseImpl() override;
 
  private:
   using HashTable =
       std::unordered_map<std::vector<Value>, std::vector<Row>, RowHash, RowEq>;
 
-  // Returns true and sets key when every key value is non-null (SQL joins
-  // never match on NULL keys).
-  static bool ExtractKey(const Row& row, const std::vector<size_t>& slots,
-                         std::vector<Value>* key);
+  // True when any key slot is NULL (SQL joins never match on NULL keys).
+  // Non-null keys are hashed and probed through the transparent
+  // RowKeyView/BatchKeyView overloads of RowHash/RowEq, so lookups never
+  // materialize a key vector; owned keys are built only when a build row
+  // starts a new bucket.
+  static bool HasNullKey(const Row& row, const std::vector<size_t>& slots);
 
   Status BuildTables();
   Status ParallelProbe();
@@ -76,6 +79,13 @@ class HashJoinOp : public Operator {
   std::vector<std::vector<Row>> out_chunks_;
   size_t chunk_idx_ = 0;
   size_t chunk_pos_ = 0;
+  // Serial batch-probe state: the current probe batch, the cursor into
+  // it, and the row whose matches are being emitted.
+  RowBatch probe_batch_;
+  size_t probe_row_ = 0;
+  size_t cur_row_ = 0;
+  bool probe_done_ = false;
+  uint64_t probe_bytes_ = 0;
 };
 
 }  // namespace rfid

@@ -34,6 +34,30 @@ Result<bool> Operator::Next(Row* row) {
   return NextImpl(row);
 }
 
+Result<bool> Operator::NextBatch(RowBatch* batch) {
+  cancel_checks_.fetch_add(1, std::memory_order_relaxed);
+  RFID_RETURN_IF_ERROR(exec_context()->CheckCancelled());
+  RFID_FAULT_POINT(name() + ".NextBatch");
+  if (batch->num_columns() != output_desc_.num_fields()) {
+    batch->ResetColumns(output_desc_.num_fields());
+  } else {
+    batch->Clear();
+  }
+  return NextBatchImpl(batch);
+}
+
+Result<bool> Operator::NextBatchImpl(RowBatch* batch) {
+  // Compatibility shim: adapts a row-at-a-time operator to the batch
+  // protocol. Calls NextImpl directly — the per-batch guard already ran.
+  Row row;
+  while (!batch->full()) {
+    RFID_ASSIGN_OR_RETURN(bool has, NextImpl(&row));
+    if (!has) break;
+    batch->AppendRow(std::move(row));
+  }
+  return !batch->empty();
+}
+
 void Operator::Close() {
   if (!open_) return;
   open_ = false;
@@ -58,6 +82,12 @@ Status Operator::ChargeMemory(uint64_t bytes) {
   return Status::OK();
 }
 
+void Operator::ReleaseMemory(uint64_t bytes) {
+  if (bytes == 0) return;
+  mem_charged_.fetch_sub(bytes, std::memory_order_relaxed);
+  exec_context()->ReleaseMemory(bytes);
+}
+
 Status Operator::TickCancel() {
   cancel_checks_.fetch_add(1, std::memory_order_relaxed);
   return exec_context()->CheckCancelled();
@@ -65,12 +95,28 @@ Status Operator::TickCancel() {
 
 Status Operator::DrainChildAccounted(Operator* child, std::vector<Row>* out) {
   RFID_RETURN_IF_ERROR(child->Open());
-  Row row;
-  while (true) {
-    RFID_ASSIGN_OR_RETURN(bool has, child->Next(&row));
-    if (!has) break;
-    RFID_RETURN_IF_ERROR(ChargeMemory(ApproxRowBytes(row)));
-    out->push_back(std::move(row));
+  if (VectorizedEnabled()) {
+    RowBatch batch;
+    while (true) {
+      RFID_ASSIGN_OR_RETURN(bool has, child->NextBatch(&batch));
+      if (!has) break;
+      uint64_t bytes = 0;
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        Row row;
+        batch.MoveRowInto(i, &row);
+        bytes += ApproxRowBytes(row);
+        out->push_back(std::move(row));
+      }
+      RFID_RETURN_IF_ERROR(ChargeMemory(bytes));
+    }
+  } else {
+    Row row;
+    while (true) {
+      RFID_ASSIGN_OR_RETURN(bool has, child->Next(&row));
+      if (!has) break;
+      RFID_RETURN_IF_ERROR(ChargeMemory(ApproxRowBytes(row)));
+      out->push_back(std::move(row));
+    }
   }
   child->Close();
   return Status::OK();
@@ -107,6 +153,27 @@ Result<std::vector<Row>> CollectRows(Operator* op, ExecContext* ctx) {
   ScopedContextCharge charge(ec);
   const uint64_t max_rows = ec->limits().max_output_rows;
   std::vector<Row> rows;
+  if (VectorizedEnabled()) {
+    RowBatch batch;
+    while (true) {
+      RFID_ASSIGN_OR_RETURN(bool has, op->NextBatch(&batch));
+      if (!has) break;
+      uint64_t bytes = 0;
+      for (size_t i = 0; i < batch.num_rows(); ++i) {
+        if (max_rows > 0 && rows.size() >= max_rows) {
+          return Status::ResourceExhausted(
+              StrFormat("query output exceeds the row limit (%llu rows)",
+                        static_cast<unsigned long long>(max_rows)));
+        }
+        Row row;
+        batch.MoveRowInto(i, &row);
+        bytes += ApproxRowBytes(row);
+        rows.push_back(std::move(row));
+      }
+      RFID_RETURN_IF_ERROR(charge.Add(bytes));
+    }
+    return rows;
+  }
   Row row;
   while (true) {
     RFID_ASSIGN_OR_RETURN(bool has, op->Next(&row));
@@ -142,6 +209,10 @@ void ExplainRec(const Operator& op, int depth, std::string* out) {
   out->append(std::to_string(op.cancel_checks()));
   out->append(" dop=");
   out->append(std::to_string(op.dop()));
+  // batch=0 marks a row-at-a-time run; otherwise the batch capacity the
+  // vectorized engine was configured with.
+  out->append(" batch=");
+  out->append(std::to_string(VectorizedEnabled() ? BatchCapacity() : 0));
   out->append("\n");
   for (const Operator* child : op.children()) {
     ExplainRec(*child, depth + 1, out);

@@ -24,6 +24,7 @@
 
 #include "exec/exec_context.h"
 #include "expr/eval.h"
+#include "expr/row_batch.h"
 
 namespace rfid {
 
@@ -39,6 +40,17 @@ class Operator {
   /// Produces the next row. Returns false at end of stream. Checks the
   /// cancellation token / deadline on every call.
   Result<bool> Next(Row* row);
+
+  /// Produces the next batch of rows (vectorized pull). Returns false at
+  /// end of stream; on true the batch holds at least one row. The guard
+  /// clears/shapes *batch to this operator's output descriptor, checks
+  /// cancellation and crosses a fault point once per batch — the
+  /// accounting granularity of the batch engine. Every operator is
+  /// batch-drivable: the default NextBatchImpl adapts row-at-a-time
+  /// operators by looping NextImpl, while batch-native operators
+  /// override it. Do not interleave Next and NextBatch on one operator
+  /// between Open and Close.
+  Result<bool> NextBatch(RowBatch* batch);
 
   /// Releases operator state and accounted memory, recursively.
   /// Idempotent: safe to call multiple times, after a failed Open, or on
@@ -89,15 +101,27 @@ class Operator {
   virtual Result<bool> NextImpl(Row* row) = 0;
   virtual void CloseImpl() {}
 
+  /// Batch production hook. The default implementation fills *batch by
+  /// looping NextImpl until the batch is full or the stream ends, so any
+  /// operator can sit under a batch-driven parent. Overrides share
+  /// cursor state with NextImpl (both paths must drain the same stream).
+  virtual Result<bool> NextBatchImpl(RowBatch* batch);
+
   /// Charges bytes to the query budget, attributed to this operator.
   /// Everything charged is released automatically on Close(). Thread-safe
   /// (atomic accounting at both the operator and the context level), so
   /// parallel workers charge directly.
   Status ChargeMemory(uint64_t bytes);
 
+  /// Returns bytes previously charged with ChargeMemory before Close —
+  /// used by streaming batch operators that recharge a bounded scratch
+  /// batch on every refill. Release only what was actually charged.
+  void ReleaseMemory(uint64_t bytes);
+
   /// Open-drains-close `child` into *out, charging every materialized row
-  /// to this operator's budget. Cancellation is honored per row (each
-  /// child Next() is itself guarded). Coordinator-thread only.
+  /// to this operator's budget. Pulls batches when the vectorized engine
+  /// is on (cancellation and charges per batch), rows otherwise
+  /// (cancellation per row). Coordinator-thread only.
   Status DrainChildAccounted(Operator* child, std::vector<Row>* out);
 
   /// Cooperative cancellation/deadline check for parallel workers,
@@ -137,16 +161,42 @@ class OperatorTreeCloser {
   Operator* op_;
 };
 
+/// Non-owning views of a key tuple — selected slots of a row or of a
+/// batch row. Hash-compatible with materialized std::vector<Value> keys
+/// (see RowHash/RowEq below), so hash probes never box a key per row.
+struct RowKeyView {
+  const Row* row;
+  const std::vector<size_t>* slots;
+};
+struct BatchKeyView {
+  const RowBatch* batch;
+  size_t row;
+  const std::vector<size_t>* slots;
+};
+
 /// Hash/equality over whole rows or key tuples (SQL DISTINCT semantics:
-/// NULLs compare equal).
+/// NULLs compare equal). Transparent: the view types above hash and
+/// compare against stored key vectors without materializing.
 struct RowHash {
+  using is_transparent = void;
   size_t operator()(const std::vector<Value>& row) const {
     size_t h = 0x345678;
     for (const Value& v : row) h = h * 1000003 + v.Hash();
     return h;
   }
+  size_t operator()(const RowKeyView& v) const {
+    size_t h = 0x345678;
+    for (size_t s : *v.slots) h = h * 1000003 + (*v.row)[s].Hash();
+    return h;
+  }
+  size_t operator()(const BatchKeyView& v) const {
+    size_t h = 0x345678;
+    for (size_t s : *v.slots) h = h * 1000003 + EntryHash(v.batch->col(s), v.row);
+    return h;
+  }
 };
 struct RowEq {
+  using is_transparent = void;
   bool operator()(const std::vector<Value>& a,
                   const std::vector<Value>& b) const {
     if (a.size() != b.size()) return false;
@@ -154,6 +204,28 @@ struct RowEq {
       if (!a[i].DistinctEquals(b[i])) return false;
     }
     return true;
+  }
+  bool operator()(const std::vector<Value>& a, const RowKeyView& b) const {
+    if (a.size() != b.slots->size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].DistinctEquals((*b.row)[(*b.slots)[i]])) return false;
+    }
+    return true;
+  }
+  bool operator()(const RowKeyView& a, const std::vector<Value>& b) const {
+    return (*this)(b, a);
+  }
+  bool operator()(const std::vector<Value>& a, const BatchKeyView& b) const {
+    if (a.size() != b.slots->size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!EntryEqualsValue(b.batch->col((*b.slots)[i]), b.row, a[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+  bool operator()(const BatchKeyView& a, const std::vector<Value>& b) const {
+    return (*this)(b, a);
   }
 };
 

@@ -1,5 +1,7 @@
 #include "exec/scan.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "exec/parallel.h"
 
@@ -26,6 +28,16 @@ Result<bool> TableScanOp::NextImpl(Row* row) {
   *row = table_->row(pos_++);
   ++rows_produced_;
   return true;
+}
+
+Result<bool> TableScanOp::NextBatchImpl(RowBatch* batch) {
+  const uint64_t end = std::min<uint64_t>(limit_, pos_ + batch->capacity());
+  // Segment-aware walk: one segment lookup per run instead of per row.
+  table_->store().ForEachRow(
+      pos_, end, [batch](const Row& r) { batch->AppendRow(r); });
+  rows_produced_ += end - pos_;
+  pos_ = end;
+  return !batch->empty();
 }
 
 std::string TableScanOp::detail() const {
@@ -137,6 +149,14 @@ Result<bool> IndexRangeScanOp::NextImpl(Row* row) {
   *row = table_->row(row_ids_[pos_++]);
   ++rows_produced_;
   return true;
+}
+
+Result<bool> IndexRangeScanOp::NextBatchImpl(RowBatch* batch) {
+  while (pos_ < row_ids_.size() && !batch->full()) {
+    batch->AppendRow(table_->row(row_ids_[pos_++]));
+  }
+  rows_produced_ += batch->num_rows();
+  return !batch->empty();
 }
 
 void IndexRangeScanOp::CloseImpl() {

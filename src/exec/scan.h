@@ -23,6 +23,7 @@ class TableScanOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   const Table* table_;
@@ -81,6 +82,7 @@ class IndexRangeScanOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
   void CloseImpl() override;
 
  private:

@@ -40,6 +40,22 @@ Result<bool> UnionAllOp::NextImpl(Row* row) {
   return false;
 }
 
+Result<bool> UnionAllOp::NextBatchImpl(RowBatch* batch) {
+  while (current_ < inputs_.size()) {
+    RFID_ASSIGN_OR_RETURN(bool has, inputs_[current_]->NextBatch(batch));
+    if (has) {
+      rows_produced_ += batch->num_rows();
+      return true;
+    }
+    inputs_[current_]->Close();
+    ++current_;
+    if (current_ < inputs_.size()) {
+      RFID_RETURN_IF_ERROR(inputs_[current_]->Open());
+    }
+  }
+  return false;
+}
+
 void UnionAllOp::CloseImpl() {
   for (auto& in : inputs_) in->Close();
 }

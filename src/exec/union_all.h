@@ -19,6 +19,7 @@ class UnionAllOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
   void CloseImpl() override;
 
  private:

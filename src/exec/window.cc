@@ -35,41 +35,50 @@ bool RawOrderValue(const Value& v, int64_t* out) {
   }
 }
 
-// Accumulator over a frame of rows.
+// Accumulator over a frame of rows. Arguments are read from a
+// per-partition columnar cache (one eval per row instead of one per
+// (row, frame member) pair); entries are boxed back into Values only
+// when a MIN/MAX candidate actually wins, so frame evaluation does no
+// per-member Value copies.
 class FrameAggregator {
  public:
-  explicit FrameAggregator(const WindowAggSpec& spec) : spec_(spec) {}
+  // `args` holds spec.arg evaluated for every partition-local row; it is
+  // never read for COUNT(*), whose cache stays empty.
+  FrameAggregator(const WindowAggSpec& spec, const ColumnVector* args)
+      : spec_(spec), args_(args) {}
 
-  Status Add(const Row& row) {
-    Value arg;
-    if (spec_.arg != nullptr) {
-      RFID_ASSIGN_OR_RETURN(arg, EvalExpr(*spec_.arg, row));
-      if (arg.is_null()) return Status::OK();
-    }
+  // idx is the partition-local row index into the arg cache.
+  void Add(size_t idx) {
+    if (spec_.arg != nullptr && args_->is_null(idx)) return;
     switch (spec_.func) {
       case AggFunc::kCount:
         ++count_;
         break;
       case AggFunc::kSum:
-      case AggFunc::kAvg:
+      case AggFunc::kAvg: {
         ++count_;
-        sum_ += arg.AsDouble();
-        if (arg.type() == DataType::kInt64) {
-          int_sum_ += arg.int64_value();
-        } else if (arg.type() == DataType::kInterval) {
-          int_sum_ += arg.interval_value();
+        sum_ += args_->AsDouble(idx);
+        const DataType t = args_->tag(idx);
+        if (t == DataType::kInt64 || t == DataType::kInterval) {
+          int_sum_ += args_->raw(idx);
         } else {
           is_double_ = true;
         }
         break;
+      }
       case AggFunc::kMin:
-        if (minmax_.is_null() || arg.Compare(minmax_) < 0) minmax_ = arg;
+        if (minmax_.is_null() ||
+            CompareEntryToValue(*args_, idx, minmax_) < 0) {
+          minmax_ = args_->ValueAt(idx);
+        }
         break;
       case AggFunc::kMax:
-        if (minmax_.is_null() || arg.Compare(minmax_) > 0) minmax_ = arg;
+        if (minmax_.is_null() ||
+            CompareEntryToValue(*args_, idx, minmax_) > 0) {
+          minmax_ = args_->ValueAt(idx);
+        }
         break;
     }
-    return Status::OK();
   }
 
   Value Finish() const {
@@ -100,6 +109,7 @@ class FrameAggregator {
 
  private:
   const WindowAggSpec& spec_;
+  const ColumnVector* args_;
   int64_t count_ = 0;
   double sum_ = 0;
   int64_t int_sum_ = 0;
@@ -124,6 +134,24 @@ Status WindowOp::OpenImpl() {
   pos_ = 0;
   rows_.clear();
   RFID_RETURN_IF_ERROR(DrainChildAccounted(child_.get(), &rows_));
+
+  // Compile each agg's argument once; workers share the immutable
+  // programs and fall back to the interpreter per agg on failure.
+  arg_progs_.clear();
+  if (VectorizedEnabled()) {
+    for (const WindowAggSpec& a : aggs_) {
+      if (a.arg == nullptr) {
+        arg_progs_.emplace_back();
+        continue;
+      }
+      Result<ExprProgram> compiled = ExprProgram::Compile(*a.arg);
+      if (compiled.ok()) {
+        arg_progs_.emplace_back(std::move(compiled).value());
+      } else {
+        arg_progs_.emplace_back();
+      }
+    }
+  }
 
   // Cut the (sorted) input at partition boundaries: groups[i] is the
   // start of the i-th maximal run of equal partition keys.
@@ -173,6 +201,44 @@ Status WindowOp::OpenImpl() {
   });
 }
 
+Status WindowOp::FillArgCache(size_t a, size_t begin, size_t end,
+                              ColumnVector* out) {
+  const size_t n = end - begin;
+  const WindowAggSpec& spec = aggs_[a];
+  const ExprProgram* prog = a < arg_progs_.size() && arg_progs_[a].has_value()
+                                ? &*arg_progs_[a]
+                                : nullptr;
+  if (prog != nullptr) {
+    const int slot = prog->single_column_slot();
+    if (slot >= 0) {
+      // Plain column argument: gather it directly, no program run.
+      for (size_t i = 0; i < n; ++i) {
+        out->AppendValue(rows_[begin + i][static_cast<size_t>(slot)]);
+      }
+      return Status::OK();
+    }
+    // Build a partial batch holding only the referenced columns; the
+    // others stay empty and are never read by the program.
+    RowBatch tmp(child_->output_desc().num_fields(), n);
+    for (int s : prog->referenced_slots()) {
+      ColumnVector& c = tmp.col(static_cast<size_t>(s));
+      for (size_t i = 0; i < n; ++i) {
+        c.AppendValue(rows_[begin + i][static_cast<size_t>(s)]);
+      }
+    }
+    tmp.set_num_rows(n);
+    ExprScratch scratch;
+    prog->Eval(tmp, nullptr, 0, out, &scratch);
+    return Status::OK();
+  }
+  out->Reset(n);
+  for (size_t i = 0; i < n; ++i) {
+    RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.arg, rows_[begin + i]));
+    out->SetValue(i, v);
+  }
+  return Status::OK();
+}
+
 Status WindowOp::ComputePartition(size_t begin, size_t end) {
   const size_t n = end - begin;
   // Results per agg, appended to rows after all aggs are computed so that
@@ -180,28 +246,57 @@ Status WindowOp::ComputePartition(size_t begin, size_t end) {
   RFID_RETURN_IF_ERROR(
       ChargeMemory(static_cast<uint64_t>(n) * aggs_.size() * sizeof(Value)));
   std::vector<std::vector<Value>> outputs(aggs_.size());
+  ColumnVector arg_cache;
 
   for (size_t a = 0; a < aggs_.size(); ++a) {
     const WindowAggSpec& spec = aggs_[a];
     outputs[a].resize(n);
     const FrameSpec& f = spec.frame;
 
+    arg_cache.Clear();
+    uint64_t cache_bytes = 0;
+    if (spec.arg != nullptr) {
+      RFID_RETURN_IF_ERROR(FillArgCache(a, begin, end, &arg_cache));
+      cache_bytes = arg_cache.ApproxBytes();
+      RFID_RETURN_IF_ERROR(ChargeMemory(cache_bytes));
+    }
+
     if (f.unit == FrameUnit::kRows) {
-      for (size_t i = 0; i < n; ++i) {
-        size_t gi = begin + i;
-        int64_t lo = f.start.unbounded
-                         ? 0
-                         : static_cast<int64_t>(i) + f.start.delta;
-        int64_t hi = f.end.unbounded ? static_cast<int64_t>(n) - 1
-                                     : static_cast<int64_t>(i) + f.end.delta;
-        if (lo < 0) lo = 0;
-        if (hi > static_cast<int64_t>(n) - 1) hi = static_cast<int64_t>(n) - 1;
-        FrameAggregator agg(spec);
-        for (int64_t j = lo; j <= hi; ++j) {
-          RFID_RETURN_IF_ERROR(agg.Add(rows_[begin + static_cast<size_t>(j)]));
+      if (f.start.unbounded && f.end.unbounded) {
+        // Whole-partition frame: one accumulation shared by every row.
+        FrameAggregator agg(spec, &arg_cache);
+        for (size_t j = 0; j < n; ++j) agg.Add(j);
+        const Value result = agg.Finish();
+        for (size_t i = 0; i < n; ++i) outputs[a][i] = result;
+      } else if (f.start.unbounded && !f.end.unbounded && f.end.delta == 0) {
+        // Running frame (UNBOUNDED PRECEDING .. CURRENT ROW): extend one
+        // accumulator instead of recomputing each prefix. Additions
+        // happen in the same order the recomputed frames would make
+        // them, so sums and comparisons are bit-identical.
+        FrameAggregator agg(spec, &arg_cache);
+        for (size_t i = 0; i < n; ++i) {
+          agg.Add(i);
+          outputs[a][i] = agg.Finish();
         }
-        outputs[a][gi - begin] = agg.Finish();
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          int64_t lo = f.start.unbounded
+                           ? 0
+                           : static_cast<int64_t>(i) + f.start.delta;
+          int64_t hi = f.end.unbounded ? static_cast<int64_t>(n) - 1
+                                       : static_cast<int64_t>(i) + f.end.delta;
+          if (lo < 0) lo = 0;
+          if (hi > static_cast<int64_t>(n) - 1) {
+            hi = static_cast<int64_t>(n) - 1;
+          }
+          FrameAggregator agg(spec, &arg_cache);
+          for (int64_t j = lo; j <= hi; ++j) {
+            agg.Add(static_cast<size_t>(j));
+          }
+          outputs[a][i] = agg.Finish();
+        }
       }
+      ReleaseMemory(cache_bytes);
       continue;
     }
 
@@ -221,7 +316,7 @@ Status WindowOp::ComputePartition(size_t begin, size_t end) {
       if (key.is_null() || !RawOrderValue(key, &k)) {
         // NULL order key: no well-defined logical frame; emit over an
         // empty frame (COUNT -> 0, others -> NULL).
-        outputs[a][i] = FrameAggregator(spec).Finish();
+        outputs[a][i] = FrameAggregator(spec, &arg_cache).Finish();
         continue;
       }
       size_t lo = 0;
@@ -255,14 +350,15 @@ Status WindowOp::ComputePartition(size_t begin, size_t end) {
         }
         hi = hi_ptr;
       }
-      FrameAggregator agg(spec);
+      FrameAggregator agg(spec, &arg_cache);
       for (size_t j = (f.start.unbounded ? 0 : lo); j < hi; ++j) {
         const Value& kj = rows_[begin + j][key_slot];
         if (kj.is_null()) continue;
-        RFID_RETURN_IF_ERROR(agg.Add(rows_[begin + j]));
+        agg.Add(j);
       }
       outputs[a][i] = agg.Finish();
     }
+    ReleaseMemory(cache_bytes);
   }
 
   for (size_t i = 0; i < n; ++i) {

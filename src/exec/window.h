@@ -16,9 +16,12 @@
 #ifndef RFID_EXEC_WINDOW_H_
 #define RFID_EXEC_WINDOW_H_
 
+#include <optional>
+
 #include "exec/aggregate.h"
 #include "exec/operator.h"
 #include "exec/sort.h"
+#include "expr/bytecode.h"
 
 namespace rfid {
 
@@ -59,11 +62,21 @@ class WindowOp : public Operator {
 
  private:
   Status ComputePartition(size_t begin, size_t end);
+  /// Evaluates agg a's argument over partition rows [begin, end) into a
+  /// columnar cache — once per row instead of once per (row, frame
+  /// member) pair. Uses the compiled program when available, the row
+  /// interpreter otherwise; either way each row is evaluated exactly
+  /// once, so results match the uncached engine bit for bit.
+  Status FillArgCache(size_t a, size_t begin, size_t end, ColumnVector* out);
 
   OperatorPtr child_;
   std::vector<size_t> partition_slots_;
   std::vector<SlotSortKey> order_keys_;
   std::vector<WindowAggSpec> aggs_;
+  // Compiled argument programs (empty when the vectorized engine is
+  // off; nullopt per agg on COUNT(*) or compile fallback). Immutable
+  // after Open, shared by partition workers.
+  std::vector<std::optional<ExprProgram>> arg_progs_;
 
   std::vector<Row> rows_;  // materialized input, extended in place
   size_t pos_ = 0;

@@ -1,0 +1,566 @@
+#include "expr/bytecode.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+namespace {
+
+// One operand of a kernel: either a batch/register column or a broadcast
+// constant. The per-element branch on `col` is perfectly predicted inside
+// a kernel loop, which keeps every kernel a single implementation instead
+// of col/const specializations.
+struct OpView {
+  const ColumnVector* col = nullptr;
+  DataType ktag = DataType::kNull;
+  int64_t kraw = 0;
+  const std::string* kstr = nullptr;
+
+  DataType tag(size_t i) const { return col != nullptr ? col->tag(i) : ktag; }
+  bool is_null(size_t i) const { return tag(i) == DataType::kNull; }
+  int64_t raw(size_t i) const { return col != nullptr ? col->raw(i) : kraw; }
+  const std::string& str(size_t i) const {
+    return col != nullptr ? col->str(i) : *kstr;
+  }
+  double AsDouble(size_t i) const {
+    return tag(i) == DataType::kDouble ? std::bit_cast<double>(raw(i))
+                                       : static_cast<double>(raw(i));
+  }
+};
+
+OpView ConstView(const Value& v) {
+  OpView o;
+  o.ktag = v.type();
+  switch (v.type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kDouble:
+      o.kraw = std::bit_cast<int64_t>(v.double_value());
+      break;
+    case DataType::kString:
+      o.kstr = &v.string_value();
+      break;
+    default:
+      o.kraw = v.int64_value();
+      break;
+  }
+  return o;
+}
+
+template <typename F>
+inline void ForSel(const uint32_t* sel, size_t n, F&& f) {
+  if (sel == nullptr) {
+    for (size_t i = 0; i < n; ++i) f(i);
+  } else {
+    for (size_t k = 0; k < n; ++k) f(sel[k]);
+  }
+}
+
+// Mirrors Value::Compare. Both entries non-null and comparable (the
+// binder's type check); the string-vs-non-string guard is defensive only.
+inline int CompareViews(const OpView& l, const OpView& r, size_t i) {
+  DataType lt = l.tag(i);
+  DataType rt = r.tag(i);
+  if (lt == DataType::kString) {
+    return rt == DataType::kString ? l.str(i).compare(r.str(i)) : 0;
+  }
+  if (lt == DataType::kDouble || rt == DataType::kDouble) {
+    double a = l.AsDouble(i);
+    double b = r.AsDouble(i);
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  int64_t a = l.raw(i);
+  int64_t b = r.raw(i);
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+// Mirrors the raw() lambda in EvalArithmetic: only integer-repped types
+// contribute their payload; anything else reads as 0.
+inline int64_t ArithRaw(const OpView& v, size_t i) {
+  switch (v.tag(i)) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+    case DataType::kInterval:
+      return v.raw(i);
+    default:
+      return 0;
+  }
+}
+
+// Kleene truth value: 0=false, 1=true, 2=unknown. Mirrors ToTri.
+inline int Tri(const OpView& v, size_t i) {
+  if (v.is_null(i)) return 2;
+  return v.raw(i) != 0 ? 1 : 0;
+}
+
+inline void SetFromView(ColumnVector& out, size_t i, const OpView& v) {
+  DataType t = v.tag(i);
+  switch (t) {
+    case DataType::kNull:
+      out.SetNull(i);
+      return;
+    case DataType::kString:
+      out.SetString(i, v.str(i));
+      return;
+    default:
+      out.SetRaw(i, t, v.raw(i));
+      return;
+  }
+}
+
+inline Value ViewValueAt(const OpView& v, size_t i) {
+  switch (v.tag(i)) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool:
+      return Value::Bool(v.raw(i) != 0);
+    case DataType::kInt64:
+      return Value::Int64(v.raw(i));
+    case DataType::kDouble:
+      return Value::Double(std::bit_cast<double>(v.raw(i)));
+    case DataType::kString:
+      return Value::String(v.str(i));
+    case DataType::kTimestamp:
+      return Value::Timestamp(v.raw(i));
+    case DataType::kInterval:
+      return Value::Interval(v.raw(i));
+  }
+  return Value::Null();
+}
+
+}  // namespace
+
+struct ProgramBuilder {
+  ExprProgram* p;
+  int cur = 0;
+
+  void Emitted(int pops, int pushes) {
+    cur += pushes - pops;
+    p->max_stack_ = std::max(p->max_stack_, cur);
+  }
+
+  Status Compile(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        p->consts_.push_back(e.value);
+        p->code_.push_back(
+            {BcOp::kLoadConst, static_cast<int32_t>(p->consts_.size() - 1)});
+        Emitted(0, 1);
+        return Status::OK();
+      case ExprKind::kColumnRef:
+        if (e.slot < 0) {
+          return Status::Internal("bytecode: unbound column reference " +
+                                  e.column);
+        }
+        p->code_.push_back({BcOp::kLoadCol, e.slot});
+        p->slots_.push_back(e.slot);
+        Emitted(0, 1);
+        return Status::OK();
+      case ExprKind::kBinary: {
+        RFID_RETURN_IF_ERROR(Compile(*e.children[0]));
+        RFID_RETURN_IF_ERROR(Compile(*e.children[1]));
+        BcInst inst;
+        if (e.op == BinaryOp::kAnd) {
+          inst.op = BcOp::kAnd;
+        } else if (e.op == BinaryOp::kOr) {
+          inst.op = BcOp::kOr;
+        } else if (IsComparisonOp(e.op)) {
+          inst.op = BcOp::kCompare;
+          inst.a = static_cast<int32_t>(e.op);
+        } else {
+          inst.op = BcOp::kArith;
+          inst.a = static_cast<int32_t>(e.op);
+          inst.rtype = e.result_type;
+        }
+        p->code_.push_back(inst);
+        Emitted(2, 1);
+        return Status::OK();
+      }
+      case ExprKind::kNot:
+        RFID_RETURN_IF_ERROR(Compile(*e.children[0]));
+        p->code_.push_back({BcOp::kNot});
+        Emitted(1, 1);
+        return Status::OK();
+      case ExprKind::kIsNull:
+        RFID_RETURN_IF_ERROR(Compile(*e.children[0]));
+        p->code_.push_back({BcOp::kIsNull, 0, e.negated ? 1 : 0});
+        Emitted(1, 1);
+        return Status::OK();
+      case ExprKind::kCase: {
+        for (const ExprPtr& c : e.children) RFID_RETURN_IF_ERROR(Compile(*c));
+        int32_t pairs = static_cast<int32_t>(e.children.size() / 2);
+        p->code_.push_back({BcOp::kCase, pairs, e.has_else ? 1 : 0});
+        Emitted(static_cast<int>(e.children.size()), 1);
+        return Status::OK();
+      }
+      case ExprKind::kInList: {
+        for (const ExprPtr& c : e.children) RFID_RETURN_IF_ERROR(Compile(*c));
+        p->code_.push_back(
+            {BcOp::kInList, static_cast<int32_t>(e.children.size())});
+        Emitted(static_cast<int>(e.children.size()), 1);
+        return Status::OK();
+      }
+      case ExprKind::kInValueSet:
+        RFID_RETURN_IF_ERROR(Compile(*e.children[0]));
+        p->sets_.push_back(e.value_set);
+        p->code_.push_back({BcOp::kInValueSet,
+                            static_cast<int32_t>(p->sets_.size() - 1),
+                            e.value_set_has_null ? 1 : 0});
+        Emitted(1, 1);
+        return Status::OK();
+      case ExprKind::kFuncCall: {
+        if (e.window.has_value()) {
+          return Status::Unimplemented("bytecode: window call " + e.func_name);
+        }
+        if (e.func_name == "coalesce" && !e.children.empty()) {
+          for (const ExprPtr& c : e.children) {
+            RFID_RETURN_IF_ERROR(Compile(*c));
+          }
+          p->code_.push_back(
+              {BcOp::kCoalesce, static_cast<int32_t>(e.children.size())});
+          Emitted(static_cast<int>(e.children.size()), 1);
+          return Status::OK();
+        }
+        if (e.func_name == "like" && e.children.size() == 2) {
+          RFID_RETURN_IF_ERROR(Compile(*e.children[0]));
+          RFID_RETURN_IF_ERROR(Compile(*e.children[1]));
+          p->code_.push_back({BcOp::kLike});
+          Emitted(2, 1);
+          return Status::OK();
+        }
+        return Status::Unimplemented("bytecode: unsupported function " +
+                                     e.func_name);
+      }
+      default:
+        return Status::Unimplemented("bytecode: unsupported expression kind");
+    }
+  }
+};
+
+Result<ExprProgram> ExprProgram::Compile(const Expr& bound) {
+  ExprProgram p;
+  ProgramBuilder b{&p};
+  RFID_RETURN_IF_ERROR(b.Compile(bound));
+  std::sort(p.slots_.begin(), p.slots_.end());
+  p.slots_.erase(std::unique(p.slots_.begin(), p.slots_.end()),
+                 p.slots_.end());
+  return p;
+}
+
+void ExprProgram::Eval(const RowBatch& batch, const uint32_t* sel,
+                       size_t sel_size, ColumnVector* out,
+                       ExprScratch* s) const {
+  const size_t n = batch.num_rows();
+  const size_t n_sel = sel == nullptr ? n : sel_size;
+  if (s->regs.size() < static_cast<size_t>(max_stack_)) {
+    s->regs.resize(static_cast<size_t>(max_stack_));
+    s->refs.resize(static_cast<size_t>(max_stack_));
+    s->konsts.resize(static_cast<size_t>(max_stack_));
+  }
+  auto view_of = [&](int j) -> OpView {
+    if (s->refs[static_cast<size_t>(j)] != nullptr) {
+      return OpView{s->refs[static_cast<size_t>(j)]};
+    }
+    if (s->konsts[static_cast<size_t>(j)] != nullptr) {
+      return ConstView(*s->konsts[static_cast<size_t>(j)]);
+    }
+    return OpView{&s->regs[static_cast<size_t>(j)]};
+  };
+
+  int sp = 0;
+  std::vector<OpView> views;  // reused for variadic ops
+  for (const BcInst& inst : code_) {
+    switch (inst.op) {
+      case BcOp::kLoadCol:
+        s->refs[static_cast<size_t>(sp)] =
+            &batch.col(static_cast<size_t>(inst.a));
+        s->konsts[static_cast<size_t>(sp)] = nullptr;
+        ++sp;
+        continue;
+      case BcOp::kLoadConst:
+        s->konsts[static_cast<size_t>(sp)] =
+            &consts_[static_cast<size_t>(inst.a)];
+        s->refs[static_cast<size_t>(sp)] = nullptr;
+        ++sp;
+        continue;
+      default:
+        break;
+    }
+
+    int arity;
+    switch (inst.op) {
+      case BcOp::kNot:
+      case BcOp::kIsNull:
+      case BcOp::kInValueSet:
+        arity = 1;
+        break;
+      case BcOp::kCase:
+        arity = 2 * inst.a + inst.b;
+        break;
+      case BcOp::kInList:
+      case BcOp::kCoalesce:
+        arity = inst.a;
+        break;
+      default:
+        arity = 2;
+        break;
+    }
+    const int base = sp - arity;
+    ColumnVector& dst = s->tmp;
+    dst.Reset(n);
+
+    switch (inst.op) {
+      case BcOp::kCompare: {
+        OpView l = view_of(base);
+        OpView r = view_of(base + 1);
+        BinaryOp op = static_cast<BinaryOp>(inst.a);
+        ForSel(sel, n_sel, [&](size_t i) {
+          if (l.is_null(i) || r.is_null(i)) return;
+          int c = CompareViews(l, r, i);
+          bool v = false;
+          switch (op) {
+            case BinaryOp::kEq: v = c == 0; break;
+            case BinaryOp::kNe: v = c != 0; break;
+            case BinaryOp::kLt: v = c < 0; break;
+            case BinaryOp::kLe: v = c <= 0; break;
+            case BinaryOp::kGt: v = c > 0; break;
+            case BinaryOp::kGe: v = c >= 0; break;
+            default: break;
+          }
+          dst.SetBool(i, v);
+        });
+        break;
+      }
+      case BcOp::kArith: {
+        OpView l = view_of(base);
+        OpView r = view_of(base + 1);
+        BinaryOp op = static_cast<BinaryOp>(inst.a);
+        if (inst.rtype == DataType::kDouble) {
+          ForSel(sel, n_sel, [&](size_t i) {
+            if (l.is_null(i) || r.is_null(i)) return;
+            double a = l.AsDouble(i);
+            double b = r.AsDouble(i);
+            switch (op) {
+              case BinaryOp::kAdd: dst.SetDouble(i, a + b); break;
+              case BinaryOp::kSub: dst.SetDouble(i, a - b); break;
+              case BinaryOp::kMul: dst.SetDouble(i, a * b); break;
+              case BinaryOp::kDiv:
+                if (b != 0) dst.SetDouble(i, a / b);
+                break;
+              default: break;
+            }
+          });
+        } else {
+          // Integer-repped types share the arithmetic; the bound result
+          // type picks the output tag, as in EvalArithmetic. Wrapping
+          // unsigned ops keep UBSan builds honest without changing any
+          // in-range result.
+          DataType wt = (inst.rtype == DataType::kTimestamp ||
+                         inst.rtype == DataType::kInterval)
+                            ? inst.rtype
+                            : DataType::kInt64;
+          ForSel(sel, n_sel, [&](size_t i) {
+            if (l.is_null(i) || r.is_null(i)) return;
+            uint64_t x = static_cast<uint64_t>(ArithRaw(l, i));
+            uint64_t y = static_cast<uint64_t>(ArithRaw(r, i));
+            int64_t res = 0;
+            switch (op) {
+              case BinaryOp::kAdd: res = static_cast<int64_t>(x + y); break;
+              case BinaryOp::kSub: res = static_cast<int64_t>(x - y); break;
+              case BinaryOp::kMul: res = static_cast<int64_t>(x * y); break;
+              case BinaryOp::kDiv: {
+                int64_t sy = static_cast<int64_t>(y);
+                if (sy == 0) return;
+                res = sy == -1 ? static_cast<int64_t>(0 - x)
+                               : static_cast<int64_t>(x) / sy;
+                break;
+              }
+              default: break;
+            }
+            dst.SetRaw(i, wt, res);
+          });
+        }
+        break;
+      }
+      case BcOp::kAnd: {
+        OpView l = view_of(base);
+        OpView r = view_of(base + 1);
+        ForSel(sel, n_sel, [&](size_t i) {
+          int lt = Tri(l, i);
+          int rt = Tri(r, i);
+          if (lt == 0 || rt == 0) dst.SetBool(i, false);
+          else if (lt == 1 && rt == 1) dst.SetBool(i, true);
+        });
+        break;
+      }
+      case BcOp::kOr: {
+        OpView l = view_of(base);
+        OpView r = view_of(base + 1);
+        ForSel(sel, n_sel, [&](size_t i) {
+          int lt = Tri(l, i);
+          int rt = Tri(r, i);
+          if (lt == 1 || rt == 1) dst.SetBool(i, true);
+          else if (lt == 0 && rt == 0) dst.SetBool(i, false);
+        });
+        break;
+      }
+      case BcOp::kNot: {
+        OpView v = view_of(base);
+        ForSel(sel, n_sel, [&](size_t i) {
+          int t = Tri(v, i);
+          if (t != 2) dst.SetBool(i, t == 0);
+        });
+        break;
+      }
+      case BcOp::kIsNull: {
+        OpView v = view_of(base);
+        bool negated = inst.b != 0;
+        ForSel(sel, n_sel, [&](size_t i) {
+          dst.SetBool(i, negated ? !v.is_null(i) : v.is_null(i));
+        });
+        break;
+      }
+      case BcOp::kCase: {
+        views.clear();
+        for (int j = 0; j < arity; ++j) views.push_back(view_of(base + j));
+        int pairs = inst.a;
+        bool has_else = inst.b != 0;
+        ForSel(sel, n_sel, [&](size_t i) {
+          for (int pidx = 0; pidx < pairs; ++pidx) {
+            if (Tri(views[static_cast<size_t>(2 * pidx)], i) == 1) {
+              SetFromView(dst, i, views[static_cast<size_t>(2 * pidx + 1)]);
+              return;
+            }
+          }
+          if (has_else) {
+            SetFromView(dst, i, views[static_cast<size_t>(arity - 1)]);
+          }
+        });
+        break;
+      }
+      case BcOp::kCoalesce: {
+        views.clear();
+        for (int j = 0; j < arity; ++j) views.push_back(view_of(base + j));
+        ForSel(sel, n_sel, [&](size_t i) {
+          for (const OpView& v : views) {
+            if (!v.is_null(i)) {
+              SetFromView(dst, i, v);
+              return;
+            }
+          }
+        });
+        break;
+      }
+      case BcOp::kInList: {
+        views.clear();
+        for (int j = 0; j < arity; ++j) views.push_back(view_of(base + j));
+        const OpView& probe = views[0];
+        ForSel(sel, n_sel, [&](size_t i) {
+          if (probe.is_null(i)) return;
+          bool saw_null = false;
+          for (size_t k = 1; k < views.size(); ++k) {
+            if (views[k].is_null(i)) {
+              saw_null = true;
+              continue;
+            }
+            if (TypesComparable(probe.tag(i), views[k].tag(i)) &&
+                CompareViews(probe, views[k], i) == 0) {
+              dst.SetBool(i, true);
+              return;
+            }
+          }
+          if (!saw_null) dst.SetBool(i, false);
+        });
+        break;
+      }
+      case BcOp::kInValueSet: {
+        OpView probe = view_of(base);
+        const auto& set = sets_[static_cast<size_t>(inst.a)];
+        bool has_null = inst.b != 0;
+        ForSel(sel, n_sel, [&](size_t i) {
+          if (probe.is_null(i)) return;
+          if (set != nullptr && set->count(ViewValueAt(probe, i)) > 0) {
+            dst.SetBool(i, true);
+            return;
+          }
+          if (!has_null) dst.SetBool(i, false);
+        });
+        break;
+      }
+      case BcOp::kLike: {
+        OpView l = view_of(base);
+        OpView r = view_of(base + 1);
+        ForSel(sel, n_sel, [&](size_t i) {
+          if (l.tag(i) != DataType::kString ||
+              r.tag(i) != DataType::kString) {
+            return;  // NULL operand (or defensively, a non-string)
+          }
+          dst.SetBool(i, SqlLikeMatch(l.str(i), r.str(i)));
+        });
+        break;
+      }
+      default:
+        break;
+    }
+
+    std::swap(s->regs[static_cast<size_t>(base)], s->tmp);
+    s->refs[static_cast<size_t>(base)] = nullptr;
+    s->konsts[static_cast<size_t>(base)] = nullptr;
+    sp = base + 1;
+  }
+
+  // Materialize the top-of-stack result into *out.
+  const int top = sp - 1;
+  if (s->refs[static_cast<size_t>(top)] == nullptr &&
+      s->konsts[static_cast<size_t>(top)] == nullptr) {
+    std::swap(*out, s->regs[static_cast<size_t>(top)]);
+    return;
+  }
+  OpView v = view_of(top);
+  out->Reset(n);
+  ForSel(sel, n_sel, [&](size_t i) { SetFromView(*out, i, v); });
+}
+
+void ExprProgram::EvalFilter(const RowBatch& batch, std::vector<uint32_t>* sel,
+                             ExprScratch* s) const {
+  Eval(batch, sel->data(), sel->size(), &s->pred, s);
+  const ColumnVector& pred = s->pred;
+  size_t w = 0;
+  for (uint32_t i : *sel) {
+    if (!pred.is_null(i) && pred.raw(i) != 0) (*sel)[w++] = i;
+  }
+  sel->resize(w);
+}
+
+namespace {
+
+Status CompileConjuncts(const Expr& e, std::vector<ExprProgram>* out) {
+  if (e.kind == ExprKind::kBinary && e.op == BinaryOp::kAnd) {
+    RFID_RETURN_IF_ERROR(CompileConjuncts(*e.children[0], out));
+    return CompileConjuncts(*e.children[1], out);
+  }
+  RFID_ASSIGN_OR_RETURN(ExprProgram p, ExprProgram::Compile(e));
+  out->push_back(std::move(p));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FilterProgram> FilterProgram::Compile(const Expr& bound_predicate) {
+  FilterProgram fp;
+  RFID_RETURN_IF_ERROR(CompileConjuncts(bound_predicate, &fp.conjuncts_));
+  return fp;
+}
+
+void FilterProgram::Apply(const RowBatch& batch, std::vector<uint32_t>* sel,
+                          ExprScratch* scratch) const {
+  for (const ExprProgram& p : conjuncts_) {
+    if (sel->empty()) return;
+    p.EvalFilter(batch, sel, scratch);
+  }
+}
+
+}  // namespace rfid

@@ -1,0 +1,122 @@
+// Compiled expression programs for the vectorized execution path.
+//
+// ExprProgram::Compile flattens a *bound* expression tree into a postfix
+// bytecode program evaluated a column at a time over a RowBatch with a
+// selection vector. Kernels mirror the row interpreter (EvalExpr /
+// EvalArithmetic / Value::Compare) operation for operation so results are
+// bit-identical; anything the kernels do not cover (IN-subqueries,
+// aggregates, window calls, unknown functions) fails to compile and the
+// operator falls back to the interpreter.
+//
+// Eager evaluation of AND/OR/CASE/COALESCE branches is safe here because
+// bound scalar expressions cannot fail at runtime: the only eval error is
+// an unbound column reference (rejected at compile), and division by zero
+// yields NULL, not an error. Short-circuiting in the interpreter is thus
+// purely an optimization, never a semantic guard.
+#ifndef RFID_EXPR_BYTECODE_H_
+#define RFID_EXPR_BYTECODE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+#include "expr/row_batch.h"
+
+namespace rfid {
+
+enum class BcOp : uint8_t {
+  kLoadCol,     // a = slot
+  kLoadConst,   // a = constant index
+  kCompare,     // a = BinaryOp (kEq..kGe)
+  kArith,       // a = BinaryOp (kAdd..kDiv), rtype = bound result type
+  kAnd,         // Kleene
+  kOr,          // Kleene
+  kNot,
+  kIsNull,      // b = negated (IS NOT NULL)
+  kCase,        // a = #WHEN/THEN pairs, b = has_else
+  kInList,      // a = total children (probe + items)
+  kInValueSet,  // a = set index, b = set_has_null
+  kCoalesce,    // a = #children
+  kLike,        // [text, pattern] -> BOOL
+};
+
+struct BcInst {
+  BcOp op;
+  int32_t a = 0;
+  int32_t b = 0;
+  DataType rtype = DataType::kNull;
+};
+
+/// Reusable evaluation scratch (register pool). One per thread of
+/// execution; programs themselves are immutable and shareable.
+struct ExprScratch {
+  std::vector<ColumnVector> regs;
+  std::vector<const ColumnVector*> refs;
+  std::vector<const Value*> konsts;
+  ColumnVector tmp;
+  ColumnVector pred;
+};
+
+class ExprProgram {
+ public:
+  /// Compiles a bound expression. Fails (caller falls back to EvalExpr)
+  /// on unsupported node kinds or unbound column references.
+  static Result<ExprProgram> Compile(const Expr& bound);
+
+  /// Evaluates over the rows listed in sel (or all batch rows when sel is
+  /// null). *out is Reset to batch.num_rows(); entries outside the
+  /// selection are left NULL and must not be read.
+  void Eval(const RowBatch& batch, const uint32_t* sel, size_t sel_size,
+            ColumnVector* out, ExprScratch* scratch) const;
+
+  /// Predicate form: narrows *sel to the rows where the program yields
+  /// TRUE (NULL counts false, as in EvalPredicate).
+  void EvalFilter(const RowBatch& batch, std::vector<uint32_t>* sel,
+                  ExprScratch* scratch) const;
+
+  /// Slots read by kLoadCol instructions (deduplicated, ascending) — lets
+  /// callers build partial batches holding only the referenced columns.
+  const std::vector<int>& referenced_slots() const { return slots_; }
+
+  /// If the whole program is a single column load, its slot; else -1.
+  int single_column_slot() const {
+    return code_.size() == 1 && code_[0].op == BcOp::kLoadCol ? code_[0].a
+                                                              : -1;
+  }
+
+  size_t size() const { return code_.size(); }
+
+ private:
+  friend struct ProgramBuilder;
+
+  std::vector<BcInst> code_;
+  std::vector<Value> consts_;
+  std::vector<std::shared_ptr<const std::unordered_set<Value, ValueHash>>>
+      sets_;
+  std::vector<int> slots_;
+  int max_stack_ = 0;
+};
+
+/// A WHERE clause compiled as its top-level conjuncts, applied in order,
+/// each narrowing the selection vector — evaluation work shrinks with the
+/// running selectivity exactly like the interpreter's short-circuit AND.
+class FilterProgram {
+ public:
+  static Result<FilterProgram> Compile(const Expr& bound_predicate);
+
+  /// Narrows *sel to rows passing every conjunct.
+  void Apply(const RowBatch& batch, std::vector<uint32_t>* sel,
+             ExprScratch* scratch) const;
+
+  size_t num_conjuncts() const { return conjuncts_.size(); }
+
+ private:
+  std::vector<ExprProgram> conjuncts_;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_EXPR_BYTECODE_H_

@@ -196,6 +196,22 @@ Result<ExprPtr> BindExpr(const ExprPtr& e, const RowDesc& desc) {
         bound->result_type = result;
         return bound;
       }
+      if (e->func_name == "like") {
+        if (e->children.size() != 2) {
+          return Status::BindError("LIKE requires exactly two arguments");
+        }
+        for (size_t i = 0; i < e->children.size(); ++i) {
+          RFID_ASSIGN_OR_RETURN(bound->children[i],
+                                BindExpr(e->children[i], desc));
+          DataType t = bound->children[i]->result_type;
+          if (t != DataType::kString && t != DataType::kNull) {
+            return Status::BindError(StrFormat(
+                "LIKE requires string operands, got %s", DataTypeName(t)));
+          }
+        }
+        bound->result_type = DataType::kBool;
+        return bound;
+      }
       if (ContainsAggregate(e)) {
         return Status::BindError(
             "aggregate function in scalar context: " + e->func_name);
@@ -334,7 +350,15 @@ Result<Value> EvalExpr(const Expr& e, const Row& row) {
       return Value::Null();
     }
     case ExprKind::kFuncCall: {
-      // Only COALESCE reaches evaluation (the binder rejects the rest).
+      // Only COALESCE and LIKE reach evaluation (the binder rejects the
+      // rest).
+      if (e.func_name == "like") {
+        RFID_ASSIGN_OR_RETURN(Value text, EvalExpr(*e.children[0], row));
+        RFID_ASSIGN_OR_RETURN(Value pattern, EvalExpr(*e.children[1], row));
+        if (text.is_null() || pattern.is_null()) return Value::Null();
+        return Value::Bool(
+            SqlLikeMatch(text.string_value(), pattern.string_value()));
+      }
       for (const ExprPtr& child : e.children) {
         RFID_ASSIGN_OR_RETURN(Value v, EvalExpr(*child, row));
         if (!v.is_null()) return v;

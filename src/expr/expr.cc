@@ -342,6 +342,15 @@ std::string ToSqlInner(const ExprPtr& e, int parent_prec) {
       return out;
     }
     case ExprKind::kFuncCall: {
+      // LIKE is a reserved word, so LIKE(a, b) would not re-parse as a
+      // call; render the infix form the parser desugars from.
+      if (e->func_name == "like" && !e->window.has_value() &&
+          e->children.size() == 2) {
+        std::string out = ToSqlInner(e->children[0], 6) + " LIKE " +
+                          ToSqlInner(e->children[1], 6);
+        if (parent_prec > 3) return "(" + out + ")";
+        return out;
+      }
       std::string out = ToUpper(e->func_name) + "(";
       if (e->distinct) out += "DISTINCT ";
       for (size_t i = 0; i < e->children.size(); ++i) {

@@ -1045,6 +1045,13 @@ Result<QueryResult> ExecuteSql(const Database& db, std::string_view sql,
                        policy.max_dop,
                        std::to_string(policy.min_parallel_rows).c_str());
   }
+  // Second line: the engine mode — vectorized batch size, or row-at-a-time.
+  if (VectorizedEnabled()) {
+    header += StrFormat("vectorized: on (batch=%s)\n",
+                        std::to_string(BatchCapacity()).c_str());
+  } else {
+    header += "vectorized: off\n";
+  }
   result.explain = header + ExplainOperatorTree(*plan.root);
   result.peak_memory_bytes = ctx->memory_peak();
   return result;

@@ -112,7 +112,7 @@ class Parser {
         "select", "from",  "where", "group",  "order", "union",
         "and",    "or",    "not",   "as",     "on",    "when",
         "then",   "else",  "end",   "case",   "in",    "is",
-        "between", "distinct", "having", "with", "asc", "desc",
+        "between", "like", "distinct", "having", "with", "asc", "desc",
         "preceding", "following", "unbounded", "current", "rows", "range",
         "partition", "by", "over", "all", "limit",
     };
@@ -276,9 +276,11 @@ class Parser {
       RFID_RETURN_IF_ERROR(ExpectKeyword("null"));
       return MakeIsNull(std::move(left), negated);
     }
-    // [NOT] IN (...) / [NOT] BETWEEN x AND y
+    // [NOT] IN (...) / [NOT] BETWEEN x AND y / [NOT] LIKE pattern
     bool negated = false;
-    if (PeekKeyword("not") && (PeekKeyword("in", 1) || PeekKeyword("between", 1))) {
+    if (PeekKeyword("not") && (PeekKeyword("in", 1) ||
+                               PeekKeyword("between", 1) ||
+                               PeekKeyword("like", 1))) {
       Advance();
       negated = true;
     }
@@ -308,6 +310,17 @@ class Parser {
           BinaryOp::kAnd, MakeBinary(BinaryOp::kGe, left, std::move(lo)),
           MakeBinary(BinaryOp::kLe, CloneExpr(left), std::move(hi)));
       return negated ? MakeNot(std::move(range)) : range;
+    }
+    // Desugars to the scalar function like(text, pattern); ExprToSql
+    // renders it back in this infix form, so rewrite round-trips
+    // preserve it.
+    if (MatchKeyword("like")) {
+      RFID_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(left));
+      args.push_back(std::move(pattern));
+      ExprPtr like = MakeFuncCall("like", std::move(args));
+      return negated ? MakeNot(std::move(like)) : like;
     }
     // plain comparison
     static constexpr struct {

@@ -19,6 +19,7 @@
 #ifndef RFID_STORAGE_ROW_STORE_H_
 #define RFID_STORAGE_ROW_STORE_H_
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <vector>
@@ -66,6 +67,21 @@ class RowStore {
   /// Drops unpublished rows back to `n` (>= visible). Writer-side only;
   /// used to roll back a failed ingest batch.
   void TruncateTo(uint64_t n);
+
+  /// Applies fn to every row in [begin, end), walking whole segments at a
+  /// time so the per-row segment arithmetic of row() stays out of scan
+  /// hot loops. Callers bound `end` by an acquired watermark, as with
+  /// row().
+  template <typename Fn>
+  void ForEachRow(uint64_t begin, uint64_t end, Fn&& fn) const {
+    while (begin < end) {
+      const Row* seg = segments_[begin >> kSegmentBits].get();
+      const uint64_t off = begin & (kSegmentRows - 1);
+      const uint64_t run = std::min<uint64_t>(end - begin, kSegmentRows - off);
+      for (uint64_t i = 0; i < run; ++i) fn(seg[off + i]);
+      begin += run;
+    }
+  }
 
   /// Replaces the entire content. Only valid while no readers are active
   /// (single-threaded bulk-update phases); publishes the new size.

@@ -16,6 +16,7 @@
 #include "common/fault.h"
 #include "common/string_util.h"
 #include "common/time_util.h"
+#include "expr/row_batch.h"
 #include "plan/planner.h"
 #include "rewrite/rewriter.h"
 
@@ -85,6 +86,11 @@ class FaultInjectionTest : public ::testing::Test {
                                  "< 5 MINUTES ACTION DELETE A")
                     .ok());
     rewriter_ = std::make_unique<QueryRewriter>(&db_, engine_.get());
+  }
+
+  void TearDown() override {
+    SetVectorizedForTest(-1);
+    SetBatchCapacityForTest(0);
   }
 
   // Runs one full pipeline (optional rewrite, then execute) under
@@ -191,6 +197,62 @@ TEST_F(FaultInjectionTest, JoinAggregateSweep) {
         "SELECT l.site, count(*) FROM caseR c, locs l "
         "WHERE c.biz_loc = l.gln AND l.site = 'store1' GROUP BY l.site",
         RewriteStrategy::kAuto);
+}
+
+// The default sweeps above run whatever engine the build defaults to
+// (vectorized when RFID_VECTORIZED=ON). Pin the row interpreter so its
+// per-row unwind paths stay swept even with batching on by default.
+TEST_F(FaultInjectionTest, RowEngineSweepStillCovered) {
+  SetVectorizedForTest(0);
+  Sweep("row-naive", "SELECT epc, rtime FROM caseR WHERE biz_loc = 'locA'",
+        RewriteStrategy::kNaive);
+}
+
+// Batch pipelines at a tiny capacity: several NextBatch calls per
+// operator, so the sweep crosses mid-stream batch refills in every
+// operator of the window/join plans.
+TEST_F(FaultInjectionTest, VectorizedSmallBatchSweep) {
+  SetVectorizedForTest(1);
+  SetBatchCapacityForTest(5);
+  Sweep("vectorized-expanded",
+        "SELECT epc, rtime FROM caseR WHERE biz_loc = 'locA'",
+        RewriteStrategy::kExpanded);
+}
+
+// Faults injected at `<Op>.NextBatch` sites specifically must surface
+// and unwind through the same idempotent Close/RAII guards as row-path
+// faults — and those sites must actually exist in a vectorized plan.
+TEST_F(FaultInjectionTest, NextBatchFaultSitesUnwindCleanly) {
+#ifdef RFID_VECTORIZED_OFF
+  GTEST_SKIP() << "built with RFID_VECTORIZED=OFF; no NextBatch sites";
+#endif
+  SetVectorizedForTest(1);
+  SetBatchCapacityForTest(4);
+  const std::string sql = "SELECT epc, rtime FROM caseR WHERE biz_loc = 'locA'";
+
+  FaultInjector counter = FaultInjector::CountOnly();
+  uint64_t total_steps = 0;
+  {
+    ScopedFaultInjector scope(&counter);
+    PipelineOutcome out = RunPipeline(sql, RewriteStrategy::kNaive);
+    ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+    total_steps = counter.steps();
+  }
+
+  size_t next_batch_faults = 0;
+  for (uint64_t k = 0; k < total_steps; ++k) {
+    FaultInjector injector = FaultInjector::FailAtStep(k);
+    ScopedFaultInjector scope(&injector);
+    PipelineOutcome out = RunPipeline(sql, RewriteStrategy::kNaive);
+    ASSERT_TRUE(injector.fired()) << "step " << k;
+    ASSERT_FALSE(out.status.ok()) << "fault at step " << k << " swallowed";
+    EXPECT_TRUE(out.rows.empty()) << "partial rows escaped at step " << k;
+    if (injector.fired_site().find(".NextBatch") != std::string::npos) {
+      ++next_batch_faults;
+    }
+  }
+  EXPECT_GT(next_batch_faults, 0u)
+      << "no NextBatch fault sites crossed: the plan did not run batched";
 }
 
 // Reproducible chaos: random-fire injectors across many seeds. The
