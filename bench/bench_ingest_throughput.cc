@@ -48,7 +48,7 @@ std::vector<TableBatch> ToGroup(StreamBatch b) {
 double PercentileMs(std::vector<double> samples, double p) {
   if (samples.empty()) return 0.0;
   std::sort(samples.begin(), samples.end());
-  size_t idx = static_cast<size_t>(p * (samples.size() - 1));
+  size_t idx = static_cast<size_t>(p * static_cast<double>(samples.size() - 1));
   return samples[idx];
 }
 

@@ -6,6 +6,10 @@
 //                                batch; queries pin the latest snapshot)
 //   .rule DEFINE ...;            define a cleansing rule (SQL-TS)
 //   .rules                       list defined rules and their templates
+//   .lint                        static checks over the rule catalog
+//                                (duplicate names, unsatisfiable
+//                                conditions, DELETE/KEEP overlap,
+//                                correction-order races)
 //   .strategy auto|expanded|joinback|naive|off
 //   .explain on|off              print executed plans
 //   .candidates on|off           print costed rewrite candidates
@@ -29,6 +33,7 @@
 #include "rfidgen/stream.h"
 #include "storage/persist.h"
 #include "sql/render.h"
+#include "verify/rule_linter.h"
 
 using namespace rfid;
 
@@ -102,6 +107,12 @@ void RunSql(ShellState& state, const std::string& sql) {
     if (!info.ok()) {
       printf("rewrite error: %s\n", info.status().ToString().c_str());
       return;
+    }
+    // Lint findings are warnings: the rewrite proceeds, but rules whose
+    // outcome depends on creation order (or that can never fire) are
+    // worth seeing next to every query they cleansed.
+    for (const LintFinding& f : info->lint) {
+      printf("warning: %s\n", f.ToString().c_str());
     }
     if (info->chosen != RewriteStrategy::kNone) {
       printf("[rewritten: %s strategy, est. cost %.0f]\n",
@@ -231,6 +242,16 @@ void RunCommand(ShellState& state, const std::string& line) {
     auto res = ExecuteSql(state.db,
                           "SELECT seq, name, on_table, action FROM __rules");
     if (res.ok()) PrintTable(*res);
+    return;
+  }
+  if (cmd == ".lint") {
+    std::vector<LintFinding> findings = LintRules(state.rules->rules());
+    for (const LintFinding& f : findings) {
+      printf("%s\n", f.ToString().c_str());
+    }
+    printf("(%zu finding%s over %zu rule%s)\n", findings.size(),
+           findings.size() == 1 ? "" : "s", state.rules->rules().size(),
+           state.rules->rules().size() == 1 ? "" : "s");
     return;
   }
   if (cmd == ".strategy") {

@@ -19,9 +19,31 @@ for arg in "$@"; do
   [ "$arg" = "--quick" ] && QUICK=1
 done
 
-cmake -B build -G Ninja
+# Every run below executes with the static verification layer on (hard
+# mode): the plan invariant checker fires after each planner phase, the
+# bytecode verifier gates every compiled expression program, and the
+# rewriter holds every candidate to the original projection schema.
+export RFID_VERIFY_PLANS=1
+
+# -Werror promotes the -Wall/-Wextra/-Wconversion set to errors; the
+# main build compiles every target, so it is the warning gate for the
+# whole tree. Compile commands are exported for the clang-tidy pass.
+cmake -B build -G Ninja -DRFID_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# Static lint: clang-tidy over the library sources (config in
+# .clang-tidy). Skipped with a notice on toolchains without clang-tidy;
+# the -Werror gate above still enforces the compiler warning set.
+if command -v clang-tidy > /dev/null 2>&1; then
+  if command -v run-clang-tidy > /dev/null 2>&1; then
+    run-clang-tidy -p build -quiet "$(pwd)/src/.*"
+  else
+    find src -name '*.cc' -print0 | xargs -0 -n 8 clang-tidy -p build --quiet
+  fi
+else
+  echo "check.sh: clang-tidy not found; skipping the lint pass"
+fi
 
 # Vectorized-vs-interpreted fingerprint sweep: batch plans must be
 # bit-identical to the row interpreter across all three cleansing rewrite
@@ -36,7 +58,9 @@ if [ "$QUICK" -eq 0 ]; then
   # unwind paths and the bytecode kernels are swept too.
   cmake -B build-asan -G Ninja -DRFID_SANITIZE=ON
   cmake --build build-asan --target fault_injection_test guardrails_test \
-    exec_test common_test expr_golden_test vectorized_exec_test
+    exec_test common_test ingest_fault_test expr_golden_test \
+    vectorized_exec_test verify_test
+  ./build-asan/tests/verify_test
   ./build-asan/tests/fault_injection_test
   ./build-asan/tests/guardrails_test
   ./build-asan/tests/exec_test
@@ -44,6 +68,20 @@ if [ "$QUICK" -eq 0 ]; then
   ./build-asan/tests/ingest_fault_test
   ./build-asan/tests/expr_golden_test
   ./build-asan/tests/vectorized_exec_test
+
+  # UBSan-alone pass (-fno-sanitize-recover=all, no ASan interposition):
+  # any undefined behavior in the planner, rewriter, bytecode kernels, or
+  # the verifiers themselves — including the hand-corrupted plans and the
+  # bytecode mutation sweep of verify_test, which feed the verifiers
+  # deliberately hostile inputs — aborts the test.
+  cmake -B build-ubsan -G Ninja -DRFID_SANITIZE=undefined
+  cmake --build build-ubsan --target verify_test planner_test \
+    expr_golden_test rewrite_property_test fault_injection_test
+  ./build-ubsan/tests/verify_test
+  ./build-ubsan/tests/planner_test
+  ./build-ubsan/tests/expr_golden_test
+  ./build-ubsan/tests/rewrite_property_test
+  ./build-ubsan/tests/fault_injection_test
 
   # TSan pass: queries pin epoch snapshots while an IngestDriver publishes
   # new ones, and morsel-driven parallel operators fan work out to pool

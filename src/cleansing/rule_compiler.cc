@@ -21,13 +21,6 @@ bool HasColumn(const std::vector<Column>& cols, std::string_view name) {
   return false;
 }
 
-DataType ColumnType(const std::vector<Column>& cols, std::string_view name) {
-  for (const Column& c : cols) {
-    if (EqualsIgnoreCase(c.name, name)) return c.type;
-  }
-  return DataType::kNull;
-}
-
 // Microsecond bounds on (X.skey - T.skey), intersected from the rule's
 // sequence-key difference conjuncts plus the pattern-implied direction.
 struct DiffBounds {

@@ -6,6 +6,7 @@
 
 #include "common/string_util.h"
 #include "expr/bytecode.h"
+#include "verify/bytecode_verifier.h"
 
 namespace rfid {
 
@@ -130,20 +131,20 @@ Status HashAggregateOp::OpenImpl() {
     std::vector<std::optional<ExprProgram>> key_progs;
     std::vector<std::optional<ExprProgram>> arg_progs;
     for (const ExprPtr& g : group_exprs_) {
-      Result<ExprProgram> c = ExprProgram::Compile(*g);
-      key_progs.emplace_back(c.ok() ? std::optional<ExprProgram>(
-                                          std::move(c).value())
-                                    : std::nullopt);
+      RFID_ASSIGN_OR_RETURN(
+          std::optional<ExprProgram> c,
+          CompileVerified(*g, child_->output_desc(), "HashAggregate"));
+      key_progs.emplace_back(std::move(c));
     }
     for (const AggSpec& spec : aggs_) {
       if (spec.arg == nullptr) {
         arg_progs.emplace_back(std::nullopt);
         continue;
       }
-      Result<ExprProgram> c = ExprProgram::Compile(*spec.arg);
-      arg_progs.emplace_back(c.ok() ? std::optional<ExprProgram>(
-                                          std::move(c).value())
-                                    : std::nullopt);
+      RFID_ASSIGN_OR_RETURN(
+          std::optional<ExprProgram> c,
+          CompileVerified(*spec.arg, child_->output_desc(), "HashAggregate"));
+      arg_progs.emplace_back(std::move(c));
     }
     RowBatch batch;
     ExprScratch scratch;

@@ -34,6 +34,9 @@ class HashAggregateOp : public Operator {
   std::string detail() const override;
   std::vector<const Operator*> children() const override { return {child_.get()}; }
 
+  const std::vector<ExprPtr>& group_exprs() const { return group_exprs_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;

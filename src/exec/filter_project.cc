@@ -1,5 +1,7 @@
 #include "exec/filter_project.h"
 
+#include "verify/bytecode_verifier.h"
+
 namespace rfid {
 
 FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
@@ -14,8 +16,10 @@ Status FilterOp::OpenImpl() {
   in_bytes_ = 0;
   program_.reset();
   if (VectorizedEnabled()) {
-    Result<FilterProgram> compiled = FilterProgram::Compile(*predicate_);
-    if (compiled.ok()) program_.emplace(std::move(compiled).value());
+    RFID_ASSIGN_OR_RETURN(
+        std::optional<FilterProgram> compiled,
+        CompileVerifiedFilter(*predicate_, child_->output_desc(), "Filter"));
+    if (compiled.has_value()) program_.emplace(std::move(*compiled));
   }
   return child_->Open();
 }
@@ -91,12 +95,10 @@ Status ProjectOp::OpenImpl() {
   if (VectorizedEnabled()) {
     progs_.reserve(exprs_.size());
     for (const ExprPtr& e : exprs_) {
-      Result<ExprProgram> compiled = ExprProgram::Compile(*e);
-      if (compiled.ok()) {
-        progs_.emplace_back(std::move(compiled).value());
-      } else {
-        progs_.emplace_back(std::nullopt);
-      }
+      RFID_ASSIGN_OR_RETURN(
+          std::optional<ExprProgram> compiled,
+          CompileVerified(*e, child_->output_desc(), "Project"));
+      progs_.emplace_back(std::move(compiled));
     }
   }
   return child_->Open();

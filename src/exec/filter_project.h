@@ -27,6 +27,8 @@ class FilterOp : public Operator {
   std::string detail() const override { return ExprToSql(predicate_); }
   std::vector<const Operator*> children() const override { return {child_.get()}; }
 
+  const ExprPtr& predicate() const { return predicate_; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
@@ -58,6 +60,8 @@ class ProjectOp : public Operator {
   std::string name() const override { return "Project"; }
   std::string detail() const override;
   std::vector<const Operator*> children() const override { return {child_.get()}; }
+
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
 
  protected:
   Status OpenImpl() override;

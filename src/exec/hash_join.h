@@ -41,6 +41,10 @@ class HashJoinOp : public Operator {
     return {probe_.get(), build_.get()};
   }
 
+  const std::vector<size_t>& probe_key_slots() const { return probe_key_slots_; }
+  const std::vector<size_t>& build_key_slots() const { return build_key_slots_; }
+  JoinType join_type() const { return type_; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;

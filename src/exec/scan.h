@@ -20,6 +20,8 @@ class TableScanOp : public Operator {
   std::string name() const override { return "TableScan"; }
   std::string detail() const override;
 
+  const Table* table() const { return table_; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
@@ -52,6 +54,9 @@ class ParallelTableScanOp : public Operator {
   std::string name() const override { return "ParallelTableScan"; }
   std::string detail() const override;
 
+  const Table* table() const { return table_; }
+  const ExprPtr& predicate() const { return predicate_; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
@@ -78,6 +83,9 @@ class IndexRangeScanOp : public Operator {
 
   std::string name() const override { return "IndexRangeScan"; }
   std::string detail() const override;
+
+  const Table* table() const { return table_; }
+  const SortedIndex* index() const { return index_; }
 
  protected:
   Status OpenImpl() override;

@@ -33,6 +33,8 @@ class SortOp : public Operator {
   /// cleansing (Section 6.2 of the paper).
   uint64_t rows_sorted() const { return rows_sorted_; }
 
+  const std::vector<SlotSortKey>& keys() const { return keys_; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "exec/parallel.h"
+#include "verify/bytecode_verifier.h"
 
 namespace rfid {
 
@@ -144,12 +145,10 @@ Status WindowOp::OpenImpl() {
         arg_progs_.emplace_back();
         continue;
       }
-      Result<ExprProgram> compiled = ExprProgram::Compile(*a.arg);
-      if (compiled.ok()) {
-        arg_progs_.emplace_back(std::move(compiled).value());
-      } else {
-        arg_progs_.emplace_back();
-      }
+      RFID_ASSIGN_OR_RETURN(
+          std::optional<ExprProgram> compiled,
+          CompileVerified(*a.arg, child_->output_desc(), "Window"));
+      arg_progs_.emplace_back(std::move(compiled));
     }
   }
 

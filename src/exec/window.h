@@ -55,6 +55,10 @@ class WindowOp : public Operator {
   std::string detail() const override;
   std::vector<const Operator*> children() const override { return {child_.get()}; }
 
+  const std::vector<size_t>& partition_slots() const { return partition_slots_; }
+  const std::vector<SlotSortKey>& order_keys() const { return order_keys_; }
+  const std::vector<WindowAggSpec>& aggs() const { return aggs_; }
+
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;

@@ -50,6 +50,17 @@ struct BcInst {
   DataType rtype = DataType::kNull;
 };
 
+/// Owning structural snapshot of a compiled program: everything the
+/// bytecode verifier needs to prove the program safe to run (and
+/// everything a mutation test needs to corrupt). `num_sets` is the size
+/// of the IN-value-set pool; set contents are irrelevant to structure.
+struct BytecodeImage {
+  std::vector<BcInst> code;
+  std::vector<Value> consts;
+  size_t num_sets = 0;
+  int max_stack = 0;
+};
+
 /// Reusable evaluation scratch (register pool). One per thread of
 /// execution; programs themselves are immutable and shareable.
 struct ExprScratch {
@@ -89,6 +100,9 @@ class ExprProgram {
 
   size_t size() const { return code_.size(); }
 
+  /// Structural snapshot for verification and corruption tests.
+  BytecodeImage Image() const { return {code_, consts_, sets_.size(), max_stack_}; }
+
  private:
   friend struct ProgramBuilder;
 
@@ -112,6 +126,9 @@ class FilterProgram {
              ExprScratch* scratch) const;
 
   size_t num_conjuncts() const { return conjuncts_.size(); }
+
+  /// The compiled conjunct programs, for the bytecode verifier.
+  const std::vector<ExprProgram>& conjuncts() const { return conjuncts_; }
 
  private:
   std::vector<ExprProgram> conjuncts_;

@@ -275,11 +275,6 @@ int ToTri(const Value& v) {
   return v.bool_value() ? 1 : 0;
 }
 
-Value FromTri(int t) {
-  if (t == 2) return Value::Null();
-  return Value::Bool(t == 1);
-}
-
 }  // namespace
 
 Result<Value> EvalExpr(const Expr& e, const Row& row) {

@@ -19,6 +19,8 @@
 #include "expr/interval.h"
 #include "plan/cost_model.h"
 #include "sql/parser.h"
+#include "verify/plan_verifier.h"
+#include "verify/verify.h"
 
 namespace rfid {
 
@@ -143,6 +145,13 @@ class PlannerImpl {
   StatsView ViewFor(const Table* table) const {
     if (const TableSnapshot* ts = SnapshotFor(table)) return ts->stats_view();
     return table != nullptr ? table->CurrentStatsView() : StatsView{};
+  }
+
+  // Phase-boundary invariant check (no-op unless verification is on).
+  // Partial trees are fine: every phase leaves a well-formed subtree.
+  Status Verify(const Operator& op, const char* phase) const {
+    if (!VerifyEnabled()) return Status::OK();
+    return VerifyPlan(op, phase, ctx_);
   }
 
   // `scope` holds enclosing WITH clauses, innermost last.
@@ -351,6 +360,9 @@ class PlannerImpl {
         s.node.op = std::make_unique<FilterOp>(std::move(s.node.op), pred);
         s.node.ordering = std::move(ordering);
       }
+      // Predicate pushdown, index selection and scan DOP assignment are
+      // settled for this source: check the access path.
+      RFID_RETURN_IF_ERROR(Verify(*s.node.op, "access-path"));
     }
 
     // --- apply semi-joins (IN subqueries) ---
@@ -476,6 +488,7 @@ class PlannerImpl {
       tree.op = std::make_unique<FilterOp>(std::move(tree.op), pred);
       tree.ordering = std::move(ordering);
     }
+    RFID_RETURN_IF_ERROR(Verify(*tree.op, "join-order"));
 
     // --- window functions ---
     // Output names are fixed now, before window/aggregate extraction
@@ -504,6 +517,7 @@ class PlannerImpl {
       items.push_back({q, item.alias, false});
     }
     RFID_RETURN_IF_ERROR(PlanWindows(&tree, &items));
+    RFID_RETURN_IF_ERROR(Verify(*tree.op, "window"));
 
     // --- grouping / aggregation (with HAVING) ---
     bool has_aggregate = !core.group_by.empty() || core.having != nullptr;
@@ -591,6 +605,7 @@ class PlannerImpl {
       tree.op = std::make_unique<DistinctOp>(std::move(tree.op));
       tree.ordering = std::move(ordering);  // first-seen emission keeps order
     }
+    RFID_RETURN_IF_ERROR(Verify(*tree.op, "projection"));
     return tree;
   }
 
@@ -1008,6 +1023,11 @@ Result<PlannedQuery> Planner::Plan(const SelectStatement& stmt) {
   out.estimated_rows = node.rows;
   out.estimated_cost = node.cost;
   out.max_dop = MaxTreeDop(*out.root);
+  // Whole-plan invariant check over the finished tree (ORDER BY / LIMIT
+  // / UNION ALL wrappers included).
+  if (VerifyEnabled()) {
+    RFID_RETURN_IF_ERROR(VerifyPlan(*out.root, "final", ctx_));
+  }
   return out;
 }
 

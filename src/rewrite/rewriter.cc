@@ -12,6 +12,7 @@
 #include "rewrite/transitivity.h"
 #include "sql/parser.h"
 #include "sql/render.h"
+#include "verify/verify.h"
 
 namespace rfid {
 
@@ -257,6 +258,32 @@ std::vector<ExprPtr> SimplifyDisjuncts(std::vector<ExprPtr> disjuncts) {
   return out;
 }
 
+// Rewrite invariant: every candidate statement must project the same
+// schema as the user's original query — same column count, and per
+// position the same name (case-insensitive) and type.
+Status CheckProjectionPreserved(const RowDesc& original, const RowDesc& got,
+                                const std::string& label) {
+  const auto& want = original.fields();
+  const auto& have = got.fields();
+  if (want.size() != have.size()) {
+    return Status::Internal(StrFormat(
+        "verify[rewrite] op=%s: invariant=projection-schema: candidate "
+        "projects %zu columns, original query projects %zu",
+        label.c_str(), have.size(), want.size()));
+  }
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (!EqualsIgnoreCase(have[i].name, want[i].name) ||
+        have[i].type != want[i].type) {
+      return Status::Internal(StrFormat(
+          "verify[rewrite] op=%s: invariant=projection-schema: output "
+          "column %zu is %s '%s', original query has %s '%s'",
+          label.c_str(), i, DataTypeName(have[i].type), have[i].name.c_str(),
+          DataTypeName(want[i].type), want[i].name.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<RewriteInfo> QueryRewriter::Rewrite(std::string_view sql,
@@ -291,6 +318,7 @@ Result<RewriteInfo> QueryRewriter::Rewrite(std::string_view sql,
   }
   std::vector<const CleansingRule*> rules = engine_->RulesFor(table);
   RFID_ASSIGN_OR_RETURN(Table * reads, db_->ResolveTable(table));
+  info.lint = LintRulesFor(engine_->rules(), table);
 
   QueryAnalysis analysis = AnalyzeCore(*site.core, site.alias, reads, *db_);
 
@@ -428,12 +456,26 @@ Result<RewriteInfo> QueryRewriter::Rewrite(std::string_view sql,
     }
   }
 
+  // Under verification, plan the user's statement once and hold every
+  // candidate's output schema to it (the projection-schema invariant).
+  RowDesc original_desc;
+  const bool check_schema = VerifyEnabled();
+  if (check_schema) {
+    RFID_ASSIGN_OR_RETURN(PlannedQuery original,
+                          PlanSql(*db_, sql, options.exec_context));
+    original_desc = original.root->output_desc();
+  }
+
   for (const PendingCandidate& p : pending) {
     RFID_ASSIGN_OR_RETURN(std::string candidate_sql,
                           AssembleRewrite(*stmt, table, rules, *db_, p.spec));
     RFID_ASSIGN_OR_RETURN(
         PlannedQuery plan,
         PlanSql(*db_, candidate_sql, options.exec_context));
+    if (check_schema) {
+      RFID_RETURN_IF_ERROR(CheckProjectionPreserved(
+          original_desc, plan.root->output_desc(), p.spec.label));
+    }
     info.candidates.push_back({p.spec.label, p.spec.strategy,
                                std::move(candidate_sql), plan.estimated_cost});
   }

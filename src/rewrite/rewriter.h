@@ -19,6 +19,7 @@
 
 #include "cleansing/rule.h"
 #include "exec/exec_context.h"
+#include "verify/rule_linter.h"
 
 namespace rfid {
 
@@ -74,6 +75,12 @@ struct RewriteInfo {
   ExprPtr relaxed_condition;   // sequence-key interval relaxation of ec
   std::vector<RuleContextInfo> contexts;
   std::vector<RewriteCandidate> candidates;  // everything that was costed
+
+  /// Static-lint findings for the rules that applied to this query's
+  /// table (duplicate names, unsatisfiable conditions, DELETE/KEEP
+  /// overlap, correction-order nondeterminism). Advisory: the rewrite
+  /// proceeds regardless; EXPLAIN and `rfidsql` surface these.
+  std::vector<LintFinding> lint;
 };
 
 class QueryRewriter {

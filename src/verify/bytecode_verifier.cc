@@ -1,0 +1,345 @@
+#include "verify/bytecode_verifier.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/string_util.h"
+#include "verify/verify.h"
+
+namespace rfid {
+
+namespace {
+
+const char* BcOpName(BcOp op) {
+  switch (op) {
+    case BcOp::kLoadCol: return "kLoadCol";
+    case BcOp::kLoadConst: return "kLoadConst";
+    case BcOp::kCompare: return "kCompare";
+    case BcOp::kArith: return "kArith";
+    case BcOp::kAnd: return "kAnd";
+    case BcOp::kOr: return "kOr";
+    case BcOp::kNot: return "kNot";
+    case BcOp::kIsNull: return "kIsNull";
+    case BcOp::kCase: return "kCase";
+    case BcOp::kInList: return "kInList";
+    case BcOp::kInValueSet: return "kInValueSet";
+    case BcOp::kCoalesce: return "kCoalesce";
+    case BcOp::kLike: return "kLike";
+  }
+  return "invalid";
+}
+
+Status Violation(size_t idx, BcOp op, const char* invariant,
+                 const std::string& detail) {
+  return Status::Internal(StrFormat(
+      "verify[bytecode] inst %zu (%s): invariant=%s: %s", idx, BcOpName(op),
+      invariant, detail.c_str()));
+}
+
+// kNull doubles as "statically unknown" on the simulated stack: a CASE
+// join of differing branch types, or a column whose type the descriptor
+// does not pin. Unknown operands pass every type check (the runtime
+// kernels handle any tag); known operands must be consistent.
+bool Unknown(DataType t) { return t == DataType::kNull; }
+
+bool BoolLike(DataType t) { return Unknown(t) || t == DataType::kBool; }
+
+bool ArithLike(DataType t) {
+  return Unknown(t) || t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kTimestamp || t == DataType::kInterval;
+}
+
+DataType Join(DataType a, DataType b) {
+  if (Unknown(a) || Unknown(b) || a != b) return DataType::kNull;
+  return a;
+}
+
+}  // namespace
+
+Status VerifyBytecode(const BytecodeImage& image, const RowDesc& input) {
+  if (image.code.empty()) {
+    return Status::Internal(
+        "verify[bytecode]: invariant=non-empty: program has no instructions");
+  }
+  const int64_t num_cols = static_cast<int64_t>(input.num_fields());
+  std::vector<DataType> stack;
+  stack.reserve(static_cast<size_t>(image.max_stack > 0 ? image.max_stack : 1));
+
+  for (size_t idx = 0; idx < image.code.size(); ++idx) {
+    const BcInst& inst = image.code[idx];
+
+    // Loads: bounds-check the pool index, then push.
+    if (inst.op == BcOp::kLoadCol || inst.op == BcOp::kLoadConst) {
+      DataType pushed;
+      if (inst.op == BcOp::kLoadCol) {
+        if (inst.a < 0 || inst.a >= num_cols) {
+          return Violation(idx, inst.op, "column-bounds",
+                           StrFormat("slot %d outside input row of %lld fields",
+                                     inst.a, static_cast<long long>(num_cols)));
+        }
+        pushed = input.fields()[static_cast<size_t>(inst.a)].type;
+      } else {
+        if (inst.a < 0 ||
+            static_cast<size_t>(inst.a) >= image.consts.size()) {
+          return Violation(idx, inst.op, "constant-bounds",
+                           StrFormat("constant %d outside pool of %zu", inst.a,
+                                     image.consts.size()));
+        }
+        pushed = image.consts[static_cast<size_t>(inst.a)].type();
+      }
+      if (static_cast<int64_t>(stack.size()) >=
+          static_cast<int64_t>(image.max_stack)) {
+        return Violation(idx, inst.op, "stack-bound",
+                         StrFormat("push to depth %zu exceeds max_stack %d — "
+                                   "the scratch register pool would overflow",
+                                   stack.size() + 1, image.max_stack));
+      }
+      stack.push_back(pushed);
+      continue;
+    }
+
+    // Operand arity for every computing opcode, mirroring Eval exactly.
+    int64_t arity;
+    switch (inst.op) {
+      case BcOp::kNot:
+      case BcOp::kIsNull:
+      case BcOp::kInValueSet:
+        arity = 1;
+        break;
+      case BcOp::kCase:
+        if (inst.a < 1) {
+          return Violation(idx, inst.op, "case-structure",
+                           StrFormat("needs at least one WHEN/THEN pair, a=%d",
+                                     inst.a));
+        }
+        if (inst.b != 0 && inst.b != 1) {
+          return Violation(idx, inst.op, "case-structure",
+                           StrFormat("has_else flag must be 0 or 1, b=%d",
+                                     inst.b));
+        }
+        arity = 2 * static_cast<int64_t>(inst.a) + inst.b;
+        break;
+      case BcOp::kInList:
+        if (inst.a < 2) {
+          return Violation(idx, inst.op, "arity",
+                           StrFormat("needs a probe and at least one list "
+                                     "item, a=%d", inst.a));
+        }
+        arity = inst.a;
+        break;
+      case BcOp::kCoalesce:
+        if (inst.a < 1) {
+          return Violation(idx, inst.op, "arity",
+                           StrFormat("needs at least one operand, a=%d",
+                                     inst.a));
+        }
+        arity = inst.a;
+        break;
+      case BcOp::kCompare:
+      case BcOp::kArith:
+      case BcOp::kAnd:
+      case BcOp::kOr:
+      case BcOp::kLike:
+        arity = 2;
+        break;
+      default:
+        return Violation(idx, inst.op, "opcode",
+                         StrFormat("unknown opcode byte %d",
+                                   static_cast<int>(inst.op)));
+    }
+    if (arity > static_cast<int64_t>(stack.size())) {
+      return Violation(idx, inst.op, "stack-underflow",
+                       StrFormat("consumes %lld operands but only %zu on the "
+                                 "simulated stack",
+                                 static_cast<long long>(arity), stack.size()));
+    }
+    const size_t base = stack.size() - static_cast<size_t>(arity);
+    DataType result = DataType::kBool;
+
+    switch (inst.op) {
+      case BcOp::kCompare: {
+        BinaryOp op = static_cast<BinaryOp>(inst.a);
+        if (inst.a < 0 || !IsComparisonOp(op)) {
+          return Violation(idx, inst.op, "operator-code",
+                           StrFormat("a=%d is not a comparison operator",
+                                     inst.a));
+        }
+        DataType l = stack[base];
+        DataType r = stack[base + 1];
+        if (!Unknown(l) && !Unknown(r) && !TypesComparable(l, r)) {
+          return Violation(idx, inst.op, "type-consistency",
+                           StrFormat("comparing %s with %s", DataTypeName(l),
+                                     DataTypeName(r)));
+        }
+        break;
+      }
+      case BcOp::kArith: {
+        BinaryOp op = static_cast<BinaryOp>(inst.a);
+        if (op != BinaryOp::kAdd && op != BinaryOp::kSub &&
+            op != BinaryOp::kMul && op != BinaryOp::kDiv) {
+          return Violation(idx, inst.op, "operator-code",
+                           StrFormat("a=%d is not an arithmetic operator",
+                                     inst.a));
+        }
+        if (!ArithLike(inst.rtype) || Unknown(inst.rtype)) {
+          return Violation(idx, inst.op, "result-type",
+                           StrFormat("rtype %s is not numeric",
+                                     DataTypeName(inst.rtype)));
+        }
+        for (size_t j = base; j < base + 2; ++j) {
+          if (!ArithLike(stack[j])) {
+            return Violation(idx, inst.op, "type-consistency",
+                             StrFormat("operand %zu has non-numeric type %s",
+                                       j - base, DataTypeName(stack[j])));
+          }
+        }
+        result = inst.rtype;
+        break;
+      }
+      case BcOp::kAnd:
+      case BcOp::kOr:
+      case BcOp::kNot:
+        for (size_t j = base; j < stack.size(); ++j) {
+          if (!BoolLike(stack[j])) {
+            return Violation(idx, inst.op, "type-consistency",
+                             StrFormat("operand %zu has non-boolean type %s",
+                                       j - base, DataTypeName(stack[j])));
+          }
+        }
+        break;
+      case BcOp::kIsNull:
+        if (inst.b != 0 && inst.b != 1) {
+          return Violation(idx, inst.op, "operator-code",
+                           StrFormat("negation flag must be 0 or 1, b=%d",
+                                     inst.b));
+        }
+        break;
+      case BcOp::kCase: {
+        // Layout: [when0, then0, when1, then1, ..., else?]. WHEN slots
+        // must be boolean; the result joins the THEN/ELSE types.
+        result = stack[base + 1];
+        for (int64_t p = 0; p < inst.a; ++p) {
+          DataType when = stack[base + static_cast<size_t>(2 * p)];
+          if (!BoolLike(when)) {
+            return Violation(idx, inst.op, "case-structure",
+                             StrFormat("WHEN %lld has non-boolean type %s",
+                                       static_cast<long long>(p),
+                                       DataTypeName(when)));
+          }
+          result = Join(result, stack[base + static_cast<size_t>(2 * p + 1)]);
+        }
+        if (inst.b != 0) result = Join(result, stack.back());
+        break;
+      }
+      case BcOp::kInList: {
+        DataType probe = stack[base];
+        for (size_t j = base + 1; j < stack.size(); ++j) {
+          if (!Unknown(probe) && !Unknown(stack[j]) &&
+              !TypesComparable(probe, stack[j])) {
+            return Violation(idx, inst.op, "type-consistency",
+                             StrFormat("probe type %s vs list item type %s",
+                                       DataTypeName(probe),
+                                       DataTypeName(stack[j])));
+          }
+        }
+        break;
+      }
+      case BcOp::kInValueSet:
+        if (inst.a < 0 || static_cast<size_t>(inst.a) >= image.num_sets) {
+          return Violation(idx, inst.op, "set-bounds",
+                           StrFormat("set %d outside pool of %zu", inst.a,
+                                     image.num_sets));
+        }
+        if (inst.b != 0 && inst.b != 1) {
+          return Violation(idx, inst.op, "operator-code",
+                           StrFormat("set_has_null flag must be 0 or 1, b=%d",
+                                     inst.b));
+        }
+        break;
+      case BcOp::kCoalesce: {
+        result = stack[base];
+        for (size_t j = base + 1; j < stack.size(); ++j) {
+          result = Join(result, stack[j]);
+        }
+        break;
+      }
+      case BcOp::kLike:
+        for (size_t j = base; j < stack.size(); ++j) {
+          if (!Unknown(stack[j]) && stack[j] != DataType::kString) {
+            return Violation(idx, inst.op, "type-consistency",
+                             StrFormat("operand %zu has non-string type %s",
+                                       j - base, DataTypeName(stack[j])));
+          }
+        }
+        break;
+      default:
+        break;  // unreachable: arity switch rejected unknown opcodes
+    }
+
+    stack.resize(base);
+    stack.push_back(result);
+  }
+
+  if (stack.size() != 1) {
+    return Status::Internal(StrFormat(
+        "verify[bytecode]: invariant=stack-balance: program ends with %zu "
+        "values on the stack, expected exactly 1",
+        stack.size()));
+  }
+  return Status::OK();
+}
+
+Status VerifyProgram(const ExprProgram& program, const RowDesc& input) {
+  return VerifyBytecode(program.Image(), input);
+}
+
+Status VerifyProgram(const FilterProgram& program, const RowDesc& input) {
+  for (size_t i = 0; i < program.conjuncts().size(); ++i) {
+    Status st = VerifyBytecode(program.conjuncts()[i].Image(), input);
+    if (!st.ok()) {
+      return Status::Internal(
+          StrFormat("conjunct %zu: %s", i, st.message().c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Shared hard/soft failure policy for the operator compile sites.
+template <typename ProgramT>
+Result<std::optional<ProgramT>> Checked(Result<ProgramT> compiled,
+                                        const RowDesc& input,
+                                        const char* site) {
+  if (!compiled.ok()) return std::optional<ProgramT>();  // interpreter path
+  if (VerifyEnabled()) {
+    Status st = VerifyProgram(compiled.value(), input);
+    if (!st.ok()) {
+      if (!VerifySoftMode()) {
+        return Status::Internal(
+            StrFormat("%s: %s", site, st.message().c_str()));
+      }
+      std::fprintf(stderr,
+                   "rfid: %s: bytecode verification failed, falling back to "
+                   "the row interpreter: %s\n",
+                   site, st.message().c_str());
+      return std::optional<ProgramT>();
+    }
+  }
+  return std::optional<ProgramT>(std::move(compiled).value());
+}
+
+}  // namespace
+
+Result<std::optional<ExprProgram>> CompileVerified(const Expr& bound,
+                                                  const RowDesc& input,
+                                                  const char* site) {
+  return Checked(ExprProgram::Compile(bound), input, site);
+}
+
+Result<std::optional<FilterProgram>> CompileVerifiedFilter(
+    const Expr& bound_predicate, const RowDesc& input, const char* site) {
+  return Checked(FilterProgram::Compile(bound_predicate), input, site);
+}
+
+}  // namespace rfid

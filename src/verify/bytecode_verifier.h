@@ -1,0 +1,49 @@
+// Bytecode verifier: abstract interpretation over a compiled
+// ExprProgram / FilterProgram before its first execution.
+//
+// The verifier simulates the evaluation stack symbolically (one abstract
+// type tag per stack cell, kNull = statically unknown) and proves, per
+// instruction: operand arity and stack-depth balance, column indices in
+// range for the input RowBatch layout, constant-pool and value-set-pool
+// bounds, well-nested kCase structure, operator-code validity for
+// kCompare/kArith, and type-tag consistency (comparisons over comparable
+// types, booleans into kAnd/kOr/kNot, strings into kLike). It also
+// checks the program's declared max_stack against the simulated depth —
+// the ExprScratch register pool is sized from max_stack, so a lying
+// bound is an out-of-bounds write at evaluation time.
+//
+// A Status violation names the failing instruction and invariant:
+//   verify[bytecode] inst 3 (kLoadCol): invariant=column-bounds: ...
+#ifndef RFID_VERIFY_BYTECODE_VERIFIER_H_
+#define RFID_VERIFY_BYTECODE_VERIFIER_H_
+
+#include <optional>
+
+#include "expr/bytecode.h"
+#include "expr/eval.h"
+
+namespace rfid {
+
+/// Verifies a program image against the layout of the batches it will
+/// read (`input` is the producing operator's output descriptor).
+Status VerifyBytecode(const BytecodeImage& image, const RowDesc& input);
+
+/// Convenience overloads for compiled programs.
+Status VerifyProgram(const ExprProgram& program, const RowDesc& input);
+Status VerifyProgram(const FilterProgram& program, const RowDesc& input);
+
+/// Compile-and-verify for operator Open paths. Returns the program when
+/// it compiled and (with verification enabled) verified; nullopt when
+/// the caller should fall back to the row interpreter (compile miss, or
+/// soft-mode verification failure — logged); an error Status on a hard
+/// verification failure, which fails the query loudly instead of
+/// masking a compiler bug. `site` names the operator for diagnostics.
+Result<std::optional<ExprProgram>> CompileVerified(const Expr& bound,
+                                                  const RowDesc& input,
+                                                  const char* site);
+Result<std::optional<FilterProgram>> CompileVerifiedFilter(
+    const Expr& bound_predicate, const RowDesc& input, const char* site);
+
+}  // namespace rfid
+
+#endif  // RFID_VERIFY_BYTECODE_VERIFIER_H_

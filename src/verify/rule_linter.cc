@@ -1,0 +1,179 @@
+#include "verify/rule_linter.h"
+
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "expr/conjunct.h"
+#include "expr/eval.h"
+#include "expr/interval.h"
+
+namespace rfid {
+
+namespace {
+
+// Per-variable intervals implied by the sargable conjuncts of a rule
+// condition, keyed by (pattern reference, column) — B.rtime and A.rtime
+// are distinct variables. Non-sargable conjuncts are ignored (they can
+// only narrow further, never rescue an already-empty interval).
+using IntervalMap = std::map<std::pair<std::string, std::string>, ValueInterval>;
+
+IntervalMap ConditionIntervals(const ExprPtr& condition) {
+  IntervalMap out;
+  for (const ExprPtr& c : SplitConjuncts(condition)) {
+    ColumnLiteralCmp m;
+    if (!MatchColumnLiteralCmp(FoldConstants(c), &m)) continue;
+    if (m.op == BinaryOp::kNe) continue;
+    auto key = std::make_pair(ToLower(m.column->qualifier),
+                              ToLower(m.column->column));
+    out[key].IntersectCmp(m.op, m.literal);
+  }
+  return out;
+}
+
+// True when the condition is provably unsatisfiable: a conjunct folds to
+// literal FALSE, or some variable's interval is empty.
+bool Unsatisfiable(const ExprPtr& condition, std::string* why) {
+  for (const ExprPtr& c : SplitConjuncts(condition)) {
+    ExprPtr folded = FoldConstants(c);
+    if (folded != nullptr && folded->kind == ExprKind::kLiteral &&
+        folded->value.type() == DataType::kBool &&
+        !folded->value.bool_value()) {
+      *why = StrFormat("conjunct %s folds to FALSE", ExprToSql(c).c_str());
+      return true;
+    }
+  }
+  for (const auto& [key, interval] : ConditionIntervals(condition)) {
+    if (interval.Empty()) {
+      *why = StrFormat("conjuncts on %s.%s imply the empty interval %s",
+                       key.first.c_str(), key.second.c_str(),
+                       interval.ToString().c_str());
+      return true;
+    }
+  }
+  return false;
+}
+
+// True when the two conditions are provably disjoint: some column
+// (compared by name, pattern qualifiers stripped — both rules bind their
+// references over the same input rows) is constrained to
+// non-intersecting intervals. When this cannot be proven the conditions
+// may overlap.
+bool ProvablyDisjoint(const ExprPtr& a, const ExprPtr& b) {
+  IntervalMap ia = ConditionIntervals(a);
+  IntervalMap ib = ConditionIntervals(b);
+  for (const auto& [ka, va] : ia) {
+    for (const auto& [kb, vb] : ib) {
+      if (ka.second != kb.second) continue;
+      ValueInterval meet = va;
+      meet.Intersect(vb);
+      if (meet.Empty()) return true;
+    }
+  }
+  return false;
+}
+
+void LintTable(const std::vector<const CleansingRule*>& rules,
+               std::vector<LintFinding>* out) {
+  // Unsatisfiable conditions.
+  for (const CleansingRule* r : rules) {
+    std::string why;
+    if (r->condition != nullptr && Unsatisfiable(r->condition, &why)) {
+      out->push_back({r->name, "unsatisfiable-condition",
+                      StrFormat("rule can never fire: %s", why.c_str())});
+    }
+  }
+  // DELETE/KEEP ambiguity and MODIFY correction ordering, pairwise in
+  // creation order (first rule of the pair is the earlier one).
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      const CleansingRule* a = rules[i];
+      const CleansingRule* b = rules[j];
+      const CleansingRule* del = nullptr;
+      const CleansingRule* keep = nullptr;
+      if (a->action == RuleAction::kDelete && b->action == RuleAction::kKeep) {
+        del = a;
+        keep = b;
+      } else if (a->action == RuleAction::kKeep &&
+                 b->action == RuleAction::kDelete) {
+        del = b;
+        keep = a;
+      }
+      if (del != nullptr && keep != nullptr &&
+          !ProvablyDisjoint(del->condition, keep->condition)) {
+        out->push_back(
+            {a->name, "delete-keep-overlap",
+             StrFormat("DELETE rule %s and KEEP rule %s may match the same "
+                       "rows (conditions not provably disjoint); which rows "
+                       "survive depends on rule creation order",
+                       del->name.c_str(), keep->name.c_str())});
+      }
+      if (a->action == RuleAction::kModify &&
+          b->action == RuleAction::kModify) {
+        for (const ModifyAssignment& ma : a->assignments) {
+          for (const ModifyAssignment& mb : b->assignments) {
+            if (EqualsIgnoreCase(ma.column, mb.column)) {
+              out->push_back(
+                  {a->name, "correction-order",
+                   StrFormat("rules %s and %s both correct column %s; the "
+                             "surviving value depends on rule creation order",
+                             a->name.c_str(), b->name.c_str(),
+                             ma.column.c_str())});
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string LintFinding::ToString() const {
+  return StrFormat("LINT [%s] rule %s: %s", code.c_str(), rule.c_str(),
+                   message.c_str());
+}
+
+std::vector<LintFinding> LintRules(const std::vector<CleansingRule>& rules) {
+  std::vector<LintFinding> out;
+  // Duplicate names across the whole catalog.
+  for (size_t i = 0; i < rules.size(); ++i) {
+    for (size_t j = i + 1; j < rules.size(); ++j) {
+      if (EqualsIgnoreCase(rules[i].name, rules[j].name)) {
+        out.push_back({rules[i].name, "duplicate-name",
+                       StrFormat("rule name %s is defined more than once",
+                                 rules[i].name.c_str())});
+      }
+    }
+  }
+  // Remaining checks group by the cleansed table.
+  std::map<std::string, std::vector<const CleansingRule*>> by_table;
+  for (const CleansingRule& r : rules) {
+    by_table[ToLower(r.on_table)].push_back(&r);
+  }
+  for (const auto& [table, table_rules] : by_table) {
+    LintTable(table_rules, &out);
+  }
+  return out;
+}
+
+std::vector<LintFinding> LintRulesFor(const std::vector<CleansingRule>& rules,
+                                      std::string_view table) {
+  std::vector<const CleansingRule*> table_rules;
+  std::vector<LintFinding> out;
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (!EqualsIgnoreCase(rules[i].on_table, table)) continue;
+    for (const CleansingRule* prev : table_rules) {
+      if (EqualsIgnoreCase(prev->name, rules[i].name)) {
+        out.push_back({prev->name, "duplicate-name",
+                       StrFormat("rule name %s is defined more than once",
+                                 prev->name.c_str())});
+      }
+    }
+    table_rules.push_back(&rules[i]);
+  }
+  LintTable(table_rules, &out);
+  return out;
+}
+
+}  // namespace rfid

@@ -1,0 +1,54 @@
+// Rule linter: static checks over SQL-TS cleansing rules before their
+// SQL/OLAP templates are instantiated by the rewriter. Modeled on the
+// static rule analysis of streaming cleansing systems (Bleach's rule
+// partitioning, denial-constraint conflict detection): a rule that can
+// never fire, a DELETE/KEEP pair a row can satisfy simultaneously, or
+// two corrections racing on one column are all defects detectable
+// without running a single query.
+//
+// Lint findings are warnings, not errors — the rewrite proceeds — and
+// surface through `rfidsql` (.lint, LINT output) and EXPLAIN.
+#ifndef RFID_VERIFY_RULE_LINTER_H_
+#define RFID_VERIFY_RULE_LINTER_H_
+
+#include <string>
+#include <vector>
+
+#include "cleansing/rule.h"
+
+namespace rfid {
+
+/// One static finding about a rule (or a pair of rules).
+struct LintFinding {
+  std::string rule;     // rule name (first rule for pair findings)
+  std::string code;     // stable check identifier, e.g. "unsatisfiable-condition"
+  std::string message;  // human-readable explanation
+
+  std::string ToString() const;
+};
+
+/// Checks performed (the `code` values):
+///   duplicate-name            two rules share a name
+///   unsatisfiable-condition   the WHERE conjunction can never hold
+///                             (constant-folded FALSE conjunct, or the
+///                             per-column value intervals its sargable
+///                             conjuncts imply have an empty
+///                             intersection)
+///   delete-keep-overlap       a DELETE and a KEEP rule on one table
+///                             whose conditions cannot be proven
+///                             disjoint — which rows survive depends on
+///                             rule creation order, probably
+///                             unintentionally
+///   correction-order          two MODIFY rules on one table assign the
+///                             same column, so the surviving value
+///                             depends on rule creation order
+std::vector<LintFinding> LintRules(const std::vector<CleansingRule>& rules);
+
+/// Lints only the rules defined ON `table` (still pairwise-complete for
+/// that table). Used by the rewriter, which cleanses one table at a time.
+std::vector<LintFinding> LintRulesFor(const std::vector<CleansingRule>& rules,
+                                      std::string_view table);
+
+}  // namespace rfid
+
+#endif  // RFID_VERIFY_RULE_LINTER_H_

@@ -1,0 +1,58 @@
+#include "verify/verify.h"
+
+#include <strings.h>
+
+#include <atomic>
+#include <cstdlib>
+
+namespace rfid {
+
+namespace {
+
+enum Mode { kOff = 0, kHard = 1, kSoft = 2 };
+
+int EnvMode() {
+  const char* v = std::getenv("RFID_VERIFY_PLANS");
+  if (v != nullptr && *v != '\0') {
+    if (strcasecmp(v, "soft") == 0) return kSoft;
+    if (v[0] == '0' || strcasecmp(v, "off") == 0 ||
+        strcasecmp(v, "false") == 0) {
+      return kOff;
+    }
+    return kHard;
+  }
+#ifdef NDEBUG
+  return kOff;
+#else
+  return kHard;  // Debug builds verify by default
+#endif
+}
+
+// -1 = use env/default; otherwise a Mode value.
+std::atomic<int> g_override_verify{-1};
+
+int CurrentMode() {
+  int o = g_override_verify.load(std::memory_order_relaxed);
+  if (o >= 0) return o;
+  static const int env = EnvMode();
+  return env;
+}
+
+}  // namespace
+
+bool VerifyEnabled() {
+#ifdef RFID_VERIFY_OFF
+  return false;
+#else
+  return CurrentMode() != kOff;
+#endif
+}
+
+bool VerifySoftMode() { return CurrentMode() == kSoft; }
+
+void SetVerifyForTest(int mode) {
+  g_override_verify.store(mode < 0 || mode > kSoft ? -1 : mode,
+                          std::memory_order_relaxed);
+}
+
+}  // namespace rfid

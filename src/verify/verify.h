@@ -1,0 +1,39 @@
+// Static verification layer switches.
+//
+// The verifiers (plan invariant checker, bytecode verifier, rule linter)
+// are compiled in under the RFID_VERIFY CMake option (ON by default) and
+// enabled at runtime by default in Debug builds. The RFID_VERIFY_PLANS
+// environment variable overrides the runtime default:
+//
+//   RFID_VERIFY_PLANS=1     verification on, failures are hard errors
+//   RFID_VERIFY_PLANS=soft  verification on; bytecode verification
+//                           failures log and fall back to the row
+//                           interpreter instead of failing the query
+//                           (plan violations are always hard: a broken
+//                           plan has no safe fallback)
+//   RFID_VERIFY_PLANS=0     verification off
+//
+// scripts/check.sh and the test suite run with RFID_VERIFY_PLANS=1 so
+// every planner/rewriter phase and every compiled expression program is
+// verified on every existing test, and any violation fails loudly.
+#ifndef RFID_VERIFY_VERIFY_H_
+#define RFID_VERIFY_VERIFY_H_
+
+namespace rfid {
+
+/// True when the static verifiers should run (plan passes, bytecode
+/// verification, rewrite schema checks).
+bool VerifyEnabled();
+
+/// True when a bytecode verification failure should fall back to the
+/// interpreter (logged) instead of failing the query. Meaningless when
+/// VerifyEnabled() is false.
+bool VerifySoftMode();
+
+/// Test override: -1 = env/default, 0 = off, 1 = on (hard errors),
+/// 2 = on (soft bytecode fallback).
+void SetVerifyForTest(int mode);
+
+}  // namespace rfid
+
+#endif  // RFID_VERIFY_VERIFY_H_

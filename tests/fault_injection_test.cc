@@ -19,6 +19,7 @@
 #include "expr/row_batch.h"
 #include "plan/planner.h"
 #include "rewrite/rewriter.h"
+#include "verify/verify.h"
 
 namespace rfid {
 namespace {
@@ -91,6 +92,7 @@ class FaultInjectionTest : public ::testing::Test {
   void TearDown() override {
     SetVectorizedForTest(-1);
     SetBatchCapacityForTest(0);
+    SetVerifyForTest(-1);
   }
 
   // Runs one full pipeline (optional rewrite, then execute) under
@@ -253,6 +255,19 @@ TEST_F(FaultInjectionTest, NextBatchFaultSitesUnwindCleanly) {
   }
   EXPECT_GT(next_batch_faults, 0u)
       << "no NextBatch fault sites crossed: the plan did not run batched";
+}
+
+// The static verification layer adds its own injection site
+// (verify.Plan fires once per planner phase) and walks whatever plan
+// the fault-shortened pipeline handed it. With verification pinned on,
+// every injected failure must still unwind as a structured Status —
+// the verifiers never crash on a partially-constructed plan, and their
+// own fault points surface like any other.
+TEST_F(FaultInjectionTest, VerifiedPipelineSweep) {
+  SetVerifyForTest(1);
+  Sweep("verified-expanded",
+        "SELECT epc, rtime FROM caseR WHERE biz_loc = 'locA'",
+        RewriteStrategy::kExpanded);
 }
 
 // Reproducible chaos: random-fire injectors across many seeds. The
