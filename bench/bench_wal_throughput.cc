@@ -1,0 +1,186 @@
+// Durability cost benchmarks: micro-batch append throughput through a
+// WAL-backed IngestPipeline under each fsync policy (plus the no-WAL
+// baseline, so the logging and fsync overheads can be read off
+// separately), and recovery time — checkpoint load + committed-epoch
+// replay — for a directory holding a full stream's worth of epochs.
+// Emits BENCH_wal_throughput.json with pinned seeds via RunBenchmarkMain.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "ingest/ingest.h"
+#include "rfidgen/stream.h"
+#include "wal/wal_manager.h"
+
+namespace rfid::bench {
+namespace {
+
+using ingest::IngestPipeline;
+using ingest::TableBatch;
+using rfidgen::ReadStream;
+using rfidgen::StreamBatch;
+using rfidgen::StreamOptions;
+using wal::FsyncPolicy;
+using wal::WalManager;
+using wal::WalOptions;
+
+constexpr size_t kBatchRows = 256;
+// Sentinel for the no-WAL baseline in the policy benchmark argument.
+constexpr int64_t kNoWal = -1;
+
+StreamOptions BenchStream(uint64_t seed) {
+  StreamOptions opt;
+  opt.seed = seed;
+  opt.num_pallets = BenchPallets();
+  return opt;
+}
+
+std::vector<TableBatch> ToGroup(StreamBatch b) {
+  std::vector<TableBatch> group;
+  group.push_back({"caseR", std::move(b.case_rows)});
+  group.push_back({"palletR", std::move(b.pallet_rows)});
+  group.push_back({"parent", std::move(b.parent_rows)});
+  group.push_back({"epc_info", std::move(b.info_rows)});
+  return group;
+}
+
+std::string FreshDir(const char* tag) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     (std::string("rfid_bench_wal_") + tag))
+                        .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Full-stream micro-batch ingest with durability: rows/sec through
+// Apply() including BATCH/COMMIT records and the policy's fsyncs.
+// state.range(0) is the FsyncPolicy (or kNoWal for the baseline).
+void BM_WalAppendThroughput(benchmark::State& state) {
+  const bool logged = state.range(0) != kNoWal;
+  const auto policy = static_cast<FsyncPolicy>(state.range(0));
+  int64_t rows = 0;
+  uint64_t seed = kBenchSeed;
+  const std::string dir = FreshDir("append");
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    Database db;
+    auto stream = ReadStream::Create(&db, BenchStream(seed++));
+    if (!stream.ok()) {
+      state.SkipWithError(stream.status().ToString().c_str());
+      return;
+    }
+    std::unique_ptr<WalManager> manager;
+    if (logged) {
+      WalOptions options;
+      options.fsync_policy = policy;
+      auto opened = WalManager::Open(dir, &db, options);
+      if (!opened.ok()) {
+        state.SkipWithError(opened.status().ToString().c_str());
+        return;
+      }
+      manager = std::move(*opened);
+    }
+    IngestPipeline pipeline(&db, nullptr, 8, manager.get());
+    state.ResumeTiming();
+    while (!(*stream)->exhausted()) {
+      Status st = pipeline.Apply(ToGroup((*stream)->NextBatch(kBatchRows)));
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    rows += static_cast<int64_t>(pipeline.stats().rows_ingested);
+    state.counters["epochs"] = static_cast<double>(pipeline.epoch());
+  }
+  std::filesystem::remove_all(dir);
+  state.SetItemsProcessed(rows);  // items/sec == durable append rows/sec
+}
+
+// Recovery: open a prepared directory (base checkpoint + a full stream
+// of committed epochs in the segment) into a fresh database. Reported
+// time is the whole Open — checkpoint load, structure rebuild, replay,
+// tail truncation, segment reopen. items/sec == replayed rows/sec.
+void BM_Recovery(benchmark::State& state) {
+  const std::string dir = FreshDir("recovery");
+  uint64_t logged_rows = 0;
+  {
+    Database db;
+    auto stream = ReadStream::Create(&db, BenchStream(kBenchSeed));
+    if (!stream.ok()) {
+      state.SkipWithError(stream.status().ToString().c_str());
+      return;
+    }
+    auto manager = WalManager::Open(dir, &db);
+    if (!manager.ok()) {
+      state.SkipWithError(manager.status().ToString().c_str());
+      return;
+    }
+    IngestPipeline pipeline(&db, nullptr, 8, manager->get());
+    while (!(*stream)->exhausted()) {
+      Status st = pipeline.Apply(ToGroup((*stream)->NextBatch(kBatchRows)));
+      if (!st.ok()) {
+        state.SkipWithError(st.ToString().c_str());
+        return;
+      }
+    }
+    logged_rows = pipeline.stats().rows_ingested;
+  }
+
+  int64_t replayed = 0;
+  std::vector<double> samples;
+  for (auto _ : state) {
+    Database db;
+    auto t0 = std::chrono::steady_clock::now();
+    auto manager = WalManager::Open(dir, &db);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!manager.ok()) {
+      state.SkipWithError(manager.status().ToString().c_str());
+      break;
+    }
+    replayed += static_cast<int64_t>((*manager)->recovery().replayed_rows);
+    state.counters["replayed_epochs"] =
+        static_cast<double>((*manager)->recovery().replayed_epochs);
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::filesystem::remove_all(dir);
+  state.counters["logged_rows"] = static_cast<double>(logged_rows);
+  if (!samples.empty()) {
+    state.counters["recovery_p50_ms"] = Percentile(samples, 0.50);
+  }
+  state.SetItemsProcessed(replayed);  // items/sec == replayed rows/sec
+}
+
+}  // namespace
+}  // namespace rfid::bench
+
+int main(int argc, char** argv) {
+  struct PolicyArg {
+    const char* name;
+    int64_t arg;
+  };
+  const PolicyArg policies[] = {
+      {"none", rfid::bench::kNoWal},
+      {"off", static_cast<int64_t>(rfid::wal::FsyncPolicy::kOff)},
+      {"epoch", static_cast<int64_t>(rfid::wal::FsyncPolicy::kPerEpoch)},
+      {"always", static_cast<int64_t>(rfid::wal::FsyncPolicy::kAlways)},
+  };
+  for (const PolicyArg& p : policies) {
+    rfid::bench::ApplyStats(
+        benchmark::RegisterBenchmark(
+            (std::string("wal/append_throughput/fsync_") + p.name).c_str(),
+            &rfid::bench::BM_WalAppendThroughput)
+            ->Args({p.arg})
+            ->Unit(benchmark::kMillisecond));
+  }
+  rfid::bench::ApplyStats(
+      benchmark::RegisterBenchmark("wal/recovery", &rfid::bench::BM_Recovery)
+          ->Unit(benchmark::kMillisecond));
+  return rfid::bench::RunBenchmarkMain(argc, argv, "wal_throughput");
+}

@@ -3,7 +3,16 @@
 //   .gen <pallets> [dirty%]      generate RFIDGen data (+ anomalies)
 //   .feed <batches> <rows>       stream micro-batches through the ingest
 //                                pipeline (epoch snapshots published per
-//                                batch; queries pin the latest snapshot)
+//                                batch; queries pin the latest snapshot;
+//                                WAL-backed when .wal is active)
+//   .wal <dir> [always|epoch|off]
+//                                attach durability: fresh dir checkpoints
+//                                the current data as the base image;
+//                                existing dir recovers (checkpoint +
+//                                committed WAL epochs, torn tail dropped)
+//   .checkpoint                  write a checkpoint + truncate the log
+//   .recover <dir> [policy]      recovery-only .wal (errors if <dir> has
+//                                no durability manifest)
 //   .rule DEFINE ...;            define a cleansing rule (SQL-TS)
 //   .rules                       list defined rules and their templates
 //   .lint                        static checks over the rule catalog
@@ -34,6 +43,7 @@
 #include "storage/persist.h"
 #include "sql/render.h"
 #include "verify/rule_linter.h"
+#include "wal/wal_manager.h"
 
 using namespace rfid;
 
@@ -51,6 +61,9 @@ struct ShellState {
   std::unique_ptr<rfidgen::ReadStream> stream;
   std::unique_ptr<ingest::IngestPipeline> pipeline;
   uint64_t feed_generation = 0;
+
+  // Durability (created by .wal / .recover; outlives the pipeline).
+  std::unique_ptr<wal::WalManager> wal;
 
   ShellState() { rules = std::make_unique<CleansingRuleEngine>(&db); }
 };
@@ -191,7 +204,9 @@ void RunCommand(ShellState& state, const std::string& line) {
       state.stream = std::move(*stream);
     }
     if (state.pipeline == nullptr) {
-      state.pipeline = std::make_unique<ingest::IngestPipeline>(&state.db);
+      state.pipeline = std::make_unique<ingest::IngestPipeline>(
+          &state.db, /*accounting=*/nullptr, /*index_compact_threshold=*/8,
+          state.wal.get());
     }
     uint64_t applied = 0;
     uint64_t fed_rows = 0;
@@ -235,6 +250,82 @@ void RunCommand(ShellState& state, const std::string& line) {
       Status st = LoadDatabase(dir, &state.db, /*skip_existing=*/true);
       if (st.ok()) st = rfidgen::FinalizeDatabase(&state.db);
       printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
+    }
+    return;
+  }
+  if (cmd == ".wal" || cmd == ".recover") {
+    std::string dir, policy_name;
+    in >> dir >> policy_name;
+    if (dir.empty()) {
+      printf("usage: %s <directory> [always|epoch|off]\n", cmd.c_str());
+      return;
+    }
+    wal::WalOptions options;
+    if (policy_name == "always") {
+      options.fsync_policy = wal::FsyncPolicy::kAlways;
+    } else if (policy_name == "off") {
+      options.fsync_policy = wal::FsyncPolicy::kOff;
+    } else if (!policy_name.empty() && policy_name != "epoch") {
+      printf("usage: %s <directory> [always|epoch|off]\n", cmd.c_str());
+      return;
+    }
+    // Recovery loads tables from the checkpoint image; they must not
+    // clash with tables already in the shell's database. The shell
+    // pre-creates an empty `__rules` system table, and a checkpoint
+    // image carries its own copy — drop ours while it is still pristine
+    // and re-attach the rule engine below (its constructor adopts the
+    // recovered table, or recreates an empty one on a fresh attach).
+    Table* rules_tb = state.db.GetTable("__rules");
+    if (rules_tb != nullptr && rules_tb->num_rows() == 0) {
+      state.rules.reset();
+      (void)state.db.DropTable("__rules");
+    }
+    auto manager = wal::WalManager::Open(dir, &state.db, options);
+    if (state.rules == nullptr) {
+      state.rules = std::make_unique<CleansingRuleEngine>(&state.db);
+    }
+    if (!manager.ok()) {
+      printf("error: %s\n", manager.status().ToString().c_str());
+      return;
+    }
+    if (cmd == ".recover" && !(*manager)->recovery().recovered) {
+      printf("error: %s holds no durability manifest (use .wal to create "
+             "one)\n", dir.c_str());
+      return;
+    }
+    state.pipeline.reset();  // rebuilt WAL-backed by the next .feed
+    state.wal = std::move(*manager);
+    const wal::RecoveryResult& r = state.wal->recovery();
+    if (r.recovered) {
+      printf("recovered: checkpoint epoch %llu + %llu replayed epoch%s "
+             "(%llu rows)%s; fsync=%s\n",
+             static_cast<unsigned long long>(r.checkpoint_epoch),
+             static_cast<unsigned long long>(r.replayed_epochs),
+             r.replayed_epochs == 1 ? "" : "s",
+             static_cast<unsigned long long>(r.replayed_rows),
+             r.truncated_bytes > 0
+                 ? (" (" + std::to_string(r.truncated_bytes) +
+                    " tail bytes truncated)").c_str()
+                 : "",
+             wal::FsyncPolicyName(state.wal->fsync_policy()));
+    } else {
+      printf("durability attached at %s (checkpoint 0 written); fsync=%s\n",
+             dir.c_str(), wal::FsyncPolicyName(state.wal->fsync_policy()));
+    }
+    return;
+  }
+  if (cmd == ".checkpoint") {
+    if (state.wal == nullptr) {
+      printf("error: no durability directory attached (use .wal <dir>)\n");
+      return;
+    }
+    Status st = state.pipeline != nullptr ? state.pipeline->Checkpoint()
+                                          : state.wal->Checkpoint();
+    if (st.ok()) {
+      printf("checkpoint written at epoch %llu; log truncated\n",
+             static_cast<unsigned long long>(state.wal->durable_epoch()));
+    } else {
+      printf("error: %s\n", st.ToString().c_str());
     }
     return;
   }

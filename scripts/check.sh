@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite, re-run the
-# guardrail/fault-injection/vectorized suites under ASan+UBSan and the
-# ingest/parallel concurrency suites under TSan (batching stays ON in
-# both sanitizer passes), smoke every example, run a vectorized-vs-
-# interpreted fingerprint sweep over the naive/expanded/join-back
-# pipelines, and run the benchmark harnesses, which drop their
-# BENCH_<harness>.json results at the repo root (RFID_BENCH_PALLETS
-# scales the data; default 40).
+# guardrail/fault-injection/vectorized/WAL suites under ASan+UBSan and
+# the ingest/parallel/WAL-replay concurrency suites under TSan (batching
+# stays ON in both sanitizer passes), smoke every example, run a
+# vectorized-vs-interpreted fingerprint sweep over the naive/expanded/
+# join-back pipelines, run a randomized crash-recovery loop (N seeds of
+# random fault firing across WAL/checkpoint I/O), and run the benchmark
+# harnesses, which drop their BENCH_<harness>.json results at the repo
+# root (RFID_BENCH_PALLETS scales the data; default 40).
 #
 # Usage: check.sh [--quick]
 #   --quick   build + tests + fingerprint sweep + benchmarks only (skips
@@ -51,6 +52,16 @@ fi
 ./build/tests/vectorized_exec_test \
   --gtest_filter='VectorizedExecTest.AllRewriteStrategiesBitIdentical:VectorizedExecTest.ComposesWithMorselParallelism'
 
+# Crash-recovery loop: several randomized crash-point schedules on top
+# of the exhaustive every-step sweep that already runs in ctest. Each
+# seed drives SeededRandom fault firing across all WAL append /
+# checkpoint / manifest-swap I/O steps; recovery must always land on a
+# committed epoch boundary with bit-identical query results.
+for seed in 1 2 3 4 5; do
+  RFID_CRASH_SEED="$seed" ./build/tests/wal_recovery_test \
+    --gtest_filter='CrashSweepTest.RandomizedCrashPoints'
+done
+
 if [ "$QUICK" -eq 0 ]; then
   # Sanitizer pass: the fault-injection sweeps fail at every injection
   # point; ASan+UBSan turns any leak or UB on those unwind paths into a
@@ -59,7 +70,7 @@ if [ "$QUICK" -eq 0 ]; then
   cmake -B build-asan -G Ninja -DRFID_SANITIZE=ON
   cmake --build build-asan --target fault_injection_test guardrails_test \
     exec_test common_test ingest_fault_test expr_golden_test \
-    vectorized_exec_test verify_test
+    vectorized_exec_test verify_test wal_test wal_recovery_test
   ./build-asan/tests/verify_test
   ./build-asan/tests/fault_injection_test
   ./build-asan/tests/guardrails_test
@@ -68,6 +79,8 @@ if [ "$QUICK" -eq 0 ]; then
   ./build-asan/tests/ingest_fault_test
   ./build-asan/tests/expr_golden_test
   ./build-asan/tests/vectorized_exec_test
+  ./build-asan/tests/wal_test
+  ./build-asan/tests/wal_recovery_test
 
   # UBSan-alone pass (-fno-sanitize-recover=all, no ASan interposition):
   # any undefined behavior in the planner, rewriter, bytecode kernels, or
@@ -88,15 +101,19 @@ if [ "$QUICK" -eq 0 ]; then
   # threads (including while that writer runs); ThreadSanitizer proves the
   # publish/pin protocol and the parallel pipeline's atomics are proper
   # happens-before edges, not benign-looking races. vectorized_exec_test
-  # runs batch pipelines under parallel workers (batching ON).
+  # runs batch pipelines under parallel workers (batching ON), and
+  # wal_recovery_test runs live snapshot queries against a database
+  # that WAL replay is still mutating.
   cmake -B build-tsan -G Ninja -DRFID_SANITIZE=thread
   cmake --build build-tsan --target ingest_concurrency_test ingest_test \
-    parallel_exec_test parallel_concurrency_test vectorized_exec_test
+    parallel_exec_test parallel_concurrency_test vectorized_exec_test \
+    wal_recovery_test
   ./build-tsan/tests/ingest_concurrency_test
   ./build-tsan/tests/ingest_test
   ./build-tsan/tests/parallel_exec_test
   ./build-tsan/tests/parallel_concurrency_test
   ./build-tsan/tests/vectorized_exec_test
+  ./build-tsan/tests/wal_recovery_test
 
   ./build/examples/quickstart > /dev/null
   ./build/examples/dwell_analysis 8 0.1 > /dev/null
@@ -105,6 +122,14 @@ if [ "$QUICK" -eq 0 ]; then
   ./build/examples/multi_policy > /dev/null
   printf '.gen 3 10\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
   printf '.feed 5 100\nSELECT count(*) FROM caseR;\n.quit\n' | ./build/examples/rfidsql > /dev/null
+  # Durability round trip: feed with a WAL attached, checkpoint, feed
+  # more, then recover into a fresh shell and query the replayed state.
+  WALDIR="$(mktemp -d)"
+  printf '.wal %s epoch\n.feed 3 100\n.checkpoint\n.feed 2 100\n.quit\n' "$WALDIR" \
+    | ./build/examples/rfidsql > /dev/null
+  printf '.recover %s\nSELECT count(*) FROM caseR;\n.quit\n' "$WALDIR" \
+    | ./build/examples/rfidsql > /dev/null
+  rm -rf "$WALDIR"
 fi
 
 # DOP-sweep smoke: verifies parallel plans stay bit-identical to serial

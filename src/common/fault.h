@@ -18,6 +18,15 @@
 // A fired injector keeps failing every subsequent poke (a dead subsystem
 // stays dead), so partially-unwound retries inside one query cannot
 // silently succeed.
+//
+// File-I/O sites: common/io.h's DurableFile threads this harness through
+// the durability stack. Unlike the in-memory sites, each of these leaves
+// a realistic crash artifact on disk when it fires (see io.h for the
+// exact semantics), so fail-at-step sweeps over the WAL and checkpoint
+// paths exercise recovery against torn, corrupt, and unsynced files:
+//   io.write / io.write.short / io.write.flip / io.fsync / io.rename
+// The site names are exported below so sweeps can assert which class of
+// artifact a given step produced.
 #ifndef RFID_COMMON_FAULT_H_
 #define RFID_COMMON_FAULT_H_
 
@@ -28,6 +37,14 @@
 #include "common/status.h"
 
 namespace rfid {
+
+/// Canonical file-I/O fault-site names (poked by common/io.h). Kept here
+/// so tests and sweeps name the sites symbolically.
+inline constexpr const char kFaultIoWrite[] = "io.write";
+inline constexpr const char kFaultIoWriteShort[] = "io.write.short";
+inline constexpr const char kFaultIoWriteFlip[] = "io.write.flip";
+inline constexpr const char kFaultIoFsync[] = "io.fsync";
+inline constexpr const char kFaultIoRename[] = "io.rename";
 
 class FaultInjector {
  public:

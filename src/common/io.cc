@@ -1,0 +1,244 @@
+#include "common/io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault.h"
+#include "common/string_util.h"
+
+namespace rfid {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path) {
+  return Status::Internal(
+      StrFormat("%s %s: %s", op, path.c_str(), strerror(errno)));
+}
+
+// Writes exactly n bytes, retrying short writes; returns bytes written
+// (< n only on error).
+size_t WriteRaw(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, data + done, n - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    done += static_cast<size_t>(w);
+  }
+  return done;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  // Table-driven CRC-32 (reflected IEEE polynomial 0xEDB88320), the same
+  // checksum zlib/leveldb logs use. The table is built once, lazily.
+  static const uint32_t* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+DurableFile::DurableFile(DurableFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)), offset_(other.offset_) {
+  other.fd_ = -1;
+  other.offset_ = 0;
+}
+
+DurableFile& DurableFile::operator=(DurableFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    offset_ = other.offset_;
+    other.fd_ = -1;
+    other.offset_ = 0;
+  }
+  return *this;
+}
+
+DurableFile::~DurableFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<DurableFile> DurableFile::Create(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("create", path);
+  DurableFile f;
+  f.fd_ = fd;
+  f.path_ = path;
+  f.offset_ = 0;
+  return f;
+}
+
+Result<DurableFile> DurableFile::OpenAppend(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) return ErrnoStatus("open", path);
+  off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return ErrnoStatus("seek", path);
+  }
+  DurableFile f;
+  f.fd_ = fd;
+  f.path_ = path;
+  f.offset_ = static_cast<uint64_t>(end);
+  return f;
+}
+
+Status DurableFile::Append(const void* data, size_t n) {
+  if (fd_ < 0) return Status::Internal("append to closed file " + path_);
+  const char* bytes = static_cast<const char*>(data);
+  if (FaultInjectionActive()) {
+    // Three distinct crash artifacts, swept in order by fail-at-step
+    // sweeps: nothing written / torn half / full-but-corrupt.
+    if (Status st = PokeFault("io.write"); !st.ok()) return st;
+    if (Status st = PokeFault("io.write.short"); !st.ok()) {
+      size_t half = n / 2;
+      offset_ += WriteRaw(fd_, bytes, half);
+      return st;
+    }
+    if (Status st = PokeFault("io.write.flip"); !st.ok()) {
+      std::string corrupt(bytes, n);
+      if (!corrupt.empty()) corrupt[corrupt.size() / 2] ^= 0x10;
+      offset_ += WriteRaw(fd_, corrupt.data(), corrupt.size());
+      return st;
+    }
+  }
+  size_t done = WriteRaw(fd_, bytes, n);
+  offset_ += done;
+  if (done != n) return ErrnoStatus("write", path_);
+  return Status::OK();
+}
+
+Status DurableFile::Sync() {
+  if (fd_ < 0) return Status::Internal("sync of closed file " + path_);
+  if (FaultInjectionActive()) {
+    // A failed fsync leaves the data in the page cache: present for
+    // subsequent reads, gone after a power cut.
+    if (Status st = PokeFault("io.fsync"); !st.ok()) return st;
+  }
+  if (::fsync(fd_) != 0) return ErrnoStatus("fsync", path_);
+  return Status::OK();
+}
+
+Status DurableFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) return ErrnoStatus("close", path_);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoStatus("open", path);
+  }
+  std::string out;
+  char buf[1 << 16];
+  while (true) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read", path);
+    }
+    if (r == 0) break;
+    out.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status TruncateFile(const std::string& path, uint64_t size) {
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return ErrnoStatus("open", path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    Status st = ErrnoStatus("ftruncate", path);
+    ::close(fd);
+    return st;
+  }
+  if (::fsync(fd) != 0) {
+    Status st = ErrnoStatus("fsync", path);
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+Status AtomicReplaceFile(const std::string& tmp_path,
+                         const std::string& final_path) {
+  if (FaultInjectionActive()) {
+    if (Status st = PokeFault("io.rename"); !st.ok()) return st;
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return ErrnoStatus("rename", final_path);
+  }
+  size_t slash = final_path.rfind('/');
+  std::string dir = slash == std::string::npos ? std::string(".")
+                                               : final_path.substr(0, slash);
+  return SyncDir(dir);
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  RFID_ASSIGN_OR_RETURN(DurableFile f, DurableFile::Create(tmp));
+  RFID_RETURN_IF_ERROR(f.Append(content));
+  RFID_RETURN_IF_ERROR(f.Sync());
+  RFID_RETURN_IF_ERROR(f.Close());
+  return AtomicReplaceFile(tmp, path);
+}
+
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::OK();  // not syncable here; best effort
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0 && errno != EINVAL && errno != EBADF) {
+    return ErrnoStatus("fsync dir", dir);
+  }
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  if (errno == ENOENT) {
+    // Missing parent: create the chain (mkdir -p).
+    size_t slash = dir.rfind('/');
+    if (slash != std::string::npos && slash > 0) {
+      RFID_RETURN_IF_ERROR(EnsureDir(dir.substr(0, slash)));
+      if (::mkdir(dir.c_str(), 0755) == 0 || errno == EEXIST) {
+        return Status::OK();
+      }
+    }
+  }
+  return ErrnoStatus("mkdir", dir);
+}
+
+}  // namespace rfid

@@ -1,0 +1,103 @@
+// Durable file primitives shared by the WAL and the persistence layer:
+// a POSIX append-file wrapper whose write/sync calls carry deterministic
+// fault-injection sites, CRC32 checksumming, and the atomic-replace
+// (temp file + rename + directory sync) pattern every on-disk manifest
+// uses.
+//
+// Fault sites (see common/fault.h; each fires at most once per injector
+// and leaves a *realistic crash artifact* behind, so recovery code is
+// exercised against the states a real power cut produces):
+//  - "io.write"        fails before any byte reaches the file (a crash
+//                      just before the write() syscall).
+//  - "io.write.short"  writes only the first half of the buffer, then
+//                      fails — the torn tail a mid-write crash leaves.
+//  - "io.write.flip"   writes the full buffer with one bit flipped, then
+//                      fails — silent media corruption; only a checksum
+//                      can catch it on the read side.
+//  - "io.fsync"        returns failure without syncing: data may sit in
+//                      the page cache and vanish on power loss.
+//  - "io.rename"       fails before the rename() of an atomic replace.
+//
+// Every operation returns a structured Status carrying errno text; no
+// silent truncation.
+#ifndef RFID_COMMON_IO_H_
+#define RFID_COMMON_IO_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace rfid {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `n` bytes.
+uint32_t Crc32(const void* data, size_t n);
+uint32_t Crc32(const std::string& s);
+
+/// Append-only file handle with explicit durability control. Move-only;
+/// closes (without syncing) on destruction.
+class DurableFile {
+ public:
+  DurableFile() = default;
+  DurableFile(DurableFile&& other) noexcept;
+  DurableFile& operator=(DurableFile&& other) noexcept;
+  DurableFile(const DurableFile&) = delete;
+  DurableFile& operator=(const DurableFile&) = delete;
+  ~DurableFile();
+
+  /// Creates (or truncates) `path` for appending.
+  static Result<DurableFile> Create(const std::string& path);
+
+  /// Opens an existing `path` for appending at its current end.
+  static Result<DurableFile> OpenAppend(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Bytes appended through this handle plus the size at open.
+  uint64_t offset() const { return offset_; }
+
+  /// Appends all `n` bytes (retrying short writes). Crosses the io.write
+  /// fault sites documented above.
+  Status Append(const void* data, size_t n);
+  Status Append(const std::string& s) { return Append(s.data(), s.size()); }
+
+  /// fsync()s the file. Crosses the "io.fsync" fault site.
+  Status Sync();
+
+  /// Closes without syncing; returns the close() status.
+  Status Close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t offset_ = 0;
+};
+
+/// Reads the whole file; NotFound if it does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Truncates `path` to `size` bytes and syncs it (drops a torn tail).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Atomically replaces `final_path` with `tmp_path` (rename, then a sync
+/// of the containing directory so the rename itself is durable). Crosses
+/// the "io.rename" fault site.
+Status AtomicReplaceFile(const std::string& tmp_path,
+                         const std::string& final_path);
+
+/// Writes `content` durably at `path`: ".tmp" sibling, fsync, atomic
+/// rename. A crash leaves either the old file or the new one, never a
+/// truncated hybrid.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+/// fsync()s a directory so entries created/renamed inside it survive a
+/// crash. No-op success on platforms where directories cannot be synced.
+Status SyncDir(const std::string& dir);
+
+/// mkdir -p for one level; OK when the directory already exists.
+Status EnsureDir(const std::string& dir);
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_IO_H_

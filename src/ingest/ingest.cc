@@ -7,10 +7,12 @@
 namespace rfid::ingest {
 
 IngestPipeline::IngestPipeline(Database* db, ExecContext* accounting,
-                               size_t index_compact_threshold)
+                               size_t index_compact_threshold,
+                               wal::WalManager* wal)
     : db_(db),
       accounting_(accounting),
-      compact_threshold_(index_compact_threshold) {
+      compact_threshold_(index_compact_threshold),
+      wal_(wal) {
   std::lock_guard<std::mutex> lock(mu_);
   snapshot_ = CaptureDatabaseSnapshot(*db_, epoch_);
 }
@@ -44,16 +46,44 @@ Status IngestPipeline::Apply(std::vector<TableBatch> batches) {
     if (!st.ok()) return fail(std::move(st));
   }
 
+  // Log before publish: every batch of the epoch reaches the WAL before
+  // any row becomes visible through a snapshot. The epoch is not durable
+  // yet — that takes the COMMIT record below.
+  bool logging = wal_ != nullptr;
+  if (logging) {
+    for (const TableBatch& tb : batches) {
+      if (tb.rows.empty()) continue;
+      Status st = wal_->LogBatch(tb.table, tb.rows);
+      if (!st.ok()) {
+        wal_->LogAbort();
+        return fail(std::move(st));
+      }
+    }
+  }
+
   uint64_t rows_applied = 0;
   for (TableBatch& tb : batches) {
     if (tb.rows.empty()) continue;
     Result<Table*> table = db_->ResolveTable(tb.table);
-    if (!table.ok()) return fail(table.status());
+    if (!table.ok()) {
+      if (logging) wal_->LogAbort();
+      return fail(table.status());
+    }
     size_t n = tb.rows.size();
     Result<uint64_t> first =
         (*table)->IngestBatch(std::move(tb.rows), compact_threshold_);
-    if (!first.ok()) return fail(first.status());
+    if (!first.ok()) {
+      if (logging) wal_->LogAbort();
+      return fail(first.status());
+    }
     rows_applied += n;
+  }
+
+  // Durability point: the COMMIT record seals the epoch in the log
+  // (fsync per policy). A crash before it discards the epoch on replay.
+  if (logging) {
+    Status st = wal_->LogCommit();
+    if (!st.ok()) return fail(std::move(st));
   }
 
   // Commit point: all table batches landed; publish the epoch snapshot.
@@ -63,6 +93,15 @@ Status IngestPipeline::Apply(std::vector<TableBatch> batches) {
   stats_.rows_ingested += rows_applied;
   release();
   return Status::OK();
+}
+
+Status IngestPipeline::Checkpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument(
+        "checkpoint requires a WAL-backed pipeline");
+  }
+  return wal_->Checkpoint();
 }
 
 SnapshotPtr IngestPipeline::snapshot() const {

@@ -17,6 +17,16 @@
 // same Apply() group keep their (individually atomic) batches; they
 // become visible with the next successful epoch.
 //
+// Durability (optional): constructed with a wal::WalManager the pipeline
+// logs before it publishes — every table batch is appended to the WAL,
+// the in-memory apply runs, and the epoch's COMMIT record seals it
+// (fsync per the manager's policy) before the snapshot is published. An
+// Apply() that returns OK is therefore durable to the configured policy;
+// an Apply() that fails is a crash-equivalent event for the log (its
+// epoch has no COMMIT and is discarded on replay — reopen the directory
+// to resynchronize disk and memory, or Checkpoint() to re-anchor the
+// current in-memory state).
+//
 // IngestDriver wraps a pipeline and a batch source in a background
 // thread: the load half of the query-during-load experiments.
 #ifndef RFID_INGEST_INGEST_H_
@@ -33,6 +43,7 @@
 #include "exec/exec_context.h"
 #include "storage/catalog.h"
 #include "storage/snapshot.h"
+#include "wal/wal_manager.h"
 
 namespace rfid::ingest {
 
@@ -54,13 +65,20 @@ class IngestPipeline {
   /// bytes against that context's memory budget while it is being
   /// applied — a budget trip rejects the batch like any other failure.
   /// `index_compact_threshold` bounds index run counts (see
-  /// SortedIndex::PublishRun).
+  /// SortedIndex::PublishRun). `wal` (optional) makes every published
+  /// epoch durable (log-before-publish; see the header comment).
   explicit IngestPipeline(Database* db, ExecContext* accounting = nullptr,
-                          size_t index_compact_threshold = 8);
+                          size_t index_compact_threshold = 8,
+                          wal::WalManager* wal = nullptr);
 
   /// Applies one epoch's batches and publishes the next snapshot.
   /// Thread-safe: concurrent callers serialize on the writer lock.
   Status Apply(std::vector<TableBatch> batches);
+
+  /// Writes a durability checkpoint at the current epoch (requires a
+  /// WAL). Takes the writer lock, so the image is a consistent epoch
+  /// boundary even while an IngestDriver is feeding.
+  Status Checkpoint();
 
   /// The most recently published snapshot (never null; epoch 0 is
   /// captured at construction). Queries bind this to their ExecContext.
@@ -73,6 +91,7 @@ class IngestPipeline {
   Database* db_;
   ExecContext* accounting_;
   size_t compact_threshold_;
+  wal::WalManager* wal_;
 
   mutable std::mutex mu_;  // writer lock; also guards snapshot_/stats_
   SnapshotPtr snapshot_;

@@ -1,10 +1,9 @@
 #include "storage/persist.h"
 
-#include <cerrno>
-#include <cstring>
 #include <fstream>
-#include <sys/stat.h>
 
+#include "common/fault.h"
+#include "common/io.h"
 #include "common/string_util.h"
 
 namespace rfid {
@@ -140,39 +139,58 @@ std::vector<std::string> SplitTabs(const std::string& line) {
 
 }  // namespace
 
-Status SaveDatabase(const Database& db, const std::string& dir) {
-  if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-    return Status::Internal(StrFormat("mkdir %s: %s", dir.c_str(),
-                                      strerror(errno)));
+std::string SerializeRowTsv(const Row& row) {
+  std::string out;
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) out += '\t';
+    out += FieldOf(row[c]);
   }
-  std::ofstream manifest(dir + "/MANIFEST", std::ios::trunc);
-  if (!manifest) return Status::Internal("cannot write manifest");
-  manifest << kManifestMagic << "\n";
+  return out;
+}
+
+Result<Row> ParseRowTsv(const std::string& line, const Schema& schema) {
+  std::vector<std::string> fields = SplitTabs(line);
+  if (fields.size() != schema.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity mismatch: got %zu want %zu", fields.size(),
+                  schema.num_columns()));
+  }
+  Row row;
+  row.reserve(fields.size());
+  for (size_t c = 0; c < fields.size(); ++c) {
+    RFID_ASSIGN_OR_RETURN(Value v, ValueOf(fields[c], schema.column(c).type));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  RFID_RETURN_IF_ERROR(EnsureDir(dir));
+  std::string manifest = std::string(kManifestMagic) + "\n";
   for (const std::string& name : db.TableNames()) {
+    RFID_FAULT_POINT("persist.SaveTable");
     const Table* table = db.GetTable(name);
-    manifest << name << "\n";
-    std::ofstream out(dir + "/" + name + ".tsv", std::ios::trunc);
-    if (!out) return Status::Internal("cannot write table file for " + name);
+    manifest += name + "\n";
+    std::string content;
     // Header: col:TYPE pairs.
     for (size_t c = 0; c < table->schema().num_columns(); ++c) {
-      if (c > 0) out << '\t';
+      if (c > 0) content += '\t';
       const Column& col = table->schema().column(c);
-      out << col.name << ':' << TypeTag(col.type);
+      content += col.name + ':' + TypeTag(col.type);
     }
-    out << '\n';
+    content += '\n';
     for (size_t r = 0; r < table->num_rows(); ++r) {
-      const Row& row = table->row(r);
-      for (size_t c = 0; c < row.size(); ++c) {
-        if (c > 0) out << '\t';
-        out << FieldOf(row[c]);
-      }
-      out << '\n';
+      content += SerializeRowTsv(table->row(r));
+      content += '\n';
     }
-    if (!out.good()) return Status::Internal("write failure for " + name);
+    RFID_RETURN_IF_ERROR(
+        WriteFileAtomic(dir + "/" + name + ".tsv", content));
   }
-  manifest.flush();
-  if (!manifest.good()) return Status::Internal("manifest write failure");
-  return Status::OK();
+  // The manifest lands last: a crash before this rename leaves the
+  // previous dump (old manifest + old or new table files, each complete)
+  // fully loadable.
+  RFID_FAULT_POINT("persist.SaveManifest");
+  return WriteFileAtomic(dir + "/MANIFEST", manifest);
 }
 
 Status LoadDatabase(const std::string& dir, Database* db,
@@ -207,19 +225,7 @@ Status LoadDatabase(const std::string& dir, Database* db,
     RFID_ASSIGN_OR_RETURN(Table * table, db->CreateTable(name, schema));
     std::string row_line;
     while (std::getline(in, row_line)) {
-      std::vector<std::string> fields = SplitTabs(row_line);
-      if (fields.size() != table->schema().num_columns()) {
-        return Status::InvalidArgument(StrFormat(
-            "row arity mismatch in %s: got %zu want %zu", name.c_str(),
-            fields.size(), table->schema().num_columns()));
-      }
-      Row row;
-      row.reserve(fields.size());
-      for (size_t c = 0; c < fields.size(); ++c) {
-        RFID_ASSIGN_OR_RETURN(Value v,
-                              ValueOf(fields[c], table->schema().column(c).type));
-        row.push_back(std::move(v));
-      }
+      RFID_ASSIGN_OR_RETURN(Row row, ParseRowTsv(row_line, table->schema()));
       table->AppendUnchecked(std::move(row));
     }
   }

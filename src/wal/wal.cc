@@ -1,0 +1,273 @@
+#include "wal/wal.h"
+
+#include <cstring>
+
+#include "common/fault.h"
+#include "common/string_util.h"
+
+namespace rfid::wal {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'W', 'A', 'L', '1'};
+constexpr uint8_t kRecordBatch = 1;
+constexpr uint8_t kRecordCommit = 2;
+// A BATCH record names one table and carries bounded row counts; a
+// length beyond this is a torn/corrupt length field, not a real record.
+constexpr uint32_t kMaxPayload = 1u << 30;
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(buf, 8);
+}
+
+bool GetU32(const std::string& s, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > s.size()) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(static_cast<unsigned char>(s[*pos + static_cast<size_t>(i)]))
+           << (8 * i);
+  }
+  *pos += 4;
+  *v = out;
+  return true;
+}
+
+bool GetU64(const std::string& s, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > s.size()) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(static_cast<unsigned char>(s[*pos + static_cast<size_t>(i)]))
+           << (8 * i);
+  }
+  *pos += 8;
+  *v = out;
+  return true;
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy p) {
+  switch (p) {
+    case FsyncPolicy::kAlways: return "always";
+    case FsyncPolicy::kPerEpoch: return "epoch";
+    case FsyncPolicy::kOff: return "off";
+  }
+  return "?";
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     FsyncPolicy policy,
+                                                     uint64_t next_epoch) {
+  RFID_ASSIGN_OR_RETURN(DurableFile file, DurableFile::Create(path));
+  RFID_RETURN_IF_ERROR(file.Append(kMagic, sizeof(kMagic)));
+  RFID_RETURN_IF_ERROR(file.Sync());
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), policy, next_epoch));
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenAppend(
+    const std::string& path, FsyncPolicy policy, uint64_t next_epoch,
+    uint64_t offset) {
+  RFID_RETURN_IF_ERROR(TruncateFile(path, offset));
+  RFID_ASSIGN_OR_RETURN(DurableFile file, DurableFile::OpenAppend(path));
+  if (file.offset() != offset) {
+    return Status::Internal(
+        StrFormat("wal segment %s: expected offset %llu after truncation, "
+                  "got %llu",
+                  path.c_str(), static_cast<unsigned long long>(offset),
+                  static_cast<unsigned long long>(file.offset())));
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), policy, next_epoch));
+}
+
+Status WalWriter::AppendRecord(const std::string& payload) {
+  if (broken_) {
+    return Status::Internal("wal writer is broken (earlier append failed); "
+                            "recover before logging again");
+  }
+  std::string rec;
+  rec.reserve(payload.size() + 8);
+  PutU32(&rec, static_cast<uint32_t>(payload.size()));
+  PutU32(&rec, Crc32(payload));
+  rec += payload;
+  Status st = file_.Append(rec);
+  if (!st.ok()) {
+    broken_ = true;
+    return st;
+  }
+  if (policy_ == FsyncPolicy::kAlways) {
+    st = file_.Sync();
+    if (!st.ok()) {
+      broken_ = true;
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::AppendBatch(const std::string& table,
+                              const std::vector<std::string>& row_lines) {
+  RFID_FAULT_POINT("wal.AppendBatch");
+  std::string payload;
+  payload.push_back(static_cast<char>(kRecordBatch));
+  PutU64(&payload, epoch_);
+  PutU32(&payload, static_cast<uint32_t>(table.size()));
+  payload += table;
+  PutU32(&payload, static_cast<uint32_t>(row_lines.size()));
+  for (const std::string& line : row_lines) {
+    PutU32(&payload, static_cast<uint32_t>(line.size()));
+    payload += line;
+  }
+  RFID_RETURN_IF_ERROR(AppendRecord(payload));
+  ++batches_in_epoch_;
+  return Status::OK();
+}
+
+Status WalWriter::Commit() {
+  RFID_FAULT_POINT("wal.Commit");
+  std::string payload;
+  payload.push_back(static_cast<char>(kRecordCommit));
+  PutU64(&payload, epoch_);
+  PutU32(&payload, batches_in_epoch_);
+  RFID_RETURN_IF_ERROR(AppendRecord(payload));
+  if (policy_ == FsyncPolicy::kPerEpoch) {
+    Status st = file_.Sync();
+    if (!st.ok()) {
+      broken_ = true;
+      return st;
+    }
+  }
+  last_committed_ = epoch_;
+  ++epoch_;
+  batches_in_epoch_ = 0;
+  return Status::OK();
+}
+
+void WalWriter::Abort() {
+  ++epoch_;
+  batches_in_epoch_ = 0;
+}
+
+Status WalWriter::Sync() {
+  Status st = file_.Sync();
+  if (!st.ok()) broken_ = true;
+  return st;
+}
+
+Result<WalReadResult> ReadWal(const std::string& path) {
+  Result<std::string> read = ReadFileToString(path);
+  RFID_RETURN_IF_ERROR(read.status());
+  const std::string& data = *read;
+  if (data.size() < sizeof(kMagic) ||
+      memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a WAL segment: " + path);
+  }
+
+  WalReadResult result;
+  result.committed_bytes = sizeof(kMagic);
+
+  size_t pos = sizeof(kMagic);
+  // Batches of the epoch currently being assembled; discarded when an
+  // epoch ends without a COMMIT (writer aborted or crashed mid-epoch).
+  uint64_t open_epoch = 0;
+  std::vector<WalBatch> open_batches;
+
+  while (pos < data.size()) {
+    uint32_t len = 0, crc = 0;
+    if (!GetU32(data, &pos, &len) || !GetU32(data, &pos, &crc) ||
+        len > kMaxPayload || pos + len > data.size()) {
+      result.tail_corrupt = true;  // torn length/header at the tail
+      break;
+    }
+    const std::string payload = data.substr(pos, len);
+    pos += len;
+    if (Crc32(payload) != crc) {
+      result.tail_corrupt = true;  // bit rot or torn payload
+      break;
+    }
+    size_t p = 0;
+    if (payload.empty()) {
+      result.tail_corrupt = true;
+      break;
+    }
+    uint8_t type = static_cast<uint8_t>(payload[p++]);
+    uint64_t epoch = 0;
+    if (!GetU64(payload, &p, &epoch)) {
+      result.tail_corrupt = true;
+      break;
+    }
+    if (type == kRecordBatch) {
+      uint32_t name_len = 0;
+      if (!GetU32(payload, &p, &name_len) || p + name_len > payload.size()) {
+        result.tail_corrupt = true;
+        break;
+      }
+      WalBatch batch;
+      batch.table = payload.substr(p, name_len);
+      p += name_len;
+      uint32_t row_count = 0;
+      if (!GetU32(payload, &p, &row_count)) {
+        result.tail_corrupt = true;
+        break;
+      }
+      batch.row_lines.reserve(row_count);
+      bool bad = false;
+      for (uint32_t i = 0; i < row_count; ++i) {
+        uint32_t line_len = 0;
+        if (!GetU32(payload, &p, &line_len) || p + line_len > payload.size()) {
+          bad = true;
+          break;
+        }
+        batch.row_lines.push_back(payload.substr(p, line_len));
+        p += line_len;
+      }
+      if (bad) {
+        result.tail_corrupt = true;
+        break;
+      }
+      if (!open_batches.empty() && epoch != open_epoch) {
+        open_batches.clear();  // previous epoch never committed
+      }
+      open_epoch = epoch;
+      open_batches.push_back(std::move(batch));
+    } else if (type == kRecordCommit) {
+      uint32_t batch_count = 0;
+      if (!GetU32(payload, &p, &batch_count)) {
+        result.tail_corrupt = true;
+        break;
+      }
+      if (!open_batches.empty() && epoch != open_epoch) {
+        open_batches.clear();  // an earlier epoch was abandoned, not this one
+      }
+      if (open_batches.size() != batch_count) {
+        // A COMMIT that does not match its batches is as corrupt as a
+        // bad CRC: stop at the previous durable boundary.
+        result.tail_corrupt = true;
+        break;
+      }
+      WalEpoch e;
+      e.epoch = epoch;
+      e.batches = std::move(open_batches);
+      result.committed.push_back(std::move(e));
+      open_batches.clear();
+      result.committed_bytes = pos;
+    } else {
+      result.tail_corrupt = true;
+      break;
+    }
+  }
+
+  result.tail_bytes = data.size() - result.committed_bytes;
+  return result;
+}
+
+}  // namespace rfid::wal

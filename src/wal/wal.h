@@ -1,0 +1,139 @@
+// Epoch-aligned write-ahead log for ingest batches.
+//
+// File layout (one segment file):
+//   8-byte magic "RFIDWAL1", then records back to back:
+//     u32 payload_len | u32 crc32(payload) | payload
+//   payload: u8 type | u64 epoch | body        (all integers little-endian)
+//     type 1 BATCH : u32 name_len | table name | u32 row_count |
+//                    rows, each u32 line_len | persist-format TSV line
+//     type 2 COMMIT: u32 batch_count
+//
+// An epoch is durable iff its COMMIT record is on disk: the writer logs
+// every table batch of an epoch, the caller applies them in memory, and
+// only then is the COMMIT appended (and fsync()ed per policy) — so a
+// replayer never applies an epoch the writer did not acknowledge, and a
+// crash between BATCH records and the COMMIT simply discards the epoch.
+//
+// The reader is paranoid by construction: a record whose length field
+// runs past EOF, whose CRC mismatches, or whose payload fails to decode
+// ends the scan — everything from the last COMMIT boundary onward is a
+// torn/corrupt tail to be truncated, never served. Bad bytes in the
+// middle of the file likewise stop replay at the preceding COMMIT (bit
+// rot cannot silently skip ahead).
+//
+// Fsync policy trade-offs:
+//   kAlways   fsync after every record — an acknowledged batch survives
+//             power loss, at one fsync per table batch + commit.
+//   kPerEpoch fsync once per COMMIT — an acknowledged *epoch* survives;
+//             the default, matching the epoch-granularity snapshots.
+//   kOff      never fsync — durability limited to what the OS flushes;
+//             for bulk loads that end with a checkpoint.
+#ifndef RFID_WAL_WAL_H_
+#define RFID_WAL_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/status.h"
+#include "storage/row_store.h"
+
+namespace rfid::wal {
+
+enum class FsyncPolicy { kAlways, kPerEpoch, kOff };
+
+const char* FsyncPolicyName(FsyncPolicy p);
+
+/// Single-writer appender over one WAL segment. Not thread-safe: the
+/// ingest pipeline calls it under its writer lock. After any append or
+/// sync error the writer is *broken* (the file may hold a torn record)
+/// and refuses further traffic; recovery is the way back.
+class WalWriter {
+ public:
+  /// Creates a fresh segment at `path` (magic written and synced).
+  /// `next_epoch` seeds the epoch counter (last durable epoch + 1).
+  static Result<std::unique_ptr<WalWriter>> Create(const std::string& path,
+                                                   FsyncPolicy policy,
+                                                   uint64_t next_epoch);
+
+  /// Opens an existing segment for appending at `offset` (the reader's
+  /// committed-prefix size; the file is truncated to it first).
+  static Result<std::unique_ptr<WalWriter>> OpenAppend(const std::string& path,
+                                                       FsyncPolicy policy,
+                                                       uint64_t next_epoch,
+                                                       uint64_t offset);
+
+  /// Appends a BATCH record for the current epoch. Rows are encoded with
+  /// the persistence TSV codec by the caller (see WalManager::LogBatch).
+  Status AppendBatch(const std::string& table,
+                     const std::vector<std::string>& row_lines);
+
+  /// Appends the COMMIT record for the current epoch, fsyncs per policy,
+  /// and advances to the next epoch.
+  Status Commit();
+
+  /// Abandons the current epoch (crash-equivalent: its BATCH records may
+  /// be on disk but no COMMIT ever follows) and advances the counter so
+  /// the next epoch's records are unambiguous to the replayer.
+  void Abort();
+
+  /// Epoch currently being logged.
+  uint64_t epoch() const { return epoch_; }
+  /// Last epoch whose COMMIT was appended (0 = none this segment).
+  uint64_t last_committed() const { return last_committed_; }
+  bool broken() const { return broken_; }
+  uint64_t offset() const { return file_.offset(); }
+
+  /// Explicit fsync (used by checkpointing regardless of policy).
+  Status Sync();
+
+ private:
+  WalWriter(DurableFile file, FsyncPolicy policy, uint64_t next_epoch)
+      : file_(std::move(file)), policy_(policy), epoch_(next_epoch) {}
+
+  Status AppendRecord(const std::string& payload);
+
+  DurableFile file_;
+  FsyncPolicy policy_;
+  uint64_t epoch_;
+  uint64_t last_committed_ = 0;
+  uint32_t batches_in_epoch_ = 0;
+  bool broken_ = false;
+};
+
+/// One logged table batch, rows still in TSV form (schema-free until
+/// replay resolves the destination table).
+struct WalBatch {
+  std::string table;
+  std::vector<std::string> row_lines;
+};
+
+/// One durable epoch: its COMMIT record was read and verified.
+struct WalEpoch {
+  uint64_t epoch = 0;
+  std::vector<WalBatch> batches;
+};
+
+struct WalReadResult {
+  std::vector<WalEpoch> committed;
+  /// Offset just past the last COMMIT record: the committed prefix.
+  /// Everything beyond it (uncommitted batches, torn or corrupt bytes)
+  /// is dead weight a writer reopening the segment truncates away.
+  uint64_t committed_bytes = 0;
+  /// Bytes present in the file beyond the committed prefix.
+  uint64_t tail_bytes = 0;
+  /// True when the tail contained a structurally bad record (torn
+  /// length/CRC/decode failure) as opposed to merely uncommitted batches.
+  bool tail_corrupt = false;
+};
+
+/// Scans a segment, returning every durable epoch in log order plus the
+/// truncation watermark. NotFound if the file is missing; InvalidArgument
+/// if the magic header itself is unreadable.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+}  // namespace rfid::wal
+
+#endif  // RFID_WAL_WAL_H_

@@ -1,0 +1,290 @@
+#include "wal/wal_manager.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/fault.h"
+#include "common/string_util.h"
+#include "storage/persist.h"
+
+namespace rfid::wal {
+
+namespace {
+
+constexpr const char* kManifestName = "DURABLE";
+constexpr const char* kManifestMagic = "rfidwal 1";
+constexpr const char* kStructuresName = "STRUCTURES";
+
+std::string CheckpointName(uint64_t epoch) {
+  return "checkpoint-" + std::to_string(epoch);
+}
+
+std::string SegmentName(uint64_t epoch) {
+  return "wal-" + std::to_string(epoch) + ".log";
+}
+
+struct Manifest {
+  uint64_t checkpoint_epoch = 0;
+  std::string checkpoint;
+  std::string segment;
+};
+
+Result<Manifest> ParseManifest(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kManifestMagic) {
+    return Status::InvalidArgument("unrecognized durability manifest");
+  }
+  Manifest m;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "checkpoint_epoch") {
+      fields >> m.checkpoint_epoch;
+    } else if (key == "checkpoint") {
+      fields >> m.checkpoint;
+    } else if (key == "segment") {
+      fields >> m.segment;
+    }
+    // Unknown keys are ignored for forward compatibility.
+  }
+  if (m.checkpoint.empty() || m.segment.empty()) {
+    return Status::InvalidArgument("incomplete durability manifest");
+  }
+  return m;
+}
+
+std::string RenderManifest(uint64_t checkpoint_epoch,
+                           const std::string& checkpoint,
+                           const std::string& segment) {
+  std::string out = std::string(kManifestMagic) + "\n";
+  out += "checkpoint_epoch " + std::to_string(checkpoint_epoch) + "\n";
+  out += "checkpoint " + checkpoint + "\n";
+  out += "segment " + segment + "\n";
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalManager>> WalManager::Open(std::string dir,
+                                                     Database* db,
+                                                     WalOptions options) {
+  RFID_RETURN_IF_ERROR(EnsureDir(dir));
+  std::unique_ptr<WalManager> m(
+      new WalManager(std::move(dir), db, std::move(options)));
+  auto manifest = ReadFileToString(m->dir_ + "/" + kManifestName);
+  if (!manifest.ok()) {
+    if (manifest.status().code() != StatusCode::kNotFound) {
+      return manifest.status();
+    }
+    RFID_RETURN_IF_ERROR(m->OpenFresh());
+  } else {
+    RFID_RETURN_IF_ERROR(m->Recover());
+  }
+  return m;
+}
+
+Status WalManager::OpenFresh() {
+  durable_epoch_ = 0;
+  // The base image (whatever the database holds at attach time —
+  // generated data, a bulk load, or nothing) becomes checkpoint 0; the
+  // WAL then only ever needs to carry epochs, never the base.
+  return Checkpoint();
+}
+
+Status WalManager::WriteCheckpointImage(const std::string& tmp_dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(tmp_dir, ec);  // stale .tmp from a crash
+  RFID_RETURN_IF_ERROR(SaveDatabase(*db_, tmp_dir));
+  // STRUCTURES sidecar: which indexes/stats to rebuild before replay.
+  std::string sidecar;
+  for (const std::string& name : db_->TableNames()) {
+    const Table* table = db_->GetTable(name);
+    sidecar += name;
+    sidecar += '\t';
+    std::string cols;
+    for (const SortedIndex* index : table->indexes()) {
+      if (!cols.empty()) cols += ',';
+      cols += index->column_name();
+    }
+    sidecar += cols.empty() ? "-" : cols;
+    sidecar += '\t';
+    sidecar += table->has_stats() ? '1' : '0';
+    sidecar += '\n';
+  }
+  return WriteFileAtomic(tmp_dir + "/" + kStructuresName, sidecar);
+}
+
+Status WalManager::RotateAndSwapManifest(uint64_t epoch) {
+  const std::string new_checkpoint = CheckpointName(epoch);
+  const std::string new_segment = SegmentName(epoch);
+
+  // Fresh segment before the manifest points at it. If the name matches
+  // the live segment (no epochs since the last checkpoint), truncating
+  // it loses nothing: every committed epoch <= `epoch` is in the image.
+  writer_.reset();
+  RFID_FAULT_POINT("wal.Rotate");
+  RFID_ASSIGN_OR_RETURN(
+      std::unique_ptr<WalWriter> writer,
+      WalWriter::Create(dir_ + "/" + new_segment, options_.fsync_policy,
+                        epoch + 1));
+
+  RFID_FAULT_POINT("wal.SwapManifest");
+  RFID_RETURN_IF_ERROR(WriteFileAtomic(
+      dir_ + "/" + kManifestName,
+      RenderManifest(epoch, new_checkpoint, new_segment)));
+
+  // The swap is the commit point; everything the old manifest referenced
+  // is now garbage (best-effort cleanup, harmless if a crash leaves it).
+  std::error_code ec;
+  if (!checkpoint_name_.empty() && checkpoint_name_ != new_checkpoint) {
+    std::filesystem::remove_all(dir_ + "/" + checkpoint_name_, ec);
+  }
+  if (!segment_name_.empty() && segment_name_ != new_segment) {
+    std::filesystem::remove(dir_ + "/" + segment_name_, ec);
+  }
+  checkpoint_epoch_ = epoch;
+  checkpoint_name_ = new_checkpoint;
+  segment_name_ = new_segment;
+  writer_ = std::move(writer);
+  return Status::OK();
+}
+
+Status WalManager::Checkpoint() {
+  RFID_FAULT_POINT("wal.Checkpoint");
+  const uint64_t epoch = durable_epoch_;
+  const std::string final_dir = dir_ + "/" + CheckpointName(epoch);
+  const std::string tmp_dir = final_dir + ".tmp";
+  RFID_RETURN_IF_ERROR(WriteCheckpointImage(tmp_dir));
+
+  // Atomic directory swap: remove a same-epoch predecessor, rename the
+  // complete image into place, sync the parent so the rename sticks.
+  std::error_code ec;
+  std::filesystem::remove_all(final_dir, ec);
+  std::filesystem::rename(tmp_dir, final_dir, ec);
+  if (ec) {
+    return Status::Internal(StrFormat("checkpoint rename %s: %s",
+                                      final_dir.c_str(),
+                                      ec.message().c_str()));
+  }
+  RFID_RETURN_IF_ERROR(SyncDir(dir_));
+
+  return RotateAndSwapManifest(epoch);
+}
+
+Status WalManager::ReplayEpoch(const WalEpoch& epoch) {
+  for (const WalBatch& batch : epoch.batches) {
+    RFID_ASSIGN_OR_RETURN(Table * table, db_->ResolveTable(batch.table));
+    std::vector<Row> rows;
+    rows.reserve(batch.row_lines.size());
+    for (const std::string& line : batch.row_lines) {
+      RFID_ASSIGN_OR_RETURN(Row row, ParseRowTsv(line, table->schema()));
+      rows.push_back(std::move(row));
+    }
+    recovery_.replayed_rows += rows.size();
+    Result<uint64_t> first =
+        table->IngestBatch(std::move(rows), options_.index_compact_threshold);
+    if (!first.ok()) return first.status();
+  }
+  return Status::OK();
+}
+
+Status WalManager::Recover() {
+  RFID_ASSIGN_OR_RETURN(std::string text,
+                        ReadFileToString(dir_ + "/" + kManifestName));
+  RFID_ASSIGN_OR_RETURN(Manifest manifest, ParseManifest(text));
+  recovery_.recovered = true;
+  recovery_.checkpoint_epoch = manifest.checkpoint_epoch;
+  checkpoint_epoch_ = manifest.checkpoint_epoch;
+  checkpoint_name_ = manifest.checkpoint;
+  segment_name_ = manifest.segment;
+
+  // 1. Checkpoint image → tables.
+  const std::string checkpoint_dir = dir_ + "/" + manifest.checkpoint;
+  RFID_RETURN_IF_ERROR(LoadDatabase(checkpoint_dir, db_));
+
+  // 2. Structures, exactly as recorded: rebuilding them *before* replay
+  // makes replay's incremental maintenance mirror the original run.
+  auto sidecar = ReadFileToString(checkpoint_dir + "/" + kStructuresName);
+  if (sidecar.ok()) {
+    std::istringstream in(*sidecar);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::istringstream fields(line);
+      std::string name, cols, stats_flag;
+      std::getline(fields, name, '\t');
+      std::getline(fields, cols, '\t');
+      std::getline(fields, stats_flag, '\t');
+      Table* table = db_->GetTable(name);
+      if (table == nullptr) {
+        return Status::InvalidArgument(
+            "STRUCTURES names unknown table " + name);
+      }
+      if (cols != "-") {
+        size_t start = 0;
+        while (start <= cols.size()) {
+          size_t comma = cols.find(',', start);
+          std::string col = comma == std::string::npos
+                                ? cols.substr(start)
+                                : cols.substr(start, comma - start);
+          if (!col.empty()) RFID_RETURN_IF_ERROR(table->BuildIndex(col));
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+      }
+      if (stats_flag == "1") table->ComputeStats();
+    }
+  }
+
+  if (options_.after_checkpoint_load) options_.after_checkpoint_load();
+
+  // 3. Replay every committed epoch; anything past the last COMMIT is a
+  // torn/corrupt tail and gets truncated, never served.
+  const std::string segment_path = dir_ + "/" + manifest.segment;
+  RFID_ASSIGN_OR_RETURN(WalReadResult log, ReadWal(segment_path));
+  durable_epoch_ = manifest.checkpoint_epoch;
+  for (const WalEpoch& epoch : log.committed) {
+    if (epoch.epoch <= durable_epoch_) continue;  // covered by checkpoint
+    RFID_RETURN_IF_ERROR(ReplayEpoch(epoch));
+    durable_epoch_ = epoch.epoch;
+    ++recovery_.replayed_epochs;
+  }
+  recovery_.truncated_bytes = log.tail_bytes;
+  recovery_.tail_corrupt = log.tail_corrupt;
+
+  // 4. Reopen the segment for appending at the committed prefix.
+  RFID_ASSIGN_OR_RETURN(
+      writer_, WalWriter::OpenAppend(segment_path, options_.fsync_policy,
+                                     durable_epoch_ + 1, log.committed_bytes));
+  return Status::OK();
+}
+
+Status WalManager::LogBatch(const std::string& table,
+                            const std::vector<Row>& rows) {
+  if (writer_ == nullptr || writer_->broken()) {
+    return Status::Internal("durability log unavailable (broken writer); "
+                            "checkpoint or recover to continue");
+  }
+  std::vector<std::string> lines;
+  lines.reserve(rows.size());
+  for (const Row& row : rows) lines.push_back(SerializeRowTsv(row));
+  return writer_->AppendBatch(table, lines);
+}
+
+Status WalManager::LogCommit() {
+  if (writer_ == nullptr || writer_->broken()) {
+    return Status::Internal("durability log unavailable (broken writer); "
+                            "checkpoint or recover to continue");
+  }
+  RFID_RETURN_IF_ERROR(writer_->Commit());
+  durable_epoch_ = writer_->last_committed();
+  return Status::OK();
+}
+
+void WalManager::LogAbort() {
+  if (writer_ != nullptr) writer_->Abort();
+}
+
+}  // namespace rfid::wal

@@ -1,0 +1,141 @@
+// Durability manager: ties the write-ahead log (wal.h), the checkpoint
+// image (storage/persist.h), and recovery-by-replay together under one
+// directory.
+//
+// Directory layout:
+//   <dir>/DURABLE            manifest (atomic-rename updated):
+//                              rfidwal 1
+//                              checkpoint_epoch <E>
+//                              checkpoint <checkpoint-E>
+//                              segment <wal-E.log>
+//   <dir>/checkpoint-<E>/    persistence dump (MANIFEST + *.tsv) plus a
+//                            STRUCTURES sidecar recording, per table,
+//                            which indexed columns and whether stats
+//                            existed at checkpoint time
+//   <dir>/wal-<E>.log        the active segment: epochs > E
+//
+// Checkpoint protocol (writer quiesced — the ingest pipeline calls this
+// under its writer lock):
+//   1. write the image to checkpoint-<E>.tmp, every file fsync+renamed
+//   2. rename the .tmp directory to checkpoint-<E>
+//   3. create a fresh segment wal-<E>.log
+//   4. atomically swap the DURABLE manifest to point at both
+//   5. best-effort delete of the previous checkpoint/segment
+// A crash anywhere before step 4 leaves the previous manifest pointing
+// at the previous (complete) checkpoint + segment; orphan .tmp files are
+// overwritten by the next checkpoint.
+//
+// Recovery invariants (Open on an existing directory):
+//   - the checkpoint image is loaded and indexes/stats rebuilt exactly
+//     as the STRUCTURES sidecar recorded them;
+//   - every *committed* WAL epoch is replayed through the same
+//     Table::IngestBatch path live ingest uses, so indexes and the
+//     mergeable statistics come out bit-identical to a run that never
+//     crashed (KMV sketches are order-independent; see storage/stats.h);
+//   - a torn or corrupt tail is truncated at the last COMMIT boundary,
+//     never served — recovery always lands on a valid epoch boundary;
+//   - replay is readable: concurrent snapshot captures + queries during
+//     replay are safe (the same single-writer/epoch-watermark contract
+//     as live ingest).
+//
+// Failure semantics while logging: after any append/sync error the
+// writer is broken and every further LogBatch/LogCommit fails — from the
+// durability layer's view the process has crashed, and reopening the
+// directory (recovery) is the way back. In-memory table state may be
+// ahead of the durable state at that point; callers that must not lose
+// acknowledged batches use FsyncPolicy::kAlways or kPerEpoch and treat
+// only Apply() == OK as acknowledged.
+#ifndef RFID_WAL_WAL_MANAGER_H_
+#define RFID_WAL_WAL_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "wal/wal.h"
+
+namespace rfid::wal {
+
+struct WalOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kPerEpoch;
+  /// Run-count bound for incremental index maintenance during replay
+  /// (match the live pipeline's setting for bit-identical structures).
+  size_t index_compact_threshold = 8;
+  /// Invoked after the checkpoint image is loaded and its structures
+  /// rebuilt, before WAL replay begins — the hook the query-during-
+  /// replay tests use to start readers once tables exist.
+  std::function<void()> after_checkpoint_load;
+};
+
+struct RecoveryResult {
+  bool recovered = false;        // false = directory was fresh
+  uint64_t checkpoint_epoch = 0;
+  uint64_t replayed_epochs = 0;
+  uint64_t replayed_rows = 0;
+  uint64_t truncated_bytes = 0;  // tail dropped past the last COMMIT
+  bool tail_corrupt = false;     // the dropped tail was torn/corrupt
+};
+
+class WalManager {
+ public:
+  /// Opens the durability directory over `db`.
+  ///  - Fresh directory: checkpoints the database's current contents as
+  ///    the base image (epoch 0) and starts an empty segment.
+  ///  - Existing directory: recovers — loads the checkpoint into `db`
+  ///    (its tables must not already exist), rebuilds structures,
+  ///    replays committed epochs, truncates the tail, and reopens the
+  ///    segment for appending.
+  static Result<std::unique_ptr<WalManager>> Open(std::string dir,
+                                                  Database* db,
+                                                  WalOptions options = {});
+
+  /// What Open found/did; meaningful after recovery.
+  const RecoveryResult& recovery() const { return recovery_; }
+
+  /// Last epoch that is safe on disk (committed in the WAL or covered by
+  /// the checkpoint).
+  uint64_t durable_epoch() const { return durable_epoch_; }
+
+  const std::string& dir() const { return dir_; }
+  FsyncPolicy fsync_policy() const { return options_.fsync_policy; }
+  bool broken() const { return writer_ == nullptr || writer_->broken(); }
+
+  /// Log-before-publish hooks for the ingest pipeline (single writer,
+  /// called under its lock). LogBatch appends one BATCH record; LogCommit
+  /// seals the epoch (fsync per policy); LogAbort abandons it.
+  Status LogBatch(const std::string& table, const std::vector<Row>& rows);
+  Status LogCommit();
+  void LogAbort();
+
+  /// Writes a consistent checkpoint of `db` (the database Open was given)
+  /// at the current durable epoch and truncates the log. Caller must
+  /// hold the writer role (no concurrent Apply).
+  Status Checkpoint();
+
+ private:
+  WalManager(std::string dir, Database* db, WalOptions options)
+      : dir_(std::move(dir)), db_(db), options_(std::move(options)) {}
+
+  Status OpenFresh();
+  Status Recover();
+  Status WriteCheckpointImage(const std::string& tmp_dir);
+  Status RotateAndSwapManifest(uint64_t epoch);
+  Status ReplayEpoch(const WalEpoch& epoch);
+
+  std::string dir_;
+  Database* db_;
+  WalOptions options_;
+
+  std::unique_ptr<WalWriter> writer_;
+  uint64_t durable_epoch_ = 0;
+  uint64_t checkpoint_epoch_ = 0;
+  std::string checkpoint_name_;
+  std::string segment_name_;
+  RecoveryResult recovery_;
+};
+
+}  // namespace rfid::wal
+
+#endif  // RFID_WAL_WAL_MANAGER_H_

@@ -11,9 +11,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <optional>
 
 #include "common/fault.h"
+#include "common/io.h"
 #include "common/string_util.h"
 #include "common/time_util.h"
 #include "expr/row_batch.h"
@@ -298,6 +300,101 @@ TEST_F(FaultInjectionTest, FiredInjectorStaysFailing) {
 TEST_F(FaultInjectionTest, NoInjectorMeansNoOverheadPath) {
   EXPECT_FALSE(FaultInjectionActive());
   EXPECT_TRUE(PokeFault("anything").ok());
+}
+
+// File-I/O fault sites (common/io.h): a fail-at-step sweep over one
+// append+sync sequence must fire each site deterministically and leave
+// the documented on-disk artifact — nothing written, a torn half, a
+// bit-flipped copy, or unsynced-but-present bytes.
+TEST(FileIoFaultTest, SitesFireDeterministicallyWithRealisticArtifacts) {
+  const std::string path = ::testing::TempDir() + "/rfid_io_fault.bin";
+  const std::string payload = "0123456789abcdef";  // 16 bytes, even split
+
+  auto run_step = [&](FaultInjector* injector) {
+    std::remove(path.c_str());
+    auto file = DurableFile::Create(path);
+    if (!file.ok()) return file.status();
+    ScopedFaultInjector scope(injector);
+    Status st = file->Append(payload);
+    if (st.ok()) st = file->Sync();
+    return st;
+  };
+
+  // Learn the sweep space (Create runs outside the scope: the sites
+  // under test are the append/sync ones).
+  uint64_t total = 0;
+  {
+    FaultInjector counter = FaultInjector::CountOnly();
+    ASSERT_TRUE(run_step(&counter).ok());
+    total = counter.steps();
+  }
+  ASSERT_EQ(total, 4u) << "io.write, io.write.short, io.write.flip, io.fsync";
+
+  for (uint64_t step = 0; step < total; ++step) {
+    FaultInjector injector = FaultInjector::FailAtStep(step);
+    Status st = run_step(&injector);
+    ASSERT_FALSE(st.ok()) << "step " << step;
+    ASSERT_TRUE(injector.fired()) << "step " << step;
+    auto on_disk = ReadFileToString(path);
+    ASSERT_TRUE(on_disk.ok());
+    if (injector.fired_site() == kFaultIoWrite) {
+      EXPECT_TRUE(on_disk->empty()) << "crash-before-write left bytes";
+    } else if (injector.fired_site() == kFaultIoWriteShort) {
+      EXPECT_EQ(*on_disk, payload.substr(0, payload.size() / 2))
+          << "short write should leave exactly the first half";
+    } else if (injector.fired_site() == kFaultIoWriteFlip) {
+      EXPECT_EQ(on_disk->size(), payload.size());
+      EXPECT_NE(*on_disk, payload) << "flip site wrote clean bytes";
+      EXPECT_NE(Crc32(*on_disk), Crc32(payload))
+          << "a checksum must be able to catch the flip";
+    } else if (injector.fired_site() == kFaultIoFsync) {
+      EXPECT_EQ(*on_disk, payload) << "fsync failure loses no written bytes";
+    } else {
+      ADD_FAILURE() << "unexpected site " << injector.fired_site()
+                    << " at step " << step;
+    }
+    // Identical reruns fire the identical site: the sweep space is
+    // stable, which is what makes crash-point sweeps reproducible.
+    FaultInjector again = FaultInjector::FailAtStep(step);
+    ASSERT_FALSE(run_step(&again).ok());
+    EXPECT_EQ(again.fired_site(), injector.fired_site()) << "step " << step;
+    EXPECT_EQ(again.fired_step(), injector.fired_step()) << "step " << step;
+  }
+  std::remove(path.c_str());
+}
+
+// The atomic-replace path: a rename failure must leave the previous
+// final file untouched (the crash artifact is "old contents survive").
+TEST(FileIoFaultTest, RenameFailureLeavesPreviousFileIntact) {
+  const std::string path = ::testing::TempDir() + "/rfid_io_atomic.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "previous contents").ok());
+
+  // Count the steps one atomic write crosses, then fail each in turn.
+  uint64_t total = 0;
+  {
+    FaultInjector counter = FaultInjector::CountOnly();
+    ScopedFaultInjector scope(&counter);
+    ASSERT_TRUE(WriteFileAtomic(path, "previous contents").ok());
+    total = counter.steps();
+  }
+  ASSERT_GE(total, 5u);  // 3 write sites + fsync + rename
+
+  for (uint64_t step = 0; step < total; ++step) {
+    ASSERT_TRUE(WriteFileAtomic(path, "previous contents").ok());
+    FaultInjector injector = FaultInjector::FailAtStep(step);
+    Status st;
+    {
+      ScopedFaultInjector scope(&injector);
+      st = WriteFileAtomic(path, "NEW contents that must not land");
+    }
+    ASSERT_FALSE(st.ok()) << "step " << step;
+    auto on_disk = ReadFileToString(path);
+    ASSERT_TRUE(on_disk.ok()) << "step " << step << " clobbered the file";
+    EXPECT_EQ(*on_disk, "previous contents")
+        << "step " << step << " (site " << injector.fired_site()
+        << ") leaked a partial replacement";
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

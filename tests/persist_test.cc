@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/fault.h"
 #include "common/time_util.h"
 #include "plan/planner.h"
 #include "rfidgen/rfidgen.h"
@@ -128,6 +129,109 @@ TEST_F(PersistTest, RfidDatabaseRoundTripsAndQueries) {
       loaded, "SELECT count(*) FROM caseR WHERE rtime >= TIMESTAMP 0");
   ASSERT_TRUE(ranged.ok());
   EXPECT_EQ(ranged->rows[0][0].int64_value(), after->rows[0][0].int64_value());
+}
+
+// Crash-safety of SaveDatabase: every file lands via temp + atomic
+// rename, so failing at *any* injection step mid-save must leave the
+// directory fully loadable — each table file is either the complete old
+// version or the complete new one, never a truncated hybrid.
+TEST_F(PersistTest, CrashMidSaveNeverClobbersPreviousDump) {
+  Database db;
+  Schema s;
+  s.AddColumn("x", DataType::kInt64);
+  s.AddColumn("label", DataType::kString);
+  Table* data = db.CreateTable("data", s).value();
+  Schema s2;
+  s2.AddColumn("y", DataType::kString);
+  Table* aux = db.CreateTable("aux", s2).value();
+
+  auto fill = [&](int from, int to, const char* tag) {
+    for (int i = from; i < to; ++i) {
+      ASSERT_TRUE(data->Append({Value::Int64(i),
+                                Value::String(std::string(tag) + "-" +
+                                              std::to_string(i))})
+                      .ok());
+      ASSERT_TRUE(aux->Append({Value::String(tag)}).ok());
+    }
+  };
+  fill(0, 10, "v1");
+  ASSERT_TRUE(SaveDatabase(db, dir_).ok());
+  fill(10, 20, "v2");  // the new dump every failing save is attempting
+
+  // Learn the sweep space for one full save.
+  uint64_t total_steps = 0;
+  {
+    std::string count_dir = dir_ + "_count";
+    FaultInjector counter = FaultInjector::CountOnly();
+    ScopedFaultInjector scope(&counter);
+    ASSERT_TRUE(SaveDatabase(db, count_dir).ok());
+    total_steps = counter.steps();
+    std::filesystem::remove_all(count_dir);
+  }
+  // 2 tables × (1 persist site + 3 write + fsync + rename) + manifest.
+  ASSERT_GE(total_steps, 13u);
+
+  for (uint64_t step = 0; step < total_steps; ++step) {
+    Status st;
+    FaultInjector injector = FaultInjector::FailAtStep(step);
+    {
+      ScopedFaultInjector scope(&injector);
+      st = SaveDatabase(db, dir_);
+    }
+    ASSERT_FALSE(st.ok()) << "step " << step << " did not fail";
+    ASSERT_TRUE(injector.fired());
+    EXPECT_FALSE(st.ToString().empty()) << "unstructured failure";
+
+    Database loaded;
+    Status lst = LoadDatabase(dir_, &loaded);
+    ASSERT_TRUE(lst.ok()) << "step " << step << " (site "
+                          << injector.fired_site()
+                          << ") broke the dump: " << lst.ToString();
+    for (const char* name : {"data", "aux"}) {
+      const Table* t = loaded.GetTable(name);
+      ASSERT_NE(t, nullptr) << "step " << step;
+      EXPECT_TRUE(t->num_rows() == 10u || t->num_rows() == 20u)
+          << "step " << step << " left " << name << " with " << t->num_rows()
+          << " rows — a torn table file";
+    }
+    // Whichever version of "data" survived, its last row is intact.
+    const Table* t = loaded.GetTable("data");
+    const Row& last = t->row(t->num_rows() - 1);
+    EXPECT_EQ(last[1].string_value(),
+              (t->num_rows() == 10u ? "v1-9" : "v2-19"))
+        << "step " << step;
+  }
+
+  // With no injector the save completes and the new dump loads whole.
+  ASSERT_TRUE(SaveDatabase(db, dir_).ok());
+  Database final_loaded;
+  ASSERT_TRUE(LoadDatabase(dir_, &final_loaded).ok());
+  EXPECT_EQ(final_loaded.GetTable("data")->num_rows(), 20u);
+  EXPECT_EQ(final_loaded.GetTable("aux")->num_rows(), 20u);
+}
+
+// The TSV row codec is shared with the WAL: round-trip every value type
+// through SerializeRowTsv/ParseRowTsv directly.
+TEST_F(PersistTest, RowTsvCodecRoundTrips) {
+  Schema s;
+  s.AddColumn("b", DataType::kBool);
+  s.AddColumn("i", DataType::kInt64);
+  s.AddColumn("d", DataType::kDouble);
+  s.AddColumn("str", DataType::kString);
+  s.AddColumn("ts", DataType::kTimestamp);
+  s.AddColumn("iv", DataType::kInterval);
+  Row original = {Value::Bool(true),          Value::Int64(-7),
+                  Value::Double(0.125),       Value::String("t\tn\\n\\N"),
+                  Value::Timestamp(Minutes(3)), Value::Interval(-2)};
+  auto parsed = ParseRowTsv(SerializeRowTsv(original), s);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t c = 0; c < original.size(); ++c) {
+    EXPECT_TRUE((*parsed)[c].DistinctEquals(original[c])) << "col " << c;
+  }
+  // Arity mismatches are structured errors, not crashes.
+  EXPECT_EQ(ParseRowTsv("1\t2", s).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

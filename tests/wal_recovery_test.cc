@@ -1,0 +1,559 @@
+// Crash-recovery validation for the durability subsystem.
+//
+// The headline guarantees under test:
+//  - recovery equivalence: a database recovered from checkpoint + WAL
+//    replay answers every query bit-identically (exact rows, exact
+//    order) to the database that never crashed — across all three
+//    cleansing rewrite strategies, serial and morsel-parallel;
+//  - a corrupt-WAL corpus (flipped CRC byte, truncated record, garbage
+//    tail) never blocks recovery and never serves damaged data: replay
+//    stops at the last durable epoch boundary;
+//  - a deterministic crash-point sweep over *every* fault-injection step
+//    the attach/feed/checkpoint scenario crosses (WAL appends, commit
+//    fsyncs, checkpoint image writes, manifest swaps) always recovers to
+//    a valid epoch boundary at or past every acknowledged epoch;
+//  - queries run concurrently with replay (the TSan target).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "exec/parallel.h"
+#include "ingest/ingest.h"
+#include "plan/planner.h"
+#include "rewrite/rewriter.h"
+#include "rfidgen/stream.h"
+#include "rfidgen/workload.h"
+#include "storage/snapshot.h"
+#include "wal/wal_manager.h"
+
+namespace rfid {
+namespace {
+
+using ingest::IngestPipeline;
+using ingest::TableBatch;
+using rfidgen::ReadStream;
+using rfidgen::StreamBatch;
+using rfidgen::StreamOptions;
+using wal::WalManager;
+using wal::WalOptions;
+
+const char* const kStreamTables[] = {"caseR", "palletR", "parent", "epc_info"};
+
+std::vector<TableBatch> ToGroup(StreamBatch b) {
+  std::vector<TableBatch> group;
+  group.push_back({"caseR", std::move(b.case_rows)});
+  group.push_back({"palletR", std::move(b.pallet_rows)});
+  group.push_back({"parent", std::move(b.parent_rows)});
+  group.push_back({"epc_info", std::move(b.info_rows)});
+  return group;
+}
+
+// Exact, order-sensitive serialization: recovered output must match the
+// uninterrupted run row for row.
+std::vector<std::string> Exact(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& r : rows) {
+    std::string s;
+    for (const Value& v : r) s += v.ToString() + "|";
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> RunExact(Database& db, const std::string& sql) {
+  auto res = ExecuteSql(db, sql);
+  EXPECT_TRUE(res.ok()) << sql << "\n" << res.status().ToString();
+  return res.ok() ? Exact(res->rows) : std::vector<std::string>{};
+}
+
+// Per-epoch fingerprint of the ingest-fed tables: visible row counts for
+// all four plus the full caseR contents in physical order.
+struct EpochState {
+  std::map<std::string, uint64_t> visible;
+  std::vector<std::string> case_rows;
+};
+
+EpochState CaptureState(Database& db) {
+  EpochState s;
+  for (const char* name : kStreamTables) {
+    const Table* t = db.GetTable(name);
+    s.visible[name] = t == nullptr ? 0 : t->visible_rows();
+  }
+  s.case_rows = RunExact(db, "SELECT epc, rtime, reader, biz_loc FROM caseR");
+  return s;
+}
+
+void ExpectState(Database& db, const EpochState& want, const char* label) {
+  for (const char* name : kStreamTables) {
+    const Table* t = db.GetTable(name);
+    ASSERT_NE(t, nullptr) << label << ": " << name;
+    EXPECT_EQ(t->visible_rows(), want.visible.at(name))
+        << label << ": " << name;
+    EXPECT_EQ(t->visible_rows(), t->num_rows())
+        << label << ": " << name << " has unpublished rows";
+    EXPECT_FALSE(t->structures_stale())
+        << label << ": " << name << " serves stale structures";
+  }
+  EXPECT_EQ(RunExact(db, "SELECT epc, rtime, reader, biz_loc FROM caseR"),
+            want.case_rows)
+      << label << ": caseR contents diverged";
+}
+
+class WalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/rfid_walrec_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------
+// Recovery equivalence: checkpoint + replay == the run that never
+// crashed, under every rewrite strategy, serial and parallel.
+// ---------------------------------------------------------------------
+
+TEST_F(WalRecoveryTest, RecoveredQueriesBitIdenticalAcrossStrategies) {
+  // Reference run: attach durability, feed four epochs, checkpoint, feed
+  // four more — then "crash" by dropping the pipeline and manager cold.
+  Database live;
+  StreamOptions opt;
+  opt.seed = 31;
+  opt.num_pallets = 30;
+  auto stream = ReadStream::Create(&live, opt);
+  ASSERT_TRUE(stream.ok()) << stream.status().ToString();
+  {
+    auto manager = WalManager::Open(dir_, &live);
+    ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+    IngestPipeline pipeline(&live, nullptr, 8, manager->get());
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_FALSE((*stream)->exhausted());
+      ASSERT_TRUE(pipeline.Apply(ToGroup((*stream)->NextBatch(120))).ok());
+      if (i == 3) {
+        ASSERT_TRUE(pipeline.Checkpoint().ok());
+      }
+    }
+    EXPECT_EQ((*manager)->durable_epoch(), 8u);
+  }
+
+  Database recovered;
+  auto manager = WalManager::Open(dir_, &recovered);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  EXPECT_TRUE((*manager)->recovery().recovered);
+  EXPECT_EQ((*manager)->recovery().checkpoint_epoch, 4u);
+  EXPECT_EQ((*manager)->recovery().replayed_epochs, 4u);
+  EXPECT_EQ((*manager)->durable_epoch(), 8u);
+
+  ExpectState(recovered, CaptureState(live), "recovered");
+
+  // Same rules, same rewriter setup on both databases; the rewritten SQL
+  // itself must agree (statistics and correlations recovered intact),
+  // and so must every query's exact output.
+  CleansingRuleEngine live_rules(&live);
+  CleansingRuleEngine rec_rules(&recovered);
+  for (const std::string& def : workload::StandardRuleDefinitions(3)) {
+    ASSERT_TRUE(live_rules.DefineRule(def).ok()) << def;
+    ASSERT_TRUE(rec_rules.DefineRule(def).ok()) << def;
+  }
+  QueryRewriter live_rw(&live, &live_rules);
+  QueryRewriter rec_rw(&recovered, &rec_rules);
+
+  std::string q1 = workload::Q1(workload::T1ForSelectivity(live, 0.5));
+  for (RewriteStrategy strategy :
+       {RewriteStrategy::kNaive, RewriteStrategy::kExpanded,
+        RewriteStrategy::kJoinBack}) {
+    RewriteOptions opts;
+    opts.strategy = strategy;
+    auto live_sql = live_rw.Rewrite(q1, opts);
+    auto rec_sql = rec_rw.Rewrite(q1, opts);
+    ASSERT_TRUE(live_sql.ok()) << live_sql.status().ToString();
+    ASSERT_TRUE(rec_sql.ok()) << rec_sql.status().ToString();
+    EXPECT_EQ(live_sql->sql, rec_sql->sql)
+        << "rewrite diverged (strategy " << static_cast<int>(strategy) << ")";
+
+    // Serial.
+    SetParallelPolicyForTest(1, 0);
+    EXPECT_EQ(RunExact(live, live_sql->sql), RunExact(recovered, rec_sql->sql))
+        << "serial output diverged (strategy " << static_cast<int>(strategy)
+        << ")";
+    // Morsel-parallel.
+    SetParallelPolicyForTest(4, 64);
+    EXPECT_EQ(RunExact(live, live_sql->sql), RunExact(recovered, rec_sql->sql))
+        << "parallel output diverged (strategy " << static_cast<int>(strategy)
+        << ")";
+    SetParallelPolicyForTest(0, 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Corrupt-WAL corpus: damage never blocks recovery, never gets served.
+// ---------------------------------------------------------------------
+
+class CorruptWalTest : public WalRecoveryTest {
+ protected:
+  // Feeds `epochs` epochs (no mid-run checkpoint: everything lives in
+  // the segment) and records the reference state after each.
+  void BuildLog(uint64_t epochs) {
+    Database live;
+    StreamOptions opt;
+    opt.seed = 77;
+    opt.num_pallets = 8;
+    auto stream = ReadStream::Create(&live, opt);
+    ASSERT_TRUE(stream.ok());
+    auto manager = WalManager::Open(dir_, &live);
+    ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+    IngestPipeline pipeline(&live, nullptr, 8, manager->get());
+    reference_.push_back(CaptureState(live));  // epoch 0 = base image
+    for (uint64_t i = 0; i < epochs; ++i) {
+      ASSERT_TRUE(pipeline.Apply(ToGroup((*stream)->NextBatch(60))).ok());
+      reference_.push_back(CaptureState(live));
+    }
+    segment_ = dir_ + "/wal-0.log";
+    ASSERT_TRUE(std::filesystem::exists(segment_)) << segment_;
+  }
+
+  std::string ReadSegment() {
+    auto s = ReadFileToString(segment_);
+    EXPECT_TRUE(s.ok());
+    return s.ok() ? *s : std::string();
+  }
+
+  void WriteSegment(const std::string& bytes) {
+    std::filesystem::remove(segment_);
+    auto f = DurableFile::Create(segment_);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE(f->Append(bytes).ok());
+    ASSERT_TRUE(f->Close().ok());
+  }
+
+  // Recovers from the (possibly damaged) directory and asserts the
+  // result is exactly the reference state at some valid epoch boundary
+  // >= `min_epoch`, still appendable. Returns the landed epoch.
+  uint64_t ExpectRecoversToBoundary(uint64_t min_epoch, const char* label) {
+    Database rec;
+    auto manager = WalManager::Open(dir_, &rec);
+    EXPECT_TRUE(manager.ok()) << label << ": " << manager.status().ToString();
+    if (!manager.ok()) return 0;
+    uint64_t epoch = (*manager)->durable_epoch();
+    EXPECT_GE(epoch, min_epoch) << label;
+    EXPECT_LT(epoch, reference_.size()) << label;
+    ExpectState(rec, reference_[epoch], label);
+    // The recovered directory accepts new epochs (writer reopened past
+    // the truncated tail).
+    IngestPipeline pipeline(&rec, nullptr, 8, manager->get());
+    StreamOptions opt;
+    opt.seed = 99;
+    opt.num_pallets = 2;
+    auto stream = ReadStream::Create(&rec, opt);
+    EXPECT_TRUE(stream.ok());
+    Status st = pipeline.Apply(ToGroup((*stream)->NextBatch(20)));
+    EXPECT_TRUE(st.ok()) << label << ": " << st.ToString();
+    EXPECT_EQ((*manager)->durable_epoch(), epoch + 1) << label;
+    return epoch;
+  }
+
+  std::vector<EpochState> reference_;
+  std::string segment_;
+};
+
+TEST_F(CorruptWalTest, FlippedCrcByteStopsAtPriorBoundary) {
+  BuildLog(4);
+  std::string bytes = ReadSegment();
+  // Flip a byte ~3/4 into the log: some prefix of epochs survives, the
+  // damaged one and everything after it must not.
+  std::string damaged = bytes;
+  size_t pos = bytes.size() * 3 / 4;
+  damaged[pos] = static_cast<char>(damaged[pos] ^ 0x40);
+  WriteSegment(damaged);
+  uint64_t landed = ExpectRecoversToBoundary(0, "flipped-crc");
+  EXPECT_LT(landed, 4u) << "damage at byte " << pos << " served anyway";
+}
+
+TEST_F(CorruptWalTest, TruncatedRecordDropsTheTornEpoch) {
+  BuildLog(4);
+  std::string bytes = ReadSegment();
+  ASSERT_TRUE(TruncateFile(segment_, bytes.size() - bytes.size() / 5).ok());
+  uint64_t landed = ExpectRecoversToBoundary(0, "truncated");
+  EXPECT_LT(landed, 4u);
+}
+
+TEST_F(CorruptWalTest, GarbageTailIsTruncatedNotServed) {
+  BuildLog(3);
+  std::string bytes = ReadSegment();
+  bytes += "\x00\xff\x13garbage appended by a confused process";
+  WriteSegment(bytes);
+  // Every real epoch survives; only the garbage goes.
+  EXPECT_EQ(ExpectRecoversToBoundary(3, "garbage-tail"), 3u);
+}
+
+TEST_F(CorruptWalTest, MissingSegmentStillServesTheCheckpoint) {
+  BuildLog(3);
+  // Checkpoint the live state is gone — but the base image (epoch 0) is
+  // in checkpoint-0; losing the whole segment falls back to it.
+  std::filesystem::remove(segment_);
+  Database rec;
+  auto manager = WalManager::Open(dir_, &rec);
+  // A missing segment is indistinguishable from "no epoch ever
+  // committed" only if recovery tolerates NotFound; it must not serve
+  // half a database either way.
+  if (manager.ok()) {
+    ExpectState(rec, reference_[(*manager)->durable_epoch()],
+                "missing-segment");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Crash-point sweep: fail at every injection step the full scenario
+// crosses, recover, land on a valid epoch boundary >= every
+// acknowledged epoch.
+// ---------------------------------------------------------------------
+
+constexpr uint64_t kSweepEpochs = 5;
+constexpr uint64_t kSweepCheckpointAfter = 3;  // .checkpoint mid-scenario
+constexpr size_t kSweepRows = 40;
+
+StreamOptions SweepStream() {
+  StreamOptions opt;
+  opt.seed = 7;
+  opt.num_pallets = 5;
+  return opt;
+}
+
+struct SweepOutcome {
+  uint64_t acked = 0;        // Apply() calls that returned OK
+  bool attach_ok = false;
+  bool finished = false;     // no fault fired anywhere
+};
+
+// The scenario under the injector: attach (base checkpoint), feed
+// kSweepEpochs epochs with a checkpoint after kSweepCheckpointAfter.
+// Bails at the first error — the process is "dead" from then on.
+SweepOutcome RunScenario(Database* db, ReadStream* stream,
+                         const std::string& dir) {
+  SweepOutcome out;
+  auto manager = WalManager::Open(dir, db);
+  if (!manager.ok()) return out;
+  out.attach_ok = true;
+  IngestPipeline pipeline(db, nullptr, 8, manager->get());
+  for (uint64_t i = 0; i < kSweepEpochs; ++i) {
+    if (!pipeline.Apply(ToGroup(stream->NextBatch(kSweepRows))).ok()) {
+      return out;
+    }
+    ++out.acked;
+    if (i + 1 == kSweepCheckpointAfter && !pipeline.Checkpoint().ok()) {
+      return out;
+    }
+  }
+  out.finished = true;
+  return out;
+}
+
+class CrashSweepTest : public WalRecoveryTest {
+ protected:
+  // Clean reference run: per-epoch states and the total step count.
+  void BuildReference() {
+    Database db;
+    auto stream = ReadStream::Create(&db, SweepStream());
+    ASSERT_TRUE(stream.ok());
+    reference_.push_back(CaptureState(db));
+    FaultInjector counter = FaultInjector::CountOnly();
+    SweepOutcome out;
+    {
+      ScopedFaultInjector scope(&counter);
+      out = RunScenario(&db, stream->get(), dir_ + "/ref");
+    }
+    ASSERT_TRUE(out.finished);
+    total_steps_ = counter.steps();
+    // Rebuild per-epoch states with a second, uninstrumented run (the
+    // counting run above cannot stop between epochs).
+    Database db2;
+    auto stream2 = ReadStream::Create(&db2, SweepStream());
+    ASSERT_TRUE(stream2.ok());
+    auto manager = WalManager::Open(dir_ + "/ref2", &db2);
+    ASSERT_TRUE(manager.ok());
+    IngestPipeline pipeline(&db2, nullptr, 8, manager->get());
+    for (uint64_t i = 0; i < kSweepEpochs; ++i) {
+      ASSERT_TRUE(
+          pipeline.Apply(ToGroup((*stream2)->NextBatch(kSweepRows))).ok());
+      reference_.push_back(CaptureState(db2));
+      if (i + 1 == kSweepCheckpointAfter) {
+        ASSERT_TRUE(pipeline.Checkpoint().ok());
+      }
+    }
+  }
+
+  // After a crash at some step: recover from `dir` and check the
+  // invariants against `out` (what the crashed run acknowledged).
+  void ExpectValidRecovery(const std::string& dir, const SweepOutcome& out,
+                           const std::string& label) {
+    if (!std::filesystem::exists(dir + "/DURABLE")) {
+      // The attach itself crashed before the first manifest swap:
+      // nothing was ever durable, so nothing may have been acknowledged.
+      EXPECT_EQ(out.acked, 0u) << label << ": acked epochs lost (no manifest)";
+      return;
+    }
+    Database rec;
+    auto manager = WalManager::Open(dir, &rec);
+    ASSERT_TRUE(manager.ok()) << label << ": " << manager.status().ToString();
+    const uint64_t epoch = (*manager)->durable_epoch();
+    // Valid boundary: one of the states the writer actually produced,
+    // at or past everything it acknowledged (an epoch whose COMMIT hit
+    // disk before the crash may legitimately exceed `acked` by one).
+    EXPECT_GE(epoch, out.acked) << label << ": acknowledged epoch lost";
+    ASSERT_LT(epoch, reference_.size()) << label;
+    ExpectState(rec, reference_[epoch], label.c_str());
+  }
+
+  std::vector<EpochState> reference_;
+  uint64_t total_steps_ = 0;
+};
+
+TEST_F(CrashSweepTest, EveryCrashPointRecoversToValidEpochBoundary) {
+  BuildReference();
+  ASSERT_GT(total_steps_, 50u)
+      << "scenario crosses too few fault points — wiring lost?";
+
+  uint64_t fired_steps = 0;
+  for (uint64_t step = 0; step < total_steps_; ++step) {
+    const std::string dir = dir_ + "/step" + std::to_string(step);
+    Database db;
+    auto stream = ReadStream::Create(&db, SweepStream());
+    ASSERT_TRUE(stream.ok());
+    FaultInjector injector = FaultInjector::FailAtStep(step);
+    SweepOutcome out;
+    {
+      ScopedFaultInjector scope(&injector);
+      out = RunScenario(&db, stream->get(), dir);
+    }
+    ASSERT_TRUE(injector.fired()) << "step " << step << " did not fire";
+    ASSERT_FALSE(out.finished) << "step " << step;
+    ++fired_steps;
+    ExpectValidRecovery(
+        dir, out,
+        "step " + std::to_string(step) + " (site " + injector.fired_site() +
+            ")");
+  }
+  EXPECT_EQ(fired_steps, total_steps_);
+}
+
+TEST_F(CrashSweepTest, RandomizedCrashPoints) {
+  // Seeded chaos pass for the scripts/check.sh crash-recovery loop:
+  // RFID_CRASH_SEED selects which pokes fail this run.
+  BuildReference();
+  uint64_t seed = 42;
+  if (const char* env = std::getenv("RFID_CRASH_SEED")) {
+    seed = std::strtoull(env, nullptr, 10);
+  }
+  for (uint64_t round = 0; round < 8; ++round) {
+    const std::string dir = dir_ + "/round" + std::to_string(round);
+    Database db;
+    auto stream = ReadStream::Create(&db, SweepStream());
+    ASSERT_TRUE(stream.ok());
+    FaultInjector injector =
+        FaultInjector::SeededRandom(seed * 1000 + round, 0.004);
+    SweepOutcome out;
+    {
+      ScopedFaultInjector scope(&injector);
+      out = RunScenario(&db, stream->get(), dir);
+    }
+    std::string label = "seed " + std::to_string(seed) + " round " +
+                        std::to_string(round) +
+                        (injector.fired()
+                             ? " (site " + injector.fired_site() + " step " +
+                                   std::to_string(injector.fired_step()) + ")"
+                             : " (no fault)");
+    if (out.finished) {
+      // No fault fired: recovery must reproduce the final state.
+      SweepOutcome done = out;
+      done.acked = kSweepEpochs;
+      ExpectValidRecovery(dir, done, label);
+    } else {
+      ExpectValidRecovery(dir, out, label);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Queries live through replay (the TSan target): readers pin snapshots
+// and run SQL while recovery replays committed epochs into the tables.
+// ---------------------------------------------------------------------
+
+TEST_F(WalRecoveryTest, QueriesRunConcurrentlyWithReplay) {
+  // Build a directory whose segment carries a meaningful replay tail.
+  EpochState base, final_state;
+  {
+    Database live;
+    StreamOptions opt;
+    opt.seed = 13;
+    opt.num_pallets = 16;
+    auto stream = ReadStream::Create(&live, opt);
+    ASSERT_TRUE(stream.ok());
+    auto manager = WalManager::Open(dir_, &live);
+    ASSERT_TRUE(manager.ok());
+    base = CaptureState(live);
+    IngestPipeline pipeline(&live, nullptr, 8, manager->get());
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(pipeline.Apply(ToGroup((*stream)->NextBatch(80))).ok());
+    }
+    final_state = CaptureState(live);
+  }
+
+  Database rec;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> iterations{0};
+  std::atomic<uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  WalOptions options;
+  // Readers start once the checkpoint image is loaded (tables exist) and
+  // run through the whole replay.
+  options.after_checkpoint_load = [&] {
+    for (int t = 0; t < 3; ++t) {
+      readers.emplace_back([&] {
+        int64_t last_count = -1;
+        while (!stop.load(std::memory_order_acquire)) {
+          SnapshotPtr snap = CaptureDatabaseSnapshot(rec, 0);
+          ExecContext ctx;
+          ctx.set_snapshot(snap);
+          auto res = ExecuteSql(rec, "SELECT count(*) FROM caseR", &ctx);
+          if (!res.ok()) {
+            ++violations;
+            continue;
+          }
+          int64_t n = res->rows[0][0].int64_value();
+          // Watermarks only move forward under replay, and never past
+          // the final state.
+          if (n < last_count ||
+              n > static_cast<int64_t>(final_state.visible.at("caseR"))) {
+            ++violations;
+          }
+          last_count = n;
+          ++iterations;
+        }
+      });
+    }
+  };
+
+  auto manager = WalManager::Open(dir_, &rec, options);
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  EXPECT_EQ((*manager)->recovery().replayed_epochs, 20u);
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_GT(iterations.load(), 0u) << "readers never overlapped replay";
+  ExpectState(rec, final_state, "post-replay");
+}
+
+}  // namespace
+}  // namespace rfid

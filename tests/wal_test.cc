@@ -1,0 +1,293 @@
+// WAL segment format tests: round-tripping epochs through the writer and
+// reader, the paranoid-reader guarantees (torn tail, flipped CRC, garbage
+// bytes, truncated records — all land on the last COMMIT boundary), the
+// abort/commit epoch bookkeeping, fsync policies, and the broken-writer
+// contract after an injected I/O failure.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/io.h"
+#include "wal/wal.h"
+
+namespace rfid {
+namespace {
+
+using wal::FsyncPolicy;
+using wal::ReadWal;
+using wal::WalReadResult;
+using wal::WalWriter;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/rfid_wal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string ReadRaw() {
+    auto s = ReadFileToString(path_);
+    EXPECT_TRUE(s.ok()) << s.status().ToString();
+    return s.ok() ? *s : std::string();
+  }
+
+  void WriteRaw(const std::string& bytes) {
+    FILE* f = fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+    fclose(f);
+  }
+
+  std::string path_;
+};
+
+TEST_F(WalTest, RoundTripsEpochsInOrder) {
+  auto writer = WalWriter::Create(path_, FsyncPolicy::kPerEpoch, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"1\ta", "2\tb"}).ok());
+  ASSERT_TRUE((*writer)->AppendBatch("palletR", {"3\tc"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"4\td"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  EXPECT_EQ((*writer)->last_committed(), 2u);
+  EXPECT_EQ((*writer)->epoch(), 3u);
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok()) << log.status().ToString();
+  ASSERT_EQ(log->committed.size(), 2u);
+  EXPECT_EQ(log->committed[0].epoch, 1u);
+  ASSERT_EQ(log->committed[0].batches.size(), 2u);
+  EXPECT_EQ(log->committed[0].batches[0].table, "caseR");
+  EXPECT_EQ(log->committed[0].batches[0].row_lines,
+            (std::vector<std::string>{"1\ta", "2\tb"}));
+  EXPECT_EQ(log->committed[0].batches[1].table, "palletR");
+  EXPECT_EQ(log->committed[1].epoch, 2u);
+  ASSERT_EQ(log->committed[1].batches.size(), 1u);
+  EXPECT_EQ(log->committed[1].batches[0].row_lines,
+            (std::vector<std::string>{"4\td"}));
+  // The whole file is committed prefix: nothing to truncate.
+  EXPECT_EQ(log->committed_bytes, (*writer)->offset());
+  EXPECT_EQ(log->tail_bytes, 0u);
+  EXPECT_FALSE(log->tail_corrupt);
+}
+
+TEST_F(WalTest, EmptySegmentAndMissingFile) {
+  EXPECT_EQ(ReadWal(path_).status().code(), StatusCode::kNotFound);
+
+  auto writer = WalWriter::Create(path_, FsyncPolicy::kOff, 1);
+  ASSERT_TRUE(writer.ok());
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->committed.empty());
+  EXPECT_EQ(log->tail_bytes, 0u);
+  EXPECT_FALSE(log->tail_corrupt);
+
+  // A file too short for the magic is corrupt, not silently empty.
+  WriteRaw("RFID");
+  EXPECT_EQ(ReadWal(path_).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WalTest, UncommittedBatchesAreTailNotCorruption) {
+  auto writer = WalWriter::Create(path_, FsyncPolicy::kPerEpoch, 1);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"1\ta"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  uint64_t committed_end = (*writer)->offset();
+  // Epoch 2 never commits: a crash between BATCH and COMMIT.
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"2\tb"}).ok());
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->committed.size(), 1u);
+  EXPECT_EQ(log->committed_bytes, committed_end);
+  EXPECT_GT(log->tail_bytes, 0u);
+  EXPECT_FALSE(log->tail_corrupt) << "well-formed records, just uncommitted";
+}
+
+TEST_F(WalTest, TornRecordTruncatesToLastCommit) {
+  auto writer = WalWriter::Create(path_, FsyncPolicy::kPerEpoch, 1);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"1\ta"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  uint64_t committed_end = (*writer)->offset();
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"2\tb", "3\tc"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+
+  // Tear the final COMMIT record in half: epoch 2 must vanish.
+  std::string bytes = ReadRaw();
+  uint64_t torn = committed_end + (bytes.size() - committed_end) / 2;
+  ASSERT_TRUE(TruncateFile(path_, torn).ok());
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->committed.size(), 1u);
+  EXPECT_EQ(log->committed[0].epoch, 1u);
+  EXPECT_EQ(log->committed_bytes, committed_end);
+  EXPECT_EQ(log->tail_bytes, torn - committed_end);
+  EXPECT_TRUE(log->tail_corrupt);
+}
+
+TEST_F(WalTest, FlippedBitNeverServesTheDamagedEpoch) {
+  auto writer = WalWriter::Create(path_, FsyncPolicy::kPerEpoch, 1);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"1\ta"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  uint64_t committed_end = (*writer)->offset();
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"2\tb"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+
+  std::string bytes = ReadRaw();
+  // Flip one payload bit in every position of epoch 2's bytes in turn:
+  // the CRC must catch each one and replay must stop at epoch 1.
+  for (uint64_t pos = committed_end + 8; pos < bytes.size(); pos += 7) {
+    std::string damaged = bytes;
+    damaged[pos] = static_cast<char>(damaged[pos] ^ 0x10);
+    WriteRaw(damaged);
+    auto log = ReadWal(path_);
+    ASSERT_TRUE(log.ok());
+    ASSERT_EQ(log->committed.size(), 1u) << "flip at byte " << pos;
+    EXPECT_EQ(log->committed[0].epoch, 1u);
+    EXPECT_EQ(log->committed_bytes, committed_end);
+    EXPECT_TRUE(log->tail_corrupt) << "flip at byte " << pos;
+  }
+
+  // Damage *inside* the committed prefix: epoch 1 itself must be refused
+  // (bit rot cannot skip ahead to epoch 2 either — scan stops).
+  std::string damaged = bytes;
+  damaged[10] = static_cast<char>(damaged[10] ^ 0x01);
+  WriteRaw(damaged);
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  EXPECT_TRUE(log->committed.empty());
+  EXPECT_EQ(log->committed_bytes, 8u);  // just the magic
+  EXPECT_TRUE(log->tail_corrupt);
+}
+
+TEST_F(WalTest, GarbageTailAfterCommitsIsTruncated) {
+  auto writer = WalWriter::Create(path_, FsyncPolicy::kPerEpoch, 1);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"1\ta"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  uint64_t committed_end = (*writer)->offset();
+
+  std::string bytes = ReadRaw();
+  bytes += "\xde\xad\xbe\xef garbage that is not a record";
+  WriteRaw(bytes);
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->committed.size(), 1u);
+  EXPECT_EQ(log->committed_bytes, committed_end);
+  EXPECT_EQ(log->tail_bytes, bytes.size() - committed_end);
+  EXPECT_TRUE(log->tail_corrupt);
+}
+
+TEST_F(WalTest, AbortDiscardsTheEpochAndDisambiguatesTheNext) {
+  auto writer = WalWriter::Create(path_, FsyncPolicy::kPerEpoch, 1);
+  ASSERT_TRUE(writer.ok());
+  // Epoch 1 aborts after logging a batch; its records sit in the file
+  // with no COMMIT. Epoch 2 commits with different rows.
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"doomed\trow"}).ok());
+  (*writer)->Abort();
+  EXPECT_EQ((*writer)->epoch(), 2u);
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"kept\trow"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  // An epoch that aborts before logging anything, then an empty commit.
+  (*writer)->Abort();
+  ASSERT_TRUE((*writer)->Commit().ok());
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->committed.size(), 2u);
+  EXPECT_EQ(log->committed[0].epoch, 2u);
+  ASSERT_EQ(log->committed[0].batches.size(), 1u);
+  EXPECT_EQ(log->committed[0].batches[0].row_lines,
+            (std::vector<std::string>{"kept\trow"}));
+  EXPECT_TRUE(log->committed[1].batches.empty());
+  EXPECT_FALSE(log->tail_corrupt);
+  EXPECT_EQ(log->tail_bytes, 0u);
+}
+
+TEST_F(WalTest, OpenAppendTruncatesTheTailAndContinues) {
+  uint64_t committed_end = 0;
+  {
+    auto writer = WalWriter::Create(path_, FsyncPolicy::kPerEpoch, 1);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->AppendBatch("caseR", {"1\ta"}).ok());
+    ASSERT_TRUE((*writer)->Commit().ok());
+    committed_end = (*writer)->offset();
+    // Crash artifact: an uncommitted batch from epoch 2.
+    ASSERT_TRUE((*writer)->AppendBatch("caseR", {"lost\trow"}).ok());
+  }
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->committed_bytes, committed_end);
+
+  auto reopened = WalWriter::OpenAppend(path_, FsyncPolicy::kPerEpoch,
+                                        /*next_epoch=*/2, committed_end);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->offset(), committed_end);
+  ASSERT_TRUE((*reopened)->AppendBatch("caseR", {"2\tb"}).ok());
+  ASSERT_TRUE((*reopened)->Commit().ok());
+
+  auto relog = ReadWal(path_);
+  ASSERT_TRUE(relog.ok());
+  ASSERT_EQ(relog->committed.size(), 2u);
+  EXPECT_EQ(relog->committed[1].epoch, 2u);
+  EXPECT_EQ(relog->committed[1].batches[0].row_lines,
+            (std::vector<std::string>{"2\tb"}));
+  EXPECT_FALSE(relog->tail_corrupt);
+}
+
+TEST_F(WalTest, AllFsyncPoliciesProduceTheSameBytes) {
+  for (FsyncPolicy policy :
+       {FsyncPolicy::kAlways, FsyncPolicy::kPerEpoch, FsyncPolicy::kOff}) {
+    std::filesystem::remove(path_);
+    auto writer = WalWriter::Create(path_, policy, 1);
+    ASSERT_TRUE(writer.ok()) << wal::FsyncPolicyName(policy);
+    ASSERT_TRUE((*writer)->AppendBatch("caseR", {"1\ta", "2\tb"}).ok());
+    ASSERT_TRUE((*writer)->Commit().ok());
+    auto log = ReadWal(path_);
+    ASSERT_TRUE(log.ok()) << wal::FsyncPolicyName(policy);
+    ASSERT_EQ(log->committed.size(), 1u);
+    EXPECT_EQ(log->committed[0].batches[0].row_lines.size(), 2u);
+  }
+}
+
+TEST_F(WalTest, InjectedWriteFailureBreaksTheWriterPermanently) {
+  auto writer = WalWriter::Create(path_, FsyncPolicy::kPerEpoch, 1);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->AppendBatch("caseR", {"1\ta"}).ok());
+  ASSERT_TRUE((*writer)->Commit().ok());
+  uint64_t committed_end = (*writer)->offset();
+
+  {
+    // The short-write site leaves a torn record behind — exactly the
+    // artifact the reader must refuse.
+    FaultInjector injector = FaultInjector::FailAtStep(1);
+    ScopedFaultInjector scope(&injector);
+    Status st = (*writer)->AppendBatch("caseR", {"2\tb"});
+    ASSERT_FALSE(st.ok());
+    ASSERT_TRUE(injector.fired());
+  }
+  EXPECT_TRUE((*writer)->broken());
+  // Broken stays broken, even with no injector installed.
+  EXPECT_FALSE((*writer)->AppendBatch("caseR", {"3\tc"}).ok());
+  EXPECT_FALSE((*writer)->Commit().ok());
+
+  auto log = ReadWal(path_);
+  ASSERT_TRUE(log.ok());
+  ASSERT_EQ(log->committed.size(), 1u);
+  EXPECT_EQ(log->committed_bytes, committed_end);
+}
+
+}  // namespace
+}  // namespace rfid
