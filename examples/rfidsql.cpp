@@ -28,8 +28,19 @@
 //   .quit
 //
 // Also usable in batch mode: rfidsql < script.sql
+//
+// Server modes:
+//   rfidsql --serve [host:]port      serve the engine over TCP (SIGINT /
+//                                    SIGTERM drain in-flight queries,
+//                                    flush the WAL, and exit cleanly)
+//   rfidsql --connect host:port      the same shell against a remote
+//                                    server: every dot-command and query
+//                                    above works unchanged, each
+//                                    connection being its own session
+//                                    with its own rule catalog
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -40,6 +51,8 @@
 #include "rewrite/rewriter.h"
 #include "rfidgen/anomaly.h"
 #include "rfidgen/stream.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "storage/persist.h"
 #include "sql/render.h"
 #include "verify/rule_linter.h"
@@ -392,9 +405,196 @@ void RunCommand(ShellState& state, const std::string& line) {
   printf("unknown command: %s\n", cmd.c_str());
 }
 
+// --- remote mode (--connect) ---
+
+void PrintRemoteRows(const server::RowsPayload& rows, size_t max_rows = 40) {
+  if (!rows.warnings.empty()) {
+    std::istringstream lines(rows.warnings);
+    std::string w;
+    while (std::getline(lines, w)) printf("warning: %s\n", w.c_str());
+  }
+  if (!rows.rewrite_note.empty()) printf("%s\n", rows.rewrite_note.c_str());
+  std::vector<size_t> widths;
+  for (const Field& f : rows.fields) widths.push_back(f.name.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t r = 0; r < rows.rows.size() && r < max_rows; ++r) {
+    std::vector<std::string> row;
+    for (size_t c = 0; c < rows.rows[r].size(); ++c) {
+      row.push_back(rows.rows[r][c].ToString());
+      widths[c] = std::max(widths[c], row.back().size());
+    }
+    cells.push_back(std::move(row));
+  }
+  for (size_t i = 0; i < widths.size(); ++i) {
+    printf("%-*s  ", static_cast<int>(widths[i]), rows.fields[i].name.c_str());
+  }
+  printf("\n");
+  for (size_t i = 0; i < widths.size(); ++i) {
+    printf("%s  ", std::string(widths[i], '-').c_str());
+  }
+  printf("\n");
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    printf("\n");
+  }
+  if (rows.rows.size() > max_rows) {
+    printf("... (%zu more rows)\n", rows.rows.size() - max_rows);
+  }
+  printf("(%zu rows)\n", rows.rows.size());
+  printf("%.1f ms [%s]\n", static_cast<double>(rows.elapsed_micros) / 1000.0,
+         server::CacheOutcomeName(rows.cache));
+  if (!rows.explain.empty()) printf("\n%s", rows.explain.c_str());
+}
+
+int RunRemoteShell(server::Client& client) {
+  bool interactive = isatty(0);
+  if (interactive) {
+    printf("rfidsql — connected (session %llu). '.quit' to leave.\n",
+           static_cast<unsigned long long>(client.session_id()));
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      printf(buffer.empty() ? "rfid> " : "  ... ");
+      fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    size_t comment = line.find("--");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    std::string trimmed = line;
+    while (!trimmed.empty() &&
+           isspace(static_cast<unsigned char>(trimmed.front()))) {
+      trimmed.erase(trimmed.begin());
+    }
+    if (buffer.empty() && trimmed.empty()) continue;
+    if (buffer.empty() && trimmed[0] == '.') {
+      if (trimmed.rfind(".quit", 0) == 0 || trimmed.rfind(".exit", 0) == 0) {
+        (void)client.Quit();
+        return 0;
+      }
+      auto text = client.Command(trimmed);
+      if (text.ok()) {
+        printf("%s\n", text->c_str());
+      } else {
+        printf("error: %s\n", text.status().ToString().c_str());
+      }
+      continue;
+    }
+    buffer += line + "\n";
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    std::string stmt = buffer;
+    buffer.clear();
+    while (!stmt.empty() && (isspace(static_cast<unsigned char>(stmt.back())) ||
+                             stmt.back() == ';')) {
+      stmt.pop_back();
+    }
+    if (stmt.empty()) continue;
+    std::string head = stmt.substr(0, stmt.find_first_of(" \t\n"));
+    if (EqualsIgnoreCase(head, ".rule") || EqualsIgnoreCase(head, "define")) {
+      std::string cmd_text =
+          EqualsIgnoreCase(head, ".rule") ? stmt : (".rule " + stmt);
+      auto text = client.Command(cmd_text);
+      if (text.ok()) {
+        printf("%s\n", text->c_str());
+      } else {
+        printf("%s\n", text.status().ToString().c_str());
+      }
+      continue;
+    }
+    auto rows = client.Query(stmt);
+    if (rows.ok()) {
+      PrintRemoteRows(*rows);
+    } else {
+      printf("error: %s\n", rows.status().ToString().c_str());
+    }
+  }
+  (void)client.Quit();
+  return 0;
+}
+
+/// Splits "host:port" or bare "port" (host defaults to 127.0.0.1).
+bool ParseEndpoint(const std::string& arg, std::string* host, int* port) {
+  std::string port_str = arg;
+  *host = "127.0.0.1";
+  size_t colon = arg.rfind(':');
+  if (colon != std::string::npos) {
+    *host = arg.substr(0, colon);
+    port_str = arg.substr(colon + 1);
+  }
+  char* endp = nullptr;
+  long n = std::strtol(port_str.c_str(), &endp, 10);
+  if (endp == port_str.c_str() || *endp != '\0' || n < 0 || n > 65535) {
+    return false;
+  }
+  *port = static_cast<int>(n);
+  return true;
+}
+
+int RunServe(const std::string& endpoint) {
+  server::ServerOptions options;
+  options.port = 20060;  // default; --serve host:port overrides
+  if (!endpoint.empty() &&
+      !ParseEndpoint(endpoint, &options.host, &options.port)) {
+    fprintf(stderr, "bad endpoint: %s (expected [host:]port)\n",
+            endpoint.c_str());
+    return 1;
+  }
+  auto srv = server::Server::Start(options);
+  if (!srv.ok()) {
+    fprintf(stderr, "error: %s\n", srv.status().ToString().c_str());
+    return 1;
+  }
+  printf("rfidsql serving on %s:%d (SIGINT/SIGTERM to stop)\n",
+         options.host.c_str(), (*srv)->port());
+  fflush(stdout);
+  (*srv)->InstallSignalHandlers();
+  (*srv)->WaitForShutdown();
+  Status flush = (*srv)->final_flush_status();
+  if (!flush.ok()) {
+    fprintf(stderr, "shutdown flush error: %s\n", flush.ToString().c_str());
+    return 1;
+  }
+  printf("server stopped\n");
+  return 0;
+}
+
+int RunConnect(const std::string& endpoint) {
+  std::string host;
+  int port = 0;
+  if (!ParseEndpoint(endpoint, &host, &port) || port == 0) {
+    fprintf(stderr, "bad endpoint: %s (expected host:port)\n",
+            endpoint.c_str());
+    return 1;
+  }
+  auto client = server::Client::Connect(host, port);
+  if (!client.ok()) {
+    fprintf(stderr, "error: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  return RunRemoteShell(**client);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--serve") {
+    return RunServe(argc >= 3 ? argv[2] : "");
+  }
+  if (argc >= 2 && std::string(argv[1]) == "--connect") {
+    if (argc < 3) {
+      fprintf(stderr, "usage: rfidsql --connect host:port\n");
+      return 1;
+    }
+    return RunConnect(argv[2]);
+  }
+  if (argc >= 2) {
+    fprintf(stderr,
+            "usage: rfidsql [--serve [host:]port | --connect host:port]\n");
+    return 1;
+  }
   ShellState state;
   bool interactive = isatty(0);
   if (interactive) {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite, re-run the
 # guardrail/fault-injection/vectorized/WAL suites under ASan+UBSan and
-# the ingest/parallel/WAL-replay concurrency suites under TSan (batching
-# stays ON in both sanitizer passes), smoke every example, run a
+# the ingest/parallel/WAL-replay/server concurrency suites under TSan
+# (batching stays ON in both sanitizer passes), smoke every example plus
+# a live server round (concurrent remote shells, SIGTERM mid-query,
+# WAL recovery of the fed rows), run a
 # vectorized-vs-interpreted fingerprint sweep over the naive/expanded/
 # join-back pipelines, run a randomized crash-recovery loop (N seeds of
 # random fault firing across WAL/checkpoint I/O), and run the benchmark
@@ -70,7 +72,7 @@ if [ "$QUICK" -eq 0 ]; then
   cmake -B build-asan -G Ninja -DRFID_SANITIZE=ON
   cmake --build build-asan --target fault_injection_test guardrails_test \
     exec_test common_test ingest_fault_test expr_golden_test \
-    vectorized_exec_test verify_test wal_test wal_recovery_test
+    vectorized_exec_test verify_test wal_test wal_recovery_test server_test
   ./build-asan/tests/verify_test
   ./build-asan/tests/fault_injection_test
   ./build-asan/tests/guardrails_test
@@ -81,6 +83,7 @@ if [ "$QUICK" -eq 0 ]; then
   ./build-asan/tests/vectorized_exec_test
   ./build-asan/tests/wal_test
   ./build-asan/tests/wal_recovery_test
+  ./build-asan/tests/server_test
 
   # UBSan-alone pass (-fno-sanitize-recover=all, no ASan interposition):
   # any undefined behavior in the planner, rewriter, bytecode kernels, or
@@ -104,16 +107,21 @@ if [ "$QUICK" -eq 0 ]; then
   # runs batch pipelines under parallel workers (batching ON), and
   # wal_recovery_test runs live snapshot queries against a database
   # that WAL replay is still mutating.
+  # The server suites run under TSan too: N client threads against the
+  # per-connection threads, admission queue, shared plan cache, and the
+  # shutdown drain — every cross-thread edge the server adds.
   cmake -B build-tsan -G Ninja -DRFID_SANITIZE=thread
   cmake --build build-tsan --target ingest_concurrency_test ingest_test \
     parallel_exec_test parallel_concurrency_test vectorized_exec_test \
-    wal_recovery_test
+    wal_recovery_test server_test server_concurrency_test
   ./build-tsan/tests/ingest_concurrency_test
   ./build-tsan/tests/ingest_test
   ./build-tsan/tests/parallel_exec_test
   ./build-tsan/tests/parallel_concurrency_test
   ./build-tsan/tests/vectorized_exec_test
   ./build-tsan/tests/wal_recovery_test
+  ./build-tsan/tests/server_test
+  ./build-tsan/tests/server_concurrency_test
 
   ./build/examples/quickstart > /dev/null
   ./build/examples/dwell_analysis 8 0.1 > /dev/null
@@ -130,6 +138,42 @@ if [ "$QUICK" -eq 0 ]; then
   printf '.recover %s\nSELECT count(*) FROM caseR;\n.quit\n' "$WALDIR" \
     | ./build/examples/rfidsql > /dev/null
   rm -rf "$WALDIR"
+
+  # Server smoke: serve, drive two concurrent remote shells (one attaches
+  # a WAL and feeds, one defines rules and queries), then SIGTERM the
+  # server while a third client is mid-query. The drain must exit 0
+  # (final WAL checkpoint flushed) and a fresh embedded shell must
+  # recover the fed rows.
+  SRVDIR="$(mktemp -d)"
+  ./build/examples/rfidsql --serve 127.0.0.1:20061 > "$SRVDIR/server.log" 2>&1 &
+  SRVPID=$!
+  for _ in $(seq 1 100); do
+    grep -q "serving on" "$SRVDIR/server.log" && break
+    sleep 0.1
+  done
+  printf '.wal %s epoch\n.feed 4 200\n.quit\n' "$SRVDIR/wal" \
+    | ./build/examples/rfidsql --connect 127.0.0.1:20061 > "$SRVDIR/seed.log"
+  printf '.rule DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 MINUTES ACTION DELETE B\nSELECT count(*) FROM caseR;\n.cache stats\n.quit\n' \
+    | ./build/examples/rfidsql --connect 127.0.0.1:20061 > "$SRVDIR/c1.log" &
+  C1=$!
+  printf 'SELECT count(*) FROM caseR;\n.quit\n' \
+    | ./build/examples/rfidsql --connect 127.0.0.1:20061 > "$SRVDIR/c2.log"
+  wait "$C1"
+  grep -q "rows)" "$SRVDIR/c1.log"
+  grep -q "rows)" "$SRVDIR/c2.log"
+  # Kill mid-query: .debug_hold parks an admission ticket server-side so
+  # the SIGTERM lands while this client's work is in flight; the client
+  # is expected to die with "server shutting down" or a closed socket.
+  printf '.debug_hold 5000\n.quit\n' \
+    | ./build/examples/rfidsql --connect 127.0.0.1:20061 > /dev/null 2>&1 &
+  C3=$!
+  sleep 0.5
+  kill -TERM "$SRVPID"
+  wait "$SRVPID"                     # set -e: non-zero drain fails here
+  wait "$C3" || true
+  printf '.recover %s\nSELECT count(*) FROM caseR;\n.quit\n' "$SRVDIR/wal" \
+    | ./build/examples/rfidsql | grep -q "recovered"
+  rm -rf "$SRVDIR"
 fi
 
 # DOP-sweep smoke: verifies parallel plans stay bit-identical to serial

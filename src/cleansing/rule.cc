@@ -108,8 +108,9 @@ Status ValidateRule(const CleansingRule& rule) {
   return Status::OK();
 }
 
-CleansingRuleEngine::CleansingRuleEngine(Database* db) : db_(db) {
-  if (db_->GetTable("__rules") == nullptr) {
+CleansingRuleEngine::CleansingRuleEngine(Database* db, bool persist_templates)
+    : db_(db), persist_templates_(persist_templates) {
+  if (persist_templates_ && db_->GetTable("__rules") == nullptr) {
     Schema schema;
     schema.AddColumn("seq", DataType::kInt64);
     schema.AddColumn("name", DataType::kString);
@@ -145,8 +146,30 @@ Status CleansingRuleEngine::AddRule(CleansingRule rule) {
                         CompileRule(rule, input_cols, "__r"));
   rule.seq = next_seq_++;
   RFID_RETURN_IF_ERROR(PersistTemplate(rule, compiled));
+  MixIntoFingerprint("add", rule);
+  ++version_;
   rules_.push_back(std::move(rule));
   return Status::OK();
+}
+
+void CleansingRuleEngine::MixIntoFingerprint(std::string_view tag,
+                                             const CleansingRule& rule) {
+  // FNV-1a chain over the fields that identify a rule within a catalog
+  // history. Not cryptographic — it only needs to make equal definition
+  // histories collide and different ones (order included) diverge.
+  auto mix = [this](std::string_view s) {
+    for (char c : ToLower(s)) {
+      fingerprint_ ^= static_cast<unsigned char>(c);
+      fingerprint_ *= 1099511628211ULL;
+    }
+    fingerprint_ ^= 0xff;
+    fingerprint_ *= 1099511628211ULL;
+  };
+  mix(tag);
+  mix(rule.name);
+  mix(rule.on_table);
+  mix(RuleActionName(rule.action));
+  mix(std::to_string(rule.seq));
 }
 
 Result<std::vector<Column>> CleansingRuleEngine::EffectiveInputColumns(
@@ -174,6 +197,8 @@ Result<std::vector<Column>> CleansingRuleEngine::EffectiveInputColumns(
 Status CleansingRuleEngine::DropRule(std::string_view name) {
   for (auto it = rules_.begin(); it != rules_.end(); ++it) {
     if (EqualsIgnoreCase(it->name, name)) {
+      MixIntoFingerprint("drop", *it);
+      ++version_;
       rules_.erase(it);
       return Status::OK();
     }
@@ -199,6 +224,7 @@ const CleansingRule* CleansingRuleEngine::FindRule(std::string_view name) const 
 
 Status CleansingRuleEngine::PersistTemplate(const CleansingRule& rule,
                                             const CompiledRule& compiled) {
+  if (!persist_templates_) return Status::OK();
   Table* table = db_->GetTable("__rules");
   if (table == nullptr) return Status::OK();
   std::string sql;

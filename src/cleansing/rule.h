@@ -75,7 +75,11 @@ Status ValidateRule(const CleansingRule& rule);
 /// database for inspection.
 class CleansingRuleEngine {
  public:
-  explicit CleansingRuleEngine(Database* db);
+  /// `persist_templates` = false gives a session-local catalog: rules are
+  /// held only in this engine (nothing is written to the shared `__rules`
+  /// table, which is not even created). The SQL server uses this so every
+  /// session can carry its own rule set over one shared database.
+  explicit CleansingRuleEngine(Database* db, bool persist_templates = true);
 
   /// Parses and registers a rule from extended SQL-TS text.
   Status DefineRule(std::string_view rule_text);
@@ -87,6 +91,18 @@ class CleansingRuleEngine {
 
   const std::vector<CleansingRule>& rules() const { return rules_; }
 
+  /// Monotonic catalog version: bumped by every successful AddRule /
+  /// DropRule. Plan caches key on it so a rule change invalidates every
+  /// rewrite derived from the previous catalog.
+  uint64_t version() const { return version_; }
+
+  /// Order-sensitive fingerprint of the catalog contents (name, table,
+  /// action, seq of every rule, chained in definition order; drops are
+  /// mixed in too). Two engines built by the same definition history have
+  /// equal fingerprints, so sessions with identical catalogs can share
+  /// plan-cache entries; any divergence changes the fingerprint.
+  uint64_t fingerprint() const { return fingerprint_; }
+
   /// Rules defined ON the given table, in creation order.
   std::vector<const CleansingRule*> RulesFor(std::string_view table) const;
 
@@ -95,10 +111,14 @@ class CleansingRuleEngine {
  private:
   Status PersistTemplate(const CleansingRule& rule, const CompiledRule& compiled);
   Result<std::vector<Column>> EffectiveInputColumns(const CleansingRule& rule) const;
+  void MixIntoFingerprint(std::string_view tag, const CleansingRule& rule);
 
   Database* db_;
+  bool persist_templates_;
   std::vector<CleansingRule> rules_;
   int64_t next_seq_ = 1;
+  uint64_t version_ = 0;
+  uint64_t fingerprint_ = 0;
 };
 
 }  // namespace rfid

@@ -92,8 +92,9 @@ class RuleParser {
     const Token& t = Peek();
     std::string got =
         t.type == TokenType::kEnd ? "end of input" : "'" + t.text + "'";
-    return Status::ParseError(StrFormat("rule: %s but got %s (at offset %zu)",
-                                        message.c_str(), got.c_str(), t.offset));
+    return Status::ParseError(
+        StrFormat("rule: %s but got %s (%s)", message.c_str(), got.c_str(),
+                  LocationString(text_, t.offset).c_str()));
   }
 
   Status ParsePattern(CleansingRule* rule) {

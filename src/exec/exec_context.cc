@@ -39,10 +39,16 @@ void ExecContext::ReleaseMemory(uint64_t bytes) {
   memory_used_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
+void ExecContext::RequestCancel(std::string reason) {
+  cancel_reason_ = std::move(reason);
+  cancelled_.store(true, std::memory_order_release);
+}
+
 Status ExecContext::CheckCancelled() {
   uint64_t n = checks_.fetch_add(1, std::memory_order_relaxed);
-  if (cancelled_.load(std::memory_order_relaxed)) {
-    return Status::Cancelled("query cancelled");
+  if (cancelled_.load(std::memory_order_acquire)) {
+    return Status::Cancelled(cancel_reason_.empty() ? "query cancelled"
+                                                    : cancel_reason_);
   }
   if (has_deadline_) {
     if (deadline_hit_.load(std::memory_order_relaxed) ||

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <string>
 
 #include "common/status.h"
 #include "storage/snapshot.h"
@@ -62,9 +63,13 @@ class ExecContext {
 
   // --- cancellation / deadline ---
 
-  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  void RequestCancel() { cancelled_.store(true, std::memory_order_release); }
+  /// Cancels with a reason that surfaces in the kCancelled status message
+  /// (e.g. "server shutting down"). The reason is published before the
+  /// flag, so any CheckCancelled that observes the flag sees the reason.
+  void RequestCancel(std::string reason);
   bool cancel_requested() const {
-    return cancelled_.load(std::memory_order_relaxed);
+    return cancelled_.load(std::memory_order_acquire);
   }
 
   /// Cooperative check: the cancellation flag on every call; the
@@ -101,6 +106,7 @@ class ExecContext {
   std::atomic<uint64_t> checks_{0};
   std::atomic<bool> cancelled_{false};
   std::atomic<bool> deadline_hit_{false};
+  std::string cancel_reason_;  // written before cancelled_ is released
 
   SnapshotPtr snapshot_;
 };

@@ -1,5 +1,6 @@
 #include "ingest/ingest.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/fault.h"
@@ -117,6 +118,15 @@ PipelineStats IngestPipeline::stats() const {
 uint64_t IngestPipeline::epoch() const {
   std::lock_guard<std::mutex> lock(mu_);
   return epoch_;
+}
+
+uint64_t IngestPipeline::stats_version() const {
+  SnapshotPtr snap = snapshot();
+  uint64_t version = 0;
+  for (const auto& [table, ts] : snap->tables) {
+    version = std::max(version, ts.stats_version);
+  }
+  return version;
 }
 
 IngestDriver::IngestDriver(IngestPipeline* pipeline, BatchSource source,

@@ -87,6 +87,12 @@ class IngestPipeline {
   PipelineStats stats() const;
   uint64_t epoch() const;
 
+  /// Statistics version of the most recently published snapshot: the
+  /// maximum per-table stats version it pinned. Plan caches key on this —
+  /// a bump means the planner's cost inputs moved, so cached rewrite
+  /// choices derived from the old statistics must be re-costed.
+  uint64_t stats_version() const;
+
  private:
   Database* db_;
   ExecContext* accounting_;

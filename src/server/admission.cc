@@ -1,0 +1,108 @@
+#include "server/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace rfid::server {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  options_.max_concurrent = std::max(1, options_.max_concurrent);
+  options_.per_query_bytes =
+      std::max<uint64_t>(1, std::min(options_.per_query_bytes,
+                                     options_.pool_bytes));
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(controller_->mu_);
+    controller_->ReleaseLocked(bytes_);
+  }
+  controller_->cv_.notify_all();
+  controller_ = nullptr;
+}
+
+void AdmissionController::ReleaseLocked(uint64_t bytes) {
+  --running_;
+  pool_used_ -= bytes;
+  stats_.running = running_;
+  stats_.pool_used = pool_used_;
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit() {
+  const uint64_t bytes = options_.per_query_bytes;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) {
+    ++stats_.rejected_shutdown;
+    return Status::Cancelled("server shutting down");
+  }
+  auto can_run = [&] {
+    return running_ < options_.max_concurrent &&
+           pool_used_ + bytes <= options_.pool_bytes;
+  };
+  if (!can_run() || !queue_.empty()) {
+    if (queue_.size() >= options_.queue_depth) {
+      ++stats_.rejected_queue_full;
+      return Status::ResourceExhausted(StrFormat(
+          "admission queue full: %d queries running, %zu queued "
+          "(queue depth %zu)",
+          running_, queue_.size(), options_.queue_depth));
+    }
+    const uint64_t id = next_waiter_++;
+    queue_.push_back(id);
+    ++stats_.queued;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(options_.queue_wait_micros);
+    // FIFO: only the queue head may take the next free slot, so a burst
+    // of late arrivals cannot starve an early waiter.
+    bool granted = cv_.wait_until(lock, deadline, [&] {
+      return shutdown_ || (queue_.front() == id && can_run());
+    });
+    auto self = std::find(queue_.begin(), queue_.end(), id);
+    if (self != queue_.end()) queue_.erase(self);
+    if (shutdown_) {
+      ++stats_.rejected_shutdown;
+      lock.unlock();
+      cv_.notify_all();
+      return Status::Cancelled("server shutting down");
+    }
+    if (!granted) {
+      ++stats_.rejected_timeout;
+      const int running_now = running_;
+      lock.unlock();
+      // The head slot may have opened for the next waiter.
+      cv_.notify_all();
+      return Status::ResourceExhausted(StrFormat(
+          "queue wait deadline exceeded after %lld ms (%d queries running)",
+          static_cast<long long>(options_.queue_wait_micros / 1000),
+          running_now));
+    }
+  }
+  ++running_;
+  pool_used_ += bytes;
+  ++stats_.admitted;
+  stats_.running = running_;
+  stats_.pool_used = pool_used_;
+  lock.unlock();
+  // A successor may be admissible too (multiple slots can free at once).
+  cv_.notify_all();
+  return Ticket(this, bytes);
+}
+
+void AdmissionController::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace rfid::server

@@ -1,0 +1,122 @@
+// Admission control: maps concurrent client queries onto the engine's
+// existing guardrails instead of letting them fight for memory and
+// threads unbounded.
+//
+// Three gates, all surfaced as structured ResourceExhausted (never an
+// OOM, never an unbounded wait):
+//  - execution slots: at most `max_concurrent` queries run at once (the
+//    morsel-driven worker pool is process-wide, so more coordinators than
+//    cores just thrash it);
+//  - a global memory pool: every admitted query reserves its budget
+//    (`per_query_bytes`) from `pool_bytes` up front, and that exact
+//    budget becomes the query's ExecContext memory limit — the engine's
+//    own accounting then guarantees the reservation is never exceeded,
+//    so the pool cannot be oversubscribed;
+//  - a bounded FIFO run queue: when saturated, up to `queue_depth`
+//    queries wait at most `queue_wait_micros` before failing with a
+//    queue-deadline ResourceExhausted; a full queue rejects immediately.
+//
+// Per-session quotas are the pool carve: each session's queries get
+// min(per_query_bytes, session_quota_bytes) as their ExecContext budget,
+// so one session can never hold more than its quota of the pool even
+// when the pool has room.
+//
+// Tickets are RAII: releasing one returns the slot and bytes and wakes
+// the queue head. Shutdown() drains the queue with a Cancelled status so
+// graceful shutdown never leaves a waiter blocked.
+#ifndef RFID_SERVER_ADMISSION_H_
+#define RFID_SERVER_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace rfid::server {
+
+struct AdmissionOptions {
+  int max_concurrent = 4;
+  size_t queue_depth = 16;
+  int64_t queue_wait_micros = 2'000'000;  // 2 s
+  uint64_t pool_bytes = 1024ull << 20;     // global memory pool
+  uint64_t per_query_bytes = 128ull << 20; // reserved per admitted query
+  uint64_t session_quota_bytes = 256ull << 20;  // per-session budget cap
+};
+
+class AdmissionController {
+ public:
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t queued = 0;            // admissions that had to wait
+    uint64_t rejected_queue_full = 0;
+    uint64_t rejected_timeout = 0;
+    uint64_t rejected_shutdown = 0;
+    int running = 0;
+    uint64_t pool_used = 0;
+  };
+
+  /// RAII admission grant. Move-only; releases on destruction.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(AdmissionController* controller, uint64_t bytes)
+        : controller_(controller), bytes_(bytes) {}
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      Release();
+      controller_ = other.controller_;
+      bytes_ = other.bytes_;
+      other.controller_ = nullptr;
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    void Release();
+    bool granted() const { return controller_ != nullptr; }
+    /// The memory reservation backing this ticket — the admitted query's
+    /// ExecContext budget.
+    uint64_t bytes() const { return bytes_; }
+
+   private:
+    AdmissionController* controller_ = nullptr;
+    uint64_t bytes_ = 0;
+  };
+
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Admits one query: immediately when a slot and pool bytes are free,
+  /// otherwise by waiting in the bounded FIFO queue. Errors:
+  ///  - kResourceExhausted "admission queue full"    (queue at depth)
+  ///  - kResourceExhausted "queue wait deadline"     (waited too long)
+  ///  - kCancelled         "server shutting down"    (shutdown drain)
+  Result<Ticket> Admit();
+
+  /// Fails all queued waiters and every future Admit with kCancelled.
+  void Shutdown();
+
+  Stats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  friend class Ticket;
+  void ReleaseLocked(uint64_t bytes);
+
+  AdmissionOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+  int running_ = 0;
+  uint64_t pool_used_ = 0;
+  uint64_t next_waiter_ = 0;
+  std::deque<uint64_t> queue_;  // FIFO of waiter ids
+  Stats stats_;
+};
+
+}  // namespace rfid::server
+
+#endif  // RFID_SERVER_ADMISSION_H_

@@ -1,0 +1,91 @@
+#include "server/plan_cache.h"
+
+#include <tuple>
+
+namespace rfid::server {
+
+bool PlanKey::operator<(const PlanKey& other) const {
+  return std::tie(sql, strategy, rewriting_enabled, aggressive_pushdown,
+                  catalog_fingerprint) <
+         std::tie(other.sql, other.strategy, other.rewriting_enabled,
+                  other.aggressive_pushdown, other.catalog_fingerprint);
+}
+
+std::optional<CachedPlan> PlanCache::Lookup(const PlanKey& key,
+                                            uint64_t data_version,
+                                            uint64_t stats_version,
+                                            CacheOutcome* outcome) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) {
+    *outcome = CacheOutcome::kMiss;
+    return std::nullopt;
+  }
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    *outcome = CacheOutcome::kMiss;
+    return std::nullopt;
+  }
+  if (it->second.plan.data_version != data_version ||
+      it->second.plan.stats_version != stats_version) {
+    // Derived under an older catalog state: the rewrite is still
+    // *semantically* valid SQL, but its cost-based strategy choice came
+    // from statistics that no longer exist. Drop and re-derive.
+    lru_.erase(it->second.lru);
+    entries_.erase(it);
+    ++stats_.invalidations;
+    *outcome = CacheOutcome::kInvalidated;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru);  // touch
+  ++stats_.hits;
+  *outcome = CacheOutcome::kHit;
+  return it->second.plan;
+}
+
+void PlanCache::Insert(const PlanKey& key, CachedPlan plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_ || capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(plan), lru_.begin()});
+}
+
+void PlanCache::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+  if (!enabled_) {
+    entries_.clear();
+    lru_.clear();
+  }
+}
+
+bool PlanCache::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace rfid::server

@@ -1,0 +1,35 @@
+#include "server/session.h"
+
+#include "common/string_util.h"
+
+namespace rfid::server {
+
+Result<std::shared_ptr<Session>> SessionManager::Create(Database* db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (static_cast<int>(sessions_.size()) >= max_sessions_) {
+    return Status::ResourceExhausted(
+        StrFormat("session limit reached (%d active, max %d)",
+                  static_cast<int>(sessions_.size()), max_sessions_));
+  }
+  auto session = std::make_shared<Session>(next_id_++, db);
+  sessions_[session->id] = session;
+  ++total_created_;
+  return session;
+}
+
+void SessionManager::Release(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(id);
+}
+
+int SessionManager::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+uint64_t SessionManager::total_created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_created_;
+}
+
+}  // namespace rfid::server

@@ -1,0 +1,88 @@
+// Session manager for the SQL server front end.
+//
+// A session is one client connection's private state over the shared
+// database: its own cleansing-rule catalog (a non-persisting
+// CleansingRuleEngine, so rule sets never leak across connections), its
+// rewrite settings (strategy, on/off, aggressive pushdown), its result
+// shaping (explain, candidates, per-query deadline, row limit), its
+// prepared statements, and — when requested via `SET snapshot hold` — a
+// pinned epoch snapshot giving the session repeatable reads across
+// queries while ingest keeps publishing.
+//
+// The manager bounds concurrent sessions (a connection past the limit is
+// refused with ResourceExhausted before the protocol handshake
+// completes) and hands out monotonically increasing session ids.
+#ifndef RFID_SERVER_SESSION_H_
+#define RFID_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cleansing/rule.h"
+#include "rewrite/rewriter.h"
+#include "storage/snapshot.h"
+
+namespace rfid::server {
+
+struct Session {
+  uint64_t id = 0;
+
+  /// Session-local rule catalog over the shared database (never persisted
+  /// to the `__rules` system table).
+  std::unique_ptr<CleansingRuleEngine> rules;
+
+  // Rewrite settings (mirror the embedded shell's .strategy state).
+  RewriteStrategy strategy = RewriteStrategy::kAuto;
+  bool rewriting_enabled = true;
+  bool aggressive_pushdown = false;
+
+  // Result shaping.
+  bool explain = false;
+  bool show_candidates = false;
+  int64_t deadline_micros = 0;  // 0 = no per-query deadline
+  uint64_t max_rows = 0;        // 0 = unlimited
+
+  /// Held snapshot for repeatable reads (SET snapshot hold). Null = every
+  /// query pins the latest published snapshot.
+  SnapshotPtr held_snapshot;
+
+  // Prepared statements: id -> SQL text (validated at PREPARE time).
+  std::map<uint64_t, std::string> prepared;
+  uint64_t next_statement_id = 1;
+
+  // Diagnostics.
+  uint64_t queries_executed = 0;
+
+  explicit Session(uint64_t session_id, Database* db)
+      : id(session_id),
+        rules(std::make_unique<CleansingRuleEngine>(db,
+                                                    /*persist_templates=*/false)) {}
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(int max_sessions) : max_sessions_(max_sessions) {}
+
+  /// Creates a session, or kResourceExhausted at the session limit.
+  Result<std::shared_ptr<Session>> Create(Database* db);
+
+  void Release(uint64_t id);
+
+  int active() const;
+  uint64_t total_created() const;
+
+ private:
+  const int max_sessions_;
+
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  uint64_t total_created_ = 0;
+  std::map<uint64_t, std::weak_ptr<Session>> sessions_;
+};
+
+}  // namespace rfid::server
+
+#endif  // RFID_SERVER_SESSION_H_

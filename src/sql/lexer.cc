@@ -16,6 +16,21 @@ bool IsIdentChar(char c) {
 }
 }  // namespace
 
+std::string LocationString(std::string_view text, size_t offset) {
+  if (offset > text.size()) offset = text.size();
+  size_t line = 1;
+  size_t column = 1;
+  for (size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+  }
+  return StrFormat("line %zu, column %zu", line, column);
+}
+
 Result<std::vector<Token>> Tokenize(std::string_view sql) {
   std::vector<Token> tokens;
   size_t i = 0;
@@ -85,8 +100,9 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
         value += sql[i++];
       }
       if (!closed) {
-        return Status::ParseError(StrFormat(
-            "unterminated string literal at offset %zu", tok.offset));
+        return Status::ParseError(
+            StrFormat("unterminated string literal (%s)",
+                      LocationString(sql, tok.offset).c_str()));
       }
       tok.type = TokenType::kString;
       tok.text = std::move(value);
@@ -111,7 +127,8 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
       continue;
     }
     return Status::ParseError(
-        StrFormat("unexpected character '%c' at offset %zu", c, i));
+        StrFormat("unexpected character '%c' (%s)", c,
+                  LocationString(sql, i).c_str()));
   }
   Token end;
   end.type = TokenType::kEnd;

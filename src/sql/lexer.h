@@ -32,6 +32,13 @@ struct Token {
 /// Tokenizes SQL text; "--" comments run to end of line.
 Result<std::vector<Token>> Tokenize(std::string_view sql);
 
+/// Renders a byte offset into `text` as a 1-based "line L, column C"
+/// source location for error messages. Offsets at or past the end point
+/// one past the last character (where missing input would go). Columns
+/// count bytes, which matches terminals for the ASCII SQL this dialect
+/// accepts.
+std::string LocationString(std::string_view text, size_t offset);
+
 }  // namespace rfid
 
 #endif  // RFID_SQL_LEXER_H_

@@ -41,7 +41,8 @@ bool IntervalUnit(const std::string& word, int64_t* unit_micros) {
 
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::string_view source, std::vector<Token> tokens)
+      : source_(source), tokens_(std::move(tokens)) {}
 
   Result<StatementPtr> ParseStatement() {
     RFID_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSelectStatement());
@@ -102,8 +103,9 @@ class Parser {
   Status Error(const std::string& message) const {
     const Token& t = Peek();
     std::string got = t.type == TokenType::kEnd ? "end of input" : "'" + t.text + "'";
-    return Status::ParseError(StrFormat("%s but got %s (at offset %zu)",
-                                        message.c_str(), got.c_str(), t.offset));
+    return Status::ParseError(
+        StrFormat("%s but got %s (%s)", message.c_str(), got.c_str(),
+                  LocationString(source_, t.offset).c_str()));
   }
 
   // Words that cannot start an implicit alias or continue an expression.
@@ -593,6 +595,7 @@ class Parser {
     return Error("expected PRECEDING or FOLLOWING");
   }
 
+  std::string_view source_;  // borrowed; outlives the parse call
   std::vector<Token> tokens_;
   size_t pos_ = 0;
 };
@@ -602,13 +605,13 @@ class Parser {
 Result<StatementPtr> ParseSql(std::string_view sql) {
   RFID_FAULT_POINT("sql.Parse");
   RFID_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
-  Parser parser(std::move(tokens));
+  Parser parser(sql, std::move(tokens));
   return parser.ParseStatement();
 }
 
 Result<ExprPtr> ParseExpression(std::string_view text) {
   RFID_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  Parser parser(std::move(tokens));
+  Parser parser(text, std::move(tokens));
   return parser.ParseStandaloneExpression();
 }
 
