@@ -20,8 +20,13 @@
 //                                conditions, DELETE/KEEP overlap,
 //                                correction-order races)
 //   .strategy auto|expanded|joinback|naive|off
-//   .explain on|off              print executed plans
-//   .candidates on|off           print costed rewrite candidates
+//   .explain on|off              print executed plans (with a
+//                                "fragments: hit=N miss=M" header when
+//                                the cleansed-fragment cache applied)
+//   .candidates on|off           print costed rewrite candidates and
+//                                per-region fragment hit/miss detail
+//   .cache [stats|on|off|clear]  cleansed-fragment cache control /
+//                                counters (plan cache too over --connect)
 //   .tables / .schema <table>    catalog inspection
 //   .save <dir> / .load <dir>    persist / restore the database
 //   SELECT ...;                  run a query (rewritten per strategy)
@@ -45,9 +50,11 @@
 #include <sstream>
 #include <string>
 
+#include "cache/fragment_cache.h"
 #include "common/string_util.h"
 #include "ingest/ingest.h"
 #include "plan/planner.h"
+#include "rewrite/fragment_stitch.h"
 #include "rewrite/rewriter.h"
 #include "rfidgen/anomaly.h"
 #include "rfidgen/stream.h"
@@ -74,6 +81,10 @@ struct ShellState {
   std::unique_ptr<rfidgen::ReadStream> stream;
   std::unique_ptr<ingest::IngestPipeline> pipeline;
   uint64_t feed_generation = 0;
+
+  // Cleansed-fragment cache: memoizes rule-applied regions of the read
+  // store across queries; .feed invalidates only the touched regions.
+  cache::FragmentCache fragment_cache;
 
   // Durability (created by .wal / .recover; outlives the pipeline).
   std::unique_ptr<wal::WalManager> wal;
@@ -152,6 +163,30 @@ void RunSql(ShellState& state, const std::string& sql) {
     }
     final_sql = info->sql;
   }
+  // Fragment stitch: execution-level substitution under the rewrite
+  // decision. Hit regions reuse cached cleansed rows; miss regions run
+  // region-scoped cleansing chains that refill the cache; UNION ALL
+  // stitches the regions back in order. Bit-identical to the rewrite.
+  std::string fragment_note;
+  if (state.rewriting_enabled && !state.rules->rules().empty() &&
+      state.fragment_cache.enabled()) {
+    auto stitch = StitchWithFragmentCache(sql, &state.db, *state.rules,
+                                          &state.fragment_cache, &ctx);
+    if (stitch.ok() && stitch->used) {
+      final_sql = stitch->sql;
+      fragment_note = StrFormat("fragments: hit=%zu miss=%zu", stitch->hits,
+                                stitch->misses);
+      if (state.show_candidates) {
+        for (const FragmentRegionDetail& r : stitch->regions) {
+          fragment_note += StrFormat("\n  region %-4zu %-28s %s", r.region,
+                                     r.range.c_str(), r.hit ? "hit" : "miss");
+        }
+      }
+    } else if (stitch.ok() && state.show_candidates) {
+      fragment_note =
+          StrFormat("fragments: not used (%s)", stitch->reason.c_str());
+    }
+  }
   auto start = std::chrono::steady_clock::now();
   auto res = ExecuteSql(state.db, final_sql, &ctx);
   auto end = std::chrono::steady_clock::now();
@@ -162,6 +197,7 @@ void RunSql(ShellState& state, const std::string& sql) {
   PrintTable(*res);
   printf("%.1f ms\n", std::chrono::duration<double, std::milli>(end - start).count());
   if (state.explain) {
+    if (!fragment_note.empty()) printf("\n%s\n", fragment_note.c_str());
     printf("\n%s", res->explain.c_str());
   }
 }
@@ -191,6 +227,7 @@ void RunCommand(ShellState& state, const std::string& line) {
       printf("error: %s\n", a.status().ToString().c_str());
       return;
     }
+    state.fragment_cache.Clear();  // bulk mutation breaks append-only
     printf("generated %lld case reads across %lld cases; injected %lld "
            "anomalies (%.0f%%)\n",
            static_cast<long long>(g->case_reads),
@@ -220,6 +257,7 @@ void RunCommand(ShellState& state, const std::string& line) {
       state.pipeline = std::make_unique<ingest::IngestPipeline>(
           &state.db, /*accounting=*/nullptr, /*index_compact_threshold=*/8,
           state.wal.get());
+      state.pipeline->set_fragment_cache(&state.fragment_cache);
     }
     uint64_t applied = 0;
     uint64_t fed_rows = 0;
@@ -262,6 +300,7 @@ void RunCommand(ShellState& state, const std::string& line) {
     } else {
       Status st = LoadDatabase(dir, &state.db, /*skip_existing=*/true);
       if (st.ok()) st = rfidgen::FinalizeDatabase(&state.db);
+      state.fragment_cache.Clear();
       printf("%s\n", st.ok() ? "loaded" : st.ToString().c_str());
     }
     return;
@@ -307,6 +346,7 @@ void RunCommand(ShellState& state, const std::string& line) {
       return;
     }
     state.pipeline.reset();  // rebuilt WAL-backed by the next .feed
+    state.fragment_cache.Clear();  // replay / pipeline swap: start fresh
     state.wal = std::move(*manager);
     const wal::RecoveryResult& r = state.wal->recovery();
     if (r.recovered) {
@@ -382,6 +422,41 @@ void RunCommand(ShellState& state, const std::string& line) {
     if (cmd == ".explain") state.explain = value;
     else state.show_candidates = value;
     printf("%s = %s\n", cmd.c_str() + 1, value ? "on" : "off");
+    return;
+  }
+  if (cmd == ".cache") {
+    std::string arg;
+    in >> arg;
+    if (arg == "on" || arg == "off" || (arg == "fragment" && (in >> arg))) {
+      if (arg == "clear") {
+        state.fragment_cache.Clear();
+        printf("fragment cache cleared\n");
+        return;
+      }
+      state.fragment_cache.set_enabled(arg == "on");
+      printf("fragment cache %s\n", arg.c_str());
+      return;
+    }
+    if (arg == "clear") {
+      state.fragment_cache.Clear();
+      printf("fragment cache cleared\n");
+      return;
+    }
+    if (arg == "stats" || arg.empty()) {
+      cache::FragmentCache::Stats f = state.fragment_cache.stats();
+      printf("fragment cache: %s, %zu entries, %llu hits, %llu misses, "
+             "%llu invalidations, %llu evictions, %llu inserts, "
+             "%llu resident bytes\n",
+             state.fragment_cache.enabled() ? "on" : "off", f.entries,
+             static_cast<unsigned long long>(f.hits),
+             static_cast<unsigned long long>(f.misses),
+             static_cast<unsigned long long>(f.invalidations),
+             static_cast<unsigned long long>(f.evictions),
+             static_cast<unsigned long long>(f.inserts),
+             static_cast<unsigned long long>(f.resident_bytes));
+      return;
+    }
+    printf("usage: .cache on|off|clear|stats | .cache fragment on|off|clear\n");
     return;
   }
   if (cmd == ".tables") {

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full verification: configure, build, run the test suite, re-run the
-# guardrail/fault-injection/vectorized/WAL suites under ASan+UBSan and
-# the ingest/parallel/WAL-replay/server concurrency suites under TSan
+# guardrail/fault-injection/vectorized/WAL/fragment-cache suites under
+# ASan+UBSan and the ingest/parallel/WAL-replay/server/fragment-cache
+# concurrency suites under TSan
 # (batching stays ON in both sanitizer passes), smoke every example plus
-# a live server round (concurrent remote shells, SIGTERM mid-query,
+# a live server round (concurrent remote shells, fragment-cache hits
+# over the wire, SIGTERM mid-query,
 # WAL recovery of the fed rows), run a
 # vectorized-vs-interpreted fingerprint sweep over the naive/expanded/
 # join-back pipelines, run a randomized crash-recovery loop (N seeds of
@@ -72,7 +74,8 @@ if [ "$QUICK" -eq 0 ]; then
   cmake -B build-asan -G Ninja -DRFID_SANITIZE=ON
   cmake --build build-asan --target fault_injection_test guardrails_test \
     exec_test common_test ingest_fault_test expr_golden_test \
-    vectorized_exec_test verify_test wal_test wal_recovery_test server_test
+    vectorized_exec_test verify_test wal_test wal_recovery_test \
+    fragment_cache_test server_test
   ./build-asan/tests/verify_test
   ./build-asan/tests/fault_injection_test
   ./build-asan/tests/guardrails_test
@@ -83,6 +86,7 @@ if [ "$QUICK" -eq 0 ]; then
   ./build-asan/tests/vectorized_exec_test
   ./build-asan/tests/wal_test
   ./build-asan/tests/wal_recovery_test
+  ./build-asan/tests/fragment_cache_test
   ./build-asan/tests/server_test
 
   # UBSan-alone pass (-fno-sanitize-recover=all, no ASan interposition):
@@ -110,16 +114,22 @@ if [ "$QUICK" -eq 0 ]; then
   # The server suites run under TSan too: N client threads against the
   # per-connection threads, admission queue, shared plan cache, and the
   # shutdown drain — every cross-thread edge the server adds.
+  # fragment_concurrency_test hammers the shared fragment cache from
+  # query threads (Lookup/Insert) while a live IngestDriver invalidates
+  # touched regions, proving the watermark protocol race-free.
   cmake -B build-tsan -G Ninja -DRFID_SANITIZE=thread
   cmake --build build-tsan --target ingest_concurrency_test ingest_test \
     parallel_exec_test parallel_concurrency_test vectorized_exec_test \
-    wal_recovery_test server_test server_concurrency_test
+    wal_recovery_test fragment_cache_test fragment_concurrency_test \
+    server_test server_concurrency_test
   ./build-tsan/tests/ingest_concurrency_test
   ./build-tsan/tests/ingest_test
   ./build-tsan/tests/parallel_exec_test
   ./build-tsan/tests/parallel_concurrency_test
   ./build-tsan/tests/vectorized_exec_test
   ./build-tsan/tests/wal_recovery_test
+  ./build-tsan/tests/fragment_cache_test
+  ./build-tsan/tests/fragment_concurrency_test
   ./build-tsan/tests/server_test
   ./build-tsan/tests/server_concurrency_test
 
@@ -153,7 +163,7 @@ if [ "$QUICK" -eq 0 ]; then
   done
   printf '.wal %s epoch\n.feed 4 200\n.quit\n' "$SRVDIR/wal" \
     | ./build/examples/rfidsql --connect 127.0.0.1:20061 > "$SRVDIR/seed.log"
-  printf '.rule DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 MINUTES ACTION DELETE B\nSELECT count(*) FROM caseR;\n.cache stats\n.quit\n' \
+  printf '.rule DEFINE duplicate ON caseR CLUSTER BY epc SEQUENCE BY rtime AS (A, B) WHERE A.biz_loc = B.biz_loc AND B.rtime - A.rtime < 5 MINUTES ACTION DELETE B\nSELECT count(*) FROM caseR;\nSELECT count(*) FROM caseR;\n.cache stats\n.quit\n' \
     | ./build/examples/rfidsql --connect 127.0.0.1:20061 > "$SRVDIR/c1.log" &
   C1=$!
   printf 'SELECT count(*) FROM caseR;\n.quit\n' \
@@ -161,6 +171,9 @@ if [ "$QUICK" -eq 0 ]; then
   wait "$C1"
   grep -q "rows)" "$SRVDIR/c1.log"
   grep -q "rows)" "$SRVDIR/c2.log"
+  # Fragment-cache smoke: the repeated cleansed query above must have
+  # reused a memoized fragment — .cache stats reports non-zero hits.
+  grep -Eq 'fragment cache: on, [0-9]+ entries, [1-9][0-9]* hits' "$SRVDIR/c1.log"
   # Kill mid-query: .debug_hold parks an admission ticket server-side so
   # the SIGTERM lands while this client's work is in flight; the client
   # is expected to die with "server shutting down" or a closed socket.

@@ -63,6 +63,16 @@ Status ExecContext::CheckCancelled() {
   return Status::OK();
 }
 
+void ExecContext::BindFragment(std::string name, FragmentBinding binding) {
+  fragments_[ToLower(name)] = std::move(binding);
+}
+
+const FragmentBinding* ExecContext::FindFragment(std::string_view name) const {
+  if (fragments_.empty()) return nullptr;
+  auto it = fragments_.find(ToLower(name));
+  return it == fragments_.end() ? nullptr : &it->second;
+}
+
 uint64_t ApproxValueBytes(const Value& v) {
   uint64_t b = sizeof(Value);
   if (v.type() == DataType::kString) b += v.string_value().capacity();

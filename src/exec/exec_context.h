@@ -21,13 +21,33 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "expr/eval.h"
 #include "storage/snapshot.h"
 #include "storage/table.h"
 
 namespace rfid {
+
+/// A named relation bound into an execution context by the fragment
+/// stitcher (see rewrite/fragment_stitch.h): the planner resolves table
+/// references that match no catalog table or CTE against these bindings.
+/// Either `rows` is set (a cached cleansed fragment, scanned directly) or
+/// `fill_sql` is set (a cache miss: the planner plans the fill statement
+/// and wraps it in a materializing operator that hands the completed row
+/// set to `on_filled` — invoked only on a clean end-of-stream, so an
+/// early LIMIT cut never publishes a partial fragment).
+struct FragmentBinding {
+  RowDesc desc;  // fragment schema, unqualified; requalified at plan time
+  std::shared_ptr<const std::vector<Row>> rows;
+  std::string fill_sql;
+  std::function<void(std::vector<Row>)> on_filled;
+};
 
 /// Per-query limits. Zero means "unlimited" for every field.
 struct ExecLimits {
@@ -94,6 +114,17 @@ class ExecContext {
   void set_snapshot(SnapshotPtr snapshot) { snapshot_ = std::move(snapshot); }
   const SnapshotPtr& snapshot() const { return snapshot_; }
 
+  // --- fragment bindings ---
+
+  /// Binds a fragment relation under `name` (case-insensitive). Like the
+  /// snapshot: installed before planning starts, never during execution —
+  /// parallel workers only read the map.
+  void BindFragment(std::string name, FragmentBinding binding);
+  /// The binding for `name`, or nullptr. Pointer stable for the query's
+  /// lifetime (bindings are never removed, only the whole context dies).
+  const FragmentBinding* FindFragment(std::string_view name) const;
+  void ClearFragments() { fragments_.clear(); }
+
  private:
   static constexpr uint64_t kDeadlineStride = 128;
 
@@ -109,6 +140,7 @@ class ExecContext {
   std::string cancel_reason_;  // written before cancelled_ is released
 
   SnapshotPtr snapshot_;
+  std::map<std::string, FragmentBinding> fragments_;  // lower-cased names
 };
 
 /// Approximate heap footprint of a row (vector + inline values + string

@@ -1,0 +1,72 @@
+#include "exec/fragment.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace rfid {
+
+FragmentScanOp::FragmentScanOp(RowDesc output_desc, std::string label,
+                               std::shared_ptr<const std::vector<Row>> rows)
+    : Operator(std::move(output_desc)),
+      label_(std::move(label)),
+      rows_(std::move(rows)) {}
+
+std::string FragmentScanOp::detail() const {
+  return StrFormat("%s (%zu rows cached)", label_.c_str(),
+                   rows_ == nullptr ? size_t{0} : rows_->size());
+}
+
+Status FragmentScanOp::OpenImpl() {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> FragmentScanOp::NextImpl(Row* row) {
+  if (rows_ == nullptr || pos_ >= rows_->size()) return false;
+  *row = (*rows_)[pos_++];
+  return true;
+}
+
+FragmentMaterializeOp::FragmentMaterializeOp(
+    RowDesc output_desc, std::string label, OperatorPtr child,
+    std::function<void(std::vector<Row>)> on_filled)
+    : Operator(std::move(output_desc)),
+      label_(std::move(label)),
+      child_(std::move(child)),
+      on_filled_(std::move(on_filled)) {}
+
+std::string FragmentMaterializeOp::detail() const { return label_; }
+
+Status FragmentMaterializeOp::OpenImpl() {
+  buffer_.clear();
+  done_ = false;
+  child_->BindExecContext(exec_context());
+  return child_->Open();
+}
+
+Result<bool> FragmentMaterializeOp::NextImpl(Row* row) {
+  if (done_) return false;
+  auto more = child_->Next(row);
+  if (!more.ok()) return more.status();
+  if (!more.value()) {
+    done_ = true;
+    if (on_filled_ != nullptr) {
+      on_filled_(std::move(buffer_));
+      on_filled_ = nullptr;
+    }
+    buffer_.clear();
+    return false;
+  }
+  RFID_RETURN_IF_ERROR(ChargeMemory(ApproxRowBytes(*row)));
+  buffer_.push_back(*row);
+  return true;
+}
+
+void FragmentMaterializeOp::CloseImpl() {
+  child_->Close();
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+}
+
+}  // namespace rfid

@@ -1,0 +1,77 @@
+// Operators backing the cleansed-fragment cache (see cache/ and
+// rewrite/fragment_stitch.h): a leaf scan over an already-cleansed,
+// shared row set, and a materializing tee that captures a sub-plan's
+// output so the cache can memoize it.
+//
+// Neither operator knows about the cache itself — the stitcher hands the
+// planner a FragmentBinding (exec/exec_context.h) whose shared rows /
+// fill callback these operators consume, keeping the exec layer below
+// the cleansing and cache layers.
+#ifndef RFID_EXEC_FRAGMENT_H_
+#define RFID_EXEC_FRAGMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace rfid {
+
+/// Leaf scan over an immutable, shared row vector (a cached cleansed
+/// fragment). The rows are owned jointly with the cache via shared_ptr,
+/// so an eviction mid-query cannot pull them out from under the scan.
+class FragmentScanOp : public Operator {
+ public:
+  FragmentScanOp(RowDesc output_desc, std::string label,
+                 std::shared_ptr<const std::vector<Row>> rows);
+
+  std::string name() const override { return "FragmentScan"; }
+  std::string detail() const override;
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+
+ private:
+  std::string label_;
+  std::shared_ptr<const std::vector<Row>> rows_;
+  size_t pos_ = 0;
+};
+
+/// Pass-through that records every row its child produces and, on a
+/// *clean* end of stream (the child was drained to exhaustion), hands the
+/// complete row set to `on_filled` exactly once. A query that stops
+/// early (LIMIT, cancellation, error) closes the operator without
+/// reaching end of stream, so partial fragments are never published.
+/// Buffered rows are charged against the query's memory budget and
+/// released on Close.
+class FragmentMaterializeOp : public Operator {
+ public:
+  FragmentMaterializeOp(RowDesc output_desc, std::string label,
+                        OperatorPtr child,
+                        std::function<void(std::vector<Row>)> on_filled);
+
+  std::string name() const override { return "FragmentMaterialize"; }
+  std::string detail() const override;
+  std::vector<const Operator*> children() const override {
+    return {child_.get()};
+  }
+
+ protected:
+  Status OpenImpl() override;
+  Result<bool> NextImpl(Row* row) override;
+  void CloseImpl() override;
+
+ private:
+  std::string label_;
+  OperatorPtr child_;
+  std::function<void(std::vector<Row>)> on_filled_;
+  std::vector<Row> buffer_;
+  bool done_ = false;
+};
+
+}  // namespace rfid
+
+#endif  // RFID_EXEC_FRAGMENT_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "cache/fragment_cache.h"
 #include "common/fault.h"
 
 namespace rfid::ingest {
@@ -71,6 +72,14 @@ Status IngestPipeline::Apply(std::vector<TableBatch> batches) {
       return fail(table.status());
     }
     size_t n = tb.rows.size();
+    // Invalidate cached cleansed fragments before the rows become
+    // visible: no reader can then observe the new rows while the cache
+    // still serves entries built without them. A batch that fails below
+    // only over-invalidates, which is conservative and safe.
+    if (fragment_cache_ != nullptr) {
+      fragment_cache_->OnIngest(**table, tb.rows,
+                                (*table)->visible_rows() + n);
+    }
     Result<uint64_t> first =
         (*table)->IngestBatch(std::move(tb.rows), compact_threshold_);
     if (!first.ok()) {

@@ -45,6 +45,10 @@
 #include "storage/snapshot.h"
 #include "wal/wal_manager.h"
 
+namespace rfid::cache {
+class FragmentCache;
+}  // namespace rfid::cache
+
 namespace rfid::ingest {
 
 /// Rows destined for one table within an epoch's batch group.
@@ -93,8 +97,16 @@ class IngestPipeline {
   /// choices derived from the old statistics must be re-costed.
   uint64_t stats_version() const;
 
+  /// Wires the cleansed-fragment cache for watermark invalidation: every
+  /// Apply() notifies it of the touched regions *before* the rows become
+  /// visible (see cache/fragment_cache.h). Set while no Apply() runs.
+  void set_fragment_cache(cache::FragmentCache* cache) {
+    fragment_cache_ = cache;
+  }
+
  private:
   Database* db_;
+  cache::FragmentCache* fragment_cache_ = nullptr;
   ExecContext* accounting_;
   size_t compact_threshold_;
   wal::WalManager* wal_;

@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "exec/aggregate.h"
 #include "exec/filter_project.h"
+#include "exec/fragment.h"
 #include "exec/hash_join.h"
 #include "exec/parallel.h"
 #include "exec/scan.h"
@@ -240,6 +241,33 @@ class PlannerImpl {
     const SelectStatement* subquery;
   };
 
+  /// Plans a fragment-bound source: a direct scan over the cached rows,
+  /// or — on a cache miss — the binding's fill statement wrapped in a
+  /// materializing tee that publishes the completed fragment.
+  Result<PlanNode> PlanFragment(const TableRef& ref,
+                                const FragmentBinding& fb) {
+    RowDesc desc;  // the binding's fields, requalified with the alias
+    for (const Field& f : fb.desc.fields()) {
+      desc.AddField(ref.alias, f.name, f.type);
+    }
+    PlanNode node;
+    if (fb.rows != nullptr) {
+      node.rows = static_cast<double>(fb.rows->size());
+      node.cost = node.rows * kSeqRowCost;
+      node.op = std::make_unique<FragmentScanOp>(std::move(desc),
+                                                 ref.table_name, fb.rows);
+      return node;
+    }
+    RFID_ASSIGN_OR_RETURN(StatementPtr fill, ParseSql(fb.fill_sql));
+    RFID_ASSIGN_OR_RETURN(PlanNode sub, PlanStatement(*fill, {}));
+    node.rows = sub.rows;
+    node.cost = sub.cost + sub.rows * kSeqRowCost;
+    node.ordering = sub.ordering;
+    node.op = std::make_unique<FragmentMaterializeOp>(
+        std::move(desc), ref.table_name, std::move(sub.op), fb.on_filled);
+    return node;
+  }
+
   Result<PlanNode> PlanCore(const SelectCore& core,
                             const std::vector<const WithClause*>& scope) {
     if (core.from.empty()) {
@@ -275,10 +303,21 @@ class PlannerImpl {
       } else {
         const Table* table = db_->GetTable(ref.table_name);
         if (table == nullptr) {
-          return Status::NotFound("table not found: " + ref.table_name);
+          // Fragment bindings (cleansed-fragment cache) resolve names that
+          // match neither a CTE nor a catalog table.
+          const FragmentBinding* fb =
+              ctx_ == nullptr ? nullptr : ctx_->FindFragment(ref.table_name);
+          if (fb == nullptr) {
+            return Status::NotFound("table not found: " + ref.table_name);
+          }
+          RFID_ASSIGN_OR_RETURN(PlanNode sub, PlanFragment(ref, *fb));
+          s.desc = sub.op->output_desc();
+          s.node = std::move(sub);
+          s.built = true;
+        } else {
+          s.table = table;
+          s.desc = RowDesc::FromSchema(table->schema(), ref.alias);
         }
-        s.table = table;
-        s.desc = RowDesc::FromSchema(table->schema(), ref.alias);
       }
       sources.push_back(std::move(s));
     }

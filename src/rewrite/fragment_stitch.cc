@@ -1,0 +1,254 @@
+#include "rewrite/fragment_stitch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "cleansing/chain.h"
+#include "common/string_util.h"
+#include "sql/parser.h"
+#include "sql/render.h"
+
+namespace rfid {
+
+namespace {
+
+uint64_t HashMix(uint64_t h, std::string_view s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;  // FNV-1a
+  }
+  h ^= '\x1f';
+  h *= 1099511628211ULL;
+  return h;
+}
+
+void CountRefsInStatement(const SelectStatement& stmt, std::string_view name,
+                          size_t* count);
+
+void CountRefsInExpr(const ExprPtr& e, std::string_view name, size_t* count) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kInSubquery && e->subquery != nullptr) {
+    CountRefsInStatement(*e->subquery, name, count);
+  }
+  for (const ExprPtr& c : e->children) CountRefsInExpr(c, name, count);
+}
+
+void CountRefsInStatement(const SelectStatement& stmt, std::string_view name,
+                          size_t* count) {
+  for (const WithClause& w : stmt.with) {
+    if (w.body != nullptr) CountRefsInStatement(*w.body, name, count);
+  }
+  for (const SelectCore& core : stmt.cores) {
+    for (const TableRef& ref : core.from) {
+      if (EqualsIgnoreCase(ref.table_name, name)) ++*count;
+    }
+    for (const SelectItem& item : core.items) {
+      CountRefsInExpr(item.expr, name, count);
+    }
+    CountRefsInExpr(core.where, name, count);
+    CountRefsInExpr(core.having, name, count);
+    for (const ExprPtr& g : core.group_by) CountRefsInExpr(g, name, count);
+  }
+  for (const SortKey& k : stmt.order_by) CountRefsInExpr(k.expr, name, count);
+}
+
+/// All table names referenced anywhere in the statement (FROM clauses of
+/// every core, WITH body, and IN-subquery).
+void CollectRefNames(const SelectStatement& stmt,
+                     std::vector<std::string>* names);
+
+void CollectRefNamesExpr(const ExprPtr& e, std::vector<std::string>* names) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kInSubquery && e->subquery != nullptr) {
+    CollectRefNames(*e->subquery, names);
+  }
+  for (const ExprPtr& c : e->children) CollectRefNamesExpr(c, names);
+}
+
+void CollectRefNames(const SelectStatement& stmt,
+                     std::vector<std::string>* names) {
+  for (const WithClause& w : stmt.with) {
+    if (w.body != nullptr) CollectRefNames(*w.body, names);
+  }
+  for (const SelectCore& core : stmt.cores) {
+    for (const TableRef& ref : core.from) {
+      names->push_back(ToLower(ref.table_name));
+    }
+    for (const SelectItem& item : core.items) {
+      CollectRefNamesExpr(item.expr, names);
+    }
+    CollectRefNamesExpr(core.where, names);
+    CollectRefNamesExpr(core.having, names);
+    for (const ExprPtr& g : core.group_by) CollectRefNamesExpr(g, names);
+  }
+  for (const SortKey& k : stmt.order_by) CollectRefNamesExpr(k.expr, names);
+}
+
+FragmentStitchInfo NotUsed(std::string reason) {
+  FragmentStitchInfo info;
+  info.used = false;
+  info.reason = std::move(reason);
+  return info;
+}
+
+}  // namespace
+
+uint64_t FingerprintRules(const std::vector<const CleansingRule*>& rules) {
+  uint64_t fp = 1469598103934665603ULL;
+  for (const CleansingRule* rule : rules) {
+    fp = HashMix(fp, "rule");
+    fp = HashMix(fp, ToLower(rule->on_table));
+    fp = HashMix(fp, ToLower(rule->from_table));
+    fp = HashMix(fp, ToLower(rule->ckey));
+    fp = HashMix(fp, ToLower(rule->skey));
+    for (const PatternRef& ref : rule->pattern) {
+      fp = HashMix(fp, ref.name);
+      fp = HashMix(fp, ref.is_set ? "*" : "");
+    }
+    fp = HashMix(fp, rule->condition != nullptr ? RenderExpr(rule->condition)
+                                                : "");
+    fp = HashMix(fp, RuleActionName(rule->action));
+    fp = HashMix(fp, rule->target);
+    for (const ModifyAssignment& a : rule->assignments) {
+      fp = HashMix(fp, ToLower(a.column));
+      fp = HashMix(fp, a.value != nullptr ? RenderExpr(a.value) : "");
+    }
+  }
+  return fp;
+}
+
+Result<FragmentStitchInfo> StitchWithFragmentCache(
+    std::string_view sql, Database* db, const CleansingRuleEngine& engine,
+    cache::FragmentCache* cache, ExecContext* ctx) {
+  if (cache == nullptr || !cache->enabled()) {
+    return NotUsed("fragment cache disabled");
+  }
+  if (db == nullptr || ctx == nullptr) return NotUsed("no database/context");
+  if (engine.rules().empty()) return NotUsed("no rules defined");
+
+  RFID_ASSIGN_OR_RETURN(StatementPtr stmt, ParseSql(sql));
+
+  // Find the (single) referenced table that has cleansing rules.
+  std::vector<std::string> names;
+  CollectRefNames(*stmt, &names);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  const Table* table = nullptr;
+  std::vector<const CleansingRule*> rules;
+  for (const std::string& name : names) {
+    Table* t = db->GetTable(name);
+    if (t == nullptr) continue;
+    std::vector<const CleansingRule*> r = engine.RulesFor(t->name());
+    if (r.empty()) continue;
+    if (table != nullptr) return NotUsed("query reads multiple ruled tables");
+    table = t;
+    rules = std::move(r);
+  }
+  if (table == nullptr) return NotUsed("no ruled table in query");
+
+  size_t occurrences = 0;
+  CountRefsInStatement(*stmt, table->name(), &occurrences);
+  if (occurrences != 1) {
+    return NotUsed("ruled table referenced more than once");
+  }
+  for (const WithClause& w : stmt->with) {
+    if (EqualsIgnoreCase(w.name, table->name())) {
+      return NotUsed("ruled table shadowed by a WITH clause");
+    }
+    if (w.name.rfind("__", 0) == 0) {
+      return NotUsed("query defines reserved __ WITH names");
+    }
+  }
+
+  // Rule-set eligibility: the region decomposition needs every rule to
+  // read the ON table directly and to partition by one shared ckey that
+  // no rule rewrites.
+  const std::string& ckey = rules.front()->ckey;
+  for (const CleansingRule* rule : rules) {
+    if (rule->HasDerivedInput()) {
+      return NotUsed("rule '" + rule->name + "' has a derived input");
+    }
+    if (!rule->from_table.empty() &&
+        !EqualsIgnoreCase(rule->from_table, rule->on_table)) {
+      return NotUsed("rule '" + rule->name + "' reads another table");
+    }
+    if (!EqualsIgnoreCase(rule->ckey, ckey)) {
+      return NotUsed("rules disagree on the cluster key");
+    }
+    for (const ModifyAssignment& a : rule->assignments) {
+      if (EqualsIgnoreCase(a.column, ckey)) {
+        return NotUsed("rule '" + rule->name + "' modifies the cluster key");
+      }
+    }
+  }
+  if (table->schema().FindColumn(ckey) < 0) {
+    return NotUsed("cluster key not in table schema");
+  }
+
+  // Query watermark: the pinned snapshot's, else the published one.
+  uint64_t watermark = table->visible_rows();
+  if (ctx->snapshot() != nullptr) {
+    const TableSnapshot* ts = ctx->snapshot()->ForTable(table);
+    if (ts == nullptr) return NotUsed("table missing from pinned snapshot");
+    watermark = ts->watermark;
+  }
+
+  cache::RegionSchemePtr scheme = cache->SchemeFor(*table, ckey, watermark);
+  if (scheme == nullptr) return NotUsed("region scheme unavailable");
+
+  // The chain is identical for every region except the restricted-input
+  // body, so build it once.
+  RFID_ASSIGN_OR_RETURN(
+      CleansingChain chain,
+      BuildCleansingChain(rules, *db, "__cl_input",
+                          table->schema().columns()));
+  RowDesc frag_desc;
+  for (const Column& col : chain.output_columns) {
+    frag_desc.AddField("", col.name, col.type);
+  }
+  std::string chain_sql;
+  for (const auto& [name, body] : chain.with_clauses) {
+    chain_sql += ", " + name + " AS (" + body + ")";
+  }
+
+  const uint64_t rule_fp = FingerprintRules(rules);
+  const std::string table_lower = ToLower(table->name());
+  FragmentStitchInfo info;
+  info.used = true;
+  info.table = table->name();
+  std::string union_sql;
+  for (size_t r = 0; r < scheme->num_regions(); ++r) {
+    cache::FragmentKey key{table_lower, rule_fp, scheme->fingerprint, r};
+    const std::string frag_name = StrFormat("__frag_%zu", r);
+    FragmentBinding binding;
+    binding.desc = frag_desc;
+    binding.rows = cache->Lookup(key, watermark);
+    if (binding.rows != nullptr) {
+      ++info.hits;
+    } else {
+      ++info.misses;
+      std::string pred = scheme->RegionPredicateSql(r);
+      binding.fill_sql = "WITH __cl_input AS (SELECT * FROM " + table->name() +
+                         (pred.empty() ? "" : " WHERE " + pred) + ")" +
+                         chain_sql + " SELECT * FROM " + chain.output_name;
+      cache::FragmentCache* cache_ptr = cache;
+      binding.on_filled = [cache_ptr, key, watermark](std::vector<Row> rows) {
+        cache_ptr->Insert(key, watermark, std::move(rows));
+      };
+    }
+    info.regions.push_back(
+        {r, scheme->RegionLabel(r), binding.rows != nullptr});
+    ctx->BindFragment(frag_name, std::move(binding));
+    if (r > 0) union_sql += " UNION ALL ";
+    union_sql += "SELECT * FROM " + frag_name;
+  }
+
+  ReplaceTableRefs(stmt.get(), table->name(), "__cl_frags");
+  RFID_ASSIGN_OR_RETURN(StatementPtr frags_body, ParseSql(union_sql));
+  stmt->with.insert(stmt->with.begin(),
+                    WithClause{"__cl_frags", std::move(frags_body)});
+  info.sql = StatementToSql(*stmt);
+  return info;
+}
+
+}  // namespace rfid

@@ -1,0 +1,74 @@
+// Region-scoped deferred cleansing over the cleansed-fragment cache.
+//
+// Every compiled cleansing rule windows PARTITION BY the rule's cluster
+// key, so the cleansing chain Φ distributes over any partition of the
+// input into cluster-key value ranges: Φ(R) = Φ(R₁) ∪ ... ∪ Φ(Rₖ) when
+// the Rᵢ are contiguous ckey ranges. The chain's output is stably sorted
+// by (ckey, skey) with NULLs first, so concatenating the per-region
+// results in ascending range order reproduces the global output *row for
+// row* — which is what makes the stitched plan bit-identical to the
+// uncached rewrite (naive ≡ expanded ≡ join-back by construction).
+//
+// The stitcher therefore rewrites an eligible query as
+//
+//   WITH __cl_frags AS (SELECT * FROM __frag_0 UNION ALL ... __frag_k)
+//   <original query with the rules' table replaced by __cl_frags>
+//
+// where each __frag_r is a fragment binding on the ExecContext: a cached
+// cleansed region (scanned directly — the cache hit path skips the
+// rewrite *and* the cleansing windows entirely) or, on a miss, the
+// region-restricted naive cleansing chain wrapped in a materializing tee
+// that publishes the fragment back to the cache on clean end-of-stream.
+// UNION ALL opens its arms lazily, so miss regions are cleansed only if
+// the consumer actually drains into them.
+//
+// Eligibility is conservative; anything outside it falls back to the
+// regular rewriter: a single occurrence of a single ruled table, no
+// derived rule inputs, one shared cluster key, no MODIFY of the cluster
+// key, no colliding WITH names.
+#ifndef RFID_REWRITE_FRAGMENT_STITCH_H_
+#define RFID_REWRITE_FRAGMENT_STITCH_H_
+
+#include <string>
+#include <vector>
+
+#include "cache/fragment_cache.h"
+#include "cleansing/rule.h"
+#include "exec/exec_context.h"
+
+namespace rfid {
+
+struct FragmentRegionDetail {
+  size_t region = 0;
+  std::string range;  // human-readable ckey range
+  bool hit = false;
+};
+
+struct FragmentStitchInfo {
+  bool used = false;
+  std::string reason;  // why the cache path was not taken (when !used)
+  std::string sql;     // stitched statement (when used)
+  std::string table;   // the ruled table (when used)
+  size_t hits = 0;
+  size_t misses = 0;
+  std::vector<FragmentRegionDetail> regions;
+};
+
+/// Content fingerprint of a rule list: two sessions whose catalogs define
+/// the same rules for a table (same keys, pattern, condition, action — in
+/// the same order) get the same fingerprint even if unrelated rules
+/// differ, so their sessions share cached fragments.
+uint64_t FingerprintRules(const std::vector<const CleansingRule*>& rules);
+
+/// Attempts the fragment-cache path for `sql`. When it applies, installs
+/// one fragment binding per region on `ctx` and returns used=true with
+/// the stitched statement (execute it with the same `ctx`); otherwise
+/// returns used=false with a reason and leaves `ctx` untouched. Errors
+/// only on malformed SQL.
+Result<FragmentStitchInfo> StitchWithFragmentCache(
+    std::string_view sql, Database* db, const CleansingRuleEngine& engine,
+    cache::FragmentCache* cache, ExecContext* ctx);
+
+}  // namespace rfid
+
+#endif  // RFID_REWRITE_FRAGMENT_STITCH_H_

@@ -18,6 +18,7 @@
 
 #include "common/string_util.h"
 #include "plan/planner.h"
+#include "rewrite/fragment_stitch.h"
 #include "rewrite/rewriter.h"
 #include "rfidgen/anomaly.h"
 #include "rfidgen/rfidgen.h"
@@ -73,11 +74,40 @@ Server::InflightGuard::~InflightGuard() {
   server_->inflight_.erase(ctx_);
 }
 
+namespace {
+
+// The fragment cache's capacity is carved out of the admission pool so
+// cached cleansing results and query working memory draw from one global
+// envelope; the carve is capped at half the pool so admission always
+// keeps a usable budget.
+size_t FragmentCarveBytes(const ServerOptions& options) {
+  if (!options.fragment_cache_enabled) return 0;
+  return std::min(options.fragment_cache_bytes,
+                  options.admission.pool_bytes / 2);
+}
+
+cache::FragmentCacheOptions FragmentCacheOptionsFor(
+    const ServerOptions& options) {
+  cache::FragmentCacheOptions f;
+  f.capacity_bytes = FragmentCarveBytes(options);
+  f.enabled = options.fragment_cache_enabled;
+  return f;
+}
+
+AdmissionOptions CarvedAdmission(const ServerOptions& options) {
+  AdmissionOptions a = options.admission;
+  a.pool_bytes -= FragmentCarveBytes(options);
+  return a;
+}
+
+}  // namespace
+
 Server::Server(ServerOptions options)
     : options_(options),
       sessions_(options.max_sessions),
       plan_cache_(options.plan_cache_capacity, options.plan_cache_enabled),
-      admission_(options.admission) {}
+      fragment_cache_(FragmentCacheOptionsFor(options)),
+      admission_(CarvedAdmission(options)) {}
 
 Result<std::unique_ptr<Server>> Server::Start(ServerOptions options) {
   std::unique_ptr<Server> server(new Server(std::move(options)));
@@ -546,6 +576,35 @@ Result<RowsPayload> Server::ExecuteQuery(Session& session,
       }
     }
   }
+  // Cleansed-fragment stitch: an execution-level substitution layered
+  // under the rewrite decision above. The plan cache and rewriter keep
+  // their semantics untouched (strategy errors, notes, cache outcomes);
+  // when the stitch applies, the query instead executes region-scoped
+  // cleansing sub-plans that consult the shared fragment cache — hit
+  // regions skip the cleansing windows entirely, miss regions refill the
+  // cache — stitched back together with UNION ALL. Results are
+  // bit-identical to the rewritten SQL. The stitched text depends on
+  // per-execution hit/miss state and on this query's context bindings,
+  // so it never enters the plan cache; hit/miss counters surface in the
+  // EXPLAIN header instead of the (cached, deterministic) rewrite note.
+  std::string fragment_note;
+  if (session.rewriting_enabled && !session.rules->rules().empty() &&
+      fragment_cache_.enabled()) {
+    auto stitch = StitchWithFragmentCache(sql, &db_, *session.rules,
+                                          &fragment_cache_, &ctx);
+    if (stitch.ok() && stitch->used) {
+      final_sql = stitch->sql;
+      fragment_note =
+          StrFormat("fragments: hit=%zu miss=%zu", stitch->hits,
+                    stitch->misses);
+      if (session.show_candidates) {
+        for (const FragmentRegionDetail& r : stitch->regions) {
+          fragment_note += StrFormat("\n  region %-4zu %-28s %s", r.region,
+                                     r.range.c_str(), r.hit ? "hit" : "miss");
+        }
+      }
+    }
+  }
   const auto start = std::chrono::steady_clock::now();
   auto res = ExecuteSql(db_, final_sql, &ctx);
   const auto end = std::chrono::steady_clock::now();
@@ -557,7 +616,12 @@ Result<RowsPayload> Server::ExecuteQuery(Session& session,
     out.fields.push_back(res->desc.field(i));
   }
   out.rows = std::move(res->rows);
-  if (session.explain) out.explain = res->explain;
+  if (session.explain) {
+    out.explain = res->explain;
+    if (!fragment_note.empty()) {
+      out.explain = fragment_note + "\n" + out.explain;
+    }
+  }
   ++session.queries_executed;
   return out;
 }
@@ -653,6 +717,7 @@ Result<std::string> Server::HandleCommand(Session& session,
     auto a = rfidgen::InjectAnomalies(anomalies, &db_);
     if (!a.ok()) return a.status();
     data_version_.fetch_add(1, std::memory_order_acq_rel);
+    fragment_cache_.Clear();  // bulk mutation breaks append-only
     return StrFormat(
         "generated %lld case reads across %lld cases; injected %lld "
         "anomalies (%.0f%%)",
@@ -684,6 +749,7 @@ Result<std::string> Server::HandleCommand(Session& session,
         pipeline_ = std::make_unique<ingest::IngestPipeline>(
             &db_, /*accounting=*/nullptr, /*index_compact_threshold=*/8,
             wal_.get());
+        pipeline_->set_fragment_cache(&fragment_cache_);
       }
     }
     // Shared lock during application: queries run concurrently (both
@@ -732,6 +798,7 @@ Result<std::string> Server::HandleCommand(Session& session,
     if (st.ok()) st = rfidgen::FinalizeDatabase(&db_);
     if (!st.ok()) return st;
     data_version_.fetch_add(1, std::memory_order_acq_rel);
+    fragment_cache_.Clear();
     return std::string("loaded");
   }
   if (cmd == ".wal" || cmd == ".recover") {
@@ -760,6 +827,7 @@ Result<std::string> Server::HandleCommand(Session& session,
     }
     pipeline_.reset();  // rebuilt WAL-backed by the next .feed
     stream_.reset();
+    fragment_cache_.Clear();  // replay / pipeline swap: start fresh
     wal_ = std::move(*manager);
     const wal::RecoveryResult& r = wal_->recovery();
     if (r.recovered) {
@@ -875,29 +943,57 @@ Result<std::string> Server::HandleCommand(Session& session,
       plan_cache_.Clear();
       return std::string("plan cache cleared");
     }
+    if (arg == "fragment") {
+      std::string sub;
+      in >> sub;
+      if (sub == "on" || sub == "off") {
+        fragment_cache_.set_enabled(sub == "on");
+        return StrFormat("fragment cache %s", sub.c_str());
+      }
+      if (sub == "clear") {
+        fragment_cache_.Clear();
+        return std::string("fragment cache cleared");
+      }
+      return Status::InvalidArgument("usage: .cache fragment on|off|clear");
+    }
     if (arg == "stats" || arg.empty()) {
       PlanCache::Stats s = plan_cache_.stats();
+      cache::FragmentCache::Stats f = fragment_cache_.stats();
       return StrFormat(
           "plan cache: %s, %zu entries, %llu hits, %llu misses, "
-          "%llu invalidations, %llu evictions",
+          "%llu invalidations, %llu evictions\n"
+          "fragment cache: %s, %zu entries, %llu hits, %llu misses, "
+          "%llu invalidations, %llu evictions, %llu inserts, "
+          "%llu resident bytes",
           plan_cache_.enabled() ? "on" : "off", s.entries,
           static_cast<unsigned long long>(s.hits),
           static_cast<unsigned long long>(s.misses),
           static_cast<unsigned long long>(s.invalidations),
-          static_cast<unsigned long long>(s.evictions));
+          static_cast<unsigned long long>(s.evictions),
+          fragment_cache_.enabled() ? "on" : "off", f.entries,
+          static_cast<unsigned long long>(f.hits),
+          static_cast<unsigned long long>(f.misses),
+          static_cast<unsigned long long>(f.invalidations),
+          static_cast<unsigned long long>(f.evictions),
+          static_cast<unsigned long long>(f.inserts),
+          static_cast<unsigned long long>(f.resident_bytes));
     }
-    return Status::InvalidArgument("usage: .cache on|off|clear|stats");
+    return Status::InvalidArgument(
+        "usage: .cache on|off|clear|stats | .cache fragment on|off|clear");
   }
   if (cmd == ".stats") {
     AdmissionController::Stats a = admission_.stats();
     PlanCache::Stats p = plan_cache_.stats();
+    cache::FragmentCache::Stats f = fragment_cache_.stats();
     return StrFormat(
         "sessions: %d active (%llu total)\n"
         "admission: %llu admitted, %llu queued, %llu rejected "
         "(queue-full %llu, timeout %llu, shutdown %llu), %d running, "
         "%llu pool bytes used\n"
         "plan cache: %zu entries, %llu hits, %llu misses, "
-        "%llu invalidations",
+        "%llu invalidations\n"
+        "fragment cache: %zu entries, %llu hits, %llu misses, "
+        "%llu invalidations, %llu resident bytes",
         sessions_.active(),
         static_cast<unsigned long long>(sessions_.total_created()),
         static_cast<unsigned long long>(a.admitted),
@@ -911,7 +1007,11 @@ Result<std::string> Server::HandleCommand(Session& session,
         static_cast<unsigned long long>(a.pool_used), p.entries,
         static_cast<unsigned long long>(p.hits),
         static_cast<unsigned long long>(p.misses),
-        static_cast<unsigned long long>(p.invalidations));
+        static_cast<unsigned long long>(p.invalidations), f.entries,
+        static_cast<unsigned long long>(f.hits),
+        static_cast<unsigned long long>(f.misses),
+        static_cast<unsigned long long>(f.invalidations),
+        static_cast<unsigned long long>(f.resident_bytes));
   }
   if (cmd == ".debug_hold") {
     // Test hook: occupy an admission slot for a fixed duration so tests

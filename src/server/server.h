@@ -46,6 +46,7 @@
 #include <string>
 #include <thread>
 
+#include "cache/fragment_cache.h"
 #include "exec/exec_context.h"
 #include "ingest/ingest.h"
 #include "rfidgen/stream.h"
@@ -66,6 +67,12 @@ struct ServerOptions {
   AdmissionOptions admission;
   size_t plan_cache_capacity = 256;
   bool plan_cache_enabled = true;
+  /// Cleansed-fragment cache capacity. The bytes are carved out of the
+  /// admission pool (admission.pool_bytes) at construction so cache
+  /// growth and query budgets draw from one global memory envelope;
+  /// capped at half the pool.
+  size_t fragment_cache_bytes = 64ULL << 20;
+  bool fragment_cache_enabled = true;
 };
 
 class Server {
@@ -101,6 +108,9 @@ class Server {
 
   // Introspection (tests, bench, .stats).
   PlanCache::Stats plan_cache_stats() const { return plan_cache_.stats(); }
+  cache::FragmentCache::Stats fragment_cache_stats() const {
+    return fragment_cache_.stats();
+  }
   AdmissionController::Stats admission_stats() const {
     return admission_.stats();
   }
@@ -154,6 +164,7 @@ class Server {
   Database db_;
   SessionManager sessions_;
   PlanCache plan_cache_;
+  cache::FragmentCache fragment_cache_;
   AdmissionController admission_;
 
   /// Bumped by bulk mutations outside the ingest pipeline (.gen, .load,

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "exec/aggregate.h"
 #include "exec/filter_project.h"
+#include "exec/fragment.h"
 #include "exec/hash_join.h"
 #include "exec/parallel.h"
 #include "exec/scan.h"
@@ -167,6 +168,20 @@ class PlanChecker {
     if (const auto* scan = dynamic_cast<const IndexRangeScanOp*>(&op)) {
       RFID_RETURN_IF_ERROR(CheckIndexScan(*scan));
       return IndexOrdering(*scan);
+    }
+
+    if (dynamic_cast<const FragmentScanOp*>(&op) != nullptr) {
+      // Leaf over a cached cleansed fragment; claims no ordering (the
+      // stitcher relies on concatenation order, not per-scan ordering).
+      return std::vector<SlotSortKey>{};
+    }
+    if (dynamic_cast<const FragmentMaterializeOp*>(&op) != nullptr) {
+      // Pass-through tee: schema mirrors the fill sub-plan, ordering is
+      // whatever the child provides.
+      RFID_ASSIGN_OR_RETURN(std::vector<SlotSortKey> ord, Walk(*kids[0]));
+      RFID_RETURN_IF_ERROR(
+          CheckPassThroughSchema(phase_, op, kids[0]->output_desc()));
+      return ord;
     }
 
     if (const auto* filter = dynamic_cast<const FilterOp*>(&op)) {
