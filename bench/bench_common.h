@@ -16,9 +16,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/simd.h"
 #include "exec/parallel.h"
 #include "expr/row_batch.h"
 #include "plan/planner.h"
+#include "storage/columnar.h"
 #include "rewrite/rewriter.h"
 #include "rfidgen/anomaly.h"
 #include "rfidgen/workload.h"
@@ -203,6 +205,9 @@ inline void WriteBenchJson(const std::string& harness,
   fprintf(f, "  \"vectorized\": %s,\n", VectorizedEnabled() ? "true" : "false");
   fprintf(f, "  \"batch_size\": %zu,\n",
           VectorizedEnabled() ? BatchCapacity() : size_t{0});
+  fprintf(f, "  \"columnar\": %s,\n", ColumnarEnabled() ? "true" : "false");
+  fprintf(f, "  \"simd\": \"%s\",\n",
+          ColumnarEnabled() ? simd::ActiveLevelName() : "off");
   fprintf(f, "  \"max_dop\": %d,\n", CurrentParallelPolicy().max_dop);
   fprintf(f, "  \"benchmarks\": [\n");
   for (size_t i = 0; i < entries.size(); ++i) {
@@ -252,7 +257,11 @@ class JsonBenchReporter : public benchmark::ConsoleReporter {
 /// emit BENCH_<harness>.json alongside the console output.
 inline int RunBenchmarkMain(int argc, char** argv, const char* harness) {
   benchmark::Initialize(&argc, argv);
-  JsonBenchReporter reporter(harness);
+  // Columnar-off runs (RFID_COLUMNAR=0) write to a distinct file so an
+  // on/off pair can sit side by side for before/after diffs.
+  std::string name = harness;
+  if (!ColumnarEnabled()) name += "_columnar_off";
+  JsonBenchReporter reporter(name);
   benchmark::RunSpecifiedBenchmarks(&reporter);
   return 0;
 }

@@ -56,6 +56,13 @@ fi
 ./build/tests/vectorized_exec_test \
   --gtest_filter='VectorizedExecTest.AllRewriteStrategiesBitIdentical:VectorizedExecTest.ComposesWithMorselParallelism'
 
+# Columnar encode/decode fuzz smoke: randomized segments across every
+# column type (nulls, NaN, -0.0, empty/distinct strings) must round-trip
+# bit-identically, and encoded-predicate evaluation must agree with the
+# interpreter for all six comparison operators at every SIMD level.
+./build/tests/columnar_test \
+  --gtest_filter='ColumnarTest.RoundTripRandomized:ColumnarTest.RoundTripAdversarialProfiles:ColumnarTest.SerializationRoundTripAndCorruptInput:ColumnarTest.EncodedPredicatesMatchInterpreterAllOps'
+
 # Crash-recovery loop: several randomized crash-point schedules on top
 # of the exhaustive every-step sweep that already runs in ctest. Each
 # seed drives SeededRandom fault firing across all WAL append /
@@ -75,8 +82,9 @@ if [ "$QUICK" -eq 0 ]; then
   cmake --build build-asan --target fault_injection_test guardrails_test \
     exec_test common_test ingest_fault_test expr_golden_test \
     vectorized_exec_test verify_test wal_test wal_recovery_test \
-    fragment_cache_test server_test
+    fragment_cache_test server_test columnar_test
   ./build-asan/tests/verify_test
+  ./build-asan/tests/columnar_test
   ./build-asan/tests/fault_injection_test
   ./build-asan/tests/guardrails_test
   ./build-asan/tests/exec_test
@@ -96,7 +104,9 @@ if [ "$QUICK" -eq 0 ]; then
   # deliberately hostile inputs — aborts the test.
   cmake -B build-ubsan -G Ninja -DRFID_SANITIZE=undefined
   cmake --build build-ubsan --target verify_test planner_test \
-    expr_golden_test rewrite_property_test fault_injection_test
+    expr_golden_test rewrite_property_test fault_injection_test \
+    columnar_test
+  ./build-ubsan/tests/columnar_test
   ./build-ubsan/tests/verify_test
   ./build-ubsan/tests/planner_test
   ./build-ubsan/tests/expr_golden_test
@@ -121,7 +131,11 @@ if [ "$QUICK" -eq 0 ]; then
   cmake --build build-tsan --target ingest_concurrency_test ingest_test \
     parallel_exec_test parallel_concurrency_test vectorized_exec_test \
     wal_recovery_test fragment_cache_test fragment_concurrency_test \
-    server_test server_concurrency_test
+    server_test server_concurrency_test columnar_test
+  # Encoded-segment publication (ingest's EncodeColdSegments) races scan
+  # probes and the live-ingest on/off comparison; TSan proves the
+  # directory mutex + shared_ptr pinning are real happens-before edges.
+  ./build-tsan/tests/columnar_test
   ./build-tsan/tests/ingest_concurrency_test
   ./build-tsan/tests/ingest_test
   ./build-tsan/tests/parallel_exec_test
@@ -198,4 +212,11 @@ fi
 for b in build/bench/bench_*; do
   [ "$(basename "$b")" = bench_parallel_scaling ] && continue
   "$b"
+done
+
+# Columnar on/off pairs for the scan-bound harnesses: the off runs land
+# in BENCH_<harness>_columnar_off.json so the encoded-kernel speedup is
+# a committed, diffable artifact next to the on-path numbers above.
+for b in bench_fig7_scan bench_fig7_selectivity bench_fig9_dirty; do
+  RFID_COLUMNAR=0 "build/bench/$b"
 done

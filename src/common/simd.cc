@@ -1,0 +1,187 @@
+#include "common/simd.h"
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define RFID_SIMD_X86 1
+#else
+#define RFID_SIMD_X86 0
+#endif
+
+namespace rfid::simd {
+namespace {
+
+// A comparison a CMP b over signed 64-bit lanes decomposes into the two
+// primitive predicates the ISA offers (eq, gt) plus a complement bit:
+//   eq: eq            ne: !eq
+//   gt: gt            le: !gt
+//   lt: gt(swapped)   ge: !gt(swapped)
+struct CmpPlan {
+  bool use_eq;    // primitive is eq (else gt)
+  bool swap;      // swap operands before gt
+  bool negate;    // complement the mask
+};
+
+CmpPlan PlanFor(Cmp cmp) {
+  switch (cmp) {
+    case Cmp::kEq: return {true, false, false};
+    case Cmp::kNe: return {true, false, true};
+    case Cmp::kGt: return {false, false, false};
+    case Cmp::kLe: return {false, false, true};
+    case Cmp::kLt: return {false, true, false};
+    case Cmp::kGe: return {false, true, true};
+  }
+  return {true, false, false};
+}
+
+bool ScalarPass(int64_t v, Cmp cmp, int64_t rhs) {
+  switch (cmp) {
+    case Cmp::kEq: return v == rhs;
+    case Cmp::kNe: return v != rhs;
+    case Cmp::kLt: return v < rhs;
+    case Cmp::kLe: return v <= rhs;
+    case Cmp::kGt: return v > rhs;
+    case Cmp::kGe: return v >= rhs;
+  }
+  return false;
+}
+
+size_t FilterScalar(const int64_t* data, size_t n, Cmp cmp, int64_t rhs,
+                    uint32_t base, uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (ScalarPass(data[i], cmp, rhs)) {
+      out[count++] = base + static_cast<uint32_t>(i);
+    }
+  }
+  return count;
+}
+
+#if RFID_SIMD_X86
+
+__attribute__((target("sse4.2"))) size_t FilterSse42(const int64_t* data,
+                                                     size_t n, Cmp cmp,
+                                                     int64_t rhs,
+                                                     uint32_t base,
+                                                     uint32_t* out) {
+  const CmpPlan plan = PlanFor(cmp);
+  const __m128i vrhs = _mm_set1_epi64x(rhs);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(data + i));
+    __m128i m;
+    if (plan.use_eq) {
+      m = _mm_cmpeq_epi64(v, vrhs);
+    } else if (plan.swap) {
+      m = _mm_cmpgt_epi64(vrhs, v);
+    } else {
+      m = _mm_cmpgt_epi64(v, vrhs);
+    }
+    int mask = _mm_movemask_pd(_mm_castsi128_pd(m));
+    if (plan.negate) mask = ~mask & 0x3;
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      out[count++] = base + static_cast<uint32_t>(i + static_cast<size_t>(lane));
+      mask &= mask - 1;
+    }
+  }
+  count += FilterScalar(data + i, n - i, cmp, rhs,
+                        base + static_cast<uint32_t>(i), out + count);
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t FilterAvx2(const int64_t* data,
+                                                  size_t n, Cmp cmp,
+                                                  int64_t rhs, uint32_t base,
+                                                  uint32_t* out) {
+  const CmpPlan plan = PlanFor(cmp);
+  const __m256i vrhs = _mm256_set1_epi64x(rhs);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(data + i));
+    __m256i m;
+    if (plan.use_eq) {
+      m = _mm256_cmpeq_epi64(v, vrhs);
+    } else if (plan.swap) {
+      m = _mm256_cmpgt_epi64(vrhs, v);
+    } else {
+      m = _mm256_cmpgt_epi64(v, vrhs);
+    }
+    int mask = _mm256_movemask_pd(_mm256_castsi256_pd(m));
+    if (plan.negate) mask = ~mask & 0xf;
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      out[count++] = base + static_cast<uint32_t>(i + static_cast<size_t>(lane));
+      mask &= mask - 1;
+    }
+  }
+  count += FilterScalar(data + i, n - i, cmp, rhs,
+                        base + static_cast<uint32_t>(i), out + count);
+  return count;
+}
+
+#endif  // RFID_SIMD_X86
+
+enum Level : int { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+int ProbeLevel() {
+#if RFID_SIMD_X86
+  if (__builtin_cpu_supports("avx2")) return kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return kSse42;
+#endif
+  return kScalar;
+}
+
+// The probed level is immutable after first use; the test override is an
+// atomic so concurrent scans see a consistent level without locking.
+std::atomic<int> g_level{-1};
+
+int ActiveLevel() {
+  int lvl = g_level.load(std::memory_order_relaxed);
+  if (lvl < 0) {
+    lvl = ProbeLevel();
+    g_level.store(lvl, std::memory_order_relaxed);
+  }
+  return lvl;
+}
+
+}  // namespace
+
+size_t FilterInt64(const int64_t* data, size_t n, Cmp cmp, int64_t rhs,
+                   uint32_t base, uint32_t* out) {
+  switch (ActiveLevel()) {
+#if RFID_SIMD_X86
+    case kAvx2:
+      return FilterAvx2(data, n, cmp, rhs, base, out);
+    case kSse42:
+      return FilterSse42(data, n, cmp, rhs, base, out);
+#endif
+    default:
+      return FilterScalar(data, n, cmp, rhs, base, out);
+  }
+}
+
+const char* ActiveLevelName() {
+  switch (ActiveLevel()) {
+    case kAvx2: return "avx2";
+    case kSse42: return "sse4.2";
+    default: return "scalar";
+  }
+}
+
+void SetLevelForTest(int level) {
+  if (level < 0) {
+    g_level.store(ProbeLevel(), std::memory_order_relaxed);
+    return;
+  }
+  const int supported = ProbeLevel();
+  g_level.store(level < supported ? level : supported,
+                std::memory_order_relaxed);
+}
+
+}  // namespace rfid::simd

@@ -1,0 +1,43 @@
+// Runtime-dispatched SIMD kernels for the columnar scan path.
+//
+// The only kernel the scan needs is "compare a dense int64 lane against a
+// constant and append the indices of passing lanes to a selection
+// vector". The dispatch shim probes the CPU once (__builtin_cpu_supports)
+// and routes to an AVX2 or SSE4.2 implementation compiled with per-
+// function target attributes, so the rest of the tree keeps the default
+// architecture flags; everything falls back to a scalar loop on other
+// ISAs (and on non-x86 builds, where only the scalar path is compiled).
+//
+// The SIMD paths are bit-exact with the scalar loop: signed 64-bit
+// compares only, no reordering of survivors — output indices are always
+// ascending, exactly like the scalar loop produces them.
+#ifndef RFID_COMMON_SIMD_H_
+#define RFID_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rfid::simd {
+
+/// Comparison for FilterInt64; matches the engine's int64 comparison
+/// semantics (Value::Compare on two non-null INT64/TIMESTAMP/INTERVAL/
+/// BOOL payloads).
+enum class Cmp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Appends the index (base + i) of every lane i in [0, n) with
+/// data[i] CMP rhs to out; returns the number of indices written. `out`
+/// must have room for n entries.
+size_t FilterInt64(const int64_t* data, size_t n, Cmp cmp, int64_t rhs,
+                   uint32_t base, uint32_t* out);
+
+/// The dispatch level FilterInt64 runs at: "avx2", "sse4.2" or "scalar".
+const char* ActiveLevelName();
+
+/// Forces a dispatch level for tests: 0 = scalar, 1 = sse4.2 (if
+/// supported), 2 = avx2 (if supported), -1 = restore CPU-probed default.
+/// Levels the CPU lacks silently degrade to the best supported one.
+void SetLevelForTest(int level);
+
+}  // namespace rfid::simd
+
+#endif  // RFID_COMMON_SIMD_H_

@@ -1,0 +1,328 @@
+#include "exec/columnar_scan.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/simd.h"
+
+namespace rfid {
+namespace {
+
+bool IsIntFamilyType(DataType t) {
+  return t == DataType::kBool || t == DataType::kInt64 ||
+         t == DataType::kTimestamp || t == DataType::kInterval;
+}
+
+/// Mirrors CompareEntryToValue (row_batch.cc), which mirrors
+/// Value::Compare: string compare when the cell is a string, the double
+/// path when either side is DOUBLE, raw int64 otherwise. Callers
+/// guarantee comparability, exactly as with Value::Compare.
+int CompareCell(DataType tag, int64_t data, const std::string* str,
+                const Value& lit) {
+  if (tag == DataType::kString) {
+    return str->compare(lit.string_value());
+  }
+  if (tag == DataType::kDouble || lit.type() == DataType::kDouble) {
+    double x = tag == DataType::kDouble ? std::bit_cast<double>(data)
+                                        : static_cast<double>(data);
+    double y = lit.AsDouble();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  int64_t y = lit.int64_value();
+  return data < y ? -1 : (data > y ? 1 : 0);
+}
+
+bool PassCmp(int c, BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return c == 0;
+    case BinaryOp::kNe: return c != 0;
+    case BinaryOp::kLt: return c < 0;
+    case BinaryOp::kLe: return c <= 0;
+    case BinaryOp::kGt: return c > 0;
+    case BinaryOp::kGe: return c >= 0;
+    default: return false;
+  }
+}
+
+simd::Cmp ToSimdCmp(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return simd::Cmp::kEq;
+    case BinaryOp::kNe: return simd::Cmp::kNe;
+    case BinaryOp::kLt: return simd::Cmp::kLt;
+    case BinaryOp::kLe: return simd::Cmp::kLe;
+    case BinaryOp::kGt: return simd::Cmp::kGt;
+    default: return simd::Cmp::kGe;
+  }
+}
+
+/// Dense int64 lane (no NULLs) vs an int-family literal: the SIMD fast
+/// path. Replaces *sel with the passing indices.
+void FilterDenseInt64(const int64_t* lane, uint32_t prefix,
+                      const SlotLiteralCmp& c, std::vector<uint32_t>* sel,
+                      ColumnarScanScratch* scratch) {
+  scratch->tmp.resize(prefix);
+  size_t n = simd::FilterInt64(lane, prefix, ToSimdCmp(c.op),
+                               c.literal.int64_value(), 0,
+                               scratch->tmp.data());
+  scratch->tmp.resize(n);
+  sel->swap(scratch->tmp);
+}
+
+/// Sequentially unpacks deltas [0, n) of a bit-packed column.
+void UnpackAll(const BitPackColumn& b, size_t n, int64_t* out) {
+  if (b.width == 0) {
+    std::fill(out, out + n, b.base);
+    return;
+  }
+  const uint64_t mask = (uint64_t{1} << b.width) - 1;
+  size_t bit = 0;
+  for (size_t i = 0; i < n; ++i, bit += b.width) {
+    uint64_t delta = b.words[bit >> 6] >> (bit & 63);
+    const unsigned used = 64 - static_cast<unsigned>(bit & 63);
+    if (used < b.width) delta |= b.words[(bit >> 6) + 1] << used;
+    out[i] = static_cast<int64_t>(static_cast<uint64_t>(b.base) +
+                                  (delta & mask));
+  }
+}
+
+void FilterPlain(const PlainColumn& p, const ZoneMap& zone,
+                 const SlotLiteralCmp& c, uint32_t prefix,
+                 std::vector<uint32_t>* sel, ColumnarScanScratch* scratch) {
+  // Dense selection over a homogeneous NULL-free int64-family lane: the
+  // zone map proves every tag matches (prunable => no mixed tags), so
+  // the payload lane compares as raw int64s.
+  if (sel->size() == prefix && zone.prunable && zone.null_count == 0 &&
+      IsIntFamilyType(zone.min.type()) &&
+      IsIntFamilyType(c.literal.type())) {
+    FilterDenseInt64(p.data.data(), prefix, c, sel, scratch);
+    return;
+  }
+  size_t kept = 0;
+  for (uint32_t idx : *sel) {
+    const DataType t = static_cast<DataType>(p.tags[idx]);
+    if (t == DataType::kNull) continue;
+    const std::string* str = t == DataType::kString ? &p.strs[idx] : nullptr;
+    if (PassCmp(CompareCell(t, p.data[idx], str, c.literal), c.op)) {
+      (*sel)[kept++] = idx;
+    }
+  }
+  sel->resize(kept);
+}
+
+void FilterRle(const RleColumn& r, const SlotLiteralCmp& c,
+               std::vector<uint32_t>* sel) {
+  // One verdict per run, carried across every selected offset in the
+  // run. Both the runs and the selection are ascending, so a single
+  // forward walk suffices.
+  size_t run = 0;
+  int verdict = -1;  // -1: not yet evaluated for the current run
+  size_t kept = 0;
+  for (uint32_t idx : *sel) {
+    while (r.ends[run] <= idx) {
+      ++run;
+      verdict = -1;
+    }
+    if (verdict < 0) {
+      const DataType t = static_cast<DataType>(r.tags[run]);
+      if (t == DataType::kNull) {
+        verdict = 0;
+      } else {
+        const std::string* str =
+            t == DataType::kString ? &r.strs[run] : nullptr;
+        verdict =
+            PassCmp(CompareCell(t, r.data[run], str, c.literal), c.op) ? 1 : 0;
+      }
+    }
+    if (verdict == 1) (*sel)[kept++] = idx;
+  }
+  sel->resize(kept);
+}
+
+void FilterDict(const DictColumn& d, const SlotLiteralCmp& c,
+                std::vector<uint32_t>* sel) {
+  constexpr uint32_t kNull = DictColumn::kNullCode;
+  if (c.literal.type() == DataType::kString) {
+    // Dictionary-compare before decode: the dictionary is sorted in
+    // Value::Compare order for strings, so one pair of binary searches
+    // turns the predicate into integer compares on the code lane.
+    const std::string& lit = c.literal.string_value();
+    const uint32_t lb = static_cast<uint32_t>(
+        std::lower_bound(d.dict.begin(), d.dict.end(), lit) - d.dict.begin());
+    const uint32_t ub = static_cast<uint32_t>(
+        std::upper_bound(d.dict.begin(), d.dict.end(), lit) - d.dict.begin());
+    size_t kept = 0;
+    for (uint32_t idx : *sel) {
+      const uint32_t code = d.codes[idx];
+      bool pass = false;
+      switch (c.op) {
+        // kNullCode is UINT32_MAX, so strict upper bounds (code < x)
+        // exclude NULL for free; lower bounds check it explicitly.
+        case BinaryOp::kEq: pass = code >= lb && code < ub; break;
+        case BinaryOp::kNe: pass = code != kNull && (code < lb || code >= ub); break;
+        case BinaryOp::kLt: pass = code < lb; break;
+        case BinaryOp::kLe: pass = code < ub; break;
+        case BinaryOp::kGt: pass = code != kNull && code >= ub; break;
+        case BinaryOp::kGe: pass = code != kNull && code >= lb; break;
+        default: break;
+      }
+      if (pass) (*sel)[kept++] = idx;
+    }
+    sel->resize(kept);
+    return;
+  }
+  // Non-string literal against a string dictionary: unreachable from
+  // bound plans (the binder type-checks comparisons); mirror the
+  // entry-compare path for parity with the vectorized engine.
+  size_t kept = 0;
+  for (uint32_t idx : *sel) {
+    const uint32_t code = d.codes[idx];
+    if (code == kNull) continue;
+    if (PassCmp(CompareCell(DataType::kString, 0, &d.dict[code], c.literal),
+                c.op)) {
+      (*sel)[kept++] = idx;
+    }
+  }
+  sel->resize(kept);
+}
+
+void FilterBitPack(const BitPackColumn& b, const SlotLiteralCmp& c,
+                   uint32_t prefix, std::vector<uint32_t>* sel,
+                   ColumnarScanScratch* scratch) {
+  if (b.nulls.empty() && IsIntFamilyType(c.literal.type()) &&
+      sel->size() == prefix) {
+    // Bulk-unpack into a dense lane, then the SIMD kernel.
+    scratch->lane.resize(prefix);
+    UnpackAll(b, prefix, scratch->lane.data());
+    FilterDenseInt64(scratch->lane.data(), prefix, c, sel, scratch);
+    return;
+  }
+  const DataType tag = static_cast<DataType>(b.tag);
+  size_t kept = 0;
+  for (uint32_t idx : *sel) {
+    if (BitPackIsNull(b, idx)) continue;
+    if (PassCmp(CompareCell(tag, BitPackValueAt(b, idx), nullptr, c.literal),
+                c.op)) {
+      (*sel)[kept++] = idx;
+    }
+  }
+  sel->resize(kept);
+}
+
+}  // namespace
+
+bool MatchSlotLiteralCmp(const ExprPtr& conjunct, SlotLiteralCmp* out,
+                         bool* null_literal) {
+  *null_literal = false;
+  if (conjunct == nullptr || conjunct->kind != ExprKind::kBinary ||
+      !IsComparisonOp(conjunct->op) || conjunct->children.size() != 2) {
+    return false;
+  }
+  const Expr& l = *conjunct->children[0];
+  const Expr& r = *conjunct->children[1];
+  if (l.kind == ExprKind::kColumnRef && r.kind == ExprKind::kLiteral) {
+    if (l.slot < 0) return false;
+    out->slot = l.slot;
+    out->op = conjunct->op;
+    out->literal = r.value;
+  } else if (l.kind == ExprKind::kLiteral && r.kind == ExprKind::kColumnRef) {
+    if (r.slot < 0) return false;
+    out->slot = r.slot;
+    out->op = SwapComparison(conjunct->op);
+    out->literal = l.value;
+  } else {
+    return false;
+  }
+  if (out->literal.is_null()) {
+    *null_literal = true;
+    return false;
+  }
+  return true;
+}
+
+void ColumnarScanFilter::Init(const ExprPtr& predicate) {
+  sargable_.clear();
+  residual_ = nullptr;
+  never_true_ = false;
+  std::vector<ExprPtr> rest;
+  for (const ExprPtr& conj : SplitConjuncts(predicate)) {
+    SlotLiteralCmp c;
+    bool null_literal = false;
+    if (MatchSlotLiteralCmp(conj, &c, &null_literal)) {
+      sargable_.push_back(std::move(c));
+    } else if (null_literal) {
+      // `slot CMP NULL` is NULL for every row, so the AND never holds.
+      never_true_ = true;
+    } else {
+      rest.push_back(conj);
+    }
+  }
+  residual_ = CombineConjuncts(rest);
+}
+
+bool ColumnarScanFilter::CanSkip(const EncodedSegment& seg) const {
+  for (const SlotLiteralCmp& c : sargable_) {
+    if (c.slot < 0 || static_cast<size_t>(c.slot) >= seg.zones.size()) {
+      continue;
+    }
+    const ZoneMap& z = seg.zones[c.slot];
+    // An all-NULL column fails every comparison outright.
+    if (z.null_count == seg.num_rows) return true;
+    if (!z.prunable) continue;
+    if (!TypesComparable(z.min.type(), c.literal.type())) continue;
+    const int cmin = z.min.Compare(c.literal);
+    const int cmax = z.max.Compare(c.literal);
+    switch (c.op) {
+      case BinaryOp::kEq:
+        if (cmin > 0 || cmax < 0) return true;
+        break;
+      case BinaryOp::kNe:
+        // Every non-null value equals the literal; NULLs fail too.
+        if (cmin == 0 && cmax == 0) return true;
+        break;
+      case BinaryOp::kLt:
+        if (cmin >= 0) return true;
+        break;
+      case BinaryOp::kLe:
+        if (cmin > 0) return true;
+        break;
+      case BinaryOp::kGt:
+        if (cmax <= 0) return true;
+        break;
+      case BinaryOp::kGe:
+        if (cmax < 0) return true;
+        break;
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
+void ColumnarScanFilter::FilterSargable(const EncodedSegment& seg,
+                                        uint32_t prefix,
+                                        std::vector<uint32_t>* sel,
+                                        ColumnarScanScratch* scratch) const {
+  for (const SlotLiteralCmp& c : sargable_) {
+    if (sel->empty()) return;
+    if (c.slot < 0 || static_cast<size_t>(c.slot) >= seg.columns.size()) {
+      continue;  // defensive; scan slots always cover the schema
+    }
+    const EncodedColumn& col = seg.columns[c.slot];
+    switch (col.encoding()) {
+      case ColumnEncoding::kPlain:
+        FilterPlain(*col.plain(), seg.zones[c.slot], c, prefix, sel, scratch);
+        break;
+      case ColumnEncoding::kRle:
+        FilterRle(*col.rle(), c, sel);
+        break;
+      case ColumnEncoding::kDict:
+        FilterDict(*col.dict(), c, sel);
+        break;
+      case ColumnEncoding::kBitPack:
+        FilterBitPack(*col.bitpack(), c, prefix, sel, scratch);
+        break;
+    }
+  }
+}
+
+}  // namespace rfid

@@ -1,0 +1,98 @@
+// Encoded-predicate evaluation for table scans over columnar segments.
+//
+// A ColumnarScanFilter splits a scan's bound predicate into *sargable*
+// conjuncts — `slot CMP literal`, either orientation — and a residual.
+// Sargable conjuncts drive two things the row interpreter cannot:
+//
+//   Zone-map skipping (CanSkip): a segment whose per-column min/max
+//   proves no row can satisfy some conjunct is skipped before any row
+//   work (ahead of morsel dispatch on the parallel path). Zone maps
+//   marked non-prunable (NaN doubles, mixed tags) never skip, so
+//   pruning cannot change results. Callers must not skip while fault
+//   injection is active — the same rule ChooseDop applies — so
+//   fail-at-step sweeps keep their exact serial step ordering.
+//
+//   Encoded filtering (FilterSargable): each conjunct narrows an
+//   ascending selection vector of segment offsets directly over the
+//   encoded column. Dictionary columns binary-search the literal once
+//   and compare integer codes; RLE columns evaluate one verdict per run
+//   and carry it across the run; bit-packed and plain int64-family
+//   lanes go through the runtime-dispatched SIMD kernel
+//   (simd::FilterInt64) when the selection is still dense. Every path
+//   mirrors Value::Compare / CompareEntryToValue exactly, so survivors
+//   are bit-identical to interpreter evaluation; NULL cells never pass.
+//
+// The residual (non-sargable conjuncts) and row materialization stay
+// with the scan operators: encoded segments are a cache over the row
+// store, so survivors are emitted from the store rows themselves.
+#ifndef RFID_EXEC_COLUMNAR_SCAN_H_
+#define RFID_EXEC_COLUMNAR_SCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "expr/conjunct.h"
+#include "expr/expr.h"
+#include "storage/columnar.h"
+
+namespace rfid {
+
+/// A sargable conjunct, oriented as `slot OP literal` with a non-null
+/// literal. `slot` indexes the scan's output row, which for table scans
+/// is the table's column order — the property that lets it double as a
+/// column index into an EncodedSegment.
+struct SlotLiteralCmp {
+  int slot = -1;
+  BinaryOp op = BinaryOp::kEq;
+  Value literal;
+};
+
+/// Reusable per-thread scratch for FilterSargable (selection and
+/// bulk-unpack lanes grow to segment size and are reused).
+struct ColumnarScanScratch {
+  std::vector<uint32_t> tmp;
+  std::vector<int64_t> lane;
+};
+
+class ColumnarScanFilter {
+ public:
+  /// Splits `predicate` (bound, may be null). Conjuncts comparing a slot
+  /// against a NULL literal make the whole predicate unsatisfiable
+  /// (comparison with NULL is never true): never_true() turns on and the
+  /// scan should emit nothing.
+  void Init(const ExprPtr& predicate);
+
+  bool never_true() const { return never_true_; }
+  const std::vector<SlotLiteralCmp>& sargable() const { return sargable_; }
+  /// AND of the non-sargable conjuncts; nullptr when fully sargable.
+  const ExprPtr& residual() const { return residual_; }
+
+  /// True when the segment's zone maps prove no row satisfies some
+  /// sargable conjunct. Sound for partial-prefix reads (an older
+  /// snapshot watermark inside the segment): the maps cover a superset
+  /// of any prefix. Do not call while fault injection is active.
+  bool CanSkip(const EncodedSegment& seg) const;
+
+  /// Narrows *sel — ascending offsets into [0, prefix) of `seg` — to the
+  /// rows passing every sargable conjunct, evaluating over the encoded
+  /// columns. `prefix` is the number of segment rows visible to the scan
+  /// (== seg.num_rows except under an older snapshot watermark).
+  void FilterSargable(const EncodedSegment& seg, uint32_t prefix,
+                      std::vector<uint32_t>* sel,
+                      ColumnarScanScratch* scratch) const;
+
+ private:
+  std::vector<SlotLiteralCmp> sargable_;
+  ExprPtr residual_;
+  bool never_true_ = false;
+};
+
+/// Tries to view the bound conjunct as `slot CMP literal` (either
+/// orientation; op oriented as slot-on-the-left). A conjunct matching
+/// the shape but with a NULL literal sets *null_literal instead.
+bool MatchSlotLiteralCmp(const ExprPtr& conjunct, SlotLiteralCmp* out,
+                         bool* null_literal);
+
+}  // namespace rfid
+
+#endif  // RFID_EXEC_COLUMNAR_SCAN_H_

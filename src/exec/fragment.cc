@@ -28,6 +28,17 @@ Result<bool> FragmentScanOp::NextImpl(Row* row) {
   return true;
 }
 
+Result<bool> FragmentScanOp::NextBatchImpl(RowBatch* batch) {
+  // Native batch fill: appends cached rows straight into the batch
+  // columns instead of boxing one Row per NextImpl call.
+  if (rows_ == nullptr) return false;
+  const std::vector<Row>& rows = *rows_;
+  while (pos_ < rows.size() && !batch->full()) {
+    batch->AppendRow(rows[pos_++]);
+  }
+  return !batch->empty();
+}
+
 FragmentMaterializeOp::FragmentMaterializeOp(
     RowDesc output_desc, std::string label, OperatorPtr child,
     std::function<void(std::vector<Row>)> on_filled)

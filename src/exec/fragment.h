@@ -33,6 +33,7 @@ class FragmentScanOp : public Operator {
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
+  Result<bool> NextBatchImpl(RowBatch* batch) override;
 
  private:
   std::string label_;

@@ -1,16 +1,68 @@
 #include "exec/scan.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "exec/parallel.h"
+#include "verify/bytecode_verifier.h"
 
 namespace rfid {
+namespace {
 
-TableScanOp::TableScanOp(const Table* table, std::string alias)
+static_assert(kScanMorselRows == RowStore::kSegmentRows,
+              "morsel index must equal segment index for the columnar path");
+
+uint8_t EncodingMask(const EncodedSegment& seg) {
+  uint8_t m = 0;
+  for (const EncodedColumn& c : seg.columns) {
+    m = static_cast<uint8_t>(m | (1u << static_cast<unsigned>(c.encoding())));
+  }
+  return m;
+}
+
+/// EXPLAIN suffix, e.g. " [segments: skipped=3/5 enc=dict,rle]".
+std::string SegmentDetail(uint64_t skipped, uint64_t total, uint8_t mask) {
+  std::string out =
+      StrFormat(" [segments: skipped=%llu/%llu",
+                static_cast<unsigned long long>(skipped),
+                static_cast<unsigned long long>(total));
+  if (mask != 0) {
+    out += " enc=";
+    bool first = true;
+    for (unsigned e = 0; e < 4; ++e) {
+      if (((mask >> e) & 1u) == 0) continue;
+      if (!first) out += ",";
+      out += ColumnEncodingName(static_cast<ColumnEncoding>(e));
+      first = false;
+    }
+  }
+  out += "]";
+  return out;
+}
+
+/// Deduplicated union of the slots a filter program reads.
+std::vector<int> ReferencedSlots(const FilterProgram& program) {
+  std::vector<int> slots;
+  for (const ExprProgram& p : program.conjuncts()) {
+    slots.insert(slots.end(), p.referenced_slots().begin(),
+                 p.referenced_slots().end());
+  }
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  return slots;
+}
+
+}  // namespace
+
+TableScanOp::TableScanOp(const Table* table, std::string alias,
+                         ExprPtr predicate)
     : Operator(RowDesc::FromSchema(table->schema(), alias)),
       table_(table),
-      alias_(std::move(alias)) {}
+      alias_(std::move(alias)),
+      predicate_(std::move(predicate)),
+      in_batch_(table->schema().num_columns()) {}
 
 Status TableScanOp::OpenImpl() {
   pos_ = 0;
@@ -20,29 +72,224 @@ Status TableScanOp::OpenImpl() {
       limit_ = ts->watermark;
     }
   }
+  drain_seg_.reset();
+  drain_sel_.clear();
+  drain_pos_ = 0;
+  row_sel_.clear();
+  row_sel_pos_ = 0;
+  in_bytes_ = 0;
+  in_batch_.ResetColumns(table_->schema().num_columns());
+  seg_total_ = seg_skipped_ = seg_scanned_ = 0;
+  enc_mask_ = 0;
+  full_program_.reset();
+  residual_program_.reset();
+  residual_slots_.clear();
+  use_columnar_ = ColumnarEnabled();
+  cfilter_.Init(predicate_);
+  // Zone-map skipping follows the ChooseDop rule: never while a fault
+  // injector is installed, so fail-at-step sweeps keep their exact
+  // serial step ordering.
+  allow_skip_ = use_columnar_ && !cfilter_.sargable().empty() &&
+                !FaultInjectionActive();
+  if (predicate_ != nullptr && cfilter_.never_true()) {
+    limit_ = pos_;  // comparison against NULL: nothing can pass
+  }
+  if (predicate_ != nullptr && VectorizedEnabled()) {
+    RFID_ASSIGN_OR_RETURN(
+        std::optional<FilterProgram> compiled,
+        CompileVerifiedFilter(*predicate_, output_desc(), "TableScan"));
+    if (compiled.has_value()) full_program_.emplace(std::move(*compiled));
+    if (use_columnar_ && cfilter_.residual() != nullptr) {
+      RFID_ASSIGN_OR_RETURN(std::optional<FilterProgram> res,
+                            CompileVerifiedFilter(*cfilter_.residual(),
+                                                  output_desc(),
+                                                  "TableScan.residual"));
+      if (res.has_value()) {
+        residual_program_.emplace(std::move(*res));
+        residual_slots_ = ReferencedSlots(*residual_program_);
+      }
+    }
+  }
   return Status::OK();
 }
 
 Result<bool> TableScanOp::NextImpl(Row* row) {
-  if (pos_ >= limit_) return false;
-  *row = table_->row(pos_++);
-  ++rows_produced_;
-  return true;
+  while (pos_ < limit_) {
+    // Segment boundary: consult the zone maps before touching rows.
+    if (allow_skip_ && (pos_ & (RowStore::kSegmentRows - 1)) == 0) {
+      if (EncodedSegmentPtr seg =
+              table_->columnar().Get(pos_ >> RowStore::kSegmentBits)) {
+        ++seg_total_;
+        enc_mask_ |= EncodingMask(*seg);
+        if (cfilter_.CanSkip(*seg)) {
+          ++seg_skipped_;
+          AddColumnarSkipped(1);
+          pos_ = std::min<uint64_t>(limit_, pos_ + RowStore::kSegmentRows);
+          continue;
+        }
+      }
+    }
+    const Row& r = table_->row(pos_++);
+    if (predicate_ != nullptr) {
+      RFID_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, r));
+      if (!pass) continue;
+    }
+    *row = r;
+    ++rows_produced_;
+    return true;
+  }
+  return false;
+}
+
+Status TableScanOp::ApplyResidual(const EncodedSegment& seg, uint32_t prefix) {
+  if (cfilter_.residual() == nullptr || drain_sel_.empty()) {
+    return Status::OK();
+  }
+  const uint64_t base = seg.base_row;
+  if (residual_program_.has_value()) {
+    // Positional batch holding only the slots the residual reads, filled
+    // from the row store at the surviving offsets.
+    for (int slot : residual_slots_) {
+      ColumnVector& cv = in_batch_.col(static_cast<size_t>(slot));
+      cv.Reset(prefix);
+      for (uint32_t idx : drain_sel_) {
+        cv.SetValue(idx, table_->row(base + idx)[static_cast<size_t>(slot)]);
+      }
+    }
+    in_batch_.set_num_rows(prefix);
+    residual_program_->Apply(in_batch_, &drain_sel_, &scratch_);
+    in_batch_.Clear();
+    return Status::OK();
+  }
+  size_t kept = 0;
+  for (uint32_t idx : drain_sel_) {
+    RFID_ASSIGN_OR_RETURN(
+        bool pass, EvalPredicate(*cfilter_.residual(), table_->row(base + idx)));
+    if (pass) drain_sel_[kept++] = idx;
+  }
+  drain_sel_.resize(kept);
+  return Status::OK();
 }
 
 Result<bool> TableScanOp::NextBatchImpl(RowBatch* batch) {
-  const uint64_t end = std::min<uint64_t>(limit_, pos_ + batch->capacity());
-  // Segment-aware walk: one segment lookup per run instead of per row.
-  table_->store().ForEachRow(
-      pos_, end, [batch](const Row& r) { batch->AppendRow(r); });
-  rows_produced_ += end - pos_;
-  pos_ = end;
+  while (!batch->full()) {
+    // 1. Drain encoded-segment survivors (emitted from the row store —
+    //    the encoded segment is a cache over the same immutable rows).
+    if (drain_seg_ != nullptr) {
+      const uint64_t base = drain_seg_->base_row;
+      while (!batch->full() && drain_pos_ < drain_sel_.size()) {
+        batch->AppendRow(table_->row(base + drain_sel_[drain_pos_++]));
+      }
+      if (drain_pos_ >= drain_sel_.size()) {
+        drain_seg_.reset();
+        drain_sel_.clear();
+        drain_pos_ = 0;
+      }
+      continue;
+    }
+    // 2. Drain row-span survivors.
+    if (row_sel_pos_ < row_sel_.size()) {
+      batch->AppendGathered(in_batch_, row_sel_[row_sel_pos_++]);
+      continue;
+    }
+    if (pos_ >= limit_) break;
+    const uint64_t seg_base = pos_ & ~uint64_t{RowStore::kSegmentRows - 1};
+    const uint64_t seg_end =
+        std::min<uint64_t>(limit_, seg_base + RowStore::kSegmentRows);
+    EncodedSegmentPtr seg;
+    if (use_columnar_ && pos_ == seg_base) {
+      seg = table_->columnar().Get(seg_base >> RowStore::kSegmentBits);
+    }
+    if (seg != nullptr) {
+      ++seg_total_;
+      enc_mask_ |= EncodingMask(*seg);
+      if (allow_skip_ && cfilter_.CanSkip(*seg)) {
+        ++seg_skipped_;
+        AddColumnarSkipped(1);
+        pos_ = seg_end;
+        continue;
+      }
+      // Filter over the encoded columns; `prefix` may stop short of the
+      // segment under an older snapshot watermark.
+      const uint32_t prefix = static_cast<uint32_t>(seg_end - seg_base);
+      drain_sel_.resize(prefix);
+      for (uint32_t i = 0; i < prefix; ++i) drain_sel_[i] = i;
+      if (predicate_ != nullptr) {
+        cfilter_.FilterSargable(*seg, prefix, &drain_sel_, &cscratch_);
+        RFID_RETURN_IF_ERROR(ApplyResidual(*seg, prefix));
+      }
+      ++seg_scanned_;
+      AddColumnarScanned(1);
+      drain_seg_ = std::move(seg);
+      drain_pos_ = 0;
+      pos_ = seg_end;
+      continue;
+    }
+    // 3. Row-store span (hot tail / unencoded / columnar off), stopping
+    //    at the segment boundary so the next iteration re-probes the
+    //    directory.
+    if (predicate_ == nullptr) {
+      const uint64_t take = std::min<uint64_t>(
+          seg_end - pos_, batch->capacity() - batch->num_rows());
+      // Segment-aware walk: one segment lookup per run, not per row.
+      table_->store().ForEachRow(
+          pos_, pos_ + take, [batch](const Row& r) { batch->AppendRow(r); });
+      pos_ += take;
+      continue;
+    }
+    const uint64_t span_end =
+        std::min<uint64_t>(seg_end, pos_ + in_batch_.capacity());
+    in_batch_.Clear();
+    table_->store().ForEachRow(
+        pos_, span_end, [this](const Row& r) { in_batch_.AppendRow(r); });
+    // The scratch batch is bounded by the batch capacity; recharge it to
+    // this refill's footprint.
+    ReleaseMemory(in_bytes_);
+    in_bytes_ = 0;
+    const uint64_t bytes = in_batch_.ApproxBytes();
+    RFID_RETURN_IF_ERROR(ChargeMemory(bytes));
+    in_bytes_ = bytes;
+    const size_t n = in_batch_.num_rows();
+    row_sel_.resize(n);
+    for (size_t i = 0; i < n; ++i) row_sel_[i] = static_cast<uint32_t>(i);
+    if (full_program_.has_value()) {
+      full_program_->Apply(in_batch_, &row_sel_, &scratch_);
+    } else {
+      size_t kept = 0;
+      for (size_t i = 0; i < n; ++i) {
+        in_batch_.EmitRow(i, &tmp_row_);
+        RFID_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, tmp_row_));
+        if (pass) row_sel_[kept++] = static_cast<uint32_t>(i);
+      }
+      row_sel_.resize(kept);
+    }
+    row_sel_pos_ = 0;
+    pos_ = span_end;
+  }
+  rows_produced_ += batch->num_rows();
   return !batch->empty();
 }
 
+void TableScanOp::CloseImpl() {
+  drain_seg_.reset();
+  drain_sel_.clear();
+  drain_sel_.shrink_to_fit();
+  drain_pos_ = 0;
+  row_sel_.clear();
+  row_sel_.shrink_to_fit();
+  row_sel_pos_ = 0;
+  in_batch_.ResetColumns(0);
+  in_bytes_ = 0;
+  scratch_ = ExprScratch();
+  cscratch_ = ColumnarScanScratch();
+}
+
 std::string TableScanOp::detail() const {
-  if (EqualsIgnoreCase(alias_, table_->name())) return table_->name();
-  return table_->name() + " AS " + alias_;
+  std::string out = table_->name();
+  if (!EqualsIgnoreCase(alias_, table_->name())) out += " AS " + alias_;
+  if (predicate_ != nullptr) out += " WHERE " + ExprToSql(predicate_);
+  if (seg_total_ > 0) out += SegmentDetail(seg_skipped_, seg_total_, enc_mask_);
+  return out;
 }
 
 ParallelTableScanOp::ParallelTableScanOp(const Table* table, std::string alias,
@@ -54,37 +301,142 @@ ParallelTableScanOp::ParallelTableScanOp(const Table* table, std::string alias,
   set_dop(dop);
 }
 
+Status ParallelTableScanOp::ApplyResidualWorker(uint64_t base, uint32_t prefix,
+                                                std::vector<uint32_t>* sel,
+                                                RowBatch* batch,
+                                                ExprScratch* scratch) {
+  if (cfilter_.residual() == nullptr || sel->empty()) return Status::OK();
+  if (residual_program_.has_value()) {
+    for (int slot : residual_slots_) {
+      ColumnVector& cv = batch->col(static_cast<size_t>(slot));
+      cv.Reset(prefix);
+      for (uint32_t idx : *sel) {
+        cv.SetValue(idx, table_->row(base + idx)[static_cast<size_t>(slot)]);
+      }
+    }
+    batch->set_num_rows(prefix);
+    residual_program_->Apply(*batch, sel, scratch);
+    return Status::OK();
+  }
+  size_t kept = 0;
+  for (uint32_t idx : *sel) {
+    RFID_ASSIGN_OR_RETURN(
+        bool pass, EvalPredicate(*cfilter_.residual(), table_->row(base + idx)));
+    if (pass) (*sel)[kept++] = idx;
+  }
+  sel->resize(kept);
+  return Status::OK();
+}
+
 Status ParallelTableScanOp::OpenImpl() {
   out_idx_ = 0;
   out_pos_ = 0;
+  seg_total_ = seg_skipped_ = seg_scanned_ = 0;
+  enc_mask_ = 0;
   uint64_t limit = table_->visible_rows();
   if (const SnapshotPtr& snap = exec_context()->snapshot()) {
     if (const TableSnapshot* ts = snap->ForTable(table_)) {
       limit = ts->watermark;
     }
   }
+  cfilter_.Init(predicate_);
+  if (predicate_ != nullptr && cfilter_.never_true()) {
+    morsel_out_.clear();  // comparison against NULL: nothing can pass
+    return Status::OK();
+  }
+  const bool use_columnar = ColumnarEnabled();
+  // Same fault-injection rule as TableScanOp / ChooseDop.
+  const bool allow_skip = use_columnar && !cfilter_.sargable().empty() &&
+                          !FaultInjectionActive();
+  residual_program_.reset();
+  residual_slots_.clear();
+  if (use_columnar && predicate_ != nullptr &&
+      cfilter_.residual() != nullptr && VectorizedEnabled()) {
+    RFID_ASSIGN_OR_RETURN(
+        std::optional<FilterProgram> res,
+        CompileVerifiedFilter(*cfilter_.residual(), output_desc(),
+                              "ParallelTableScan.residual"));
+    if (res.has_value()) {
+      residual_program_.emplace(std::move(*res));
+      residual_slots_ = ReferencedSlots(*residual_program_);
+    }
+  }
   MorselQueue queue(limit, kScanMorselRows);
   morsel_out_.assign(queue.num_morsels(), {});
-  return ParallelRun(dop(), [this, &queue](int) -> Status {
+  // Pin encoded segments and decide zone-map skips ahead of dispatch;
+  // workers then never touch a skipped morsel.
+  std::vector<EncodedSegmentPtr> segs;
+  std::vector<uint8_t> skip;
+  if (use_columnar && predicate_ != nullptr) {
+    segs.assign(queue.num_morsels(), nullptr);
+    skip.assign(queue.num_morsels(), 0);
+    for (size_t m = 0; m < queue.num_morsels(); ++m) {
+      segs[m] = table_->columnar().Get(m);
+      if (segs[m] == nullptr) continue;
+      ++seg_total_;
+      enc_mask_ |= EncodingMask(*segs[m]);
+      if (allow_skip && cfilter_.CanSkip(*segs[m])) {
+        skip[m] = 1;
+        ++seg_skipped_;
+      }
+    }
+    if (seg_skipped_ > 0) AddColumnarSkipped(seg_skipped_);
+  }
+  std::vector<ColumnarScanScratch> cscratch(static_cast<size_t>(dop()));
+  std::vector<ExprScratch> escratch(static_cast<size_t>(dop()));
+  std::vector<RowBatch> wbatch;
+  wbatch.reserve(static_cast<size_t>(dop()));
+  for (int w = 0; w < dop(); ++w) {
+    wbatch.emplace_back(table_->schema().num_columns());
+  }
+  std::atomic<uint64_t> scanned{0};
+  Status st = ParallelRun(dop(), [&, this](int w) -> Status {
     uint64_t begin = 0, end = 0, morsel = 0;
+    std::vector<uint32_t> sel;
     while (queue.Claim(&begin, &end, &morsel)) {
       RFID_RETURN_IF_ERROR(TickCancel());
+      if (!skip.empty() && skip[morsel] != 0) continue;  // stays empty
       std::vector<Row> out;
       uint64_t bytes = 0;
-      for (uint64_t i = begin; i < end; ++i) {
-        const Row& r = table_->row(i);
-        if (predicate_ != nullptr) {
-          RFID_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, r));
-          if (!pass) continue;
+      const EncodedSegment* seg =
+          segs.empty() ? nullptr : segs[morsel].get();
+      if (seg != nullptr) {
+        // Morsels are segment-aligned, so begin == seg->base_row and the
+        // morsel's row range is exactly the segment prefix below `limit`.
+        const uint32_t prefix = static_cast<uint32_t>(end - begin);
+        sel.resize(prefix);
+        for (uint32_t i = 0; i < prefix; ++i) sel[i] = i;
+        cfilter_.FilterSargable(*seg, prefix, &sel,
+                                &cscratch[static_cast<size_t>(w)]);
+        RFID_RETURN_IF_ERROR(ApplyResidualWorker(
+            begin, prefix, &sel, &wbatch[static_cast<size_t>(w)],
+            &escratch[static_cast<size_t>(w)]));
+        scanned.fetch_add(1, std::memory_order_relaxed);
+        out.reserve(sel.size());
+        for (uint32_t idx : sel) {
+          const Row& r = table_->row(begin + idx);
+          bytes += ApproxRowBytes(r);
+          out.push_back(r);
         }
-        bytes += ApproxRowBytes(r);
-        out.push_back(r);
+      } else {
+        for (uint64_t i = begin; i < end; ++i) {
+          const Row& r = table_->row(i);
+          if (predicate_ != nullptr) {
+            RFID_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, r));
+            if (!pass) continue;
+          }
+          bytes += ApproxRowBytes(r);
+          out.push_back(r);
+        }
       }
       RFID_RETURN_IF_ERROR(ChargeMemory(bytes));
       morsel_out_[morsel] = std::move(out);
     }
     return Status::OK();
   });
+  seg_scanned_ = scanned.load(std::memory_order_relaxed);
+  if (seg_scanned_ > 0) AddColumnarScanned(seg_scanned_);
+  return st;
 }
 
 Result<bool> ParallelTableScanOp::NextImpl(Row* row) {
@@ -106,12 +458,15 @@ Result<bool> ParallelTableScanOp::NextImpl(Row* row) {
 void ParallelTableScanOp::CloseImpl() {
   morsel_out_.clear();
   morsel_out_.shrink_to_fit();
+  residual_program_.reset();
+  residual_slots_.clear();
 }
 
 std::string ParallelTableScanOp::detail() const {
   std::string out = table_->name();
   if (!EqualsIgnoreCase(alias_, table_->name())) out += " AS " + alias_;
   if (predicate_ != nullptr) out += " WHERE " + ExprToSql(predicate_);
+  if (seg_total_ > 0) out += SegmentDetail(seg_skipped_, seg_total_, enc_mask_);
   return out;
 }
 

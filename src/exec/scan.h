@@ -4,34 +4,85 @@
 
 #include <optional>
 
+#include "exec/columnar_scan.h"
 #include "exec/operator.h"
+#include "expr/bytecode.h"
 #include "storage/table.h"
 
 namespace rfid {
 
-/// Sequential scan of a table. Output fields are qualified with the given
-/// alias. Reads up to the bound context's snapshot watermark when one is
-/// pinned, otherwise up to the table's published watermark — never into
-/// an in-flight ingest batch.
+/// Sequential scan of a table with an optional fused predicate. Output
+/// fields are qualified with the given alias. Reads up to the bound
+/// context's snapshot watermark when one is pinned, otherwise up to the
+/// table's published watermark — never into an in-flight ingest batch.
+///
+/// The planner fuses the table's local WHERE conjuncts into the scan so
+/// filtering can run where the data representation helps: encoded
+/// columnar segments evaluate sargable conjuncts over compressed lanes
+/// (dictionary code compares, per-run RLE verdicts, SIMD over dense
+/// int64 lanes) and are skipped outright when zone maps prove them
+/// empty; row-store spans (the hot tail and columnar-off builds) run
+/// the same compiled FilterProgram a downstream FilterOp would have.
+/// Survivors are emitted from the row store, so output is bit-identical
+/// to the unfused TableScan+Filter plan in every mode.
 class TableScanOp : public Operator {
  public:
-  TableScanOp(const Table* table, std::string alias);
+  /// `predicate` is bound against this operator's output descriptor
+  /// (slot i == column i) and may be null (pure scan).
+  TableScanOp(const Table* table, std::string alias,
+              ExprPtr predicate = nullptr);
 
   std::string name() const override { return "TableScan"; }
   std::string detail() const override;
 
   const Table* table() const { return table_; }
+  const ExprPtr& predicate() const { return predicate_; }
 
  protected:
   Status OpenImpl() override;
   Result<bool> NextImpl(Row* row) override;
   Result<bool> NextBatchImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
+  /// Narrows drain_sel_ by the residual conjuncts (compiled program over
+  /// a positional batch of the referenced slots, else the interpreter).
+  Status ApplyResidual(const EncodedSegment& seg, uint32_t prefix);
+
   const Table* table_;
   std::string alias_;
+  ExprPtr predicate_;  // bound; may be null
   uint64_t pos_ = 0;
   uint64_t limit_ = 0;
+
+  // Predicate machinery (set up per Open).
+  ColumnarScanFilter cfilter_;
+  std::optional<FilterProgram> full_program_;      // row-store spans
+  std::optional<FilterProgram> residual_program_;  // encoded segments
+  std::vector<int> residual_slots_;
+  bool use_columnar_ = false;
+  bool allow_skip_ = false;  // zone-map skipping (off under fault injection)
+
+  // Encoded-segment drain: survivors of the current segment, emitted
+  // across NextBatch calls of any batch size.
+  EncodedSegmentPtr drain_seg_;
+  std::vector<uint32_t> drain_sel_;
+  size_t drain_pos_ = 0;
+
+  // Row-span drain (FilterOp-style scratch batch + selection).
+  RowBatch in_batch_;
+  std::vector<uint32_t> row_sel_;
+  size_t row_sel_pos_ = 0;
+  uint64_t in_bytes_ = 0;
+  ExprScratch scratch_;
+  ColumnarScanScratch cscratch_;
+  Row tmp_row_;
+
+  // Per-scan columnar accounting for EXPLAIN.
+  uint64_t seg_total_ = 0;    // encoded segments encountered
+  uint64_t seg_skipped_ = 0;  // zone-map skips
+  uint64_t seg_scanned_ = 0;  // encoded segments filtered/emitted
+  uint8_t enc_mask_ = 0;      // ColumnEncoding bits seen
 };
 
 /// Morsel-parallel sequential scan with an optional fused predicate
@@ -44,6 +95,9 @@ class TableScanOp : public Operator {
 /// morsel order, so output order (and therefore every downstream result)
 /// is bit-identical to the serial TableScan+Filter plan. Reads stop at
 /// the bound context's snapshot watermark exactly like TableScanOp.
+/// Morsels are segment-sized, so encoded columnar segments are filtered
+/// with the same encoded kernels as the serial scan, and zone-map skips
+/// are decided once, ahead of morsel dispatch.
 class ParallelTableScanOp : public Operator {
  public:
   /// `predicate` is bound against this operator's output descriptor and
@@ -63,12 +117,23 @@ class ParallelTableScanOp : public Operator {
   void CloseImpl() override;
 
  private:
+  Status ApplyResidualWorker(uint64_t base, uint32_t prefix,
+                             std::vector<uint32_t>* sel, RowBatch* batch,
+                             ExprScratch* scratch);
+
   const Table* table_;
   std::string alias_;
   ExprPtr predicate_;  // bound; may be null
+  ColumnarScanFilter cfilter_;
+  std::optional<FilterProgram> residual_program_;
+  std::vector<int> residual_slots_;
   std::vector<std::vector<Row>> morsel_out_;
   size_t out_idx_ = 0;
   size_t out_pos_ = 0;
+  uint64_t seg_total_ = 0;
+  uint64_t seg_skipped_ = 0;
+  uint64_t seg_scanned_ = 0;
+  uint8_t enc_mask_ = 0;
 };
 
 /// Range scan via a sorted index: emits qualifying rows in index (value)

@@ -64,6 +64,7 @@ Status IngestPipeline::Apply(std::vector<TableBatch> batches) {
   }
 
   uint64_t rows_applied = 0;
+  std::vector<Table*> touched;
   for (TableBatch& tb : batches) {
     if (tb.rows.empty()) continue;
     Result<Table*> table = db_->ResolveTable(tb.table);
@@ -87,6 +88,9 @@ Status IngestPipeline::Apply(std::vector<TableBatch> batches) {
       return fail(first.status());
     }
     rows_applied += n;
+    if (std::find(touched.begin(), touched.end(), *table) == touched.end()) {
+      touched.push_back(*table);
+    }
   }
 
   // Durability point: the COMMIT record seals the epoch in the log
@@ -95,6 +99,12 @@ Status IngestPipeline::Apply(std::vector<TableBatch> batches) {
     Status st = wal_->LogCommit();
     if (!st.ok()) return fail(std::move(st));
   }
+
+  // Segments the batch filled past the watermark are now immutable
+  // (cold): build their columnar encodings once, under the writer lock,
+  // so every future scan gets the encoded kernels. Infallible and
+  // unlogged — encodings are a cache rebuilt on demand after recovery.
+  for (Table* t : touched) t->EncodeColdSegments();
 
   // Commit point: all table batches landed; publish the epoch snapshot.
   ++epoch_;

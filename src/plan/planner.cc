@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/fault.h"
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "exec/aggregate.h"
 #include "exec/filter_project.h"
@@ -816,10 +817,12 @@ class PlannerImpl {
       }
     } else {
       // Full scan: morsel-parallel when the table clears the row
-      // threshold. Local predicates fuse into the parallel scan so the
-      // filter work parallelizes too (and row copies are avoided for
-      // non-qualifying rows); the serial path keeps the classic
-      // scan-then-filter pair.
+      // threshold. Local predicates fuse into the scan either way —
+      // parallel so the filter work spreads across workers, serial so
+      // the encoded columnar kernels and zone-map segment skipping can
+      // evaluate them before any row materializes. The cost model is
+      // identical to the scan-then-filter pair (same rows touched, same
+      // per-conjunct charge), so join ordering is unaffected.
       int dop = ChooseDop(total_rows);
       if (dop > 1) {
         double sel = EstimateSelectivity(s.local_conjuncts, view);
@@ -837,10 +840,18 @@ class PlannerImpl {
                     dop;
         return node;
       }
-      node.op = std::make_unique<TableScanOp>(table, s.ref.alias);
-      node.rows = total_rows;
-      node.cost = total_rows * kSeqRowCost;
-      remaining = s.local_conjuncts;
+      double sel = EstimateSelectivity(s.local_conjuncts, view);
+      ExprPtr pred;
+      if (!s.local_conjuncts.empty()) {
+        RFID_ASSIGN_OR_RETURN(
+            pred, BindExpr(CombineConjuncts(s.local_conjuncts), s.desc));
+      }
+      node.op =
+          std::make_unique<TableScanOp>(table, s.ref.alias, std::move(pred));
+      node.rows = total_rows * sel;
+      node.cost = total_rows * kSeqRowCost +
+                  total_rows * kFilterEvalCost *
+                      static_cast<double>(s.local_conjuncts.size());
     }
     if (!remaining.empty()) {
       RFID_ASSIGN_OR_RETURN(ExprPtr pred,
@@ -1110,6 +1121,13 @@ Result<QueryResult> ExecuteSql(const Database& db, std::string_view sql,
                         std::to_string(BatchCapacity()).c_str());
   } else {
     header += "vectorized: off\n";
+  }
+  // Third line: the storage scan mode — encoded columnar segments with
+  // the active SIMD dispatch level, or row store only.
+  if (ColumnarEnabled()) {
+    header += StrFormat("columnar: on (simd=%s)\n", simd::ActiveLevelName());
+  } else {
+    header += "columnar: off\n";
   }
   result.explain = header + ExplainOperatorTree(*plan.root);
   result.peak_memory_bytes = ctx->memory_peak();

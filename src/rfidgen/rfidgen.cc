@@ -212,13 +212,18 @@ Status FinalizeDatabase(Database* db) {
     RFID_RETURN_IF_ERROR(t->BuildIndex("rtime"));
     RFID_RETURN_IF_ERROR(t->BuildIndex("epc"));
     t->ComputeStats();
+    t->EncodeColdSegments();  // bulk load is done: every segment is cold
   }
   RFID_ASSIGN_OR_RETURN(Table * parent, db->ResolveTable("parent"));
   RFID_RETURN_IF_ERROR(parent->BuildIndex("child_epc"));
   parent->ComputeStats();
+  parent->EncodeColdSegments();
   for (const char* name : {"locs", "product", "steps", "epc_info"}) {
     Table* t = db->GetTable(name);
-    if (t != nullptr) t->ComputeStats();
+    if (t != nullptr) {
+      t->ComputeStats();
+      t->EncodeColdSegments();
+    }
   }
   RFID_ASSIGN_OR_RETURN(Table * locs, db->ResolveTable("locs"));
   RFID_RETURN_IF_ERROR(locs->BuildIndex("gln"));

@@ -16,8 +16,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
 #include "common/string_util.h"
 #include "plan/planner.h"
+#include "storage/columnar.h"
 #include "rewrite/fragment_stitch.h"
 #include "rewrite/rewriter.h"
 #include "rfidgen/anomaly.h"
@@ -985,6 +987,7 @@ Result<std::string> Server::HandleCommand(Session& session,
     AdmissionController::Stats a = admission_.stats();
     PlanCache::Stats p = plan_cache_.stats();
     cache::FragmentCache::Stats f = fragment_cache_.stats();
+    ColumnarCounters c = GlobalColumnarCounters();
     return StrFormat(
         "sessions: %d active (%llu total)\n"
         "admission: %llu admitted, %llu queued, %llu rejected "
@@ -993,7 +996,9 @@ Result<std::string> Server::HandleCommand(Session& session,
         "plan cache: %zu entries, %llu hits, %llu misses, "
         "%llu invalidations\n"
         "fragment cache: %zu entries, %llu hits, %llu misses, "
-        "%llu invalidations, %llu resident bytes",
+        "%llu invalidations, %llu resident bytes\n"
+        "columnar: %llu segments encoded, %llu invalidated, "
+        "%llu scanned, %llu skipped (simd=%s)",
         sessions_.active(),
         static_cast<unsigned long long>(sessions_.total_created()),
         static_cast<unsigned long long>(a.admitted),
@@ -1011,7 +1016,12 @@ Result<std::string> Server::HandleCommand(Session& session,
         static_cast<unsigned long long>(f.hits),
         static_cast<unsigned long long>(f.misses),
         static_cast<unsigned long long>(f.invalidations),
-        static_cast<unsigned long long>(f.resident_bytes));
+        static_cast<unsigned long long>(f.resident_bytes),
+        static_cast<unsigned long long>(c.segments_encoded),
+        static_cast<unsigned long long>(c.segments_invalidated),
+        static_cast<unsigned long long>(c.segments_scanned),
+        static_cast<unsigned long long>(c.segments_skipped),
+        simd::ActiveLevelName());
   }
   if (cmd == ".debug_hold") {
     // Test hook: occupy an admission slot for a fixed duration so tests

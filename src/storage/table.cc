@@ -45,12 +45,49 @@ void Table::AppendUnchecked(Row row) {
 
 Row& Table::mutable_row(size_t i) {
   MarkMutated();
+  // In-place mutation breaks the "published rows are immutable"
+  // invariant the columnar cache rests on; drop every encoding. (Appends
+  // never invalidate: encoded segments cover only rows below the
+  // watermark at encode time, which appends cannot touch.)
+  columnar_.InvalidateAll();
   return store_.at(i);
 }
 
 Status Table::ReplaceRows(std::vector<Row> rows) {
   MarkMutated();
+  columnar_.InvalidateAll();
   return store_.ReplaceAll(std::move(rows));
+}
+
+size_t Table::EncodeColdSegments() {
+  if (!ColumnarEnabled()) return 0;
+  const uint64_t visible = store_.visible();
+  const size_t cold_segments = visible >> RowStore::kSegmentBits;
+  size_t encoded = 0;
+  for (size_t s = 0; s < cold_segments; ++s) {
+    if (columnar_.Get(s) != nullptr) continue;
+    columnar_.Install(
+        s, EncodeSegment(store_, uint64_t{s} << RowStore::kSegmentBits,
+                         RowStore::kSegmentRows, schema_.num_columns()));
+    ++encoded;
+  }
+  if (encoded > 0) AddColumnarEncoded(encoded);
+  return encoded;
+}
+
+Status Table::InstallEncodedSegment(EncodedSegmentPtr seg) {
+  if (seg == nullptr) return Status::InvalidArgument("null encoded segment");
+  if (seg->columns.size() != schema_.num_columns() ||
+      seg->zones.size() != schema_.num_columns() ||
+      seg->num_rows != RowStore::kSegmentRows ||
+      (seg->base_row & (RowStore::kSegmentRows - 1)) != 0 ||
+      seg->base_row + seg->num_rows > store_.visible()) {
+    return Status::InvalidArgument(StrFormat(
+        "encoded segment does not fit table %s", name_.c_str()));
+  }
+  const size_t segment = seg->base_row >> RowStore::kSegmentBits;
+  columnar_.Install(segment, std::move(seg));
+  return Status::OK();
 }
 
 Status Table::BuildIndex(std::string_view column_name) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/columnar.h"
 #include "storage/index.h"
 #include "storage/row_store.h"
 #include "storage/schema.h"
@@ -110,6 +111,21 @@ class Table {
   /// the condition under which GetIndex()/stats() refuse to serve.
   bool structures_stale() const;
 
+  /// The table's encoded cold segments (see storage/columnar.h). Scans
+  /// probe this per segment; an empty directory means row-store only.
+  const ColumnarDirectory& columnar() const { return columnar_; }
+
+  /// Encodes every *cold* segment — full kSegmentRows-sized segments
+  /// entirely below the published watermark — that has no current
+  /// encoding. Writer-side (ingest publish / bulk-load finalize);
+  /// concurrent readers are safe throughout. No-op unless
+  /// ColumnarEnabled(). Returns the number of segments encoded.
+  size_t EncodeColdSegments();
+
+  /// Installs a deserialized encoded segment (checkpoint recovery).
+  /// Validates shape against the schema and the published watermark.
+  Status InstallEncodedSegment(EncodedSegmentPtr seg);
+
   /// Appends `batch` (validated up-front) and incrementally maintains
   /// every existing index and the statistics, then publishes the new
   /// visible watermark. All-or-nothing: on any error (validation, fault
@@ -138,6 +154,7 @@ class Table {
   std::string name_;
   Schema schema_;
   RowStore store_;
+  ColumnarDirectory columnar_;
   std::vector<std::unique_ptr<IndexSlot>> indexes_;
 
   mutable std::mutex stats_mu_;  // guards stats_ pointer swaps and reads

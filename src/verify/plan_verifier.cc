@@ -147,6 +147,10 @@ class PlanChecker {
       if (scan->table() == nullptr) {
         return Violation(phase_, op, "null-child", "scan has no table");
       }
+      if (scan->predicate() != nullptr) {
+        RFID_RETURN_IF_ERROR(CheckBoundExpr(phase_, op, *scan->predicate(),
+                                            op.output_desc()));
+      }
       return std::vector<SlotSortKey>{};
     }
     if (const auto* scan = dynamic_cast<const ParallelTableScanOp*>(&op)) {

@@ -5,6 +5,7 @@
 
 #include "common/fault.h"
 #include "common/string_util.h"
+#include "storage/columnar.h"
 #include "storage/persist.h"
 
 namespace rfid::wal {
@@ -14,6 +15,7 @@ namespace {
 constexpr const char* kManifestName = "DURABLE";
 constexpr const char* kManifestMagic = "rfidwal 1";
 constexpr const char* kStructuresName = "STRUCTURES";
+constexpr const char* kColumnarName = "COLUMNAR";
 
 std::string CheckpointName(uint64_t epoch) {
   return "checkpoint-" + std::to_string(epoch);
@@ -113,7 +115,12 @@ Status WalManager::WriteCheckpointImage(const std::string& tmp_dir) {
     sidecar += table->has_stats() ? '1' : '0';
     sidecar += '\n';
   }
-  return WriteFileAtomic(tmp_dir + "/" + kStructuresName, sidecar);
+  RFID_RETURN_IF_ERROR(
+      WriteFileAtomic(tmp_dir + "/" + kStructuresName, sidecar));
+  // COLUMNAR sidecar: encoded cold segments, so a recovered server scans
+  // columnar immediately instead of re-encoding. Atomicity rides on the
+  // checkpoint directory rename, same as the image itself.
+  return SaveColumnarSidecar(tmp_dir + "/" + kColumnarName, *db_);
 }
 
 Status WalManager::RotateAndSwapManifest(uint64_t epoch) {
@@ -203,6 +210,11 @@ Status WalManager::Recover() {
   // 1. Checkpoint image → tables.
   const std::string checkpoint_dir = dir_ + "/" + manifest.checkpoint;
   RFID_RETURN_IF_ERROR(LoadDatabase(checkpoint_dir, db_));
+  // Encoded cold segments from the checkpoint. Missing or corrupt sidecar
+  // degrades to an empty cache: the EncodeColdSegments pass below (and
+  // ingest thereafter) rebuilds encodings on demand.
+  RFID_RETURN_IF_ERROR(
+      LoadColumnarSidecar(checkpoint_dir + "/" + kColumnarName, db_));
 
   // 2. Structures, exactly as recorded: rebuilding them *before* replay
   // makes replay's incremental maintenance mirror the original run.
@@ -253,6 +265,13 @@ Status WalManager::Recover() {
   }
   recovery_.truncated_bytes = log.tail_bytes;
   recovery_.tail_corrupt = log.tail_corrupt;
+
+  // Segments the replayed epochs filled are cold now; segments already
+  // restored from the COLUMNAR sidecar are skipped (no re-encoding).
+  for (const std::string& name : db_->TableNames()) {
+    Table* table = db_->GetTable(name);
+    if (table != nullptr) table->EncodeColdSegments();
+  }
 
   // 4. Reopen the segment for appending at the committed prefix.
   RFID_ASSIGN_OR_RETURN(
