@@ -37,6 +37,26 @@ cmake -B build -G Ninja -DRFID_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Concurrency-primitive lint: src/ must go through the annotated
+# wrappers in common/sync.h (the carriers of thread-safety annotations
+# and lock ranks); any raw std::mutex/lock_guard fails the script.
+./scripts/lint_sync.sh
+
+# Clang Thread Safety Analysis: recompile the tree under clang with
+# -Wthread-safety promoted to an error, proving every GUARDED_BY /
+# REQUIRES contract in src/ holds at compile time. Skipped with a notice
+# when no clang++ is installed (the annotations are no-ops under gcc);
+# the lint gate above still guarantees new code lands on the annotated
+# wrappers, so the analysis is complete whenever it does run.
+if command -v clang++ > /dev/null 2>&1; then
+  cmake -B build-tsa -G Ninja -DCMAKE_CXX_COMPILER=clang++ \
+    -DRFID_WERROR=ON -DRFID_THREAD_SAFETY=ON \
+    -DCMAKE_CXX_FLAGS="-Werror=thread-safety"
+  cmake --build build-tsa
+else
+  echo "check.sh: clang++ not found; skipping the thread-safety analysis pass"
+fi
+
 # Static lint: clang-tidy over the library sources (config in
 # .clang-tidy). Skipped with a notice on toolchains without clang-tidy;
 # the -Werror gate above still enforces the compiler warning set.
@@ -82,7 +102,8 @@ if [ "$QUICK" -eq 0 ]; then
   cmake --build build-asan --target fault_injection_test guardrails_test \
     exec_test common_test ingest_fault_test expr_golden_test \
     vectorized_exec_test verify_test wal_test wal_recovery_test \
-    fragment_cache_test server_test columnar_test
+    fragment_cache_test server_test columnar_test sync_test
+  ./build-asan/tests/sync_test
   ./build-asan/tests/verify_test
   ./build-asan/tests/columnar_test
   ./build-asan/tests/fault_injection_test
@@ -105,7 +126,8 @@ if [ "$QUICK" -eq 0 ]; then
   cmake -B build-ubsan -G Ninja -DRFID_SANITIZE=undefined
   cmake --build build-ubsan --target verify_test planner_test \
     expr_golden_test rewrite_property_test fault_injection_test \
-    columnar_test
+    columnar_test sync_test
+  ./build-ubsan/tests/sync_test
   ./build-ubsan/tests/columnar_test
   ./build-ubsan/tests/verify_test
   ./build-ubsan/tests/planner_test
@@ -127,11 +149,18 @@ if [ "$QUICK" -eq 0 ]; then
   # fragment_concurrency_test hammers the shared fragment cache from
   # query threads (Lookup/Insert) while a live IngestDriver invalidates
   # touched regions, proving the watermark protocol race-free.
+  # Sanitizer builds also compile with the lock-rank checker active
+  # (RFID_SYNC_CHECK=AUTO turns it on when RFID_SANITIZE != OFF), so
+  # every suite below doubles as a deadlock-ordering test.
   cmake -B build-tsan -G Ninja -DRFID_SANITIZE=thread
   cmake --build build-tsan --target ingest_concurrency_test ingest_test \
     parallel_exec_test parallel_concurrency_test vectorized_exec_test \
     wal_recovery_test fragment_cache_test fragment_concurrency_test \
-    server_test server_concurrency_test columnar_test
+    server_test server_concurrency_test columnar_test sync_test
+  # sync_test under TSan: the rank checker's thread_local bookkeeping and
+  # the CondVar adopt/release bridge must themselves be race-free.
+  # (Death tests are skipped under TSan — fork is unsupported there.)
+  ./build-tsan/tests/sync_test --gtest_filter='-SyncDeathTest.*'
   # Encoded-segment publication (ingest's EncodeColdSegments) races scan
   # probes and the live-ingest on/off comparison; TSan proves the
   # directory mutex + shared_ptr pinning are real happens-before edges.

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Concurrency-primitive lint: src/ must use the annotated wrappers in
+# src/common/sync.h (Mutex / SharedMutex / CondVar / MutexLock /
+# ReaderLock / WriterLock) — never the raw standard primitives. The
+# wrappers are what give us Clang Thread Safety Analysis coverage and
+# lock-rank deadlock checking; a raw std::mutex is invisible to both.
+#
+# Exits non-zero listing every offending line. sync.h itself is the one
+# allowed home of the raw types.
+set -u
+cd "$(dirname "$0")/.."
+
+PATTERN='std::mutex|std::shared_mutex|std::condition_variable|std::recursive_mutex|std::timed_mutex|std::lock_guard|std::unique_lock|std::shared_lock|std::scoped_lock'
+
+findings=$(grep -rnE "$PATTERN" src/ --include='*.h' --include='*.cc' \
+  | grep -v '^src/common/sync\.h:' || true)
+
+if [ -n "$findings" ]; then
+  echo "lint_sync: raw synchronization primitives outside src/common/sync.h:"
+  echo "$findings"
+  echo
+  echo "Use the annotated wrappers from common/sync.h instead (Mutex,"
+  echo "SharedMutex, CondVar, MutexLock, ReaderLock, WriterLock) and"
+  echo "register a rank in common/lock_order.h. See DESIGN.md §15."
+  exit 1
+fi
+
+echo "lint_sync: OK (no raw primitives outside common/sync.h)"

@@ -73,7 +73,7 @@ bool FragmentKey::operator<(const FragmentKey& other) const {
 RegionSchemePtr FragmentCache::SchemeFor(const Table& table,
                                          std::string_view ckey,
                                          uint64_t watermark) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!options_.enabled) return nullptr;
   const std::string table_lower = ToLower(table.name());
   const std::string ckey_lower = ToLower(ckey);
@@ -142,7 +142,7 @@ RegionSchemePtr FragmentCache::SchemeFor(const Table& table,
 
 FragmentRowsPtr FragmentCache::Lookup(const FragmentKey& key,
                                       uint64_t query_watermark) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!options_.enabled) return nullptr;
   TableState* state = StateFor(key.table);
   if (query_watermark > state->known_watermark) {
@@ -170,7 +170,7 @@ FragmentRowsPtr FragmentCache::Lookup(const FragmentKey& key,
 
 void FragmentCache::Insert(const FragmentKey& key, uint64_t built_watermark,
                            std::vector<Row> rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!options_.enabled) return;
   TableState* state = StateFor(key.table);
   if (state->scheme == nullptr ||
@@ -206,7 +206,7 @@ void FragmentCache::Insert(const FragmentKey& key, uint64_t built_watermark,
 
 void FragmentCache::OnIngest(const Table& table, const std::vector<Row>& rows,
                              uint64_t new_watermark) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!options_.enabled) return;
   const std::string table_lower = ToLower(table.name());
   auto state_it = tables_.find(table_lower);
@@ -238,7 +238,7 @@ void FragmentCache::OnIngest(const Table& table, const std::vector<Row>& rows,
 }
 
 void FragmentCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
   lru_.clear();
   tables_.clear();
@@ -246,7 +246,7 @@ void FragmentCache::Clear() {
 }
 
 void FragmentCache::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   options_.enabled = enabled;
   if (!enabled) {
     entries_.clear();
@@ -257,27 +257,32 @@ void FragmentCache::set_enabled(bool enabled) {
 }
 
 bool FragmentCache::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return options_.enabled;
 }
 
 void FragmentCache::set_capacity_bytes(size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   options_.capacity_bytes = bytes;
   EvictToCapacity();
 }
 
 size_t FragmentCache::capacity_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return options_.capacity_bytes;
 }
 
 FragmentCache::Stats FragmentCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Stats s = stats_;
   s.entries = entries_.size();
   s.resident_bytes = resident_bytes_;
   return s;
+}
+
+FragmentCacheOptions FragmentCache::options() const {
+  MutexLock lock(&mu_);
+  return options_;
 }
 
 FragmentCache::TableState* FragmentCache::StateFor(

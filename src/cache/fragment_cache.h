@@ -39,10 +39,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "storage/table.h"
 
 namespace rfid::cache {
@@ -145,7 +145,9 @@ class FragmentCache {
   size_t capacity_bytes() const;
 
   Stats stats() const;
-  const FragmentCacheOptions& options() const { return options_; }
+  /// Snapshot by value: options_ (enabled, capacity) mutates under mu_,
+  /// so handing out a reference would let callers read it unlocked.
+  FragmentCacheOptions options() const;
 
  private:
   using LruList = std::list<FragmentKey>;
@@ -162,21 +164,21 @@ class FragmentCache {
     std::vector<uint64_t> touched;
   };
 
-  /// All private helpers run under mu_.
-  TableState* StateFor(const std::string& table_lower);
+  TableState* StateFor(const std::string& table_lower) REQUIRES(mu_);
   void AbsorbUnknownAdvance(const std::string& table_lower, TableState* state,
-                            uint64_t watermark);
-  void DropEntry(std::map<FragmentKey, Entry>::iterator it, bool eviction);
-  void DropTableEntries(const std::string& table_lower);
-  void EvictToCapacity();
+                            uint64_t watermark) REQUIRES(mu_);
+  void DropEntry(std::map<FragmentKey, Entry>::iterator it, bool eviction)
+      REQUIRES(mu_);
+  void DropTableEntries(const std::string& table_lower) REQUIRES(mu_);
+  void EvictToCapacity() REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  FragmentCacheOptions options_;  // enabled/capacity mutable under mu_
-  std::map<std::string, TableState> tables_;
-  std::map<FragmentKey, Entry> entries_;
-  LruList lru_;  // front = most recently used
-  size_t resident_bytes_ = 0;
-  Stats stats_;
+  mutable Mutex mu_{LockRank::kFragmentCache};
+  FragmentCacheOptions options_ GUARDED_BY(mu_);  // enabled/capacity mutate
+  std::map<std::string, TableState> tables_ GUARDED_BY(mu_);
+  std::map<FragmentKey, Entry> entries_ GUARDED_BY(mu_);
+  LruList lru_ GUARDED_BY(mu_);  // front = most recently used
+  size_t resident_bytes_ GUARDED_BY(mu_) = 0;
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace rfid::cache

@@ -1,0 +1,89 @@
+// Global lock-rank registry: the single documented ordering every mutex
+// in the system is constructed against. A thread may only acquire a
+// mutex whose rank is *strictly greater* than every lock it already
+// holds; the Debug/sanitizer-build runtime checker in common/sync.h
+// aborts (with the acquisition stacks of both locks) on any violation,
+// so every existing test doubles as a deadlock detector.
+//
+// The ordering is outermost-first: entry-point locks (server command
+// serialization, connection bookkeeping) rank lowest, subsystem writer
+// locks rank in the middle, and per-structure leaf locks rank highest.
+// It encodes the real nesting of the system today:
+//
+//   rank  lock                         held while taking
+//   ----  ---------------------------  -----------------------------------
+//    10   kServerFeed                  server state, pipeline, storage
+//    20   kServerShutdown              (nothing)
+//    30   kServerConns                 (nothing)
+//    40   kServerState                 inflight, caches, pipeline, storage
+//    50   kSessionManager              (nothing)
+//    60   kAdmission                   (nothing; cv waits here)
+//    70   kServerInflight              (nothing)
+//    80   kPlanCache                   (nothing)
+//    90   kIngestPipeline              fragment cache, WAL I/O, storage
+//   100   kFragmentCache               (nothing; never calls out)
+//   110   kIngestDriverStatus          (nothing)
+//   120   kTableStats                  (nothing)
+//   130   kIndexRuns                   (nothing)
+//   140   kColumnarDirectory           (nothing)
+//   150   kWorkerPool                  (nothing; cv waits here)
+//   160   kServerFlush                 (nothing)
+//   200   kLeaf                        (nothing; per-call local mutexes)
+//
+// Adding a new mutex: pick the rank band that matches what the lock may
+// be held *across* (everything it calls into must rank higher), add an
+// enumerator here and a row to the table above and to DESIGN.md §15,
+// and construct the Mutex with it. A lock that never nests with anything
+// can use kLeaf. The runtime checker validates the choice in every
+// Debug/sanitizer test run.
+#ifndef RFID_COMMON_LOCK_ORDER_H_
+#define RFID_COMMON_LOCK_ORDER_H_
+
+namespace rfid {
+
+enum class LockRank : int {
+  kServerFeed = 10,          // Server::feed_mu_ (.feed serialization)
+  kServerShutdown = 20,      // Server::shutdown_mu_ (drain handshake)
+  kServerConns = 30,         // Server::conns_mu_ (connection list)
+  kServerState = 40,         // Server::state_mu_ (catalog / pipeline swap)
+  kSessionManager = 50,      // SessionManager::mu_
+  kAdmission = 60,           // AdmissionController::mu_
+  kServerInflight = 70,      // Server::inflight_mu_ (cancel registry)
+  kPlanCache = 80,           // PlanCache::mu_
+  kIngestPipeline = 90,      // IngestPipeline::mu_ (the writer lock)
+  kFragmentCache = 100,      // cache::FragmentCache::mu_
+  kIngestDriverStatus = 110, // IngestDriver::status_mu_
+  kTableStats = 120,         // Table::stats_mu_
+  kIndexRuns = 130,          // SortedIndex::mu_
+  kColumnarDirectory = 140,  // ColumnarDirectory::mu_
+  kWorkerPool = 150,         // exec WorkerPool::mu_
+  kServerFlush = 160,        // Server::flush_mu_ (final WAL flush status)
+  kLeaf = 200,               // never held across another acquisition
+};
+
+constexpr const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kServerFeed: return "server-feed";
+    case LockRank::kServerShutdown: return "server-shutdown";
+    case LockRank::kServerConns: return "server-conns";
+    case LockRank::kServerState: return "server-state";
+    case LockRank::kSessionManager: return "session-manager";
+    case LockRank::kAdmission: return "admission";
+    case LockRank::kServerInflight: return "server-inflight";
+    case LockRank::kPlanCache: return "plan-cache";
+    case LockRank::kIngestPipeline: return "ingest-pipeline";
+    case LockRank::kFragmentCache: return "fragment-cache";
+    case LockRank::kIngestDriverStatus: return "ingest-driver-status";
+    case LockRank::kTableStats: return "table-stats";
+    case LockRank::kIndexRuns: return "index-runs";
+    case LockRank::kColumnarDirectory: return "columnar-directory";
+    case LockRank::kWorkerPool: return "worker-pool";
+    case LockRank::kServerFlush: return "server-flush";
+    case LockRank::kLeaf: return "leaf";
+  }
+  return "unknown";
+}
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_LOCK_ORDER_H_

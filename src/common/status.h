@@ -27,7 +27,10 @@ enum class StatusCode {
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
-class Status {
+/// Class-level [[nodiscard]]: every function returning a Status by value
+/// has its result checked or explicitly voided — a silently dropped
+/// error is a compile error under -Werror (and a clang-tidy finding).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -79,8 +82,9 @@ class Status {
 };
 
 /// Either a value of type T or an error Status (a minimal StatusOr).
+/// [[nodiscard]] as with Status: dropping a Result drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT

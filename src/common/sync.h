@@ -1,0 +1,387 @@
+// Annotated concurrency layer: the only place in src/ allowed to name a
+// raw std::mutex / std::shared_mutex / std::condition_variable
+// (scripts/lint_sync.sh enforces this).
+//
+// Two static guarantees ride on these wrappers:
+//
+//  1. Clang Thread Safety Analysis. Mutex / SharedMutex are CAPABILITY
+//     types and MutexLock / ReaderLock / WriterLock are scoped
+//     capabilities, so a clang build with -Wthread-safety -Werror proves
+//     at compile time that every GUARDED_BY field is only touched with
+//     its lock held (shared vs exclusive distinguished) and that every
+//     REQUIRES contract is met. The macros expand to nothing off-Clang;
+//     gcc builds compile the identical code with zero overhead.
+//
+//  2. Lock-rank deadlock detection. Every Mutex / SharedMutex is
+//     constructed with a rank from the one global ordering in
+//     common/lock_order.h; in Debug and sanitizer builds
+//     (RFID_SYNC_CHECK) each acquisition verifies that the new rank is
+//     strictly greater than every lock the thread already holds, and
+//     aborts with the acquisition stacks of *both* locks on a violation.
+//     Any cycle in the lock graph must contain at least one edge that
+//     acquires a lower-or-equal rank, so a run of the existing test
+//     suites doubles as a deadlock detector. In Release builds the rank
+//     is not even stored (static_asserts below pin the wrappers to the
+//     size of the raw primitives).
+//
+// Condition variables deliberately have no predicate overload: a
+// predicate lambda is a separate function to the analysis, so guarded
+// reads inside it would need their own annotations. Callers loop:
+//
+//   MutexLock lock(&mu_);
+//   while (queue_.empty()) cv_.Wait(lock);
+#ifndef RFID_COMMON_SYNC_H_
+#define RFID_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/lock_order.h"
+
+// --- Clang Thread Safety Analysis attribute macros -------------------------
+
+#if defined(__clang__) && !defined(SWIG)
+#define RFID_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define RFID_THREAD_ANNOTATION_(x)  // no-op off-Clang
+#endif
+
+#define CAPABILITY(x) RFID_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY RFID_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) RFID_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) RFID_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) RFID_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) RFID_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) RFID_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  RFID_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) RFID_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  RFID_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) RFID_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  RFID_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  RFID_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) RFID_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) RFID_THREAD_ANNOTATION_(assert_capability(x))
+#define RETURN_CAPABILITY(x) RFID_THREAD_ANNOTATION_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  RFID_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+// --- Rank checker (Debug / sanitizer builds) -------------------------------
+
+// RFID_SYNC_CHECK is defined by CMake for Debug and sanitizer builds
+// (and can be forced per-target, e.g. tests/sync_test.cc). Falling back
+// to !NDEBUG keeps ad-hoc debug compiles covered.
+#if defined(RFID_SYNC_CHECK)
+#define RFID_SYNC_CHECK_ENABLED 1
+#elif !defined(NDEBUG)
+#define RFID_SYNC_CHECK_ENABLED 1
+#else
+#define RFID_SYNC_CHECK_ENABLED 0
+#endif
+
+#if RFID_SYNC_CHECK_ENABLED
+#include <cstdio>
+#include <cstdlib>
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define RFID_SYNC_HAVE_BACKTRACE_ 1
+#endif
+#endif
+#endif  // RFID_SYNC_CHECK_ENABLED
+
+namespace rfid {
+
+#if RFID_SYNC_CHECK_ENABLED
+namespace sync_internal {
+
+inline constexpr int kMaxHeldLocks = 32;
+inline constexpr int kMaxFrames = 24;
+
+struct HeldLock {
+  const void* cap = nullptr;
+  int rank = 0;
+  const char* name = nullptr;
+  void* frames[kMaxFrames];
+  int depth = 0;
+};
+
+struct HeldStack {
+  HeldLock locks[kMaxHeldLocks];
+  int size = 0;
+};
+
+inline HeldStack& Held() {
+  static thread_local HeldStack stack;
+  return stack;
+}
+
+inline void DumpStack(void* const* frames, int depth) {
+#if defined(RFID_SYNC_HAVE_BACKTRACE_)
+  if (depth > 0) backtrace_symbols_fd(frames, depth, 2);
+#else
+  (void)frames;
+  (void)depth;
+  std::fprintf(stderr, "  (no backtrace support on this platform)\n");
+#endif
+}
+
+[[noreturn]] inline void RankViolation(const HeldLock& held, const void* cap,
+                                       int rank, const char* name) {
+  std::fprintf(stderr,
+               "[sync] lock rank order violation: acquiring \"%s\" "
+               "(rank %d, %p) while already holding \"%s\" (rank %d, %p)\n"
+               "[sync] see common/lock_order.h for the global ordering\n",
+               name, rank, cap, held.name, held.rank, held.cap);
+#if defined(RFID_SYNC_HAVE_BACKTRACE_)
+  void* frames[kMaxFrames];
+  int depth = backtrace(frames, kMaxFrames);
+  std::fprintf(stderr, "[sync] stack of the offending acquisition:\n");
+  DumpStack(frames, depth);
+#endif
+  std::fprintf(stderr, "[sync] stack at acquisition of the held lock:\n");
+  DumpStack(held.frames, held.depth);
+  std::abort();
+}
+
+/// Called before blocking on the lock, so a would-be deadlock aborts
+/// with a diagnostic instead of hanging the test run.
+inline void NoteAcquire(const void* cap, LockRank lock_rank) {
+  const int rank = static_cast<int>(lock_rank);
+  HeldStack& held = Held();
+  for (int i = 0; i < held.size; ++i) {
+    if (held.locks[i].rank >= rank) {
+      RankViolation(held.locks[i], cap, rank, LockRankName(lock_rank));
+    }
+  }
+  if (held.size < kMaxHeldLocks) {
+    HeldLock& h = held.locks[held.size];
+    h.cap = cap;
+    h.rank = rank;
+    h.name = LockRankName(lock_rank);
+#if defined(RFID_SYNC_HAVE_BACKTRACE_)
+    h.depth = backtrace(h.frames, kMaxFrames);
+#else
+    h.depth = 0;
+#endif
+    ++held.size;
+  }
+}
+
+inline void NoteRelease(const void* cap) {
+  HeldStack& held = Held();
+  for (int i = held.size - 1; i >= 0; --i) {
+    if (held.locks[i].cap == cap) {
+      for (int j = i; j + 1 < held.size; ++j) {
+        held.locks[j] = held.locks[j + 1];
+      }
+      --held.size;
+      return;
+    }
+  }
+}
+
+}  // namespace sync_internal
+#endif  // RFID_SYNC_CHECK_ENABLED
+
+/// Rank-registered exclusive mutex. In Release builds this is exactly a
+/// std::mutex (the rank is not stored); in Debug/sanitizer builds every
+/// acquisition is checked against the global lock order.
+class CAPABILITY("mutex") Mutex {
+ public:
+#if RFID_SYNC_CHECK_ENABLED
+  explicit Mutex(LockRank rank = LockRank::kLeaf) noexcept : rank_(rank) {}
+#else
+  explicit Mutex(LockRank = LockRank::kLeaf) noexcept {}
+#endif
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+#if RFID_SYNC_CHECK_ENABLED
+    sync_internal::NoteAcquire(this, rank_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if RFID_SYNC_CHECK_ENABLED
+    sync_internal::NoteRelease(this);
+#endif
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+#if RFID_SYNC_CHECK_ENABLED
+    sync_internal::NoteAcquire(this, rank_);
+#endif
+    return true;
+  }
+
+  /// The raw primitive, for CondVar only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+#if RFID_SYNC_CHECK_ENABLED
+  LockRank rank_;
+#endif
+};
+
+/// Rank-registered reader/writer mutex (same contract as Mutex; shared
+/// acquisitions participate in rank checking too — a read-side lock held
+/// across a lower-rank acquisition deadlocks just as well).
+class CAPABILITY("mutex") SharedMutex {
+ public:
+#if RFID_SYNC_CHECK_ENABLED
+  explicit SharedMutex(LockRank rank = LockRank::kLeaf) noexcept
+      : rank_(rank) {}
+#else
+  explicit SharedMutex(LockRank = LockRank::kLeaf) noexcept {}
+#endif
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() {
+#if RFID_SYNC_CHECK_ENABLED
+    sync_internal::NoteAcquire(this, rank_);
+#endif
+    mu_.lock();
+  }
+
+  void Unlock() RELEASE() {
+    mu_.unlock();
+#if RFID_SYNC_CHECK_ENABLED
+    sync_internal::NoteRelease(this);
+#endif
+  }
+
+  void LockShared() ACQUIRE_SHARED() {
+#if RFID_SYNC_CHECK_ENABLED
+    sync_internal::NoteAcquire(this, rank_);
+#endif
+    mu_.lock_shared();
+  }
+
+  void UnlockShared() RELEASE_SHARED() {
+    mu_.unlock_shared();
+#if RFID_SYNC_CHECK_ENABLED
+    sync_internal::NoteRelease(this);
+#endif
+  }
+
+ private:
+  std::shared_mutex mu_;
+#if RFID_SYNC_CHECK_ENABLED
+  LockRank rank_;
+#endif
+};
+
+/// RAII exclusive lock over a Mutex. Exactly one pointer wide.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() {
+    if (mu_ != nullptr) mu_->Unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Early release (e.g. to notify a CondVar without the lock held).
+  void Unlock() RELEASE() {
+    mu_->Unlock();
+    mu_ = nullptr;
+  }
+
+ private:
+  friend class CondVar;
+  Mutex* mu_;
+};
+
+/// RAII shared (reader) lock over a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderLock() RELEASE() { mu_->UnlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// RAII exclusive (writer) lock over a SharedMutex.
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~WriterLock() RELEASE() { mu_->Unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Condition variable over Mutex. No predicate overloads by design (see
+/// the header comment): callers re-test their guarded condition in a
+/// while loop, inside the function that holds the capability.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`'s mutex and waits; the mutex is held
+  /// again when this returns. The rank record is kept for the duration:
+  /// the blocked thread acquires nothing else while parked.
+  void Wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_->native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// As Wait, returning cv_status::timeout once `deadline` passes.
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      MutexLock& lock, const std::chrono::time_point<Clock, Duration>& deadline) {
+    std::unique_lock<std::mutex> native(lock.mu_->native(), std::adopt_lock);
+    std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+// Zero-overhead proof: with the rank checker compiled out (Release), the
+// wrappers are layout-identical to the raw primitives, and the RAII
+// guards never exceed one pointer.
+#if !RFID_SYNC_CHECK_ENABLED
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "Release Mutex must not carry rank state");
+static_assert(sizeof(SharedMutex) == sizeof(std::shared_mutex),
+              "Release SharedMutex must not carry rank state");
+#endif
+static_assert(sizeof(CondVar) == sizeof(std::condition_variable),
+              "CondVar must add no state");
+static_assert(sizeof(MutexLock) == sizeof(void*),
+              "MutexLock must stay one pointer wide");
+static_assert(sizeof(ReaderLock) == sizeof(void*) &&
+                  sizeof(WriterLock) == sizeof(void*),
+              "shared-mutex guards must stay one pointer wide");
+
+}  // namespace rfid
+
+#endif  // RFID_COMMON_SYNC_H_

@@ -1,14 +1,13 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/fault.h"
+#include "common/sync.h"
 
 namespace rfid {
 
@@ -55,7 +54,7 @@ class WorkerPool {
 
   void EnsureThreads(int n) {
     n = std::min(n, kMaxPoolThreads);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     while (static_cast<int>(num_threads_) < n) {
       std::thread(&WorkerPool::WorkerLoop, this).detach();
       ++num_threads_;
@@ -64,10 +63,10 @@ class WorkerPool {
 
   void Submit(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       queue_.push_back(std::move(task));
     }
-    cv_.notify_one();
+    cv_.NotifyOne();
   }
 
  private:
@@ -77,8 +76,8 @@ class WorkerPool {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return !queue_.empty(); });
+        MutexLock lock(&mu_);
+        while (queue_.empty()) cv_.Wait(lock);
         task = std::move(queue_.front());
         queue_.pop_front();
       }
@@ -86,10 +85,10 @@ class WorkerPool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  size_t num_threads_ = 0;
+  Mutex mu_{LockRank::kWorkerPool};
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  size_t num_threads_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace
@@ -139,22 +138,29 @@ Status ParallelRun(int dop, const std::function<Status(int)>& fn) {
   pool->EnsureThreads(dop - 1);
 
   std::vector<Status> statuses(static_cast<size_t>(dop), Status::OK());
-  std::mutex mu;
-  std::condition_variable done_cv;
+  // Per-call completion latch. kLeaf: held only for the counter update,
+  // never across another acquisition (fn runs outside the lock; workers
+  // write disjoint statuses slots before taking it).
+  Mutex mu{LockRank::kLeaf};
+  CondVar done_cv;
   int remaining = dop - 1;
 
   for (int w = 1; w < dop; ++w) {
     pool->Submit([&, w]() {
       Status st = fn(w);
-      std::lock_guard<std::mutex> lock(mu);
       statuses[static_cast<size_t>(w)] = std::move(st);
-      if (--remaining == 0) done_cv.notify_one();
+      bool last;
+      {
+        MutexLock lock(&mu);
+        last = (--remaining == 0);
+      }
+      if (last) done_cv.NotifyOne();
     });
   }
   statuses[0] = fn(0);
   {
-    std::unique_lock<std::mutex> lock(mu);
-    done_cv.wait(lock, [&] { return remaining == 0; });
+    MutexLock lock(&mu);
+    while (remaining != 0) done_cv.Wait(lock);
   }
   // Lowest worker id wins so the surfaced error does not depend on
   // scheduling (all workers typically trip the same guardrail anyway).

@@ -15,12 +15,12 @@ IngestPipeline::IngestPipeline(Database* db, ExecContext* accounting,
       accounting_(accounting),
       compact_threshold_(index_compact_threshold),
       wal_(wal) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   snapshot_ = CaptureDatabaseSnapshot(*db_, epoch_);
 }
 
 Status IngestPipeline::Apply(std::vector<TableBatch> batches) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
 
   uint64_t charged = 0;
   auto release = [this, &charged] {
@@ -115,27 +115,31 @@ Status IngestPipeline::Apply(std::vector<TableBatch> batches) {
   return Status::OK();
 }
 
-Status IngestPipeline::Checkpoint() {
-  std::lock_guard<std::mutex> lock(mu_);
+Status IngestPipeline::Checkpoint(uint64_t* durable_epoch) {
+  MutexLock lock(&mu_);
   if (wal_ == nullptr) {
     return Status::InvalidArgument(
         "checkpoint requires a WAL-backed pipeline");
   }
-  return wal_->Checkpoint();
+  Status st = wal_->Checkpoint();
+  if (st.ok() && durable_epoch != nullptr) {
+    *durable_epoch = wal_->durable_epoch();
+  }
+  return st;
 }
 
 SnapshotPtr IngestPipeline::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return snapshot_;
 }
 
 PipelineStats IngestPipeline::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 uint64_t IngestPipeline::epoch() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return epoch_;
 }
 
@@ -170,7 +174,7 @@ void IngestDriver::RequestStop() {
 
 Status IngestDriver::Join() {
   if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(status_mu_);
+  MutexLock lock(&status_mu_);
   return status_;
 }
 
@@ -190,7 +194,7 @@ void IngestDriver::Run() {
     Status st = pipeline_->Apply(std::move(group));
     if (!st.ok()) {
       {
-        std::lock_guard<std::mutex> lock(status_mu_);
+        MutexLock lock(&status_mu_);
         if (status_.ok()) status_ = st;
       }
       if (options_.stop_on_error) break;

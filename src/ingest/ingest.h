@@ -35,11 +35,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "exec/exec_context.h"
 #include "storage/catalog.h"
 #include "storage/snapshot.h"
@@ -81,8 +81,11 @@ class IngestPipeline {
 
   /// Writes a durability checkpoint at the current epoch (requires a
   /// WAL). Takes the writer lock, so the image is a consistent epoch
-  /// boundary even while an IngestDriver is feeding.
-  Status Checkpoint();
+  /// boundary even while an IngestDriver is feeding. On success
+  /// *durable_epoch (optional) receives the checkpointed epoch — read
+  /// under the writer lock, since the WAL's own accessor is only safe
+  /// under the pipeline's serialization.
+  Status Checkpoint(uint64_t* durable_epoch = nullptr);
 
   /// The most recently published snapshot (never null; epoch 0 is
   /// captured at construction). Queries bind this to their ExecContext.
@@ -99,22 +102,26 @@ class IngestPipeline {
 
   /// Wires the cleansed-fragment cache for watermark invalidation: every
   /// Apply() notifies it of the touched regions *before* the rows become
-  /// visible (see cache/fragment_cache.h). Set while no Apply() runs.
+  /// visible (see cache/fragment_cache.h). Takes the writer lock so the
+  /// swap cannot tear against a concurrent Apply().
   void set_fragment_cache(cache::FragmentCache* cache) {
+    MutexLock lock(&mu_);
     fragment_cache_ = cache;
   }
 
  private:
   Database* db_;
-  cache::FragmentCache* fragment_cache_ = nullptr;
   ExecContext* accounting_;
   size_t compact_threshold_;
-  wal::WalManager* wal_;
+  wal::WalManager* wal_;  // externally synchronized: only touched under mu_
 
-  mutable std::mutex mu_;  // writer lock; also guards snapshot_/stats_
-  SnapshotPtr snapshot_;
-  PipelineStats stats_;
-  uint64_t epoch_ = 0;
+  /// The writer lock: serializes Apply()/Checkpoint() and guards the
+  /// published snapshot, stats, and the fragment-cache wiring.
+  mutable Mutex mu_{LockRank::kIngestPipeline};
+  cache::FragmentCache* fragment_cache_ GUARDED_BY(mu_) = nullptr;
+  SnapshotPtr snapshot_ GUARDED_BY(mu_);
+  PipelineStats stats_ GUARDED_BY(mu_);
+  uint64_t epoch_ GUARDED_BY(mu_) = 0;
 };
 
 /// Pulls batch groups from `source` and applies them on a background
@@ -162,8 +169,8 @@ class IngestDriver {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> batches_applied_{0};
 
-  std::mutex status_mu_;
-  Status status_;
+  Mutex status_mu_{LockRank::kIngestDriverStatus};
+  Status status_ GUARDED_BY(status_mu_);
 };
 
 }  // namespace rfid::ingest

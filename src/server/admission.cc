@@ -18,10 +18,10 @@ AdmissionController::AdmissionController(const AdmissionOptions& options)
 void AdmissionController::Ticket::Release() {
   if (controller_ == nullptr) return;
   {
-    std::lock_guard<std::mutex> lock(controller_->mu_);
+    MutexLock lock(&controller_->mu_);
     controller_->ReleaseLocked(bytes_);
   }
-  controller_->cv_.notify_all();
+  controller_->cv_.NotifyAll();
   controller_ = nullptr;
 }
 
@@ -32,18 +32,19 @@ void AdmissionController::ReleaseLocked(uint64_t bytes) {
   stats_.pool_used = pool_used_;
 }
 
+bool AdmissionController::CanRunLocked(uint64_t bytes) const {
+  return running_ < options_.max_concurrent &&
+         pool_used_ + bytes <= options_.pool_bytes;
+}
+
 Result<AdmissionController::Ticket> AdmissionController::Admit() {
   const uint64_t bytes = options_.per_query_bytes;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (shutdown_) {
     ++stats_.rejected_shutdown;
     return Status::Cancelled("server shutting down");
   }
-  auto can_run = [&] {
-    return running_ < options_.max_concurrent &&
-           pool_used_ + bytes <= options_.pool_bytes;
-  };
-  if (!can_run() || !queue_.empty()) {
+  if (!CanRunLocked(bytes) || !queue_.empty()) {
     if (queue_.size() >= options_.queue_depth) {
       ++stats_.rejected_queue_full;
       return Status::ResourceExhausted(StrFormat(
@@ -58,23 +59,27 @@ Result<AdmissionController::Ticket> AdmissionController::Admit() {
                     std::chrono::microseconds(options_.queue_wait_micros);
     // FIFO: only the queue head may take the next free slot, so a burst
     // of late arrivals cannot starve an early waiter.
-    bool granted = cv_.wait_until(lock, deadline, [&] {
-      return shutdown_ || (queue_.front() == id && can_run());
-    });
+    bool granted = true;
+    while (!shutdown_ && !(queue_.front() == id && CanRunLocked(bytes))) {
+      if (cv_.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+        granted = shutdown_ || (queue_.front() == id && CanRunLocked(bytes));
+        break;
+      }
+    }
     auto self = std::find(queue_.begin(), queue_.end(), id);
     if (self != queue_.end()) queue_.erase(self);
     if (shutdown_) {
       ++stats_.rejected_shutdown;
-      lock.unlock();
-      cv_.notify_all();
+      lock.Unlock();
+      cv_.NotifyAll();
       return Status::Cancelled("server shutting down");
     }
     if (!granted) {
       ++stats_.rejected_timeout;
       const int running_now = running_;
-      lock.unlock();
+      lock.Unlock();
       // The head slot may have opened for the next waiter.
-      cv_.notify_all();
+      cv_.NotifyAll();
       return Status::ResourceExhausted(StrFormat(
           "queue wait deadline exceeded after %lld ms (%d queries running)",
           static_cast<long long>(options_.queue_wait_micros / 1000),
@@ -86,22 +91,22 @@ Result<AdmissionController::Ticket> AdmissionController::Admit() {
   ++stats_.admitted;
   stats_.running = running_;
   stats_.pool_used = pool_used_;
-  lock.unlock();
+  lock.Unlock();
   // A successor may be admissible too (multiple slots can free at once).
-  cv_.notify_all();
+  cv_.NotifyAll();
   return Ticket(this, bytes);
 }
 
 void AdmissionController::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 AdmissionController::Stats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 

@@ -27,12 +27,11 @@
 #ifndef RFID_SERVER_ADMISSION_H_
 #define RFID_SERVER_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace rfid::server {
 
@@ -103,18 +102,20 @@ class AdmissionController {
 
  private:
   friend class Ticket;
-  void ReleaseLocked(uint64_t bytes);
+  void ReleaseLocked(uint64_t bytes) REQUIRES(mu_);
+  /// A slot and pool bytes are free for a `bytes`-sized reservation.
+  bool CanRunLocked(uint64_t bytes) const REQUIRES(mu_);
 
-  AdmissionOptions options_;
+  AdmissionOptions options_;  // immutable after construction
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool shutdown_ = false;
-  int running_ = 0;
-  uint64_t pool_used_ = 0;
-  uint64_t next_waiter_ = 0;
-  std::deque<uint64_t> queue_;  // FIFO of waiter ids
-  Stats stats_;
+  mutable Mutex mu_{LockRank::kAdmission};
+  CondVar cv_;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  int running_ GUARDED_BY(mu_) = 0;
+  uint64_t pool_used_ GUARDED_BY(mu_) = 0;
+  uint64_t next_waiter_ GUARDED_BY(mu_) = 0;
+  std::deque<uint64_t> queue_ GUARDED_BY(mu_);  // FIFO of waiter ids
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace rfid::server

@@ -15,7 +15,7 @@ std::optional<CachedPlan> PlanCache::Lookup(const PlanKey& key,
                                             uint64_t data_version,
                                             uint64_t stats_version,
                                             CacheOutcome* outcome) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enabled_) {
     *outcome = CacheOutcome::kMiss;
     return std::nullopt;
@@ -44,7 +44,7 @@ std::optional<CachedPlan> PlanCache::Lookup(const PlanKey& key,
 }
 
 void PlanCache::Insert(const PlanKey& key, CachedPlan plan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!enabled_ || capacity_ == 0) return;
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -62,7 +62,7 @@ void PlanCache::Insert(const PlanKey& key, CachedPlan plan) {
 }
 
 void PlanCache::set_enabled(bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   enabled_ = enabled;
   if (!enabled_) {
     entries_.clear();
@@ -71,18 +71,18 @@ void PlanCache::set_enabled(bool enabled) {
 }
 
 bool PlanCache::enabled() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return enabled_;
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   entries_.clear();
   lru_.clear();
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Stats s = stats_;
   s.entries = entries_.size();
   return s;

@@ -27,10 +27,10 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/sync.h"
 #include "rewrite/rewriter.h"
 #include "server/protocol.h"
 
@@ -95,12 +95,12 @@ class PlanCache {
     LruList::iterator lru;
   };
 
-  mutable std::mutex mu_;
-  size_t capacity_;
-  bool enabled_;
-  std::map<PlanKey, Entry> entries_;
-  LruList lru_;  // front = most recently used
-  Stats stats_;
+  mutable Mutex mu_{LockRank::kPlanCache};
+  const size_t capacity_;  // immutable after construction
+  bool enabled_ GUARDED_BY(mu_);
+  std::map<PlanKey, Entry> entries_ GUARDED_BY(mu_);
+  LruList lru_ GUARDED_BY(mu_);  // front = most recently used
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace rfid::server

@@ -62,7 +62,7 @@ bool ParseOnOff(const std::string& value, bool* out) {
 
 Server::InflightGuard::InflightGuard(Server* server, ExecContext* ctx)
     : server_(server), ctx_(ctx) {
-  std::lock_guard<std::mutex> lock(server_->inflight_mu_);
+  MutexLock lock(&server_->inflight_mu_);
   server_->inflight_.insert(ctx_);
   // A shutdown that ran before this query registered still has to cancel
   // it; re-check the flag under the same mutex the drain holds.
@@ -72,7 +72,7 @@ Server::InflightGuard::InflightGuard(Server* server, ExecContext* ctx)
 }
 
 Server::InflightGuard::~InflightGuard() {
-  std::lock_guard<std::mutex> lock(server_->inflight_mu_);
+  MutexLock lock(&server_->inflight_mu_);
   server_->inflight_.erase(ctx_);
 }
 
@@ -188,10 +188,10 @@ void Server::RequestShutdown() {
 
 void Server::WaitForShutdown() {
   {
-    std::unique_lock<std::mutex> lock(shutdown_mu_);
-    shutdown_cv_.wait(lock, [this] {
-      return shutdown_requested_.load(std::memory_order_acquire);
-    });
+    MutexLock lock(&shutdown_mu_);
+    while (!shutdown_requested_.load(std::memory_order_acquire)) {
+      shutdown_cv_.Wait(lock);
+    }
   }
   Shutdown();
 }
@@ -204,21 +204,21 @@ void Server::Shutdown() {
       // cannot be destroyed mid-cancel; InflightGuard re-checks
       // `refusing_` under the same mutex, closing the race with queries
       // that registered after this loop.
-      std::lock_guard<std::mutex> lock(inflight_mu_);
+      MutexLock lock(&inflight_mu_);
       refusing_.store(true, std::memory_order_release);
       for (ExecContext* ctx : inflight_) {
         ctx->RequestCancel("server shutting down");
       }
     }
     {
-      std::lock_guard<std::mutex> lock(shutdown_mu_);
+      MutexLock lock(&shutdown_mu_);
     }
-    shutdown_cv_.notify_all();
+    shutdown_cv_.NotifyAll();
     admission_.Shutdown();
     // Unblock connection threads parked in ReadFrame; their writes (the
     // in-flight query's response) still go through.
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(&conns_mu_);
       for (const auto& conn : conns_) {
         (void)::shutdown(conn->fd, SHUT_RD);
       }
@@ -227,7 +227,7 @@ void Server::Shutdown() {
       while (true) {
         std::unique_ptr<Connection> conn;
         {
-          std::lock_guard<std::mutex> lock(conns_mu_);
+          MutexLock lock(&conns_mu_);
           if (conns_.empty()) break;
           conn = std::move(conns_.front());
           conns_.pop_front();
@@ -246,7 +246,7 @@ void Server::Shutdown() {
     (void)ignored;
     if (accept_thread_.joinable()) accept_thread_.join();
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(&conns_mu_);
       for (const auto& conn : conns_) {
         (void)::shutdown(conn->fd, SHUT_RD);
       }
@@ -256,27 +256,27 @@ void Server::Shutdown() {
     // part of the base image, so restart recovery is instant.
     Status flush = Status::OK();
     {
-      std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+      WriterLock state_lock(&state_mu_);
       if (pipeline_ != nullptr) {
         if (wal_ != nullptr) flush = pipeline_->Checkpoint();
       } else if (wal_ != nullptr) {
         flush = wal_->Checkpoint();
       }
     }
-    std::lock_guard<std::mutex> lock(flush_mu_);
+    MutexLock lock(&flush_mu_);
     final_flush_status_ = flush;
   });
 }
 
 Status Server::final_flush_status() const {
-  std::lock_guard<std::mutex> lock(flush_mu_);
+  MutexLock lock(&flush_mu_);
   return final_flush_status_;
 }
 
 void Server::ReapConnections() {
   std::vector<std::unique_ptr<Connection>> done;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(&conns_mu_);
     for (auto it = conns_.begin(); it != conns_.end();) {
       if ((*it)->done.load(std::memory_order_acquire)) {
         done.push_back(std::move(*it));
@@ -302,9 +302,9 @@ void Server::AcceptLoop() {
       // Hand the signal over to WaitForShutdown(); the drain keeps this
       // loop alive so late connections still get a clean ERROR frame.
       {
-        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        MutexLock lock(&shutdown_mu_);
       }
-      shutdown_cv_.notify_all();
+      shutdown_cv_.NotifyAll();
     }
     if (rc <= 0) continue;
     if ((fds[1].revents & POLLIN) != 0) {
@@ -332,7 +332,7 @@ void Server::AcceptLoop() {
     // drain — after this loop is joined — reaps it.
     raw->thread = std::thread([this, raw] { HandleConnection(raw); });
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(&conns_mu_);
       conns_.push_back(std::move(conn));
     }
   }
@@ -501,7 +501,7 @@ Result<RowsPayload> Server::ExecuteQuery(Session& session,
   auto ticket = admission_.Admit();
   if (!ticket.ok()) return ticket.status();
 
-  std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+  ReaderLock state_lock(&state_mu_);
   ExecLimits limits;
   // The session quota carves the admission pool: a query never gets more
   // budget than its session's share, even when the pool has room.
@@ -681,7 +681,7 @@ Result<std::string> Server::HandleSet(Session& session, const std::string& key,
       return std::string("snapshot = latest");
     }
     if (value == "hold") {
-      std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+      ReaderLock state_lock(&state_mu_);
       if (pipeline_ == nullptr) {
         return Status::InvalidArgument(
             "SET snapshot hold requires a running ingest pipeline "
@@ -709,7 +709,7 @@ Result<std::string> Server::HandleCommand(Session& session,
     int64_t pallets = 20;
     double dirty = 10;
     in >> pallets >> dirty;
-    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    WriterLock state_lock(&state_mu_);
     rfidgen::GeneratorOptions gen;
     gen.num_pallets = pallets;
     auto g = rfidgen::Generate(gen, &db_);
@@ -733,13 +733,13 @@ Result<std::string> Server::HandleCommand(Session& session,
     if (batches <= 0 || rows <= 0) {
       return Status::InvalidArgument("usage: .feed <batches> <rows_per_batch>");
     }
-    std::lock_guard<std::mutex> feed_lock(feed_mu_);
+    MutexLock feed_lock(&feed_mu_);
     {
       // Lazy creation mutates the catalog (stream tables) and swaps the
       // pipeline pointer: exclusive. Batch application below runs on the
       // pipeline's own writer lock, concurrent with snapshot-pinned
       // queries.
-      std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+      WriterLock state_lock(&state_mu_);
       if (stream_ == nullptr || stream_->exhausted()) {
         rfidgen::StreamOptions opt;
         opt.seed = 20060912 + feed_generation_++;
@@ -757,7 +757,7 @@ Result<std::string> Server::HandleCommand(Session& session,
     // Shared lock during application: queries run concurrently (both
     // sides hold shared), while .wal / .recover (exclusive) cannot swap
     // the pipeline out from under the feed.
-    std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+    ReaderLock state_lock(&state_mu_);
     if (stream_ == nullptr || pipeline_ == nullptr) {
       return Status::Internal("ingest state changed during .feed");
     }
@@ -790,12 +790,12 @@ Result<std::string> Server::HandleCommand(Session& session,
           StrFormat("usage: %s <directory>", cmd.c_str()));
     }
     if (cmd == ".save") {
-      std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+      ReaderLock state_lock(&state_mu_);
       Status st = SaveDatabase(db_, dir);
       if (!st.ok()) return st;
       return std::string("saved");
     }
-    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    WriterLock state_lock(&state_mu_);
     Status st = LoadDatabase(dir, &db_, /*skip_existing=*/true);
     if (st.ok()) st = rfidgen::FinalizeDatabase(&db_);
     if (!st.ok()) return st;
@@ -819,7 +819,7 @@ Result<std::string> Server::HandleCommand(Session& session,
       return Status::InvalidArgument(
           StrFormat("usage: %s <directory> [always|epoch|off]", cmd.c_str()));
     }
-    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    WriterLock state_lock(&state_mu_);
     auto manager = wal::WalManager::Open(dir, &db_, options);
     if (!manager.ok()) return manager.status();
     if (cmd == ".recover" && !(*manager)->recovery().recovered) {
@@ -848,7 +848,28 @@ Result<std::string> Server::HandleCommand(Session& session,
                      dir.c_str(), wal::FsyncPolicyName(wal_->fsync_policy()));
   }
   if (cmd == ".checkpoint") {
-    std::unique_lock<std::shared_mutex> state_lock(state_mu_);
+    {
+      // Pipeline-backed checkpoints run under the *shared* state lock:
+      // the pipeline's own writer lock serializes the WAL work against
+      // concurrent Apply(), and shared suffices to pin the pipeline_ /
+      // wal_ pointers. This used to take the lock exclusive, stalling
+      // every query (and .feed) behind the checkpoint's fsync+rename
+      // (DESIGN.md §15 defect log). The checkpointed epoch comes back
+      // through the out-param, read under the pipeline lock — the WAL's
+      // own durable_epoch() accessor is not safe against a concurrent
+      // feed here.
+      ReaderLock state_lock(&state_mu_);
+      if (pipeline_ != nullptr && wal_ != nullptr) {
+        uint64_t durable = 0;
+        Status st = pipeline_->Checkpoint(&durable);
+        if (!st.ok()) return st;
+        return StrFormat("checkpoint written at epoch %llu; log truncated",
+                         static_cast<unsigned long long>(durable));
+      }
+    }
+    // No pipeline: the bare WalManager is externally synchronized, and
+    // the exclusive state lock is that synchronization.
+    WriterLock state_lock(&state_mu_);
     if (wal_ == nullptr) {
       return Status::InvalidArgument(
           "no durability directory attached (use .wal <dir>)");
@@ -914,7 +935,7 @@ Result<std::string> Server::HandleCommand(Session& session,
     return HandleSet(session, cmd.substr(1), flag);
   }
   if (cmd == ".tables") {
-    std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+    ReaderLock state_lock(&state_mu_);
     std::string text;
     for (const std::string& name : db_.TableNames()) {
       const Table* t = db_.GetTable(name);
@@ -926,7 +947,7 @@ Result<std::string> Server::HandleCommand(Session& session,
   if (cmd == ".schema") {
     std::string table;
     in >> table;
-    std::shared_lock<std::shared_mutex> state_lock(state_mu_);
+    ReaderLock state_lock(&state_mu_);
     const Table* t = db_.GetTable(table);
     if (t == nullptr) {
       return Status::NotFound(StrFormat("no such table: %s", table.c_str()));

@@ -36,17 +36,15 @@
 #define RFID_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 
 #include "cache/fragment_cache.h"
+#include "common/sync.h"
 #include "exec/exec_context.h"
 #include "ingest/ingest.h"
 #include "rfidgen/stream.h"
@@ -154,7 +152,7 @@ class Server {
                                 const std::string& value);
   Result<std::string> HandleCommand(Session& session, const std::string& line);
 
-  uint64_t stats_version() const;
+  uint64_t stats_version() const REQUIRES_SHARED(state_mu_);
 
   ServerOptions options_;
   int port_ = 0;
@@ -172,29 +170,32 @@ class Server {
   std::atomic<uint64_t> data_version_{0};
 
   /// Shared: queries and read-only commands. Exclusive: commands that
-  /// mutate the catalog or swap the pipeline / WAL.
-  mutable std::shared_mutex state_mu_;
-  std::unique_ptr<rfidgen::ReadStream> stream_;
-  std::unique_ptr<ingest::IngestPipeline> pipeline_;
-  std::unique_ptr<wal::WalManager> wal_;
-  uint64_t feed_generation_ = 0;
-  std::mutex feed_mu_;  // serializes .feed batch application
+  /// mutate the catalog or swap the pipeline / WAL. Guards the *pointers*
+  /// below: a shared holder may call through them (the pipeline has its
+  /// own writer lock; the stream is serialized by feed_mu_), it just
+  /// cannot observe them being swapped.
+  mutable SharedMutex state_mu_{LockRank::kServerState};
+  std::unique_ptr<rfidgen::ReadStream> stream_ GUARDED_BY(state_mu_);
+  std::unique_ptr<ingest::IngestPipeline> pipeline_ GUARDED_BY(state_mu_);
+  std::unique_ptr<wal::WalManager> wal_ GUARDED_BY(state_mu_);
+  uint64_t feed_generation_ GUARDED_BY(state_mu_) = 0;
+  Mutex feed_mu_{LockRank::kServerFeed};  // serializes .feed application
 
-  std::mutex inflight_mu_;
-  std::set<ExecContext*> inflight_;
+  Mutex inflight_mu_{LockRank::kServerInflight};
+  std::set<ExecContext*> inflight_ GUARDED_BY(inflight_mu_);
 
-  std::mutex conns_mu_;
-  std::list<std::unique_ptr<Connection>> conns_;
+  Mutex conns_mu_{LockRank::kServerConns};
+  std::list<std::unique_ptr<Connection>> conns_ GUARDED_BY(conns_mu_);
   std::thread accept_thread_;
 
   std::atomic<bool> shutdown_requested_{false};
   std::atomic<bool> refusing_{false};     // drain: ERROR frames, no new work
   std::atomic<bool> accept_stop_{false};  // accept thread exit flag
   std::once_flag shutdown_once_;
-  std::mutex shutdown_mu_;
-  std::condition_variable shutdown_cv_;
-  mutable std::mutex flush_mu_;
-  Status final_flush_status_;
+  Mutex shutdown_mu_{LockRank::kServerShutdown};
+  CondVar shutdown_cv_;
+  mutable Mutex flush_mu_{LockRank::kServerFlush};
+  Status final_flush_status_ GUARDED_BY(flush_mu_);
 };
 
 }  // namespace rfid::server

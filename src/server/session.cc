@@ -5,7 +5,7 @@
 namespace rfid::server {
 
 Result<std::shared_ptr<Session>> SessionManager::Create(Database* db) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (static_cast<int>(sessions_.size()) >= max_sessions_) {
     return Status::ResourceExhausted(
         StrFormat("session limit reached (%d active, max %d)",
@@ -18,17 +18,17 @@ Result<std::shared_ptr<Session>> SessionManager::Create(Database* db) {
 }
 
 void SessionManager::Release(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   sessions_.erase(id);
 }
 
 int SessionManager::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return static_cast<int>(sessions_.size());
 }
 
 uint64_t SessionManager::total_created() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return total_created_;
 }
 

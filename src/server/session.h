@@ -18,15 +18,17 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "cleansing/rule.h"
+#include "common/sync.h"
 #include "rewrite/rewriter.h"
 #include "storage/snapshot.h"
 
 namespace rfid::server {
 
+// A Session is owned by exactly one connection thread; its fields need
+// no lock (the SessionManager's map of weak_ptrs is the shared part).
 struct Session {
   uint64_t id = 0;
 
@@ -77,10 +79,10 @@ class SessionManager {
  private:
   const int max_sessions_;
 
-  mutable std::mutex mu_;
-  uint64_t next_id_ = 1;
-  uint64_t total_created_ = 0;
-  std::map<uint64_t, std::weak_ptr<Session>> sessions_;
+  mutable Mutex mu_{LockRank::kSessionManager};
+  uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  uint64_t total_created_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, std::weak_ptr<Session>> sessions_ GUARDED_BY(mu_);
 };
 
 }  // namespace rfid::server

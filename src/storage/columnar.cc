@@ -720,13 +720,13 @@ Result<EncodedSegmentPtr> ParseSegmentBytes(std::string_view bytes,
 // --- directory -------------------------------------------------------------
 
 EncodedSegmentPtr ColumnarDirectory::Get(size_t segment) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (segment >= segments_.size()) return nullptr;
   return segments_[segment];
 }
 
 void ColumnarDirectory::Install(size_t segment, EncodedSegmentPtr seg) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (segment >= segments_.size()) segments_.resize(segment + 1);
   segments_[segment] = std::move(seg);
 }
@@ -734,7 +734,7 @@ void ColumnarDirectory::Install(size_t segment, EncodedSegmentPtr seg) {
 void ColumnarDirectory::InvalidateAll() {
   uint64_t dropped = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (EncodedSegmentPtr& s : segments_) {
       if (s != nullptr) ++dropped;
     }
@@ -744,7 +744,7 @@ void ColumnarDirectory::InvalidateAll() {
 }
 
 size_t ColumnarDirectory::encoded_segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
   for (const EncodedSegmentPtr& s : segments_) {
     if (s != nullptr) ++n;
@@ -753,7 +753,7 @@ size_t ColumnarDirectory::encoded_segments() const {
 }
 
 uint64_t ColumnarDirectory::encoded_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   uint64_t bytes = 0;
   for (const EncodedSegmentPtr& s : segments_) {
     if (s != nullptr) bytes += s->approx_bytes;
@@ -762,7 +762,7 @@ uint64_t ColumnarDirectory::encoded_bytes() const {
 }
 
 std::vector<EncodedSegmentPtr> ColumnarDirectory::SnapshotAll() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return segments_;
 }
 

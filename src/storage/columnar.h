@@ -35,12 +35,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/value.h"
 #include "storage/row_store.h"
 
@@ -190,8 +190,8 @@ class ColumnarDirectory {
   std::vector<EncodedSegmentPtr> SnapshotAll() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<EncodedSegmentPtr> segments_;
+  mutable Mutex mu_{LockRank::kColumnarDirectory};
+  std::vector<EncodedSegmentPtr> segments_ GUARDED_BY(mu_);
 };
 
 /// Process-wide columnar activity counters (monotonic; for `.stats` and

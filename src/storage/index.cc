@@ -58,7 +58,7 @@ void SortedIndex::Build(const RowStore& rows, uint64_t num_rows) {
   std::sort(run->begin(), run->end(), EntryLess);
   auto set = std::make_shared<RunSet>();
   set->push_back(std::move(run));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   runs_ = std::move(set);
 }
 
@@ -91,12 +91,12 @@ void SortedIndex::PublishRun(RunPtr run, size_t compact_threshold) {
     next = std::make_shared<RunSet>();
     next->push_back(std::move(merged));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   runs_ = std::move(next);
 }
 
 SortedIndex::RunSetPtr SortedIndex::Pin() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return runs_;
 }
 

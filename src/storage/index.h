@@ -22,11 +22,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "common/value.h"
 #include "storage/row_store.h"
 
@@ -90,8 +90,11 @@ class SortedIndex {
   std::string column_name_;
   size_t column_index_;
 
-  mutable std::mutex mu_;  // guards runs_ pointer swaps and reads
-  RunSetPtr runs_;         // never null; runs themselves are immutable
+  // Guards runs_ pointer swaps and reads. Publication is single-writer
+  // (the ingest pipeline's writer lock serializes PublishRun callers);
+  // this mutex only makes the pointer swap safe against readers.
+  mutable Mutex mu_{LockRank::kIndexRuns};
+  RunSetPtr runs_ GUARDED_BY(mu_);  // never null; runs are immutable
 };
 
 }  // namespace rfid

@@ -164,14 +164,14 @@ void Table::ComputeStats() {
 }
 
 std::shared_ptr<const std::vector<ColumnStats>> Table::PinStats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 
 void Table::PublishStats(
     std::shared_ptr<const std::vector<ColumnStats>> stats) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     stats_ = std::move(stats);
   }
   stats_version_.fetch_add(1, std::memory_order_relaxed);

@@ -20,10 +20,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "storage/columnar.h"
 #include "storage/index.h"
 #include "storage/row_store.h"
@@ -157,8 +157,9 @@ class Table {
   ColumnarDirectory columnar_;
   std::vector<std::unique_ptr<IndexSlot>> indexes_;
 
-  mutable std::mutex stats_mu_;  // guards stats_ pointer swaps and reads
-  std::shared_ptr<const std::vector<ColumnStats>> stats_;
+  // Guards stats_ pointer swaps and reads.
+  mutable Mutex stats_mu_{LockRank::kTableStats};
+  std::shared_ptr<const std::vector<ColumnStats>> stats_ GUARDED_BY(stats_mu_);
 
   // Epoch bookkeeping for staleness. Atomic so a concurrent planner's
   // freshness probe during ingest is race-free; a momentarily

@@ -1,0 +1,230 @@
+// Tests for the annotated concurrency layer (common/sync.h) and the
+// lock-rank checker (common/lock_order.h).
+//
+// This binary is deliberately standalone: it compiles sync.h with
+// RFID_SYNC_CHECK forced on (see tests/CMakeLists.txt) and links only
+// GTest — not librfid — so the checker is active here regardless of the
+// build type, without violating the one-definition rule against a
+// library built with the checker compiled out.
+#include "common/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "common/lock_order.h"
+
+namespace rfid {
+namespace {
+
+// The RAII guards stay pointer-sized in every mode, and CondVar never
+// grows beyond the raw condition variable. The matching Release-mode
+// claims for Mutex/SharedMutex (layout-identical to std::mutex /
+// std::shared_mutex when the checker is off) are static_asserts inside
+// sync.h itself, enforced by every RelWithDebInfo/Release build of the
+// main library.
+static_assert(sizeof(MutexLock) == sizeof(void*));
+static_assert(sizeof(ReaderLock) == sizeof(void*));
+static_assert(sizeof(WriterLock) == sizeof(void*));
+static_assert(sizeof(CondVar) == sizeof(std::condition_variable));
+
+// This binary forces the checker on; the death tests below depend on it.
+static_assert(RFID_SYNC_CHECK_ENABLED == 1,
+              "sync_test must build with RFID_SYNC_CHECK defined");
+
+TEST(LockOrderTest, RankNamesCoverEveryRank) {
+  EXPECT_STREQ(LockRankName(LockRank::kServerState), "server-state");
+  EXPECT_STREQ(LockRankName(LockRank::kIngestPipeline), "ingest-pipeline");
+  EXPECT_STREQ(LockRankName(LockRank::kLeaf), "leaf");
+}
+
+TEST(SyncTest, InOrderAcquisitionIsClean) {
+  Mutex outer(LockRank::kIngestPipeline);
+  Mutex inner(LockRank::kFragmentCache);
+  MutexLock a(&outer);
+  MutexLock b(&inner);  // rank 90 -> 100: strictly increasing, fine
+}
+
+TEST(SyncTest, ReacquireAfterReleaseIsClean) {
+  Mutex mu(LockRank::kPlanCache);
+  for (int i = 0; i < 100; ++i) {
+    MutexLock lock(&mu);
+  }
+}
+
+TEST(SyncTest, EarlyUnlockReleasesTheRankRecord) {
+  Mutex high(LockRank::kWorkerPool);
+  Mutex low(LockRank::kPlanCache);
+  MutexLock a(&high);
+  a.Unlock();
+  // With the record for `high` gone, taking a lower rank is legal.
+  MutexLock b(&low);
+}
+
+TEST(SyncTest, TryLockTracksRank) {
+  Mutex mu(LockRank::kAdmission);
+  ASSERT_TRUE(mu.TryLock());
+  mu.Unlock();
+  MutexLock lock(&mu);  // record cleanly released above
+}
+
+TEST(SyncTest, SharedMutexReadersMayOverlap) {
+  SharedMutex mu(LockRank::kServerState);
+  ReaderLock a(&mu);
+  std::thread other([&mu] { ReaderLock b(&mu); });
+  other.join();
+}
+
+TEST(SyncTest, CondVarWaitRoundTrip) {
+  Mutex mu(LockRank::kLeaf);
+  CondVar cv;
+  bool ready = false;
+  std::thread producer([&] {
+    MutexLock lock(&mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    MutexLock lock(&mu);
+    while (!ready) cv.Wait(lock);
+    EXPECT_TRUE(ready);
+  }
+  producer.join();
+}
+
+TEST(SyncTest, CondVarWaitUntilTimesOut) {
+  Mutex mu(LockRank::kLeaf);
+  CondVar cv;
+  MutexLock lock(&mu);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  EXPECT_EQ(cv.WaitUntil(lock, deadline), std::cv_status::timeout);
+}
+
+// A deliberately inverted acquisition must abort with the rank
+// diagnostic: plan-cache (80) while holding worker-pool (150) breaks the
+// strict-increase rule.
+TEST(SyncDeathTest, RankInversionAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex held(LockRank::kWorkerPool);
+        Mutex inverted(LockRank::kPlanCache);
+        MutexLock a(&held);
+        MutexLock b(&inverted);
+      },
+      "lock rank order violation");
+}
+
+// Equal rank counts as a violation too: it covers self-deadlock and
+// same-band sibling locks, which the global order gives no edge between.
+TEST(SyncDeathTest, EqualRankAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex first(LockRank::kFragmentCache);
+        Mutex second(LockRank::kFragmentCache);
+        MutexLock a(&first);
+        MutexLock b(&second);
+      },
+      "lock rank order violation");
+}
+
+// The violation message names both ends of the bad edge, so the fix is
+// obvious from the abort alone.
+TEST(SyncDeathTest, ViolationNamesBothLocks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex held(LockRank::kColumnarDirectory);
+        Mutex inverted(LockRank::kTableStats);
+        MutexLock a(&held);
+        MutexLock b(&inverted);
+      },
+      "\"table-stats\".*\"columnar-directory\"");
+}
+
+// Repeated contended acquisition across threads: the checker's
+// thread_local bookkeeping must not introduce races (this test is part
+// of the TSan pass in scripts/check.sh) and must not leak records.
+TEST(SyncTest, RepeatedAcquisitionStressIsClean) {
+  constexpr int kThreads = 4;
+  constexpr int kIters = 2000;
+  Mutex outer(LockRank::kIngestPipeline);
+  SharedMutex mid(LockRank::kIndexRuns);
+  Mutex leaf(LockRank::kLeaf);
+  CondVar cv;
+  int counter = 0;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        if ((i + t) % 3 == 0) {
+          MutexLock a(&outer);
+          ReaderLock b(&mid);
+          MutexLock c(&leaf);
+          ++counter;
+        } else if ((i + t) % 3 == 1) {
+          WriterLock b(&mid);
+          MutexLock c(&leaf);
+          ++counter;
+        } else {
+          MutexLock c(&leaf);
+          ++counter;
+          cv.NotifyOne();
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  MutexLock check(&leaf);
+  EXPECT_EQ(counter, kThreads * kIters);
+}
+
+// Producer/consumer over the wrappers end to end: the pattern every
+// subsystem (worker pool, admission queue) uses, exercised under TSan.
+TEST(SyncTest, ProducerConsumerQueue) {
+  constexpr int kItems = 1000;
+  Mutex mu(LockRank::kWorkerPool);
+  CondVar cv;
+  std::deque<int> queue;
+  bool done = false;
+  long long consumed_sum = 0;
+
+  std::thread consumer([&] {
+    while (true) {
+      int item;
+      {
+        MutexLock lock(&mu);
+        while (queue.empty() && !done) cv.Wait(lock);
+        if (queue.empty()) return;
+        item = queue.front();
+        queue.pop_front();
+      }
+      consumed_sum += item;
+    }
+  });
+  for (int i = 1; i <= kItems; ++i) {
+    {
+      MutexLock lock(&mu);
+      queue.push_back(i);
+    }
+    cv.NotifyOne();
+  }
+  {
+    MutexLock lock(&mu);
+    done = true;
+  }
+  cv.NotifyAll();
+  consumer.join();
+  EXPECT_EQ(consumed_sum, 1LL * kItems * (kItems + 1) / 2);
+}
+
+}  // namespace
+}  // namespace rfid
